@@ -1,0 +1,123 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - A1: proxy key algorithm. GSI creates keys *per proxy*, so keygen
+//     cost dominates dynamic-entity creation. Ed25519 (our default) vs
+//     ECDSA P-256.
+//   - A2: proxy chain depth at authentication time — the price of deep
+//     delegation on every handshake.
+//   - A3: CAS assertion carriage — embedded in a restricted proxy
+//     (paper-faithful, authenticates the bearer) vs presented bare
+//     alongside the request.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/cas"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/gss"
+	"repro/internal/proxy"
+)
+
+// BenchmarkA1_ProxyKeyAlgorithm ablates the proxy key algorithm.
+func BenchmarkA1_ProxyKeyAlgorithm(b *testing.B) {
+	f := newFixture(b)
+	for _, alg := range []gridcrypto.Algorithm{gridcrypto.AlgEd25519, gridcrypto.AlgECDSAP256} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proxy.New(f.alice, proxy.Options{KeyAlgorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA2_HandshakeVsProxyDepth ablates delegation depth against
+// mutual-authentication latency.
+func BenchmarkA2_HandshakeVsProxyDepth(b *testing.B) {
+	f := newFixture(b)
+	for _, depth := range []int{0, 1, 4, 16} {
+		cred := f.alice
+		for d := 0; d < depth; d++ {
+			next, err := proxy.New(cred, proxy.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cred = next
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			icfg := gss.Config{Credential: cred, TrustStore: f.trust}
+			acfg := gss.Config{Credential: f.host, TrustStore: f.trust}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gss.Establish(icfg, acfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3_AssertionCarriage ablates how the CAS assertion reaches the
+// resource.
+func BenchmarkA3_AssertionCarriage(b *testing.B) {
+	f := newFixture(b)
+	voCred, err := f.auth.NewEntity(gridcert.MustParseName("/O=Grid/CN=VO"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := cas.NewServer(voCred)
+	server.AddMember(f.alice.Identity(), "g")
+	server.AddPolicy(authz.Rule{
+		Effect:    authz.EffectPermit,
+		Groups:    []string{"g"},
+		Resources: []string{"data:/*"},
+		Actions:   []string{"read"},
+	})
+	assertion, err := server.IssueAssertion(f.alice.Identity())
+	if err != nil {
+		b.Fatal(err)
+	}
+	local := authz.NewPolicy(authz.DenyOverrides).Add(authz.Rule{
+		Effect: authz.EffectPermit, Subjects: []string{"*"},
+		Resources: []string{"data:/*"}, Actions: []string{"read"},
+	})
+	enforcer := cas.NewEnforcer(f.trust, local)
+	enforcer.TrustVO(server.Certificate())
+
+	b.Run("embedded-in-proxy", func(b *testing.B) {
+		cred, err := cas.EmbedInProxy(f.alice, assertion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := enforcer.Authorize(cred.Chain, "data:/x", "read", time.Time{})
+			if err != nil || res.Decision != authz.Permit {
+				b.Fatalf("%v %+v", err, res)
+			}
+		}
+	})
+	b.Run("bare-assertion-verify-only", func(b *testing.B) {
+		// The reduced check a bare carriage would do: chain validation of
+		// the plain credential + assertion signature + VO policy, without
+		// the binding the restricted proxy provides.
+		voPolicy := authz.NewPolicy(authz.DenyOverrides).Add(assertion.Rules...)
+		for i := 0; i < b.N; i++ {
+			if _, err := f.trust.Verify(f.alice.Chain, gridcert.VerifyOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if err := assertion.Verify(server.Certificate(), time.Now()); err != nil {
+				b.Fatal(err)
+			}
+			req := authz.Request{Subject: f.alice.Identity(), Resource: "data:/x", Action: "read"}
+			if authz.Combine(local.Evaluate(req), voPolicy.Evaluate(req)) != authz.Permit {
+				b.Fatal("deny")
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Command casctl demonstrates the Community Authorization Service flow
+// of the paper's Figure 2: a VO enrolls members and policy, a member
+// obtains a signed assertion, embeds it in a restricted proxy, and a
+// resource enforces the intersection of VO and local policy.
+//
+// Usage:
+//
+//	casctl [-member DN] [-resource R] [-action A]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/ca"
+	"repro/internal/cas"
+	"repro/internal/gridcert"
+)
+
+func main() {
+	log.SetFlags(0)
+	member := flag.String("member", "/O=Grid/CN=Alice", "member DN")
+	resource := flag.String("resource", "data:/climate/run1", "resource to access")
+	action := flag.String("action", "read", "action to attempt")
+	flag.Parse()
+
+	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := gridcert.NewTrustStore()
+	if err := trust.AddRoot(authority.Certificate()); err != nil {
+		log.Fatal(err)
+	}
+	memberDN := gridcert.MustParseName(*member)
+	memberCred, err := authority.NewEntity(memberDN, 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	voCred, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=ClimateVO CAS"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := cas.NewServer(voCred)
+	server.AddMember(memberDN, "researchers")
+	server.AddPolicy(authz.Rule{
+		ID:        "vo-read-climate",
+		Effect:    authz.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	fmt.Printf("VO %s: 1 member, %d policy rule(s)\n", server.VO(), server.PolicySize())
+
+	// Step 1: member obtains a signed assertion.
+	assertion, err := server.IssueAssertion(memberDN)
+	if err != nil {
+		log.Fatalf("step 1 (issue): %v", err)
+	}
+	fmt.Printf("step 1: assertion issued to %s with %d rule(s), expires %s\n",
+		assertion.Subject, len(assertion.Rules), assertion.ExpiresAt.Format(time.RFC3339))
+
+	// Step 2: embed in a restricted proxy.
+	proxyCred, err := cas.EmbedInProxy(memberCred, assertion)
+	if err != nil {
+		log.Fatalf("step 2 (embed): %v", err)
+	}
+	fmt.Printf("step 2: restricted proxy %s\n", proxyCred.Leaf().Subject)
+
+	// Step 3: resource enforcement (local ∩ VO).
+	local := authz.NewPolicy(authz.DenyOverrides).Add(authz.Rule{
+		ID:        "local-allow-all-data",
+		Effect:    authz.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"data:/*"},
+		Actions:   []string{"read", "write"},
+	})
+	enforcer := cas.NewEnforcer(trust, local)
+	enforcer.TrustVO(server.Certificate())
+	res, err := enforcer.Authorize(proxyCred.Chain, *resource, *action, time.Time{})
+	if err != nil {
+		log.Fatalf("step 3 (enforce): %v", err)
+	}
+	fmt.Printf("step 3: %s %s -> %s (local=%s vo=%s): %s\n",
+		*action, *resource, res.Decision, res.Local, res.VO, res.Reason)
+}

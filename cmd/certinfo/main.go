@@ -1,0 +1,74 @@
+// Command certinfo decodes a base64-encoded grid certificate (as printed
+// by gridca) from stdin or an argument and prints its fields — the
+// analog of grid-cert-info.
+//
+// Usage:
+//
+//	gridca | grep encoded -A1 | tail -1 | certinfo
+//	certinfo BASE64CERT
+package main
+
+import (
+	"bufio"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/gridcert"
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+
+	var input string
+	if flag.NArg() > 0 {
+		input = flag.Arg(0)
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				input = line
+			}
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if input == "" {
+		log.Fatal("certinfo: no input (pass base64 cert as argument or on stdin)")
+	}
+	raw, err := base64.StdEncoding.DecodeString(input)
+	if err != nil {
+		log.Fatalf("certinfo: base64: %v", err)
+	}
+	cert, err := gridcert.Decode(raw)
+	if err != nil {
+		log.Fatalf("certinfo: decode: %v", err)
+	}
+	fmt.Printf("subject:    %s\n", cert.Subject)
+	fmt.Printf("issuer:     %s\n", cert.Issuer)
+	fmt.Printf("type:       %s\n", cert.Type)
+	fmt.Printf("serial:     %d\n", cert.SerialNumber)
+	fmt.Printf("not before: %s\n", cert.NotBefore.Format(time.RFC3339))
+	fmt.Printf("not after:  %s\n", cert.NotAfter.Format(time.RFC3339))
+	fmt.Printf("key alg:    %s\n", cert.PublicKey.Alg)
+	fp := cert.Fingerprint()
+	fmt.Printf("fingerprint: %x\n", fp[:])
+	if cert.Proxy != nil {
+		fmt.Printf("proxy:      variant=%s pathlen=%d", cert.Proxy.Variant, cert.Proxy.PathLenConstraint)
+		if cert.Proxy.PolicyLanguage != "" {
+			fmt.Printf(" policy-language=%s policy-bytes=%d", cert.Proxy.PolicyLanguage, len(cert.Proxy.Policy))
+		}
+		fmt.Println()
+	}
+	for _, ext := range cert.Extensions {
+		fmt.Printf("extension:  %s critical=%v bytes=%d\n", ext.ID, ext.Critical, len(ext.Value))
+	}
+}

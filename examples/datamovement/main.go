@@ -1,0 +1,116 @@
+// Data movement: GridFTP over the GT2 secured transport, including the
+// third-party transfer that made GSI delegation famous — Alice directs
+// the source server to push a dataset to the destination server, with
+// the source authenticating to the destination *as Alice* using a
+// credential she delegated. Her long-term key never leaves her machine;
+// the data never passes through her.
+//
+//	go run ./examples/datamovement
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gridftp"
+	"repro/internal/proxy"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := gridcert.NewTrustStore()
+	if err := trust.AddRoot(authority.Certificate()); err != nil {
+		log.Fatal(err)
+	}
+	alice, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srcHost, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host storage-a"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dstHost, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host storage-b"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both stores allow Alice full access; Bob gets read on /shared only.
+	policy := authz.NewPolicy(authz.DenyOverrides).Add(
+		authz.Rule{
+			Effect:   authz.EffectPermit,
+			Subjects: []string{"/O=Grid/CN=Alice"},
+			Actions:  []string{"read", "write", "delete", "list"},
+		},
+	)
+	src, err := gridftp.NewServer("127.0.0.1:0", gridftp.NewStore(policy), srcHost, trust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := gridftp.NewServer("127.0.0.1:0", gridftp.NewStore(policy), dstHost, trust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dst.Close()
+	fmt.Printf("servers: %s (%s), %s (%s)\n", src.Addr(), src.Identity().CommonName(), dst.Addr(), dst.Identity().CommonName())
+
+	// Alice uploads a dataset to the source with her proxy (single
+	// sign-on over a mutually authenticated, encrypted channel).
+	aliceProxy, err := proxy.New(alice, proxy.Options{Lifetime: time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := gridftp.Dial(src.Addr(), aliceProxy, trust, src.Identity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset := make([]byte, 256<<10)
+	for i := range dataset {
+		dataset[i] = byte(i)
+	}
+	start := time.Now()
+	if err := conn.Put("/exp/run-42", dataset); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded 256 KiB over the secured channel in %v\n", time.Since(start).Round(time.Microsecond))
+	names, err := conn.List("/exp/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("source listing:", names)
+	conn.Close()
+
+	// Third-party transfer: Alice (the orchestrator) never touches the
+	// data; the source authenticates to the destination with a credential
+	// she delegates for this purpose.
+	start = time.Now()
+	if err := gridftp.ThirdPartyTransfer(aliceProxy, trust,
+		src.Addr(), src.Identity(),
+		dst.Addr(), dst.Identity(),
+		"/exp/run-42", "/replica/run-42"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("third-party transfer completed in %v\n", time.Since(start).Round(time.Microsecond))
+
+	// Verify at the destination.
+	check, err := gridftp.Dial(dst.Addr(), aliceProxy, trust, dst.Identity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer check.Close()
+	got, err := check.Get("/replica/run-42")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica verified: %d bytes, identical=%v\n", len(got), string(got) == string(dataset))
+}

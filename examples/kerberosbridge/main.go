@@ -1,0 +1,118 @@
+// Kerberos bridging: a site with an existing Kerberos infrastructure
+// joins the grid without replacing it (§3, "multiple security
+// mechanisms"). Alice logs in with her Kerberos password, the KCA
+// converts her ticket into a short-lived grid certificate, and she
+// authenticates to a grid service with it; the reverse PKINIT gateway
+// turns a grid credential back into Kerberos tickets for local services.
+//
+//	go run ./examples/kerberosbridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gss"
+	"repro/internal/kerberos"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The site: a Kerberos realm with users and a KCA service.
+	kdc := kerberos.NewKDC("ANL.GOV")
+	alicePrincipal := kdc.RegisterPrincipal("alice", "correct horse battery")
+	kcaPrincipal, kcaKey, err := kdc.RegisterService("kca/grid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("site realm:", kdc.Realm(), "with principal", alicePrincipal)
+
+	// The KCA: a CA whose root grid parties install, plus the identity map.
+	kcaAuthority, err := ca.New(gridcert.MustParseName("/O=ANL/CN=Kerberos CA"), 30*24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapper := bridge.NewIdentityMapper()
+	aliceDN := gridcert.MustParseName("/O=ANL/CN=Alice")
+	mapper.MapKerberos(aliceDN, alicePrincipal)
+	mapper.MapLocal(aliceDN, "alice")
+	kca := bridge.NewKCA(kcaAuthority, kerberos.NewService(kcaPrincipal, kcaKey), mapper)
+
+	// The grid side: a service whose trust store includes the KCA root.
+	gridAuthority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 30*24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	service, err := gridAuthority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host data.example.org"), 7*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serviceTrust := gridcert.NewTrustStore()
+	serviceTrust.AddRoot(kca.Authority()) // unilateral act: trust the site's KCA
+	aliceTrust := gridcert.NewTrustStore()
+	aliceTrust.AddRoot(gridAuthority.Certificate())
+
+	// Alice's morning: kinit …
+	tgt, tgtSession, err := kdc.ASExchange("alice", "correct horse battery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("kinit: obtained TGT for", alicePrincipal)
+
+	// … then a service ticket for the KCA and the conversion.
+	auth1, _ := kerberos.NewAuthenticator(alicePrincipal, tgtSession, time.Now())
+	st, stSession, err := kdc.TGSExchange(tgt, auth1, "kca/grid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	apAuth, _ := kerberos.NewAuthenticator(alicePrincipal, stSession, time.Now())
+	gridCred, err := kca.Convert(st, apAuth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	origin, _ := gridCred.Leaf().FindExtension(gridcert.ExtKCAOrigin)
+	fmt.Printf("KCA: issued %s (origin %s), valid until %s\n",
+		gridCred.Leaf().Subject, origin.Value,
+		gridCred.Leaf().NotAfter.Format(time.RFC3339))
+
+	// Grid authentication with the converted credential.
+	_, serverCtx, err := gss.Establish(
+		gss.Config{Credential: gridCred, TrustStore: aliceTrust},
+		gss.Config{Credential: service, TrustStore: serviceTrust},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid service authenticated the site user as %q\n", serverCtx.Peer().Identity)
+
+	// The reverse direction: PKINIT turns a grid credential into Kerberos
+	// tickets so grid jobs can reach Kerberized site services.
+	pkinitTrust := gridcert.NewTrustStore()
+	pkinitTrust.AddRoot(kca.Authority())
+	gw := bridge.NewPKINIT(kdc, pkinitTrust, mapper)
+	tgt2, session2, err := gw.Convert(gridCred.Chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PKINIT: grid credential converted back to a TGT for %s\n", tgt2.Service)
+
+	// Redeem it against a Kerberized file server.
+	nfsPrincipal, nfsKey, _ := kdc.RegisterService("nfs/storage")
+	auth2, _ := kerberos.NewAuthenticator(alicePrincipal, session2, time.Now())
+	st2, ss2, err := kdc.TGSExchange(tgt2, auth2, "nfs/storage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nfs := kerberos.NewService(nfsPrincipal, nfsKey)
+	apAuth2, _ := kerberos.NewAuthenticator(alicePrincipal, ss2, time.Now())
+	client, _, err := nfs.APExchange(st2, apAuth2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kerberized NFS authenticated %q — full round trip complete\n", client)
+}

@@ -1,0 +1,137 @@
+// VO data sharing: two organizations form a virtual organization (the
+// policy overlay of Figure 1) and share a dataset under CAS-governed
+// community policy (Figure 2). Argonne's resource lets VO members read
+// its climate data; ISI's user Alice accesses it without Argonne ever
+// having heard of her — the VO is the bridge.
+//
+//	go run ./examples/vodatasharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/cas"
+	"repro/internal/vo"
+	"repro/pkg/gsi"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Two classical organizations, each with its own CA and local policy.
+	anl, err := vo.NewDomain("ANL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	isi, err := vo.NewDomain("ISI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("domains:", anl.Name, "and", isi.Name)
+
+	// They form a VO. Each installs the other's CA unilaterally — no
+	// inter-organizational agreement is signed.
+	climateVO := vo.New("climate-vo")
+	cost, err := climateVO.JoinGSI(anl, isi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VO formed: %d unilateral trust acts, %d bilateral agreements\n",
+		cost.UnilateralActs, cost.BilateralAgreements)
+
+	// Alice is an ISI user; the data service and the CAS server live at ANL.
+	alice, err := isi.NewUser("Alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	voCred, err := anl.NewUser("ClimateVO CAS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	casServer := gsi.NewCASServer(voCred)
+	casServer.AddMember(alice.Identity(), "researchers")
+	casServer.AddPolicy(gsi.Rule{
+		ID:        "vo-share-climate",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"gridftp:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	fmt.Println("CAS server enrolled Alice into", casServer.VO())
+
+	// ANL's resource outsources a policy slice to the VO: local policy
+	// admits any authenticated grid user to the climate tree, and the VO
+	// assertion narrows it to read-only for researchers.
+	local := gsi.NewPolicy(gsi.Rule{
+		ID:        "anl-local",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"gridftp:/climate/*"},
+		Actions:   []string{"read", "write"},
+	})
+	enforcer := gsi.NewCASEnforcer(anl.Trust, local)
+	enforcer.TrustVO(casServer.Certificate())
+
+	// Step 1–2: Alice gets her assertion and embeds it in a proxy.
+	assertion, err := casServer.IssueAssertion(alice.Identity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cred, err := gsi.EmbedAssertion(alice, assertion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("assertion issued and embedded in restricted proxy")
+
+	// Step 3: the ANL resource decides.
+	for _, attempt := range []struct{ action, resource string }{
+		{"read", "gridftp:/climate/run7"},
+		{"write", "gridftp:/climate/run7"},
+		{"read", "gridftp:/secret/plans"},
+	} {
+		res, err := enforcer.Authorize(cred.Chain, attempt.resource, attempt.action, time.Time{})
+		if err != nil && res.Decision != authz.Deny {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s %-24s -> %-6s (local=%s, vo=%s)\n",
+			attempt.action, attempt.resource, res.Decision, res.Local, res.VO)
+	}
+
+	// The dual check: a non-member from ANL's own CA cannot use the VO
+	// path even though the local policy would admit them, because CAS
+	// issues them no assertion.
+	mallory, err := anl.NewUser("Mallory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := casServer.IssueAssertion(mallory.Identity()); err != nil {
+		fmt.Println("non-member denied an assertion:", err)
+	}
+
+	// And the VO policy overlay view (Figure 1): effective rights are the
+	// intersection of domain-local and community policy.
+	overlay := vo.Overlay{Domain: anl, VO: climateVO}
+	climateVO.Policy.Add(gsi.Rule{
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{alice.Identity().String()},
+		Resources: []string{"gridftp:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	anl.Local.Add(gsi.Rule{
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"gridftp:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	eff, localD, voD := overlay.Decide(gsi.Request{
+		Subject:  alice.Identity(),
+		Resource: "gridftp:/climate/run7",
+		Action:   "read",
+	})
+	fmt.Printf("overlay decision: effective=%s (local=%s, vo=%s)\n", eff, localD, voD)
+
+	_ = cas.PolicyLanguage // document the restricted-proxy language in use
+}

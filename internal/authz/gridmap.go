@@ -1,0 +1,111 @@
+package authz
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/gridcert"
+)
+
+// GridMap is the grid-mapfile of the paper (§5.3 step 3): "a local
+// configuration file containing mappings from GSI identities to local
+// identities." The MMJFS consults it to pick the local account for a
+// verified requester.
+type GridMap struct {
+	mu      sync.RWMutex
+	entries map[string]string // DN string -> local account
+}
+
+// NewGridMap creates an empty map.
+func NewGridMap() *GridMap {
+	return &GridMap{entries: make(map[string]string)}
+}
+
+// Add maps a grid identity to a local account.
+func (g *GridMap) Add(dn gridcert.Name, account string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries[dn.String()] = account
+}
+
+// Remove deletes a mapping.
+func (g *GridMap) Remove(dn gridcert.Name) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.entries, dn.String())
+}
+
+// Lookup returns the local account for a grid identity.
+func (g *GridMap) Lookup(dn gridcert.Name) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	acct, ok := g.entries[dn.String()]
+	return acct, ok
+}
+
+// Len reports the number of mappings.
+func (g *GridMap) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// Serialize renders the classic grid-mapfile text format:
+//
+//	"/O=Grid/CN=Alice" alice
+//
+// sorted by DN for determinism.
+func (g *GridMap) Serialize() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	dns := make([]string, 0, len(g.entries))
+	for dn := range g.entries {
+		dns = append(dns, dn)
+	}
+	sort.Strings(dns)
+	var sb strings.Builder
+	for _, dn := range dns {
+		fmt.Fprintf(&sb, "%q %s\n", dn, g.entries[dn])
+	}
+	return sb.String()
+}
+
+// ParseGridMap parses the text format produced by Serialize. Lines that
+// are empty or start with '#' are skipped.
+func ParseGridMap(text string) (*GridMap, error) {
+	g := NewGridMap()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `"`) {
+			return nil, fmt.Errorf("authz: gridmap line %d: DN must be quoted", lineNo)
+		}
+		end := strings.Index(line[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("authz: gridmap line %d: unterminated DN", lineNo)
+		}
+		dnStr := line[1 : 1+end]
+		rest := strings.TrimSpace(line[2+end:])
+		if rest == "" {
+			return nil, fmt.Errorf("authz: gridmap line %d: missing account", lineNo)
+		}
+		account := strings.Fields(rest)[0]
+		dn, err := gridcert.ParseName(dnStr)
+		if err != nil {
+			return nil, fmt.Errorf("authz: gridmap line %d: %w", lineNo, err)
+		}
+		g.Add(dn, account)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

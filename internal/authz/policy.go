@@ -1,0 +1,301 @@
+// Package authz implements the grid authorization engine: attribute- and
+// identity-based policy rules with pluggable combination algorithms, a
+// PERMIS-style role-based layer, and the grid-mapfile. It is consumed
+// directly by resources (GT2 style) and wrapped as an OGSA authorization
+// service (GT3 style, paper §4.1: "a service that evaluates policy rules
+// regarding the decision to allow the attempted actions").
+package authz
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gridcert"
+)
+
+// Decision is the outcome of a policy evaluation.
+type Decision uint8
+
+const (
+	// NotApplicable means no rule matched the request.
+	NotApplicable Decision = iota
+	// Permit allows the request.
+	Permit
+	// Deny refuses the request.
+	Deny
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Permit:
+		return "permit"
+	case Deny:
+		return "deny"
+	default:
+		return "not-applicable"
+	}
+}
+
+// Request is an access-control question: may subject perform action on
+// resource?
+type Request struct {
+	// Subject is the requester's grid identity (end-entity DN).
+	Subject gridcert.Name
+	// Groups and Roles are attributes established out of band (VO
+	// membership, RBAC role assignment).
+	Groups []string
+	Roles  []string
+	// Resource names the target, e.g. "gridftp:/data/climate/run1".
+	Resource string
+	// Action names the operation, e.g. "read", "write", "job-submit".
+	Action string
+	// Time of the request; zero means now.
+	Time time.Time
+}
+
+func (r Request) time() time.Time {
+	if r.Time.IsZero() {
+		return time.Now()
+	}
+	return r.Time
+}
+
+// Effect is a rule's disposition.
+type Effect uint8
+
+const (
+	// EffectPermit rules grant access.
+	EffectPermit Effect = 1
+	// EffectDeny rules refuse access.
+	EffectDeny Effect = 2
+)
+
+// Rule is one policy statement. Empty matcher fields match anything.
+type Rule struct {
+	// ID labels the rule for auditing.
+	ID string
+	// Effect is Permit or Deny.
+	Effect Effect
+	// Subjects matches requester DNs ("*" = any; otherwise exact string).
+	Subjects []string
+	// Groups matches if the requester carries any listed group.
+	Groups []string
+	// Roles matches if the requester carries any listed role.
+	Roles []string
+	// Resources matches the target: exact, "*", or prefix pattern
+	// "prefix*" (trailing star).
+	Resources []string
+	// Actions matches operations: exact or "*".
+	Actions []string
+	// NotBefore/NotAfter bound rule applicability in time (zero = open).
+	NotBefore time.Time
+	NotAfter  time.Time
+}
+
+// Matches reports whether the rule applies to the request.
+func (r Rule) Matches(req Request) bool {
+	t := req.time()
+	if !r.NotBefore.IsZero() && t.Before(r.NotBefore) {
+		return false
+	}
+	if !r.NotAfter.IsZero() && t.After(r.NotAfter) {
+		return false
+	}
+	if !r.subjectMatches(req) {
+		return false
+	}
+	if !matchAny(r.Resources, req.Resource, matchResource) {
+		return false
+	}
+	if !matchAny(r.Actions, req.Action, matchExactOrStar) {
+		return false
+	}
+	return true
+}
+
+func (r Rule) subjectMatches(req Request) bool {
+	// A rule with no subject/group/role matchers applies to everyone.
+	if len(r.Subjects) == 0 && len(r.Groups) == 0 && len(r.Roles) == 0 {
+		return true
+	}
+	subj := req.Subject.String()
+	for _, s := range r.Subjects {
+		if s == "*" || s == subj {
+			return true
+		}
+	}
+	for _, g := range r.Groups {
+		for _, have := range req.Groups {
+			if g == have {
+				return true
+			}
+		}
+	}
+	for _, role := range r.Roles {
+		for _, have := range req.Roles {
+			if role == have {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func matchAny(patterns []string, value string, match func(pattern, value string) bool) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if match(p, value) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchExactOrStar(pattern, value string) bool {
+	return pattern == "*" || pattern == value
+}
+
+func matchResource(pattern, value string) bool {
+	if pattern == "*" || pattern == value {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(value, pattern[:len(pattern)-1])
+	}
+	return false
+}
+
+// Combining selects how multiple matching rules resolve.
+type Combining uint8
+
+const (
+	// DenyOverrides: any matching deny wins; else any permit permits.
+	DenyOverrides Combining = iota
+	// PermitOverrides: any matching permit wins; else any deny denies.
+	PermitOverrides
+	// FirstApplicable: the first matching rule (in order) decides.
+	FirstApplicable
+)
+
+// Policy is an ordered rule set with a combining algorithm.
+type Policy struct {
+	mu        sync.RWMutex
+	rules     []Rule
+	combining Combining
+}
+
+// NewPolicy creates a policy with the given combining algorithm.
+func NewPolicy(c Combining) *Policy { return &Policy{combining: c} }
+
+// Add appends rules to the policy.
+func (p *Policy) Add(rules ...Rule) *Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, rules...)
+	return p
+}
+
+// Len returns the number of rules.
+func (p *Policy) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.rules)
+}
+
+// Rules returns a copy of the rule list.
+func (p *Policy) Rules() []Rule {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]Rule(nil), p.rules...)
+}
+
+// Evaluate runs the policy over the request.
+func (p *Policy) Evaluate(req Request) Decision {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var sawPermit, sawDeny bool
+	for _, r := range p.rules {
+		if !r.Matches(req) {
+			continue
+		}
+		switch p.combining {
+		case FirstApplicable:
+			if r.Effect == EffectDeny {
+				return Deny
+			}
+			return Permit
+		case DenyOverrides:
+			if r.Effect == EffectDeny {
+				return Deny
+			}
+			sawPermit = true
+		case PermitOverrides:
+			if r.Effect == EffectPermit {
+				return Permit
+			}
+			sawDeny = true
+		}
+	}
+	switch {
+	case sawPermit:
+		return Permit
+	case sawDeny:
+		return Deny
+	default:
+		return NotApplicable
+	}
+}
+
+// Engine is the authorization-service interface (OGSA roadmap §4.1).
+type Engine interface {
+	Authorize(req Request) (Decision, error)
+}
+
+// PolicyEngine adapts a Policy to the Engine interface with a default
+// decision for NotApplicable.
+type PolicyEngine struct {
+	Policy *Policy
+	// DefaultDeny treats NotApplicable as Deny (closed world). Resources
+	// are closed-world by default in GSI.
+	DefaultDeny bool
+}
+
+// Authorize implements Engine.
+func (e *PolicyEngine) Authorize(req Request) (Decision, error) {
+	if e.Policy == nil {
+		return Deny, errors.New("authz: engine has no policy")
+	}
+	d := e.Policy.Evaluate(req)
+	if d == NotApplicable && e.DefaultDeny {
+		return Deny, nil
+	}
+	return d, nil
+}
+
+// Combine computes the resource-side conjunction of several decisions:
+// the request is permitted only if every constituent policy permits it.
+// This is the CAS enforcement rule of Figure 2 — "the resource checks
+// both local policy and the VO policy" — generalised to N layers.
+func Combine(decisions ...Decision) Decision {
+	if len(decisions) == 0 {
+		return NotApplicable
+	}
+	sawNA := false
+	for _, d := range decisions {
+		switch d {
+		case Deny:
+			return Deny
+		case NotApplicable:
+			sawNA = true
+		}
+	}
+	if sawNA {
+		return NotApplicable
+	}
+	return Permit
+}

@@ -1,0 +1,97 @@
+package authz
+
+import (
+	"sync"
+
+	"repro/internal/gridcert"
+)
+
+// RoleAuthority is a PERMIS-style role-based privilege-management layer
+// (paper §4.5 names PERMIS and Akenti as example authorization services):
+// subjects are assigned roles, and a role-permission policy maps roles to
+// rules. The resulting Engine resolves a requester's roles before
+// evaluating the rule set.
+type RoleAuthority struct {
+	mu          sync.RWMutex
+	assignments map[string][]string // DN -> roles
+	policy      *Policy
+	defaultDeny bool
+}
+
+// NewRoleAuthority builds an empty role authority whose decisions default
+// to deny.
+func NewRoleAuthority() *RoleAuthority {
+	return &RoleAuthority{
+		assignments: make(map[string][]string),
+		policy:      NewPolicy(DenyOverrides),
+		defaultDeny: true,
+	}
+}
+
+// AssignRole grants a role to a subject.
+func (ra *RoleAuthority) AssignRole(subject gridcert.Name, role string) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	key := subject.String()
+	for _, r := range ra.assignments[key] {
+		if r == role {
+			return
+		}
+	}
+	ra.assignments[key] = append(ra.assignments[key], role)
+}
+
+// RevokeRole removes a role from a subject.
+func (ra *RoleAuthority) RevokeRole(subject gridcert.Name, role string) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	key := subject.String()
+	roles := ra.assignments[key]
+	for i, r := range roles {
+		if r == role {
+			ra.assignments[key] = append(roles[:i], roles[i+1:]...)
+			return
+		}
+	}
+}
+
+// RolesOf returns the roles assigned to a subject.
+func (ra *RoleAuthority) RolesOf(subject gridcert.Name) []string {
+	ra.mu.RLock()
+	defer ra.mu.RUnlock()
+	return append([]string(nil), ra.assignments[subject.String()]...)
+}
+
+// Grant adds a role-permission rule: holders of role may perform the
+// actions on the resources.
+func (ra *RoleAuthority) Grant(role string, actions, resources []string) {
+	ra.policy.Add(Rule{
+		ID:        "rbac:" + role,
+		Effect:    EffectPermit,
+		Roles:     []string{role},
+		Actions:   actions,
+		Resources: resources,
+	})
+}
+
+// Forbid adds a role-scoped deny rule (deny-overrides).
+func (ra *RoleAuthority) Forbid(role string, actions, resources []string) {
+	ra.policy.Add(Rule{
+		ID:        "rbac-deny:" + role,
+		Effect:    EffectDeny,
+		Roles:     []string{role},
+		Actions:   actions,
+		Resources: resources,
+	})
+}
+
+// Authorize implements Engine: it resolves the subject's roles, merges
+// them with any roles already on the request, and evaluates the policy.
+func (ra *RoleAuthority) Authorize(req Request) (Decision, error) {
+	req.Roles = append(append([]string(nil), req.Roles...), ra.RolesOf(req.Subject)...)
+	d := ra.policy.Evaluate(req)
+	if d == NotApplicable && ra.defaultDeny {
+		return Deny, nil
+	}
+	return d, nil
+}

@@ -1,0 +1,205 @@
+// Package bridge implements the credential-conversion gateways of the
+// paper (§3 and §4.1): the Kerberos Certificate Authority (KCA), which
+// turns a Kerberos authentication into a short-lived GSI certificate; the
+// SSLK5/PKINIT gateway, which turns a GSI authentication into Kerberos
+// credentials; and the identity-mapping service that relates names across
+// mechanism domains. Together they let "a site with an existing Kerberos
+// infrastructure continue using that installation and convert credentials
+// between Kerberos and GSI as needed."
+package bridge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/kerberos"
+)
+
+// IdentityMapper relates identities across three naming domains: grid
+// distinguished names, Kerberos principals, and local account names. It
+// backs both the gateways here and the OGSA identity-mapping service.
+type IdentityMapper struct {
+	mu        sync.RWMutex
+	dnToKrb   map[string]kerberos.Principal
+	krbToDN   map[string]gridcert.Name
+	dnToLocal map[string]string
+	localToDN map[string]gridcert.Name
+}
+
+// NewIdentityMapper creates an empty mapper.
+func NewIdentityMapper() *IdentityMapper {
+	return &IdentityMapper{
+		dnToKrb:   make(map[string]kerberos.Principal),
+		krbToDN:   make(map[string]gridcert.Name),
+		dnToLocal: make(map[string]string),
+		localToDN: make(map[string]gridcert.Name),
+	}
+}
+
+// MapKerberos records a bidirectional DN ↔ principal mapping.
+func (m *IdentityMapper) MapKerberos(dn gridcert.Name, p kerberos.Principal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dnToKrb[dn.String()] = p
+	m.krbToDN[p.String()] = dn
+}
+
+// MapLocal records a bidirectional DN ↔ local account mapping (the
+// grid-mapfile relation).
+func (m *IdentityMapper) MapLocal(dn gridcert.Name, account string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dnToLocal[dn.String()] = account
+	m.localToDN[account] = dn
+}
+
+// KerberosFor returns the principal mapped to a grid DN.
+func (m *IdentityMapper) KerberosFor(dn gridcert.Name) (kerberos.Principal, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.dnToKrb[dn.String()]
+	return p, ok
+}
+
+// DNForKerberos returns the grid DN mapped to a principal.
+func (m *IdentityMapper) DNForKerberos(p kerberos.Principal) (gridcert.Name, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dn, ok := m.krbToDN[p.String()]
+	return dn, ok
+}
+
+// LocalFor returns the local account mapped to a grid DN.
+func (m *IdentityMapper) LocalFor(dn gridcert.Name) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	acct, ok := m.dnToLocal[dn.String()]
+	return acct, ok
+}
+
+// DNForLocal returns the grid DN mapped to a local account.
+func (m *IdentityMapper) DNForLocal(account string) (gridcert.Name, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dn, ok := m.localToDN[account]
+	return dn, ok
+}
+
+// KCA is the Kerberos Certificate Authority: a service principal in the
+// site realm that issues short-lived grid certificates to clients who
+// authenticate with Kerberos.
+type KCA struct {
+	authority *ca.Authority
+	service   *kerberos.Service
+	mapper    *IdentityMapper
+	// CertLifetime bounds issued certificates; KCA certs are short-lived
+	// (default 12h) because they stand in for a Kerberos session.
+	CertLifetime time.Duration
+}
+
+// NewKCA builds a KCA from its grid CA, its registered Kerberos service,
+// and the identity mapper.
+func NewKCA(authority *ca.Authority, service *kerberos.Service, mapper *IdentityMapper) *KCA {
+	return &KCA{
+		authority:    authority,
+		service:      service,
+		mapper:       mapper,
+		CertLifetime: 12 * time.Hour,
+	}
+}
+
+// Authority exposes the KCA's grid CA certificate so relying parties can
+// install it as a trust root.
+func (k *KCA) Authority() *gridcert.Certificate { return k.authority.Certificate() }
+
+// Convert validates a Kerberos AP exchange and issues a grid credential
+// for the mapped DN, generating the key pair locally. The returned
+// credential chains to the KCA's CA. For remote clients that keep their
+// own key, use IssueForKey.
+func (k *KCA) Convert(ticket kerberos.Ticket, auth kerberos.Authenticator) (*gridcert.Credential, error) {
+	key, err := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := k.IssueForKey(ticket, auth, key.Public())
+	if err != nil {
+		return nil, err
+	}
+	return gridcert.NewCredential([]*gridcert.Certificate{cert}, key)
+}
+
+// IssueForKey validates a Kerberos AP exchange and issues a grid
+// certificate over a client-supplied public key — the wire-safe variant:
+// the private key never leaves the client.
+func (k *KCA) IssueForKey(ticket kerberos.Ticket, auth kerberos.Authenticator, pub gridcrypto.PublicKey) (*gridcert.Certificate, error) {
+	client, _, err := k.service.APExchange(ticket, auth)
+	if err != nil {
+		return nil, fmt.Errorf("bridge: kerberos authentication: %w", err)
+	}
+	dn, ok := k.mapper.DNForKerberos(client)
+	if !ok {
+		return nil, fmt.Errorf("bridge: no grid identity mapped for principal %q", client)
+	}
+	cert, err := k.authority.Issue(ca.Request{
+		Subject:   dn,
+		PublicKey: pub,
+		Lifetime:  k.CertLifetime,
+		Extensions: []gridcert.Extension{
+			{ID: gridcert.ExtKCAOrigin, Value: []byte(client.String())},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bridge: issuing KCA certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// PKINIT is the reverse gateway (SSLK5/PKINIT): it authenticates a grid
+// credential chain and issues Kerberos credentials for the mapped
+// principal.
+type PKINIT struct {
+	kdc    *kerberos.KDC
+	trust  *gridcert.TrustStore
+	mapper *IdentityMapper
+}
+
+// NewPKINIT builds the gateway.
+func NewPKINIT(kdc *kerberos.KDC, trust *gridcert.TrustStore, mapper *IdentityMapper) *PKINIT {
+	return &PKINIT{kdc: kdc, trust: trust, mapper: mapper}
+}
+
+// Convert validates the presented chain and returns a TGT plus session
+// key for the mapped principal.
+func (p *PKINIT) Convert(chain []*gridcert.Certificate) (kerberos.Ticket, []byte, error) {
+	info, err := p.trust.Verify(chain, gridcert.VerifyOptions{})
+	if err != nil {
+		return kerberos.Ticket{}, nil, fmt.Errorf("bridge: grid authentication: %w", err)
+	}
+	principal, ok := p.mapper.KerberosFor(info.Identity)
+	if !ok {
+		return kerberos.Ticket{}, nil, fmt.Errorf("bridge: no principal mapped for %q", info.Identity)
+	}
+	if principal.Realm != p.kdc.Realm() {
+		return kerberos.Ticket{}, nil, fmt.Errorf("bridge: principal %q is not in realm %q", principal, p.kdc.Realm())
+	}
+	return p.kdc.PKINITExchange(principal.Name)
+}
+
+// Converter is the generic credential-conversion interface of the OGSA
+// security-services roadmap (§4.1): a service that bridges trust or
+// mechanism domains. Both gateways satisfy it via adapters in
+// internal/secsvc.
+type Converter interface {
+	// Describe names the conversion, e.g. "kerberos->gsi".
+	Describe() string
+}
+
+// Describe implements Converter.
+func (k *KCA) Describe() string { return "kerberos->gsi (KCA)" }
+
+// Describe implements Converter.
+func (p *PKINIT) Describe() string { return "gsi->kerberos (SSLK5/PKINIT)" }

@@ -1,0 +1,248 @@
+package bridge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gss"
+	"repro/internal/kerberos"
+)
+
+// site models an organisation with a Kerberos realm and a KCA.
+type site struct {
+	kdc    *kerberos.KDC
+	kca    *KCA
+	mapper *IdentityMapper
+	trust  *gridcert.TrustStore
+}
+
+func newSite(t testing.TB) *site {
+	t.Helper()
+	kdc := kerberos.NewKDC("ANL.GOV")
+	kcaPrincipal, kcaKey, err := kdc.RegisterService("kca/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority, err := ca.New(gridcert.MustParseName("/O=ANL/CN=Kerberos CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper := NewIdentityMapper()
+	kca := NewKCA(authority, kerberos.NewService(kcaPrincipal, kcaKey), mapper)
+	trust := gridcert.NewTrustStore()
+	if err := trust.AddRoot(authority.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	return &site{kdc: kdc, kca: kca, mapper: mapper, trust: trust}
+}
+
+// login performs AS+TGS to get a service ticket for the KCA.
+func login(t testing.TB, s *site, name, password string) (kerberos.Principal, kerberos.Ticket, []byte) {
+	t.Helper()
+	client := kerberos.Principal{Name: name, Realm: s.kdc.Realm()}
+	tgt, tgtSession, err := s.kdc.ASExchange(name, password)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := kerberos.NewAuthenticator(client, tgtSession, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, stSession, err := s.kdc.TGSExchange(tgt, auth, "kca/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, st, stSession
+}
+
+func TestKCAConvert(t *testing.T) {
+	s := newSite(t)
+	s.kdc.RegisterPrincipal("alice", "pw")
+	aliceDN := gridcert.MustParseName("/O=ANL/CN=Alice")
+	s.mapper.MapKerberos(aliceDN, kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+
+	client, st, stSession := login(t, s, "alice", "pw")
+	apAuth, err := kerberos.NewAuthenticator(client, stSession, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := s.kca.Convert(st, apAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The issued credential chains to the KCA's CA and carries the
+	// originating principal.
+	info, err := s.trust.Verify(cred.Chain, gridcert.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("KCA credential does not verify: %v", err)
+	}
+	if !info.Identity.Equal(aliceDN) {
+		t.Fatalf("identity = %q", info.Identity)
+	}
+	ext, ok := cred.Leaf().FindExtension(gridcert.ExtKCAOrigin)
+	if !ok || string(ext.Value) != "alice@ANL.GOV" {
+		t.Fatalf("KCA origin extension: ok=%v val=%q", ok, ext.Value)
+	}
+}
+
+func TestKCAUnmappedPrincipalRejected(t *testing.T) {
+	s := newSite(t)
+	s.kdc.RegisterPrincipal("bob", "pw")
+	client, st, stSession := login(t, s, "bob", "pw")
+	apAuth, _ := kerberos.NewAuthenticator(client, stSession, time.Now())
+	if _, err := s.kca.Convert(st, apAuth); err == nil {
+		t.Fatal("KCA issued certificate for unmapped principal")
+	}
+}
+
+func TestKCABadAuthenticatorRejected(t *testing.T) {
+	s := newSite(t)
+	s.kdc.RegisterPrincipal("alice", "pw")
+	s.mapper.MapKerberos(gridcert.MustParseName("/O=ANL/CN=Alice"), kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+	client, st, _ := login(t, s, "alice", "pw")
+	// Authenticator under the wrong key.
+	wrongKey := make([]byte, 32)
+	apAuth, _ := kerberos.NewAuthenticator(client, wrongKey, time.Now())
+	if _, err := s.kca.Convert(st, apAuth); err == nil {
+		t.Fatal("bad authenticator accepted")
+	}
+}
+
+func TestKCACredentialUsableForGSI(t *testing.T) {
+	// The full paper scenario: Kerberos login, KCA conversion, then a GSI
+	// mutual authentication using the converted credential.
+	s := newSite(t)
+	s.kdc.RegisterPrincipal("alice", "pw")
+	aliceDN := gridcert.MustParseName("/O=ANL/CN=Alice")
+	s.mapper.MapKerberos(aliceDN, kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+	client, st, stSession := login(t, s, "alice", "pw")
+	apAuth, _ := kerberos.NewAuthenticator(client, stSession, time.Now())
+	cred, err := s.kca.Convert(st, apAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gridAuth, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := gridAuth.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host svc"), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host trusts the KCA's CA; Alice trusts the grid CA.
+	hostTrust := gridcert.NewTrustStore()
+	hostTrust.AddRoot(s.kca.Authority())
+	aliceTrust := gridcert.NewTrustStore()
+	aliceTrust.AddRoot(gridAuth.Certificate())
+
+	_, actx, err := gss.Establish(
+		gss.Config{Credential: cred, TrustStore: aliceTrust},
+		gss.Config{Credential: host, TrustStore: hostTrust},
+	)
+	if err != nil {
+		t.Fatalf("GSI establishment with KCA credential: %v", err)
+	}
+	if !actx.Peer().Identity.Equal(aliceDN) {
+		t.Fatalf("host saw %q", actx.Peer().Identity)
+	}
+}
+
+func TestPKINITConvert(t *testing.T) {
+	s := newSite(t)
+	s.kdc.RegisterPrincipal("alice", "pw")
+	aliceDN := gridcert.MustParseName("/O=Grid/CN=Alice")
+	gridAuth, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceCred, err := gridAuth.NewEntity(aliceDN, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gridcert.NewTrustStore()
+	trust.AddRoot(gridAuth.Certificate())
+	s.mapper.MapKerberos(aliceDN, kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+
+	gw := NewPKINIT(s.kdc, trust, s.mapper)
+	tgt, session, err := gw.Convert(aliceCred.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Service.Name != "krbtgt/ANL.GOV" {
+		t.Fatalf("TGT service = %q", tgt.Service)
+	}
+	// The TGT is redeemable at the KDC.
+	s.kdc.RegisterService("host/x")
+	auth, _ := kerberos.NewAuthenticator(kerberos.Principal{Name: "alice", Realm: "ANL.GOV"}, session, time.Now())
+	if _, _, err := s.kdc.TGSExchange(tgt, auth, "host/x"); err != nil {
+		t.Fatalf("redeeming PKINIT TGT: %v", err)
+	}
+}
+
+func TestPKINITUnmappedAndUntrusted(t *testing.T) {
+	s := newSite(t)
+	gridAuth, _ := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	cred, _ := gridAuth.NewEntity(gridcert.MustParseName("/O=Grid/CN=Nobody"), time.Hour)
+	trust := gridcert.NewTrustStore()
+	trust.AddRoot(gridAuth.Certificate())
+	gw := NewPKINIT(s.kdc, trust, s.mapper)
+	if _, _, err := gw.Convert(cred.Chain); err == nil {
+		t.Fatal("unmapped DN converted")
+	}
+	// Untrusted chain.
+	emptyTrust := gridcert.NewTrustStore()
+	gw2 := NewPKINIT(s.kdc, emptyTrust, s.mapper)
+	if _, _, err := gw2.Convert(cred.Chain); err == nil {
+		t.Fatal("untrusted chain converted")
+	}
+}
+
+func TestIdentityMapperRoundTrips(t *testing.T) {
+	m := NewIdentityMapper()
+	dn := gridcert.MustParseName("/O=Grid/CN=Alice")
+	p := kerberos.Principal{Name: "alice", Realm: "R"}
+	m.MapKerberos(dn, p)
+	m.MapLocal(dn, "alice_local")
+
+	if got, ok := m.KerberosFor(dn); !ok || got != p {
+		t.Fatalf("KerberosFor: %v %v", got, ok)
+	}
+	if got, ok := m.DNForKerberos(p); !ok || !got.Equal(dn) {
+		t.Fatalf("DNForKerberos: %v %v", got, ok)
+	}
+	if got, ok := m.LocalFor(dn); !ok || got != "alice_local" {
+		t.Fatalf("LocalFor: %v %v", got, ok)
+	}
+	if got, ok := m.DNForLocal("alice_local"); !ok || !got.Equal(dn) {
+		t.Fatalf("DNForLocal: %v %v", got, ok)
+	}
+	if _, ok := m.LocalFor(gridcert.MustParseName("/CN=unknown")); ok {
+		t.Fatal("mapping for unknown DN")
+	}
+}
+
+func TestConverterDescriptions(t *testing.T) {
+	s := newSite(t)
+	gw := NewPKINIT(s.kdc, s.trust, s.mapper)
+	var cs []Converter = []Converter{s.kca, gw}
+	if cs[0].Describe() == cs[1].Describe() {
+		t.Fatal("converters indistinguishable")
+	}
+}
+
+func BenchmarkKCAConversion(b *testing.B) {
+	s := newSite(b)
+	s.kdc.RegisterPrincipal("alice", "pw")
+	s.mapper.MapKerberos(gridcert.MustParseName("/O=ANL/CN=Alice"), kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client, st, stSession := login(b, s, "alice", "pw")
+		apAuth, _ := kerberos.NewAuthenticator(client, stSession, time.Now())
+		if _, err := s.kca.Convert(st, apAuth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package cas implements the Community Authorization Service (paper §3,
+// Figure 2; Pearlman et al. 2002). CAS lets resource providers outsource
+// a slice of their policy to a virtual organization: the VO expresses
+// policy about its members, members obtain signed policy assertions, and
+// resources enforce the *intersection* of the VO assertion with local
+// policy — so "a resource remains the ultimate authority over that
+// resource, but the VO controls a subset of that enforced policy."
+//
+// The three-step flow of Figure 2:
+//
+//  1. the user authenticates to CAS and receives a signed assertion of
+//     the VO's policy for that user;
+//  2. the user presents the assertion to a VO resource along with the
+//     request (embedded in a restricted proxy certificate);
+//  3. the resource checks both local policy and the VO policy in the
+//     assertion.
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/proxy"
+	"repro/internal/wire"
+)
+
+// PolicyLanguage identifies CAS assertions inside restricted proxies.
+const PolicyLanguage = "grid.cas.assertion.v1"
+
+// Assertion is a signed statement of VO policy scoped to one member.
+type Assertion struct {
+	// VO is the issuing community's identity (the CAS server's DN).
+	VO gridcert.Name
+	// Subject is the member the assertion speaks about.
+	Subject gridcert.Name
+	// Rules is the slice of VO policy granted to the subject.
+	Rules []authz.Rule
+	// IssuedAt / ExpiresAt bound the assertion's life.
+	IssuedAt  time.Time
+	ExpiresAt time.Time
+
+	Signature []byte
+}
+
+const maxAssertionRules = 4096
+
+func (a *Assertion) tbs() []byte {
+	e := wire.NewEncoder()
+	e.Str("cas-assertion-v1")
+	e.Str(a.VO.String())
+	e.Str(a.Subject.String())
+	e.I64(a.IssuedAt.Unix())
+	e.I64(a.ExpiresAt.Unix())
+	e.U32(uint32(len(a.Rules)))
+	for _, r := range a.Rules {
+		encodeRule(e, r)
+	}
+	return e.Finish()
+}
+
+func encodeRule(e *wire.Encoder, r authz.Rule) {
+	e.Str(r.ID)
+	e.U8(uint8(r.Effect))
+	encodeStrings(e, r.Subjects)
+	encodeStrings(e, r.Groups)
+	encodeStrings(e, r.Roles)
+	encodeStrings(e, r.Resources)
+	encodeStrings(e, r.Actions)
+	e.I64(unixOrZero(r.NotBefore))
+	e.I64(unixOrZero(r.NotAfter))
+}
+
+func decodeRule(d *wire.Decoder) authz.Rule {
+	var r authz.Rule
+	r.ID = d.Str()
+	r.Effect = authz.Effect(d.U8())
+	r.Subjects = decodeStrings(d)
+	r.Groups = decodeStrings(d)
+	r.Roles = decodeStrings(d)
+	r.Resources = decodeStrings(d)
+	r.Actions = decodeStrings(d)
+	r.NotBefore = timeOrZero(d.I64())
+	r.NotAfter = timeOrZero(d.I64())
+	return r
+}
+
+func encodeStrings(e *wire.Encoder, ss []string) {
+	e.U32(uint32(len(ss)))
+	for _, s := range ss {
+		e.Str(s)
+	}
+}
+
+func decodeStrings(d *wire.Decoder) []string {
+	n := d.Count("string list", 4096)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Str())
+	}
+	return out
+}
+
+func unixOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.Unix()
+}
+
+func timeOrZero(v int64) time.Time {
+	if v == 0 {
+		return time.Time{}
+	}
+	return time.Unix(v, 0).UTC()
+}
+
+// Encode serialises the assertion with its signature.
+func (a *Assertion) Encode() []byte {
+	return wire.NewEncoder().Bytes(a.tbs()).Bytes(a.Signature).Finish()
+}
+
+// DecodeAssertion parses an encoded assertion (signature not verified).
+func DecodeAssertion(b []byte) (*Assertion, error) {
+	d := wire.NewDecoder(b)
+	tbs := d.Bytes()
+	sig := d.Bytes()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	td := wire.NewDecoder(tbs)
+	if magic := td.Str(); td.Err() == nil && magic != "cas-assertion-v1" {
+		return nil, fmt.Errorf("cas: bad assertion magic %q", magic)
+	}
+	a := &Assertion{}
+	voStr := td.Str()
+	subjStr := td.Str()
+	a.IssuedAt = time.Unix(td.I64(), 0).UTC()
+	a.ExpiresAt = time.Unix(td.I64(), 0).UTC()
+	n := td.Count("assertion rule", maxAssertionRules)
+	for i := 0; i < n && td.Err() == nil; i++ {
+		a.Rules = append(a.Rules, decodeRule(td))
+	}
+	if err := td.Done(); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.VO, err = gridcert.ParseName(voStr); err != nil {
+		return nil, err
+	}
+	if a.Subject, err = gridcert.ParseName(subjStr); err != nil {
+		return nil, err
+	}
+	a.Signature = sig
+	return a, nil
+}
+
+// Verify checks the signature and validity window against the CAS
+// server's certificate.
+func (a *Assertion) Verify(casCert *gridcert.Certificate, now time.Time) error {
+	if !casCert.Subject.Equal(a.VO) {
+		return fmt.Errorf("cas: assertion VO %q does not match CAS certificate %q", a.VO, casCert.Subject)
+	}
+	if err := casCert.PublicKey.Verify(a.tbs(), a.Signature); err != nil {
+		return fmt.Errorf("cas: assertion signature: %w", err)
+	}
+	if now.Before(a.IssuedAt.Add(-time.Minute)) || now.After(a.ExpiresAt) {
+		return errors.New("cas: assertion outside validity window")
+	}
+	return nil
+}
+
+// Server is the CAS server for one virtual organization.
+type Server struct {
+	cred *gridcert.Credential
+
+	mu      sync.RWMutex
+	members map[string][]string // member DN -> groups within the VO
+	policy  *authz.Policy
+	// AssertionLifetime bounds issued assertions (default 1h).
+	AssertionLifetime time.Duration
+	now               func() time.Time
+}
+
+// NewServer creates a CAS server from the VO's credential.
+func NewServer(cred *gridcert.Credential) *Server {
+	return &Server{
+		cred:              cred,
+		members:           make(map[string][]string),
+		policy:            authz.NewPolicy(authz.DenyOverrides),
+		AssertionLifetime: time.Hour,
+		now:               time.Now,
+	}
+}
+
+// SetClock overrides the server clock (tests).
+func (s *Server) SetClock(now func() time.Time) { s.now = now }
+
+// VO returns the community identity.
+func (s *Server) VO() gridcert.Name { return s.cred.Leaf().Subject }
+
+// Certificate returns the CAS signing certificate that resources must
+// trust for this VO.
+func (s *Server) Certificate() *gridcert.Certificate { return s.cred.Leaf() }
+
+// AddMember enrolls a user into the VO with the given groups.
+func (s *Server) AddMember(dn gridcert.Name, groups ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[dn.String()] = append([]string(nil), groups...)
+}
+
+// RemoveMember expels a user.
+func (s *Server) RemoveMember(dn gridcert.Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.members, dn.String())
+}
+
+// IsMember reports membership and the member's groups.
+func (s *Server) IsMember(dn gridcert.Name) ([]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.members[dn.String()]
+	return g, ok
+}
+
+// AddPolicy appends VO policy rules.
+func (s *Server) AddPolicy(rules ...authz.Rule) {
+	s.policy.Add(rules...)
+}
+
+// PolicySize returns the number of VO policy rules.
+func (s *Server) PolicySize() int { return s.policy.Len() }
+
+// IssueAssertion is step 1 of Figure 2: the authenticated member receives
+// the subset of VO policy that applies to them, signed by the CAS server.
+// The caller must have authenticated requester (e.g. via a GSS context);
+// CAS trusts that identity here.
+func (s *Server) IssueAssertion(requester gridcert.Name) (*Assertion, error) {
+	groups, ok := s.IsMember(requester)
+	if !ok {
+		return nil, fmt.Errorf("cas: %q is not a member of VO %q", requester, s.VO())
+	}
+	// Select the rules that could ever apply to this member: rules that
+	// name the member, one of its groups, or everyone. CAS resolves group
+	// membership at issuance, so each granted rule is re-scoped to the
+	// subject directly — the resource need not know VO-internal groups.
+	var granted []authz.Rule
+	probe := authz.Request{Subject: requester, Groups: groups}
+	for _, r := range s.policy.Rules() {
+		if ruleCouldApply(r, probe) {
+			scoped := r
+			scoped.Subjects = []string{requester.String()}
+			scoped.Groups = nil
+			scoped.Roles = nil
+			granted = append(granted, scoped)
+		}
+	}
+	now := s.now()
+	a := &Assertion{
+		VO:        s.VO(),
+		Subject:   requester,
+		Rules:     granted,
+		IssuedAt:  now,
+		ExpiresAt: now.Add(s.AssertionLifetime),
+	}
+	sig, err := s.cred.Key.Sign(a.tbs())
+	if err != nil {
+		return nil, err
+	}
+	a.Signature = sig
+	return a, nil
+}
+
+// ruleCouldApply checks subject/group applicability ignoring
+// resource/action (those are evaluated at the resource).
+func ruleCouldApply(r authz.Rule, probe authz.Request) bool {
+	test := r
+	test.Resources = nil
+	test.Actions = nil
+	test.NotBefore = time.Time{}
+	test.NotAfter = time.Time{}
+	return test.Matches(probe)
+}
+
+// EmbedInProxy is step 2 of Figure 2: wrap the assertion in a restricted
+// proxy certificate signed by the member's credential, producing the
+// credential the member presents to resources.
+func EmbedInProxy(member *gridcert.Credential, a *Assertion) (*gridcert.Credential, error) {
+	if !a.Subject.Equal(member.Identity()) {
+		return nil, fmt.Errorf("cas: assertion subject %q does not match credential identity %q",
+			a.Subject, member.Identity())
+	}
+	return proxy.New(member, proxy.Options{
+		Variant:        gridcert.ProxyRestricted,
+		PolicyLanguage: PolicyLanguage,
+		Policy:         a.Encode(),
+		Lifetime:       time.Until(a.ExpiresAt),
+	})
+}
+
+// ExtractAssertion recovers a CAS assertion from a validated chain's
+// restricted-proxy policy blocks.
+func ExtractAssertion(info *gridcert.ChainInfo) (*Assertion, error) {
+	for _, pi := range info.Restricted {
+		if pi.PolicyLanguage == PolicyLanguage {
+			return DecodeAssertion(pi.Policy)
+		}
+	}
+	return nil, errors.New("cas: chain carries no CAS assertion")
+}

@@ -1,0 +1,115 @@
+package cas
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+)
+
+// Enforcer is the resource side of Figure 2 (step 3): it validates the
+// presented chain, extracts and verifies the CAS assertion, evaluates the
+// VO policy it carries, evaluates local policy, and permits the request
+// only when *both* permit — keeping the resource the ultimate authority.
+type Enforcer struct {
+	// Trust validates requester chains.
+	Trust *gridcert.TrustStore
+	// Local is the resource's own policy.
+	Local *authz.Policy
+
+	mu  sync.RWMutex
+	vos map[string]*gridcert.Certificate // trusted CAS signing certs by VO DN
+}
+
+// NewEnforcer creates a resource-side enforcer.
+func NewEnforcer(trust *gridcert.TrustStore, local *authz.Policy) *Enforcer {
+	return &Enforcer{
+		Trust: trust,
+		Local: local,
+		vos:   make(map[string]*gridcert.Certificate),
+	}
+}
+
+// TrustVO registers a CAS server certificate: the resource provider's act
+// of outsourcing policy to that community.
+func (e *Enforcer) TrustVO(casCert *gridcert.Certificate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.vos[casCert.Subject.String()] = casCert
+}
+
+// Result is an explained decision, for auditing.
+type Result struct {
+	Decision authz.Decision
+	// Local and VO hold the component decisions.
+	Local authz.Decision
+	VO    authz.Decision
+	// Identity is the authenticated requester.
+	Identity gridcert.Name
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Authorize runs the full step-3 check on a presented chain.
+func (e *Enforcer) Authorize(chain []*gridcert.Certificate, resource, action string, now time.Time) (Result, error) {
+	if now.IsZero() {
+		now = time.Now()
+	}
+	info, err := e.Trust.Verify(chain, gridcert.VerifyOptions{Now: now})
+	if err != nil {
+		return Result{Decision: authz.Deny, Reason: "authentication failed"}, err
+	}
+	res := Result{Identity: info.Identity}
+	req := authz.Request{Subject: info.Identity, Resource: resource, Action: action, Time: now}
+
+	// Local policy always applies.
+	res.Local = e.Local.Evaluate(req)
+
+	// VO policy applies through the assertion, if one is present.
+	assertion, aerr := ExtractAssertion(info)
+	if aerr != nil {
+		// No assertion: decision rests on local policy alone, which must
+		// therefore permit explicitly.
+		res.VO = authz.NotApplicable
+		res.Decision = res.Local
+		if res.Decision != authz.Permit {
+			res.Decision = authz.Deny
+			res.Reason = "no CAS assertion and local policy does not permit"
+		} else {
+			res.Reason = "permitted by local policy alone"
+		}
+		return res, nil
+	}
+	e.mu.RLock()
+	casCert, trusted := e.vos[assertion.VO.String()]
+	e.mu.RUnlock()
+	if !trusted {
+		res.Decision = authz.Deny
+		res.Reason = fmt.Sprintf("assertion from untrusted VO %q", assertion.VO)
+		return res, nil
+	}
+	if err := assertion.Verify(casCert, now); err != nil {
+		res.Decision = authz.Deny
+		res.Reason = "assertion verification failed"
+		return res, err
+	}
+	if !assertion.Subject.Equal(info.Identity) {
+		res.Decision = authz.Deny
+		res.Reason = "assertion subject does not match authenticated identity"
+		return res, nil
+	}
+	voPolicy := authz.NewPolicy(authz.DenyOverrides).Add(assertion.Rules...)
+	res.VO = voPolicy.Evaluate(req)
+
+	// The applied policy is the intersection: both must permit.
+	res.Decision = authz.Combine(res.Local, res.VO)
+	if res.Decision != authz.Permit {
+		res.Decision = authz.Deny
+		res.Reason = fmt.Sprintf("intersection of local (%s) and VO (%s) policy", res.Local, res.VO)
+	} else {
+		res.Reason = "permitted by local ∩ VO policy"
+	}
+	return res, nil
+}

@@ -1,0 +1,17 @@
+package cas
+
+import (
+	"repro/internal/gridcert"
+	"repro/internal/proxy"
+)
+
+// proxyNewForTest issues a restricted proxy carrying an arbitrary CAS
+// policy blob without EmbedInProxy's subject check — used to simulate
+// adversarial embeddings.
+func proxyNewForTest(member *gridcert.Credential, blob []byte) (*gridcert.Credential, error) {
+	return proxy.New(member, proxy.Options{
+		Variant:        gridcert.ProxyRestricted,
+		PolicyLanguage: PolicyLanguage,
+		Policy:         blob,
+	})
+}

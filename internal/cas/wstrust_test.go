@@ -1,0 +1,64 @@
+package cas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/soap"
+	"repro/internal/wssec"
+)
+
+// TestCASOverWSTrust binds CAS assertion issuance to the WS-Trust token
+// exchange (§4.4: "specified format for security tokens ... allows for
+// interoperability"): the member requests a "cas:assertion" token from
+// an STS whose issuer is the CAS server. Authentication comes from the
+// signed request envelope, so the assertion subject is the authenticated
+// requester — the STS cannot be talked into issuing for someone else.
+func TestCASOverWSTrust(t *testing.T) {
+	bed := newVOBed(t)
+
+	sts := wssec.NewSTS(bed.trust)
+	sts.RegisterIssuer("cas:assertion", func(req *gridcert.ChainInfo, claims []byte) ([]byte, error) {
+		a, err := bed.server.IssueAssertion(req.Identity)
+		if err != nil {
+			return nil, err
+		}
+		return a.Encode(), nil
+	})
+	d := soap.NewDispatcher()
+	sts.Register(d)
+	transport := soap.Pipe(d)
+
+	// Alice (a member) gets her assertion through the standard exchange.
+	tok, err := wssec.RequestToken(transport, bed.alice, "cas:assertion", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertion, err := DecodeAssertion(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !assertion.Subject.Equal(bed.alice.Identity()) {
+		t.Fatalf("assertion subject = %q", assertion.Subject)
+	}
+	if err := assertion.Verify(bed.server.Certificate(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// And the full Figure-2 enforcement works with the WS-Trust-obtained
+	// token.
+	cred, err := EmbedInProxy(bed.alice, assertion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bed.enforcer.Authorize(cred.Chain, "data:/climate/run1", "read", time.Time{})
+	if err != nil || res.Decision != authz.Permit {
+		t.Fatalf("%v %+v", err, res)
+	}
+
+	// Bob (not a member) authenticates fine but the issuer refuses.
+	if _, err := wssec.RequestToken(transport, bed.bob, "cas:assertion", nil); err == nil {
+		t.Fatal("non-member obtained an assertion via WS-Trust")
+	}
+}

@@ -1,0 +1,152 @@
+package gram
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/osim"
+	"repro/internal/soap"
+	"repro/internal/xmlsec"
+)
+
+// GT2Resource is the GT2 GRAM baseline: a single *privileged* network
+// service — the gatekeeper — runs as root, authenticates requests itself,
+// and forks job managers into user accounts. It is the design GT3's
+// least-privilege architecture replaces (§5.2): every byte of request
+// parsing and every authentication step executes with root privileges,
+// and a compromise of the gatekeeper yields the host.
+type GT2Resource struct {
+	Sys   *osim.System
+	Trust *gridcert.TrustStore
+
+	hostCred       *gridcert.Credential
+	gatekeeperProc *osim.Process
+
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*Job
+	stats Stats
+}
+
+// NewGT2Resource boots a GT2 gatekeeper host.
+func NewGT2Resource(hostCred *gridcert.Credential, trust *gridcert.TrustStore, gridmap *authz.GridMap) (*GT2Resource, error) {
+	r := &GT2Resource{
+		Sys:      osim.NewSystem(),
+		Trust:    trust,
+		hostCred: hostCred,
+		jobs:     make(map[string]*Job),
+	}
+	r.Sys.WriteFileAs(osim.RootUID, HostCredPath, gridcert.EncodeChain(hostCred.Chain), false)
+	r.Sys.WriteFileAs(osim.RootUID, GridMapPath, []byte(gridmap.Serialize()), true)
+	r.Sys.InstallProgram(osim.RootUID, JobProgram, false, func(p *osim.Process, args []string) error {
+		return nil
+	})
+	// THE defining property: the gatekeeper is a privileged network
+	// service — root AND listening.
+	var err error
+	if r.gatekeeperProc, err = r.Sys.Boot("gatekeeper", "root", true); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// CreateAccount provisions a local account.
+func (r *GT2Resource) CreateAccount(name string) error {
+	_, err := r.Sys.CreateAccount(name)
+	return err
+}
+
+// GatekeeperProcess exposes the privileged service for compromise
+// simulation.
+func (r *GT2Resource) GatekeeperProcess() *osim.Process { return r.gatekeeperProc }
+
+// Stats returns activity counters.
+func (r *GT2Resource) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Submit processes a signed job request entirely inside the privileged
+// gatekeeper: signature verification, grid-mapfile lookup, and job-manager
+// creation all run as root.
+func (r *GT2Resource) Submit(env *soap.Envelope) (*Job, error) {
+	if env.Action != ActionSubmit {
+		return nil, fmt.Errorf("gram: gatekeeper: unknown action %q", env.Action)
+	}
+	// All of this work is charged as privileged operations (EUID 0):
+	// the gatekeeper parses and verifies untrusted network input as root.
+	if err := r.gatekeeperProc.Work(verifyWork); err != nil {
+		return nil, err
+	}
+	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{
+		TrustStore:    r.Trust,
+		RejectLimited: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gram: gatekeeper: %w", err)
+	}
+	mapBytes, err := r.gatekeeperProc.ReadFile(GridMapPath)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := authz.ParseGridMap(string(mapBytes))
+	if err != nil {
+		return nil, err
+	}
+	account, ok := gm.Lookup(info.Identity)
+	if !ok {
+		return nil, fmt.Errorf("gram: gatekeeper: no grid-mapfile entry for %q", info.Identity)
+	}
+	acct, ok := r.Sys.Lookup(account)
+	if !ok {
+		return nil, fmt.Errorf("gram: gatekeeper: no account %q", account)
+	}
+	desc, err := DecodeJobDescription(env.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Fork a job manager and drop it into the user account.
+	jm, err := r.gatekeeperProc.Fork("jobmanager-" + account)
+	if err != nil {
+		return nil, err
+	}
+	if err := jm.SetEUID(acct.UID); err != nil {
+		return nil, err
+	}
+	job := NewJob(desc, account, nil)
+	if err := job.Transition(StatePending); err != nil {
+		return nil, err
+	}
+	jobProc, err := jm.Exec(desc.Executable, "job-"+account, false, desc.Args...)
+	if err != nil {
+		job.Transition(StateFailed)
+		return job, err
+	}
+	if err := job.Transition(StateActive); err != nil {
+		return nil, err
+	}
+	jobProc.Exit()
+	jm.Exit()
+	if err := job.Transition(StateDone); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.seq++
+	r.jobs[fmt.Sprintf("gt2-job-%d", r.seq)] = job
+	r.stats.JobsAccepted++
+	r.mu.Unlock()
+	return job, nil
+}
+
+// SubmitSigned is a convenience building the signed envelope from a
+// description, mirroring the GT3 client.
+func SubmitSigned(r *GT2Resource, cred *gridcert.Credential, desc JobDescription) (*Job, error) {
+	env := soap.NewEnvelope(ActionSubmit, desc.Encode())
+	if err := xmlsec.SignEnvelope(env, cred); err != nil {
+		return nil, err
+	}
+	return r.Submit(env)
+}

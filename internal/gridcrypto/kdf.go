@@ -1,0 +1,110 @@
+package gridcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// HKDFExtract implements the extract step of HKDF (RFC 5869) with SHA-256.
+func HKDFExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// HKDFExpand implements the expand step of HKDF (RFC 5869) with SHA-256,
+// producing length bytes of output keyed by prk and bound to info.
+func HKDFExpand(prk, info []byte, length int) ([]byte, error) {
+	if length <= 0 || length > 255*sha256.Size {
+		return nil, fmt.Errorf("gridcrypto: invalid HKDF output length %d", length)
+	}
+	var (
+		out  []byte
+		prev []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}
+
+// DeriveKey is the one-shot HKDF: extract with salt then expand with info.
+func DeriveKey(secret, salt, info []byte, length int) ([]byte, error) {
+	return HKDFExpand(HKDFExtract(salt, secret), info, length)
+}
+
+// HMACSHA256 computes an HMAC-SHA256 tag over msg with key.
+func HMACSHA256(key, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// HMACEqual compares two MAC values in constant time.
+func HMACEqual(a, b []byte) bool { return hmac.Equal(a, b) }
+
+// ECDHKeyPair is an ephemeral X25519 key-agreement pair used during
+// security-context establishment.
+type ECDHKeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateECDH creates a fresh X25519 key pair.
+func GenerateECDH() (*ECDHKeyPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gridcrypto: generating x25519 key: %w", err)
+	}
+	return &ECDHKeyPair{priv: priv}, nil
+}
+
+// PublicBytes returns the 32-byte public share to send to the peer.
+func (e *ECDHKeyPair) PublicBytes() []byte { return e.priv.PublicKey().Bytes() }
+
+// SharedSecret computes the shared secret with the peer's public share.
+func (e *ECDHKeyPair) SharedSecret(peer []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peer)
+	if err != nil {
+		return nil, fmt.Errorf("gridcrypto: bad peer ECDH share: %w", err)
+	}
+	secret, err := e.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("gridcrypto: ECDH agreement: %w", err)
+	}
+	return secret, nil
+}
+
+// RandomBytes returns n cryptographically random bytes.
+func RandomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return nil, fmt.Errorf("gridcrypto: reading random bytes: %w", err)
+	}
+	return b, nil
+}
+
+// RandomSerial returns a positive random 63-bit serial number.
+func RandomSerial() (uint64, error) {
+	b, err := RandomBytes(8)
+	if err != nil {
+		return 0, err
+	}
+	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	v &= 1<<63 - 1
+	if v == 0 {
+		v = 1
+	}
+	return v, nil
+}

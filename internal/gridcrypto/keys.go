@@ -1,0 +1,215 @@
+// Package gridcrypto provides the cryptographic primitives used by the
+// Grid Security Infrastructure reproduction: key pairs, signatures, key
+// agreement, key derivation, and authenticated encryption.
+//
+// The package is a thin, deterministic facade over the Go standard library
+// crypto packages. It exists so that the rest of the repository can treat
+// "a grid key" as a single value with a stable wire encoding, independent
+// of the underlying algorithm.
+package gridcrypto
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Algorithm identifies a signature algorithm supported by the grid.
+type Algorithm uint8
+
+const (
+	// AlgEd25519 is the Ed25519 signature scheme. It is the default for
+	// proxy certificates because key generation is extremely cheap, which
+	// matters for dynamic entity creation.
+	AlgEd25519 Algorithm = 1
+	// AlgECDSAP256 is ECDSA over NIST P-256 with SHA-256.
+	AlgECDSAP256 Algorithm = 2
+)
+
+// String returns the canonical name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgEd25519:
+		return "ed25519"
+	case AlgECDSAP256:
+		return "ecdsa-p256"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(a))
+	}
+}
+
+// Valid reports whether a is a known algorithm.
+func (a Algorithm) Valid() bool {
+	return a == AlgEd25519 || a == AlgECDSAP256
+}
+
+// ErrUnknownAlgorithm is returned when decoding a key or signature that
+// names an algorithm this build does not implement.
+var ErrUnknownAlgorithm = errors.New("gridcrypto: unknown algorithm")
+
+// ErrBadSignature is returned when signature verification fails.
+var ErrBadSignature = errors.New("gridcrypto: signature verification failed")
+
+// PublicKey is an algorithm-tagged public key with a stable wire encoding.
+type PublicKey struct {
+	Alg Algorithm
+	// Raw holds the algorithm-specific encoding: 32 bytes for Ed25519,
+	// 65-byte uncompressed point for ECDSA P-256.
+	Raw []byte
+}
+
+// Equal reports whether two public keys are identical.
+func (p PublicKey) Equal(q PublicKey) bool {
+	return p.Alg == q.Alg && bytes.Equal(p.Raw, q.Raw)
+}
+
+// Fingerprint returns the SHA-256 hash of the encoded key. It is the
+// canonical short identifier for a key.
+func (p PublicKey) Fingerprint() [32]byte {
+	h := sha256.New()
+	h.Write([]byte{byte(p.Alg)})
+	h.Write(p.Raw)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Encode returns the wire encoding of the public key: one algorithm byte
+// followed by the raw key material.
+func (p PublicKey) Encode() []byte {
+	out := make([]byte, 1+len(p.Raw))
+	out[0] = byte(p.Alg)
+	copy(out[1:], p.Raw)
+	return out
+}
+
+// DecodePublicKey parses a wire-encoded public key produced by Encode.
+func DecodePublicKey(b []byte) (PublicKey, error) {
+	if len(b) < 2 {
+		return PublicKey{}, errors.New("gridcrypto: public key too short")
+	}
+	alg := Algorithm(b[0])
+	raw := append([]byte(nil), b[1:]...)
+	switch alg {
+	case AlgEd25519:
+		if len(raw) != ed25519.PublicKeySize {
+			return PublicKey{}, fmt.Errorf("gridcrypto: ed25519 public key must be %d bytes, got %d", ed25519.PublicKeySize, len(raw))
+		}
+	case AlgECDSAP256:
+		if _, err := unmarshalP256(raw); err != nil {
+			return PublicKey{}, err
+		}
+	default:
+		return PublicKey{}, ErrUnknownAlgorithm
+	}
+	return PublicKey{Alg: alg, Raw: raw}, nil
+}
+
+// Verify checks sig over msg under this public key.
+func (p PublicKey) Verify(msg, sig []byte) error {
+	switch p.Alg {
+	case AlgEd25519:
+		if len(p.Raw) != ed25519.PublicKeySize {
+			return errors.New("gridcrypto: malformed ed25519 public key")
+		}
+		if !ed25519.Verify(ed25519.PublicKey(p.Raw), msg, sig) {
+			return ErrBadSignature
+		}
+		return nil
+	case AlgECDSAP256:
+		pub, err := unmarshalP256(p.Raw)
+		if err != nil {
+			return err
+		}
+		digest := sha256.Sum256(msg)
+		if !ecdsa.VerifyASN1(pub, digest[:], sig) {
+			return ErrBadSignature
+		}
+		return nil
+	default:
+		return ErrUnknownAlgorithm
+	}
+}
+
+// KeyPair is a private key together with its public half.
+type KeyPair struct {
+	pub  PublicKey
+	priv crypto.Signer
+}
+
+// GenerateKeyPair creates a fresh key pair for the given algorithm.
+func GenerateKeyPair(alg Algorithm) (*KeyPair, error) {
+	switch alg {
+	case AlgEd25519:
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("gridcrypto: generating ed25519 key: %w", err)
+		}
+		return &KeyPair{
+			pub:  PublicKey{Alg: AlgEd25519, Raw: append([]byte(nil), pub...)},
+			priv: priv,
+		}, nil
+	case AlgECDSAP256:
+		priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("gridcrypto: generating ecdsa key: %w", err)
+		}
+		raw := marshalP256(&priv.PublicKey)
+		return &KeyPair{
+			pub:  PublicKey{Alg: AlgECDSAP256, Raw: raw},
+			priv: priv,
+		}, nil
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+}
+
+// Public returns the public half of the key pair.
+func (k *KeyPair) Public() PublicKey { return k.pub }
+
+// Algorithm returns the signature algorithm of the pair.
+func (k *KeyPair) Algorithm() Algorithm { return k.pub.Alg }
+
+// Sign produces a signature over msg. For Ed25519 the message is signed
+// directly; for ECDSA it is hashed with SHA-256 first.
+func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
+	switch k.pub.Alg {
+	case AlgEd25519:
+		return k.priv.Sign(rand.Reader, msg, crypto.Hash(0))
+	case AlgECDSAP256:
+		digest := sha256.Sum256(msg)
+		return k.priv.Sign(rand.Reader, digest[:], crypto.SHA256)
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+}
+
+// marshalP256 encodes a P-256 public key as an uncompressed point.
+func marshalP256(pub *ecdsa.PublicKey) []byte {
+	// Uncompressed point encoding: 0x04 || X || Y, 32 bytes each.
+	out := make([]byte, 65)
+	out[0] = 4
+	pub.X.FillBytes(out[1:33])
+	pub.Y.FillBytes(out[33:65])
+	return out
+}
+
+// unmarshalP256 decodes an uncompressed P-256 point.
+func unmarshalP256(raw []byte) (*ecdsa.PublicKey, error) {
+	if len(raw) != 65 || raw[0] != 4 {
+		return nil, errors.New("gridcrypto: malformed P-256 point")
+	}
+	x := new(big.Int).SetBytes(raw[1:33])
+	y := new(big.Int).SetBytes(raw[33:65])
+	if !elliptic.P256().IsOnCurve(x, y) {
+		return nil, errors.New("gridcrypto: point not on P-256 curve")
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}

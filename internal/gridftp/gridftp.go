@@ -1,0 +1,143 @@
+// Package gridftp implements the data-movement service of the Globus
+// Toolkit (paper §3): file storage and transfer secured by GSI. The
+// control protocol runs over the GT2 secured transport
+// (internal/gsitransport); every operation is authorized against a
+// per-path policy under the client's authenticated grid identity.
+//
+// The GSI showcase is the third-party transfer: a client directs server
+// A to push a file to server B. A authenticates to B *as the client*
+// using a credential the client delegated — single sign-on and
+// delegation doing real work.
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+)
+
+// Store is an in-memory file tree with per-path authorization.
+type Store struct {
+	mu     sync.RWMutex
+	files  map[string][]byte
+	policy *authz.Policy
+}
+
+// NewStore creates a store governed by the given policy. Actions used:
+// "read", "write", "delete", "list".
+func NewStore(policy *authz.Policy) *Store {
+	return &Store{files: make(map[string][]byte), policy: policy}
+}
+
+// Put writes a file as identity.
+func (s *Store) Put(identity gridcert.Name, path string, data []byte) error {
+	if err := s.authorize(identity, path, "write"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get reads a file as identity.
+func (s *Store) Get(identity gridcert.Name, path string) ([]byte, error) {
+	if err := s.authorize(identity, path, "read"); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("gridftp: no such file %q", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes a file as identity.
+func (s *Store) Delete(identity gridcert.Name, path string) error {
+	if err := s.authorize(identity, path, "delete"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return fmt.Errorf("gridftp: no such file %q", path)
+	}
+	delete(s.files, path)
+	return nil
+}
+
+// List enumerates files under a prefix as identity.
+func (s *Store) List(identity gridcert.Name, prefix string) ([]string, error) {
+	if err := s.authorize(identity, prefix, "list"); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (s *Store) authorize(identity gridcert.Name, path, action string) error {
+	d := s.policy.Evaluate(authz.Request{Subject: identity, Resource: path, Action: action})
+	if d != authz.Permit {
+		return fmt.Errorf("gridftp: %q denied %s on %q", identity, action, path)
+	}
+	return nil
+}
+
+// --- control protocol ----------------------------------------------------
+
+// Command opcodes of the control protocol.
+const (
+	opGet  = "GET"
+	opPut  = "PUT"
+	opDel  = "DEL"
+	opList = "LIST"
+	opOK   = "OK"
+	opErr  = "ERR"
+)
+
+// encodeCmd frames a command: verb \x00 path \x00 payload.
+func encodeCmd(verb, path string, payload []byte) []byte {
+	out := make([]byte, 0, len(verb)+len(path)+len(payload)+2)
+	out = append(out, verb...)
+	out = append(out, 0)
+	out = append(out, path...)
+	out = append(out, 0)
+	return append(out, payload...)
+}
+
+// decodeCmd reverses encodeCmd.
+func decodeCmd(msg []byte) (verb, path string, payload []byte, err error) {
+	i := indexByte(msg, 0)
+	if i < 0 {
+		return "", "", nil, errors.New("gridftp: malformed command")
+	}
+	j := indexByte(msg[i+1:], 0)
+	if j < 0 {
+		return "", "", nil, errors.New("gridftp: malformed command")
+	}
+	return string(msg[:i]), string(msg[i+1 : i+1+j]), msg[i+2+j:], nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}

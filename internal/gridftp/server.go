@@ -1,0 +1,251 @@
+package gridftp
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/gridcert"
+	"repro/internal/gsitransport"
+	"repro/internal/gss"
+	"repro/internal/proxy"
+)
+
+// Server is a GridFTP endpoint: a secured listener in front of a Store.
+type Server struct {
+	store    *Store
+	cred     *gridcert.Credential
+	trust    *gridcert.TrustStore
+	listener *gsitransport.Listener
+
+	mu      sync.Mutex
+	served  int
+	closing bool
+}
+
+// NewServer starts a GridFTP server on addr ("127.0.0.1:0" for tests).
+func NewServer(addr string, store *Store, cred *gridcert.Credential, trust *gridcert.TrustStore) (*Server, error) {
+	inner, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		store: store,
+		cred:  cred,
+		trust: trust,
+		listener: gsitransport.NewListener(inner, gss.Config{
+			Credential: cred,
+			TrustStore: trust,
+		}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Identity returns the server's host identity.
+func (s *Server) Identity() gridcert.Name { return s.cred.Leaf().Subject }
+
+// Served reports how many connections completed the handshake.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	return s.listener.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return
+			}
+			continue // failed handshake; keep serving
+		}
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn *gsitransport.Conn) {
+	defer conn.Close()
+	identity := conn.Peer().Identity
+	for {
+		msg, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		verb, path, payload, err := decodeCmd(msg)
+		if err != nil {
+			conn.Send(encodeCmd(opErr, "", []byte(err.Error())))
+			return
+		}
+		reply := s.execute(identity, verb, path, payload)
+		if err := conn.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(identity gridcert.Name, verb, path string, payload []byte) []byte {
+	switch verb {
+	case opGet:
+		data, err := s.store.Get(identity, path)
+		if err != nil {
+			return encodeCmd(opErr, path, []byte(err.Error()))
+		}
+		return encodeCmd(opOK, path, data)
+	case opPut:
+		if err := s.store.Put(identity, path, payload); err != nil {
+			return encodeCmd(opErr, path, []byte(err.Error()))
+		}
+		return encodeCmd(opOK, path, nil)
+	case opDel:
+		if err := s.store.Delete(identity, path); err != nil {
+			return encodeCmd(opErr, path, []byte(err.Error()))
+		}
+		return encodeCmd(opOK, path, nil)
+	case opList:
+		names, err := s.store.List(identity, path)
+		if err != nil {
+			return encodeCmd(opErr, path, []byte(err.Error()))
+		}
+		return encodeCmd(opOK, path, []byte(strings.Join(names, "\n")))
+	default:
+		return encodeCmd(opErr, path, []byte("unknown verb "+verb))
+	}
+}
+
+// Client is a GridFTP client session.
+type Client struct {
+	conn *gsitransport.Conn
+	cred *gridcert.Credential
+}
+
+// Dial connects and authenticates to a GridFTP server.
+func Dial(addr string, cred *gridcert.Credential, trust *gridcert.TrustStore, expectHost gridcert.Name) (*Client, error) {
+	conn, err := gsitransport.Dial(addr, gss.Config{
+		Credential:   cred,
+		TrustStore:   trust,
+		ExpectedPeer: expectHost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, cred: cred}, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(verb, path string, payload []byte) ([]byte, error) {
+	if err := c.conn.Send(encodeCmd(verb, path, payload)); err != nil {
+		return nil, err
+	}
+	msg, err := c.conn.Receive()
+	if err != nil {
+		return nil, err
+	}
+	rverb, _, rpayload, err := decodeCmd(msg)
+	if err != nil {
+		return nil, err
+	}
+	if rverb == opErr {
+		return nil, fmt.Errorf("gridftp: server: %s", rpayload)
+	}
+	return rpayload, nil
+}
+
+// Get fetches a file.
+func (c *Client) Get(path string) ([]byte, error) { return c.roundTrip(opGet, path, nil) }
+
+// Put stores a file.
+func (c *Client) Put(path string, data []byte) error {
+	_, err := c.roundTrip(opPut, path, data)
+	return err
+}
+
+// Delete removes a file.
+func (c *Client) Delete(path string) error {
+	_, err := c.roundTrip(opDel, path, nil)
+	return err
+}
+
+// List enumerates a prefix.
+func (c *Client) List(prefix string) ([]string, error) {
+	out, err := c.roundTrip(opList, prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(out), "\n"), nil
+}
+
+// ThirdPartyTransfer orchestrates src→dst copy of path on the client's
+// authority: the client delegates a proxy to the source server, which
+// then authenticates to the destination *as the client* and pushes the
+// file. This is GSI delegation doing its canonical job.
+//
+// In this in-process reproduction the "source server side" runs in this
+// function with the delegated credential, exactly as the source host
+// would.
+func ThirdPartyTransfer(client *gridcert.Credential, trust *gridcert.TrustStore,
+	srcAddr string, srcHost gridcert.Name,
+	dstAddr string, dstHost gridcert.Name,
+	srcPath, dstPath string) error {
+
+	// 1. The client connects to the source and fetches nothing itself —
+	// it delegates. (Delegation rides the established secure channel in
+	// real GridFTP; here we run the exchange directly.)
+	delegatee, req, err := proxy.NewDelegatee(0, false)
+	if err != nil {
+		return err
+	}
+	reply, err := proxy.HandleDelegation(client, req, proxy.Options{})
+	if err != nil {
+		return err
+	}
+	delegated, err := delegatee.Accept(reply)
+	if err != nil {
+		return err
+	}
+
+	// 2. The source (acting with the delegated credential) reads the file
+	// from itself and pushes it to the destination as the client.
+	srcConn, err := Dial(srcAddr, delegated, trust, srcHost)
+	if err != nil {
+		return fmt.Errorf("gridftp: third-party: source: %w", err)
+	}
+	defer srcConn.Close()
+	data, err := srcConn.Get(srcPath)
+	if err != nil {
+		return err
+	}
+	dstConn, err := Dial(dstAddr, delegated, trust, dstHost)
+	if err != nil {
+		return fmt.Errorf("gridftp: third-party: destination: %w", err)
+	}
+	defer dstConn.Close()
+	if err := dstConn.Put(dstPath, data); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package gsitransport implements the GT2-style secured transport: the
+// GSS security-context handshake framed directly over a TCP (or any
+// net.Conn) stream, followed by record-level message protection — the
+// moral equivalent of the TLS-based protocol GT2 uses for authentication
+// and message protection (paper §3).
+//
+// The GT3 counterpart carries the *same* handshake tokens inside SOAP
+// envelopes (internal/wssec); benchmarking the two side by side
+// reproduces the stateful-communication comparison of §5.1 (experiment E6).
+package gsitransport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/wire"
+)
+
+// Conn is a secured connection. It exposes message-oriented Send/Receive
+// (GSI protects discrete records, not a byte stream) plus the underlying
+// security context.
+type Conn struct {
+	raw net.Conn
+	ctx *gss.Context
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	// Accounting for experiment E6.
+	handshakeMsgs  int
+	handshakeBytes int
+}
+
+// HandshakeStats reports the message and byte cost of establishment.
+type HandshakeStats struct {
+	Messages int
+	Bytes    int
+}
+
+// Client performs the initiator handshake over raw.
+func Client(raw net.Conn, cfg gss.Config) (*Conn, error) {
+	init, err := gss.NewInitiator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{raw: raw}
+	t1, err := init.Start()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeToken(t1); err != nil {
+		return nil, fmt.Errorf("gsitransport: sending token1: %w", err)
+	}
+	t2, err := c.readToken()
+	if err != nil {
+		return nil, fmt.Errorf("gsitransport: reading token2: %w", err)
+	}
+	t3, ctx, err := init.Finish(t2)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeToken(t3); err != nil {
+		return nil, fmt.Errorf("gsitransport: sending token3: %w", err)
+	}
+	c.ctx = ctx
+	return c, nil
+}
+
+// Server performs the acceptor handshake over raw.
+func Server(raw net.Conn, cfg gss.Config) (*Conn, error) {
+	acc, err := gss.NewAcceptor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{raw: raw}
+	t1, err := c.readToken()
+	if err != nil {
+		return nil, fmt.Errorf("gsitransport: reading token1: %w", err)
+	}
+	t2, err := acc.Accept(t1)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeToken(t2); err != nil {
+		return nil, fmt.Errorf("gsitransport: sending token2: %w", err)
+	}
+	t3, err := c.readToken()
+	if err != nil {
+		return nil, fmt.Errorf("gsitransport: reading token3: %w", err)
+	}
+	ctx, err := acc.Complete(t3)
+	if err != nil {
+		return nil, err
+	}
+	c.ctx = ctx
+	return c, nil
+}
+
+func (c *Conn) writeToken(tok []byte) error {
+	c.handshakeMsgs++
+	c.handshakeBytes += len(tok) + 4
+	return wire.WriteFrame(c.raw, tok)
+}
+
+func (c *Conn) readToken() ([]byte, error) {
+	tok, err := wire.ReadFrame(c.raw)
+	if err != nil {
+		return nil, err
+	}
+	c.handshakeMsgs++
+	c.handshakeBytes += len(tok) + 4
+	return tok, nil
+}
+
+// Context returns the established security context.
+func (c *Conn) Context() *gss.Context { return c.ctx }
+
+// Peer returns the authenticated remote party.
+func (c *Conn) Peer() gss.Peer { return c.ctx.Peer() }
+
+// Handshake returns the establishment cost accounting.
+func (c *Conn) Handshake() HandshakeStats {
+	return HandshakeStats{Messages: c.handshakeMsgs, Bytes: c.handshakeBytes}
+}
+
+// Send protects and transmits one message.
+func (c *Conn) Send(msg []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	w, err := c.ctx.Wrap(msg)
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrame(c.raw, w)
+}
+
+// Receive reads and unprotects one message.
+func (c *Conn) Receive() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	w, err := wire.ReadFrame(c.raw)
+	if err != nil {
+		return nil, err
+	}
+	return c.ctx.Unwrap(w)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline forwards to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection completes
+// the acceptor handshake with the given config before being returned.
+type Listener struct {
+	inner net.Listener
+	cfg   gss.Config
+}
+
+// NewListener builds a secured listener.
+func NewListener(inner net.Listener, cfg gss.Config) *Listener {
+	return &Listener{inner: inner, cfg: cfg}
+}
+
+// Accept waits for a connection and completes the security handshake.
+func (l *Listener) Accept() (*Conn, error) {
+	raw, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := Server(raw, l.cfg)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Dial connects to addr over TCP and completes the initiator handshake.
+func Dial(addr string, cfg gss.Config) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := Client(raw, cfg)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return conn, nil
+}

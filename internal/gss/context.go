@@ -1,0 +1,152 @@
+package gss
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/gridcrypto"
+	"repro/internal/wire"
+)
+
+// Context is an established security context. It provides message
+// protection (Wrap/Unwrap), integrity-only MICs, and exposes the
+// authenticated peer. Contexts are safe for concurrent use.
+type Context struct {
+	initiator bool
+	peer      Peer
+	flags     Flags
+	expiry    time.Time
+	now       func() time.Time
+
+	sealer *gridcrypto.Sealer
+	opener *gridcrypto.Opener
+	micKey []byte // local MIC signing key
+	vfyKey []byte // peer MIC verification key
+}
+
+func newContext(initiator bool, ks keySchedule, peer Peer, cfg Config, flags Flags) (*Context, error) {
+	sendKey, recvKey := ks.initWrite, ks.acceptWrite
+	micKey, vfyKey := ks.initFin, ks.acceptFin
+	if !initiator {
+		sendKey, recvKey = recvKey, sendKey
+		micKey, vfyKey = vfyKey, micKey
+	}
+	sealer, err := gridcrypto.NewSealer(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	opener, err := gridcrypto.NewOpener(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	nowFn := cfg.Now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	expiry := nowFn().Add(cfg.lifetime())
+	// A context never outlives the local credential.
+	if cfg.Credential != nil && cfg.Credential.Leaf().NotAfter.Before(expiry) {
+		expiry = cfg.Credential.Leaf().NotAfter
+	}
+	return &Context{
+		initiator: initiator,
+		peer:      peer,
+		flags:     flags,
+		expiry:    expiry,
+		now:       nowFn,
+		sealer:    sealer,
+		opener:    opener,
+		micKey:    micKey,
+		vfyKey:    vfyKey,
+	}, nil
+}
+
+// Peer returns the authenticated remote party.
+func (c *Context) Peer() Peer { return c.peer }
+
+// Initiator reports whether the local side initiated the context.
+func (c *Context) Initiator() bool { return c.initiator }
+
+// Expiry returns when the context lapses.
+func (c *Context) Expiry() time.Time { return c.expiry }
+
+// Expired reports whether the context has lapsed.
+func (c *Context) Expired() bool { return c.now().After(c.expiry) }
+
+// DelegationRequested reports whether the initiator set FlagDelegate.
+func (c *Context) DelegationRequested() bool { return c.flags&FlagDelegate != 0 }
+
+// Wrap protects a message (confidentiality + integrity + ordering) for
+// the peer.
+func (c *Context) Wrap(plaintext []byte) ([]byte, error) {
+	if c.Expired() {
+		return nil, ErrContextExpired
+	}
+	seq, ct, err := c.sealer.Seal(plaintext, []byte("gsi3 wrap"))
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U64(seq).Bytes(ct).Finish(), nil
+}
+
+// Unwrap reverses the peer's Wrap.
+func (c *Context) Unwrap(wrapped []byte) ([]byte, error) {
+	if c.Expired() {
+		return nil, ErrContextExpired
+	}
+	d := wire.NewDecoder(wrapped)
+	seq := d.U64()
+	ct := d.Bytes()
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("gss: bad wrap token: %w", err)
+	}
+	pt, err := c.opener.Open(seq, ct, []byte("gsi3 wrap"))
+	if err != nil {
+		return nil, fmt.Errorf("gss: unwrap: %w", err)
+	}
+	return pt, nil
+}
+
+// GetMIC computes an integrity check over msg without encrypting it.
+func (c *Context) GetMIC(msg []byte) []byte {
+	return gridcrypto.HMACSHA256(c.micKey, msg)
+}
+
+// VerifyMIC checks a MIC produced by the peer's GetMIC.
+func (c *Context) VerifyMIC(msg, mic []byte) error {
+	if !gridcrypto.HMACEqual(mic, gridcrypto.HMACSHA256(c.vfyKey, msg)) {
+		return errors.New("gss: MIC verification failed")
+	}
+	return nil
+}
+
+// Establish runs a complete in-memory handshake between two configs and
+// returns both contexts. It exists for tests and for co-located services.
+func Establish(initCfg, acceptCfg Config) (initCtx, acceptCtx *Context, err error) {
+	init, err := NewInitiator(initCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := NewAcceptor(acceptCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t1, err := init.Start()
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := acc.Accept(t1)
+	if err != nil {
+		return nil, nil, err
+	}
+	t3, ictx, err := init.Finish(t2)
+	if err != nil {
+		return nil, nil, err
+	}
+	actx, err := acc.Complete(t3)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ictx, actx, nil
+}

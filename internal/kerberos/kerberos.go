@@ -1,0 +1,468 @@
+// Package kerberos implements a miniature Kerberos 5 realm: an
+// authentication server (AS) and ticket-granting server (TGS) sharing a
+// key database, encrypted tickets, authenticators with freshness checks,
+// and bilateral cross-realm trust.
+//
+// It exists as the "diverse site security mechanism" of the paper (§3):
+// sites with an existing Kerberos infrastructure keep it, and the KCA /
+// PKINIT gateways in internal/bridge translate between Kerberos and GSI.
+// Its bilateral inter-realm trust model is also the baseline against which
+// experiment E1 measures the O(N) unilateral CA-trust property of PKI.
+package kerberos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gridcrypto"
+	"repro/internal/wire"
+)
+
+// Principal is a Kerberos principal name, canonically "primary@REALM" or
+// "service/instance@REALM".
+type Principal struct {
+	Name  string // primary or service/instance part
+	Realm string
+}
+
+// String renders the canonical form.
+func (p Principal) String() string { return p.Name + "@" + p.Realm }
+
+// ParsePrincipal parses "name@REALM".
+func ParsePrincipal(s string) (Principal, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return Principal{}, fmt.Errorf("kerberos: malformed principal %q", s)
+	}
+	return Principal{Name: s[:at], Realm: s[at+1:]}, nil
+}
+
+// tgsName is the principal name of the ticket-granting service in a realm.
+func tgsName(realm string) string { return "krbtgt/" + realm }
+
+// crossRealmName is the TGS principal used for tickets that let a client
+// of realm `from` talk to the TGS of realm `to`.
+func crossRealmName(to string) string { return "krbtgt/" + to }
+
+// Ticket is an encrypted Kerberos ticket: only the service it is issued
+// for can decrypt it.
+type Ticket struct {
+	Service Principal
+	// SrcRealm is the realm whose KDC issued the ticket. For cross-realm
+	// TGTs it differs from Service.Realm and tells the receiving TGS to
+	// use the inter-realm key.
+	SrcRealm string
+	// Blob is the ticket body encrypted under the service's key.
+	Blob []byte
+}
+
+// ticketBody is the decrypted content of a ticket.
+type ticketBody struct {
+	Client     Principal
+	SessionKey []byte
+	Expiry     time.Time
+}
+
+func encodeTicketBody(b ticketBody) []byte {
+	return wire.NewEncoder().
+		Str(b.Client.Name).Str(b.Client.Realm).
+		Bytes(b.SessionKey).
+		I64(b.Expiry.Unix()).
+		Finish()
+}
+
+func decodeTicketBody(raw []byte) (ticketBody, error) {
+	d := wire.NewDecoder(raw)
+	b := ticketBody{}
+	b.Client.Name = d.Str()
+	b.Client.Realm = d.Str()
+	b.SessionKey = d.Bytes()
+	b.Expiry = time.Unix(d.I64(), 0).UTC()
+	if err := d.Done(); err != nil {
+		return ticketBody{}, err
+	}
+	return b, nil
+}
+
+// Authenticator proves recent possession of a ticket's session key.
+type Authenticator struct {
+	// Blob is {client, timestamp} encrypted under the session key.
+	Blob []byte
+}
+
+type authenticatorBody struct {
+	Client    Principal
+	Timestamp time.Time
+}
+
+func encodeAuthenticator(a authenticatorBody) []byte {
+	return wire.NewEncoder().
+		Str(a.Client.Name).Str(a.Client.Realm).
+		I64(a.Timestamp.UnixNano()).
+		Finish()
+}
+
+func decodeAuthenticator(raw []byte) (authenticatorBody, error) {
+	d := wire.NewDecoder(raw)
+	a := authenticatorBody{}
+	a.Client.Name = d.Str()
+	a.Client.Realm = d.Str()
+	a.Timestamp = time.Unix(0, d.I64()).UTC()
+	if err := d.Done(); err != nil {
+		return authenticatorBody{}, err
+	}
+	return a, nil
+}
+
+// MaxClockSkew is the tolerated authenticator age, as in MIT Kerberos.
+const MaxClockSkew = 5 * time.Minute
+
+// DefaultTicketLifetime matches a typical 10-hour Kerberos ticket.
+const DefaultTicketLifetime = 10 * time.Hour
+
+// KDC is the key distribution center of one realm: AS and TGS combined.
+type KDC struct {
+	realm string
+
+	mu         sync.RWMutex
+	principals map[string][]byte // name -> long-term key
+	interRealm map[string][]byte // remote realm -> shared inter-realm key
+	now        func() time.Time
+
+	// AdminActs counts administrative operations (principal registration,
+	// inter-realm agreements) for experiment E1.
+	adminActs int
+}
+
+// NewKDC creates a KDC for the named realm, bootstrapping its
+// ticket-granting-service key.
+func NewKDC(realm string) *KDC {
+	k := &KDC{
+		realm:      realm,
+		principals: make(map[string][]byte),
+		interRealm: make(map[string][]byte),
+		now:        time.Now,
+	}
+	tgsKey, err := gridcrypto.RandomBytes(gridcrypto.AEADKeySize)
+	if err != nil {
+		panic("kerberos: cannot bootstrap TGS key: " + err.Error())
+	}
+	k.principals[tgsName(realm)] = tgsKey
+	return k
+}
+
+// Realm returns the realm name.
+func (k *KDC) Realm() string { return k.realm }
+
+// SetClock overrides the KDC clock (tests).
+func (k *KDC) SetClock(now func() time.Time) { k.now = now }
+
+// AdminActs returns the count of administrative operations performed.
+func (k *KDC) AdminActs() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.adminActs
+}
+
+// deriveKey turns a password into a long-term key (string-to-key).
+func deriveKey(realm, name, password string) []byte {
+	key, err := gridcrypto.DeriveKey([]byte(password), []byte(realm+"/"+name), []byte("krb5 string-to-key"), gridcrypto.AEADKeySize)
+	if err != nil {
+		panic("kerberos: key derivation cannot fail: " + err.Error())
+	}
+	return key
+}
+
+// RegisterPrincipal adds a user principal with a password-derived key.
+// This is the administrator-mediated act the paper contrasts with proxy
+// creation: every new Kerberos entity requires one.
+func (k *KDC) RegisterPrincipal(name, password string) Principal {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.principals[name] = deriveKey(k.realm, name, password)
+	k.adminActs++
+	return Principal{Name: name, Realm: k.realm}
+}
+
+// RegisterService adds a service principal with a random key, returning
+// the key (the service's "keytab").
+func (k *KDC) RegisterService(name string) (Principal, []byte, error) {
+	key, err := gridcrypto.RandomBytes(gridcrypto.AEADKeySize)
+	if err != nil {
+		return Principal{}, nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.principals[name] = key
+	k.adminActs++
+	return Principal{Name: name, Realm: k.realm}, key, nil
+}
+
+// EstablishInterRealmTrust records a bilateral agreement between two
+// realms by installing a shared key in both KDCs. Note that this is an
+// organizational-level act on *both* sides — the O(N²) cost the paper
+// calls out for Kerberos inter-institutional trust.
+func EstablishInterRealmTrust(a, b *KDC) error {
+	key, err := gridcrypto.RandomBytes(gridcrypto.AEADKeySize)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.interRealm[b.realm] = key
+	a.adminActs++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.interRealm[a.realm] = key
+	b.adminActs++
+	b.mu.Unlock()
+	return nil
+}
+
+func (k *KDC) lookupKey(name string) ([]byte, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.principals[name]
+	return key, ok
+}
+
+// ASExchange authenticates a client by password and returns a TGT plus
+// the session key (which the real protocol returns encrypted under the
+// client key; here the password check subsumes that).
+func (k *KDC) ASExchange(name, password string) (Ticket, []byte, error) {
+	stored, ok := k.lookupKey(name)
+	if !ok {
+		return Ticket{}, nil, fmt.Errorf("kerberos: unknown principal %q", name)
+	}
+	derived := deriveKey(k.realm, name, password)
+	if !gridcrypto.HMACEqual(stored, derived) {
+		return Ticket{}, nil, errors.New("kerberos: pre-authentication failed")
+	}
+	return k.issueTicket(Principal{Name: name, Realm: k.realm}, tgsName(k.realm))
+}
+
+// issueTicket creates a ticket for client to the named service.
+func (k *KDC) issueTicket(client Principal, service string) (Ticket, []byte, error) {
+	svcKey, ok := k.lookupKey(service)
+	if !ok {
+		return Ticket{}, nil, fmt.Errorf("kerberos: unknown service %q", service)
+	}
+	session, err := gridcrypto.RandomBytes(gridcrypto.AEADKeySize)
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	body := ticketBody{
+		Client:     client,
+		SessionKey: session,
+		Expiry:     k.now().Add(DefaultTicketLifetime),
+	}
+	blob, err := gridcrypto.SealOnce(svcKey, encodeTicketBody(body), []byte("krb5 ticket "+service))
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	return Ticket{
+		Service:  Principal{Name: service, Realm: k.realm},
+		SrcRealm: k.realm,
+		Blob:     blob,
+	}, session, nil
+}
+
+// PKINITExchange issues a TGT for a registered principal that has been
+// authenticated by other means — the entry point used by the SSLK5/PKINIT
+// gateway after it validates a GSI certificate chain. The caller is
+// responsible for that validation; the KDC only checks the principal
+// exists.
+func (k *KDC) PKINITExchange(name string) (Ticket, []byte, error) {
+	if _, ok := k.lookupKey(name); !ok {
+		return Ticket{}, nil, fmt.Errorf("kerberos: unknown principal %q", name)
+	}
+	return k.issueTicket(Principal{Name: name, Realm: k.realm}, tgsName(k.realm))
+}
+
+// TGSExchange redeems a TGT (or cross-realm TGT) plus a fresh
+// authenticator for a service ticket.
+func (k *KDC) TGSExchange(tgt Ticket, auth Authenticator, service string) (Ticket, []byte, error) {
+	if tgt.Service.Name != tgsName(k.realm) {
+		return Ticket{}, nil, fmt.Errorf("kerberos: ticket is for %q, not this realm's TGS", tgt.Service)
+	}
+	var tgsKey []byte
+	if tgt.SrcRealm == k.realm {
+		key, ok := k.lookupKey(tgsName(k.realm))
+		if !ok {
+			return Ticket{}, nil, errors.New("kerberos: realm has no TGS key")
+		}
+		tgsKey = key
+	} else {
+		// Cross-realm TGT: must be decryptable with the bilateral key.
+		k.mu.RLock()
+		key, ok := k.interRealm[tgt.SrcRealm]
+		k.mu.RUnlock()
+		if !ok {
+			return Ticket{}, nil, fmt.Errorf("kerberos: no inter-realm trust with %q", tgt.SrcRealm)
+		}
+		tgsKey = key
+	}
+	body, err := k.validateTicket(tgt, tgsKey)
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	if err := k.validateAuthenticator(auth, body); err != nil {
+		return Ticket{}, nil, err
+	}
+	return k.issueTicket(body.Client, service)
+}
+
+// CrossRealmTGT issues a ticket that the remote realm's TGS will accept,
+// encrypted under the shared inter-realm key. Fails unless a bilateral
+// agreement exists.
+func (k *KDC) CrossRealmTGT(tgt Ticket, auth Authenticator, remoteRealm string) (Ticket, []byte, error) {
+	k.mu.RLock()
+	interKey, ok := k.interRealm[remoteRealm]
+	k.mu.RUnlock()
+	if !ok {
+		return Ticket{}, nil, fmt.Errorf("kerberos: no inter-realm trust with %q", remoteRealm)
+	}
+	tgsKey, _ := k.lookupKey(tgsName(k.realm))
+	body, err := k.validateTicket(tgt, tgsKey)
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	if err := k.validateAuthenticator(auth, body); err != nil {
+		return Ticket{}, nil, err
+	}
+	session, err := gridcrypto.RandomBytes(gridcrypto.AEADKeySize)
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	xBody := ticketBody{
+		Client:     body.Client, // realm preserved: remote sees foreign client
+		SessionKey: session,
+		Expiry:     k.now().Add(DefaultTicketLifetime),
+	}
+	svc := crossRealmName(remoteRealm)
+	blob, err := gridcrypto.SealOnce(interKey, encodeTicketBody(xBody), []byte("krb5 ticket "+svc))
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	return Ticket{
+		Service:  Principal{Name: svc, Realm: remoteRealm},
+		SrcRealm: k.realm,
+		Blob:     blob,
+	}, session, nil
+}
+
+func (k *KDC) validateTicket(t Ticket, key []byte) (ticketBody, error) {
+	raw, err := gridcrypto.OpenOnce(key, t.Blob, []byte("krb5 ticket "+t.Service.Name))
+	if err != nil {
+		return ticketBody{}, errors.New("kerberos: ticket decryption failed")
+	}
+	body, err := decodeTicketBody(raw)
+	if err != nil {
+		return ticketBody{}, err
+	}
+	if k.now().After(body.Expiry) {
+		return ticketBody{}, errors.New("kerberos: ticket expired")
+	}
+	return body, nil
+}
+
+func (k *KDC) validateAuthenticator(a Authenticator, body ticketBody) error {
+	raw, err := gridcrypto.OpenOnce(body.SessionKey, a.Blob, []byte("krb5 authenticator"))
+	if err != nil {
+		return errors.New("kerberos: authenticator decryption failed")
+	}
+	ab, err := decodeAuthenticator(raw)
+	if err != nil {
+		return err
+	}
+	if ab.Client != body.Client {
+		return fmt.Errorf("kerberos: authenticator client %q does not match ticket client %q", ab.Client, body.Client)
+	}
+	age := k.now().Sub(ab.Timestamp)
+	if age < -MaxClockSkew || age > MaxClockSkew {
+		return errors.New("kerberos: authenticator outside clock-skew window")
+	}
+	return nil
+}
+
+// NewAuthenticator builds a fresh authenticator for client under session.
+func NewAuthenticator(client Principal, session []byte, now time.Time) (Authenticator, error) {
+	blob, err := gridcrypto.SealOnce(session, encodeAuthenticator(authenticatorBody{
+		Client:    client,
+		Timestamp: now,
+	}), []byte("krb5 authenticator"))
+	if err != nil {
+		return Authenticator{}, err
+	}
+	return Authenticator{Blob: blob}, nil
+}
+
+// Service is the server-side of the AP exchange: a registered service
+// validating incoming {ticket, authenticator} pairs with its keytab key.
+type Service struct {
+	principal Principal
+	key       []byte
+	now       func() time.Time
+
+	mu   sync.Mutex
+	seen map[string]time.Time // replay cache keyed by authenticator blob
+}
+
+// NewService wraps a registered service principal and its key.
+func NewService(principal Principal, key []byte) *Service {
+	return &Service{principal: principal, key: key, now: time.Now, seen: make(map[string]time.Time)}
+}
+
+// SetClock overrides the service clock (tests).
+func (s *Service) SetClock(now func() time.Time) { s.now = now }
+
+// APExchange validates a ticket+authenticator and returns the client
+// principal and session key. Replayed authenticators are rejected.
+func (s *Service) APExchange(t Ticket, a Authenticator) (Principal, []byte, error) {
+	if t.Service.Name != s.principal.Name {
+		return Principal{}, nil, fmt.Errorf("kerberos: ticket for %q presented to %q", t.Service, s.principal)
+	}
+	raw, err := gridcrypto.OpenOnce(s.key, t.Blob, []byte("krb5 ticket "+t.Service.Name))
+	if err != nil {
+		return Principal{}, nil, errors.New("kerberos: ticket decryption failed")
+	}
+	body, err := decodeTicketBody(raw)
+	if err != nil {
+		return Principal{}, nil, err
+	}
+	now := s.now()
+	if now.After(body.Expiry) {
+		return Principal{}, nil, errors.New("kerberos: ticket expired")
+	}
+	araw, err := gridcrypto.OpenOnce(body.SessionKey, a.Blob, []byte("krb5 authenticator"))
+	if err != nil {
+		return Principal{}, nil, errors.New("kerberos: authenticator decryption failed")
+	}
+	ab, err := decodeAuthenticator(araw)
+	if err != nil {
+		return Principal{}, nil, err
+	}
+	if ab.Client != body.Client {
+		return Principal{}, nil, errors.New("kerberos: authenticator/ticket client mismatch")
+	}
+	age := now.Sub(ab.Timestamp)
+	if age < -MaxClockSkew || age > MaxClockSkew {
+		return Principal{}, nil, errors.New("kerberos: authenticator outside clock-skew window")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keyStr := string(a.Blob)
+	if _, dup := s.seen[keyStr]; dup {
+		return Principal{}, nil, errors.New("kerberos: replayed authenticator")
+	}
+	s.seen[keyStr] = now
+	// Evict stale replay-cache entries.
+	for k, ts := range s.seen {
+		if now.Sub(ts) > 2*MaxClockSkew {
+			delete(s.seen, k)
+		}
+	}
+	return body.Client, body.SessionKey, nil
+}

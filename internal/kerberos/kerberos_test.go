@@ -1,0 +1,263 @@
+package kerberos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePrincipal(t *testing.T) {
+	p, err := ParsePrincipal("alice@ANL.GOV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "alice" || p.Realm != "ANL.GOV" {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.String() != "alice@ANL.GOV" {
+		t.Fatalf("String = %q", p.String())
+	}
+	svc, err := ParsePrincipal("host/node1@ANL.GOV")
+	if err != nil || svc.Name != "host/node1" {
+		t.Fatalf("service principal: %v %+v", err, svc)
+	}
+	for _, bad := range []string{"", "alice", "@REALM", "alice@"} {
+		if _, err := ParsePrincipal(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestASExchange(t *testing.T) {
+	kdc := NewKDC("ANL.GOV")
+	kdc.RegisterPrincipal("alice", "hunter2")
+	tgt, session, err := kdc.ASExchange("alice", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Service.Name != "krbtgt/ANL.GOV" {
+		t.Fatalf("TGT service = %q", tgt.Service)
+	}
+	if len(session) == 0 {
+		t.Fatal("no session key")
+	}
+	if _, _, err := kdc.ASExchange("alice", "wrong"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if _, _, err := kdc.ASExchange("bob", "x"); err == nil {
+		t.Fatal("unknown principal accepted")
+	}
+}
+
+func TestFullTicketFlow(t *testing.T) {
+	kdc := NewKDC("ANL.GOV")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcPrincipal, svcKey, err := kdc.RegisterService("host/compute1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, tgtSession, err := kdc.ASExchange("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := NewAuthenticator(client, tgtSession, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, stSession, err := kdc.TGSExchange(tgt, auth, "host/compute1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(svcPrincipal, svcKey)
+	apAuth, err := NewAuthenticator(client, stSession, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotClient, gotSession, err := svc.APExchange(st, apAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotClient != client {
+		t.Fatalf("service saw client %q", gotClient)
+	}
+	if len(gotSession) == 0 {
+		t.Fatal("no AP session key")
+	}
+}
+
+func TestAPReplayRejected(t *testing.T) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := kdc.RegisterService("svc")
+	tgt, ts, _ := kdc.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(client, ts, time.Now())
+	st, ss, err := kdc.TGSExchange(tgt, a1, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(svcP, svcKey)
+	ap, _ := NewAuthenticator(client, ss, time.Now())
+	if _, _, err := svc.APExchange(st, ap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.APExchange(st, ap); err == nil {
+		t.Fatal("replayed authenticator accepted")
+	}
+}
+
+func TestAuthenticatorSkewRejected(t *testing.T) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := kdc.RegisterService("svc")
+	tgt, ts, _ := kdc.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(client, ts, time.Now())
+	st, ss, err := kdc.TGSExchange(tgt, a1, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(svcP, svcKey)
+	stale, _ := NewAuthenticator(client, ss, time.Now().Add(-MaxClockSkew-time.Minute))
+	if _, _, err := svc.APExchange(st, stale); err == nil {
+		t.Fatal("stale authenticator accepted")
+	}
+	future, _ := NewAuthenticator(client, ss, time.Now().Add(MaxClockSkew+time.Minute))
+	if _, _, err := svc.APExchange(st, future); err == nil {
+		t.Fatal("future authenticator accepted")
+	}
+}
+
+func TestTicketExpiry(t *testing.T) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := kdc.RegisterService("svc")
+	now := time.Now()
+	kdc.SetClock(func() time.Time { return now })
+	tgt, ts, _ := kdc.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(client, ts, now)
+	st, ss, err := kdc.TGSExchange(tgt, a1, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(svcP, svcKey)
+	late := now.Add(DefaultTicketLifetime + time.Hour)
+	svc.SetClock(func() time.Time { return late })
+	ap, _ := NewAuthenticator(client, ss, late)
+	if _, _, err := svc.APExchange(st, ap); err == nil {
+		t.Fatal("expired ticket accepted")
+	}
+}
+
+func TestWrongServiceKeyRejected(t *testing.T) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	kdc.RegisterService("svc1")
+	svc2P, svc2Key, _ := kdc.RegisterService("svc2")
+	tgt, ts, _ := kdc.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(client, ts, time.Now())
+	st1, ss, err := kdc.TGSExchange(tgt, a1, "svc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present svc1's ticket to svc2: name check fails.
+	svc2 := NewService(svc2P, svc2Key)
+	ap, _ := NewAuthenticator(client, ss, time.Now())
+	if _, _, err := svc2.APExchange(st1, ap); err == nil {
+		t.Fatal("ticket for svc1 accepted by svc2")
+	}
+}
+
+func TestCrossRealm(t *testing.T) {
+	anl := NewKDC("ANL.GOV")
+	isi := NewKDC("ISI.EDU")
+	alice := anl.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := isi.RegisterService("host/isihost")
+
+	// Before the bilateral agreement, cross-realm fails.
+	tgt, ts, _ := anl.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(alice, ts, time.Now())
+	if _, _, err := anl.CrossRealmTGT(tgt, a1, "ISI.EDU"); err == nil {
+		t.Fatal("cross-realm TGT issued without agreement")
+	}
+
+	if err := EstablishInterRealmTrust(anl, isi); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAuthenticator(alice, ts, time.Now())
+	xtgt, xsession, err := anl.CrossRealmTGT(tgt, a2, "ISI.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redeem the cross-realm TGT at ISI's TGS for a service ticket.
+	a3, _ := NewAuthenticator(alice, xsession, time.Now())
+	st, ss, err := isi.TGSExchange(xtgt, a3, "host/isihost")
+	if err != nil {
+		t.Fatalf("remote TGS exchange: %v", err)
+	}
+	svc := NewService(svcP, svcKey)
+	ap, _ := NewAuthenticator(alice, ss, time.Now())
+	gotClient, _, err := svc.APExchange(st, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotClient.Realm != "ANL.GOV" || gotClient.Name != "alice" {
+		t.Fatalf("cross-realm client = %q", gotClient)
+	}
+}
+
+func TestAdminActsAccounting(t *testing.T) {
+	a := NewKDC("A")
+	b := NewKDC("B")
+	a.RegisterPrincipal("u1", "p")
+	a.RegisterService("s1")
+	if got := a.AdminActs(); got != 2 {
+		t.Fatalf("AdminActs = %d", got)
+	}
+	if err := EstablishInterRealmTrust(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Inter-realm trust costs one act on EACH side — the bilateral
+	// property the paper contrasts with unilateral CA trust.
+	if a.AdminActs() != 3 || b.AdminActs() != 1 {
+		t.Fatalf("AdminActs after trust: a=%d b=%d", a.AdminActs(), b.AdminActs())
+	}
+}
+
+func TestTamperedTicketRejected(t *testing.T) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := kdc.RegisterService("svc")
+	tgt, ts, _ := kdc.ASExchange("alice", "pw")
+	a1, _ := NewAuthenticator(client, ts, time.Now())
+	st, ss, err := kdc.TGSExchange(tgt, a1, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Blob[len(st.Blob)/2] ^= 1
+	svc := NewService(svcP, svcKey)
+	ap, _ := NewAuthenticator(client, ss, time.Now())
+	if _, _, err := svc.APExchange(st, ap); err == nil {
+		t.Fatal("tampered ticket accepted")
+	}
+}
+
+func BenchmarkFullKerberosFlow(b *testing.B) {
+	kdc := NewKDC("R")
+	client := kdc.RegisterPrincipal("alice", "pw")
+	svcP, svcKey, _ := kdc.RegisterService("svc")
+	svc := NewService(svcP, svcKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tgt, ts, err := kdc.ASExchange("alice", "pw")
+		if err != nil {
+			b.Fatal(err)
+		}
+		a1, _ := NewAuthenticator(client, ts, time.Now())
+		st, ss, err := kdc.TGSExchange(tgt, a1, "svc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ap, _ := NewAuthenticator(client, ss, time.Now())
+		if _, _, err := svc.APExchange(st, ap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

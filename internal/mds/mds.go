@@ -1,0 +1,205 @@
+// Package mds implements the Monitoring and Discovery Service of the
+// Globus Toolkit (paper §3: "GT2 includes services for Grid Resource
+// Allocation and Management (GRAM), Monitoring and Discovery (MDS), and
+// data movement (GridFTP). These services use a common Grid Security
+// Infrastructure."): a soft-state registry where services register
+// themselves with a time-to-live and clients discover them by type and
+// attribute. Registrations are owned: only the identity that created an
+// entry (or one it delegates to) may refresh or remove it, which is the
+// "VO creating directory services to keep track of VO participants"
+// scenario of §2.
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gridcert"
+)
+
+// Entry is one registered service.
+type Entry struct {
+	// Handle is the service's unique address (GSH).
+	Handle string
+	// Type classifies the service, e.g. "gram.mmjfs" or "gridftp".
+	Type string
+	// Attributes are free-form key/value descriptors.
+	Attributes map[string]string
+	// Owner is the grid identity that registered the entry.
+	Owner gridcert.Name
+	// Expires is the soft-state deadline; refresh extends it.
+	Expires time.Time
+}
+
+func (e Entry) clone() Entry {
+	attrs := make(map[string]string, len(e.Attributes))
+	for k, v := range e.Attributes {
+		attrs[k] = v
+	}
+	e.Attributes = attrs
+	return e
+}
+
+// DefaultTTL is the registration lifetime when none is requested.
+const DefaultTTL = 10 * time.Minute
+
+// MaxTTL caps requested lifetimes.
+const MaxTTL = time.Hour
+
+// Errors.
+var (
+	ErrNotRegistered = errors.New("mds: no such registration")
+	ErrNotOwner      = errors.New("mds: caller does not own this registration")
+)
+
+// Index is the registry.
+type Index struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	now     func() time.Time
+}
+
+// NewIndex creates an empty registry.
+func NewIndex() *Index {
+	return &Index{entries: make(map[string]Entry), now: time.Now}
+}
+
+// SetClock overrides the clock (tests).
+func (x *Index) SetClock(now func() time.Time) { x.now = now }
+
+// Register creates or replaces a registration. Replacing an existing
+// entry requires the same owner.
+func (x *Index) Register(owner gridcert.Name, handle, typ string, attrs map[string]string, ttl time.Duration) (Entry, error) {
+	if handle == "" || typ == "" {
+		return Entry{}, errors.New("mds: handle and type required")
+	}
+	if ttl <= 0 || ttl > MaxTTL {
+		ttl = DefaultTTL
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if prev, ok := x.entries[handle]; ok && !prev.Owner.Equal(owner) && !x.expiredLocked(prev) {
+		return Entry{}, fmt.Errorf("%w: %q is registered by %q", ErrNotOwner, handle, prev.Owner)
+	}
+	e := Entry{
+		Handle:     handle,
+		Type:       typ,
+		Attributes: map[string]string{},
+		Owner:      owner,
+		Expires:    x.now().Add(ttl),
+	}
+	for k, v := range attrs {
+		e.Attributes[k] = v
+	}
+	x.entries[handle] = e
+	return e.clone(), nil
+}
+
+// Refresh extends a registration's soft state.
+func (x *Index) Refresh(owner gridcert.Name, handle string, ttl time.Duration) error {
+	if ttl <= 0 || ttl > MaxTTL {
+		ttl = DefaultTTL
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.entries[handle]
+	if !ok || x.expiredLocked(e) {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, handle)
+	}
+	if !e.Owner.Equal(owner) {
+		return fmt.Errorf("%w: %q", ErrNotOwner, handle)
+	}
+	e.Expires = x.now().Add(ttl)
+	x.entries[handle] = e
+	return nil
+}
+
+// Unregister removes a registration (owner only).
+func (x *Index) Unregister(owner gridcert.Name, handle string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.entries[handle]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, handle)
+	}
+	if !e.Owner.Equal(owner) {
+		return fmt.Errorf("%w: %q", ErrNotOwner, handle)
+	}
+	delete(x.entries, handle)
+	return nil
+}
+
+// Query describes a discovery request; zero fields match everything.
+type Query struct {
+	// Type matches the entry type exactly, or by prefix with trailing
+	// "*" ("gram.*").
+	Type string
+	// Attr/Value require an attribute to have an exact value (both set).
+	Attr, Value string
+	// Owner restricts to entries registered by one identity.
+	Owner gridcert.Name
+}
+
+// Find returns live entries matching the query, sorted by handle.
+func (x *Index) Find(q Query) []Entry {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []Entry
+	for _, e := range x.entries {
+		if x.expiredLocked(e) {
+			continue
+		}
+		if q.Type != "" && !matchType(q.Type, e.Type) {
+			continue
+		}
+		if q.Attr != "" && e.Attributes[q.Attr] != q.Value {
+			continue
+		}
+		if !q.Owner.Empty() && !e.Owner.Equal(q.Owner) {
+			continue
+		}
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out
+}
+
+// Sweep removes expired registrations, returning how many were evicted.
+func (x *Index) Sweep() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for h, e := range x.entries {
+		if x.expiredLocked(e) {
+			delete(x.entries, h)
+			n++
+		}
+	}
+	return n
+}
+
+// Len counts live registrations.
+func (x *Index) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for _, e := range x.entries {
+		if !x.expiredLocked(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func (x *Index) expiredLocked(e Entry) bool { return x.now().After(e.Expires) }
+
+func matchType(pattern, typ string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(typ, pattern[:len(pattern)-1])
+	}
+	return pattern == typ
+}

@@ -1,0 +1,215 @@
+package mds
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/ogsa"
+	"repro/internal/soap"
+)
+
+var (
+	alice = gridcert.MustParseName("/O=Grid/CN=Alice")
+	bob   = gridcert.MustParseName("/O=Grid/CN=Bob")
+)
+
+func TestRegisterFindUnregister(t *testing.T) {
+	x := NewIndex()
+	_, err := x.Register(alice, "gsh://a/mmjfs", "gram.mmjfs", map[string]string{"arch": "x86"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Register(alice, "gsh://a/ftp", "gridftp", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := x.Find(Query{Type: "gram.mmjfs"})
+	if len(got) != 1 || got[0].Handle != "gsh://a/mmjfs" {
+		t.Fatalf("Find = %+v", got)
+	}
+	// Prefix query.
+	if got := x.Find(Query{Type: "gram.*"}); len(got) != 1 {
+		t.Fatalf("prefix find = %+v", got)
+	}
+	// Attribute query.
+	if got := x.Find(Query{Attr: "arch", Value: "x86"}); len(got) != 1 {
+		t.Fatalf("attr find = %+v", got)
+	}
+	if got := x.Find(Query{Attr: "arch", Value: "arm"}); len(got) != 0 {
+		t.Fatalf("wrong attr matched: %+v", got)
+	}
+	// Owner query.
+	if got := x.Find(Query{Owner: alice}); len(got) != 2 {
+		t.Fatalf("owner find = %+v", got)
+	}
+	if err := x.Unregister(alice, "gsh://a/ftp"); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	x := NewIndex()
+	if _, err := x.Register(alice, "gsh://a/svc", "t", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot replace, refresh, or remove Alice's entry.
+	if _, err := x.Register(bob, "gsh://a/svc", "t", nil, 0); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("replace: %v", err)
+	}
+	if err := x.Refresh(bob, "gsh://a/svc", 0); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("refresh: %v", err)
+	}
+	if err := x.Unregister(bob, "gsh://a/svc"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("unregister: %v", err)
+	}
+	// Alice can update her own.
+	if _, err := x.Register(alice, "gsh://a/svc", "t2", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	x := NewIndex()
+	now := time.Now()
+	x.SetClock(func() time.Time { return now })
+	if _, err := x.Register(alice, "gsh://a/svc", "t", nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if got := x.Find(Query{}); len(got) != 0 {
+		t.Fatalf("expired entry found: %+v", got)
+	}
+	if err := x.Refresh(alice, "gsh://a/svc", 0); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("refresh of expired: %v", err)
+	}
+	if n := x.Sweep(); n != 1 {
+		t.Fatalf("Sweep = %d", n)
+	}
+	// An expired foreign entry can be re-registered by a new owner.
+	if _, err := x.Register(alice, "gsh://b/svc", "t", nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := x.Register(bob, "gsh://b/svc", "t", nil, time.Minute); err != nil {
+		t.Fatalf("re-register expired: %v", err)
+	}
+}
+
+func TestRefreshExtends(t *testing.T) {
+	x := NewIndex()
+	now := time.Now()
+	x.SetClock(func() time.Time { return now })
+	x.Register(alice, "gsh://a/svc", "t", nil, time.Minute)
+	now = now.Add(50 * time.Second)
+	if err := x.Refresh(alice, "gsh://a/svc", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(50 * time.Second) // would have expired without refresh
+	if x.Len() != 1 {
+		t.Fatal("refreshed entry expired")
+	}
+}
+
+func TestTTLClamp(t *testing.T) {
+	x := NewIndex()
+	e, err := x.Register(alice, "h", "t", nil, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Expires.After(time.Now().Add(MaxTTL + time.Minute)) {
+		t.Fatal("TTL not clamped")
+	}
+	if _, err := x.Register(alice, "", "t", nil, 0); err == nil {
+		t.Fatal("empty handle accepted")
+	}
+}
+
+// TestServiceThroughContainer runs MDS inside a secured container: the
+// registration owner is the authenticated caller, so spoofing is
+// impossible at this layer.
+func TestServiceThroughContainer(t *testing.T) {
+	auth, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gridcert.NewTrustStore()
+	trust.AddRoot(auth.Certificate())
+	aliceCred, _ := auth.NewEntity(alice, 12*time.Hour)
+	bobCred, _ := auth.NewEntity(bob, 12*time.Hour)
+	host, _ := auth.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host mds"), 12*time.Hour)
+	container, err := ogsa.NewContainer(ogsa.ContainerConfig{
+		Name: "mds", Credential: host, TrustStore: trust,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	container.Publish("mds", NewService(NewIndex()))
+	transport := soap.Pipe(container.Dispatcher())
+
+	aClient := &ogsa.Client{Transport: transport, Credential: aliceCred, TrustStore: trust}
+	bClient := &ogsa.Client{Transport: transport, Credential: bobCred, TrustStore: trust}
+
+	req := RegisterRequest{Handle: "gsh://a/app", Type: "app", Attributes: map[string]string{"v": "1"}}
+	if _, err := aClient.InvokeSigned("mds", "Register", req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot unregister Alice's service even though he authenticated.
+	if _, err := bClient.InvokeSigned("mds", "Unregister", []byte("gsh://a/app")); err == nil {
+		t.Fatal("cross-owner unregister allowed")
+	}
+	// Discovery works for anyone.
+	out, err := bClient.InvokeSigned("mds", "Find", []byte("app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "gsh://a/app") || !strings.Contains(string(out), alice.String()) {
+		t.Fatalf("Find = %q", out)
+	}
+	// Attribute-filtered Find.
+	out, err = aClient.InvokeSigned("mds", "Find", []byte("app|v=1"))
+	if err != nil || !strings.Contains(string(out), "gsh://a/app") {
+		t.Fatalf("attr find = %q %v", out, err)
+	}
+	out, err = aClient.InvokeSigned("mds", "Find", []byte("app|v=2"))
+	if err != nil || strings.Contains(string(out), "gsh://a/app") {
+		t.Fatalf("wrong attr find = %q %v", out, err)
+	}
+	// Refresh through the service.
+	if _, err := aClient.InvokeSigned("mds", "Refresh", []byte("gsh://a/app")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterRequestRoundTrip(t *testing.T) {
+	req := RegisterRequest{
+		Handle: "h", Type: "t", TTLSeconds: 60,
+		Attributes: map[string]string{"b": "2", "a": "1"},
+	}
+	dec, err := DecodeRegisterRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Handle != "h" || dec.TTLSeconds != 60 || dec.Attributes["a"] != "1" || dec.Attributes["b"] != "2" {
+		t.Fatalf("round trip: %+v", dec)
+	}
+	if _, err := DecodeRegisterRequest([]byte("junk")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func BenchmarkFind1000Entries(b *testing.B) {
+	x := NewIndex()
+	for i := 0; i < 1000; i++ {
+		x.Register(alice, "gsh://h/"+string(rune('a'+i%26))+string(rune('0'+i%10)), "type"+string(rune('a'+i%5)), nil, time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Find(Query{Type: "typea"})
+	}
+}

@@ -1,0 +1,142 @@
+package mds
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/gridcert"
+	"repro/internal/ogsa"
+	"repro/internal/wire"
+)
+
+// Service exposes the Index as an OGSA Grid service so registration and
+// discovery run through the secured container pipeline: the container
+// authenticates callers, and the Index enforces ownership with the
+// authenticated identity — no self-asserted owners.
+type Service struct {
+	*ogsa.Base
+	Index *Index
+}
+
+// NewService wraps an index.
+func NewService(x *Index) *Service {
+	return &Service{Base: ogsa.NewBase(), Index: x}
+}
+
+// RegisterRequest is the wire form of a registration.
+type RegisterRequest struct {
+	Handle     string
+	Type       string
+	TTLSeconds int64
+	Attributes map[string]string
+}
+
+// Encode serialises the request.
+func (r RegisterRequest) Encode() []byte {
+	e := wire.NewEncoder().Str(r.Handle).Str(r.Type).I64(r.TTLSeconds)
+	e.U32(uint32(len(r.Attributes)))
+	// Deterministic order for the wire.
+	keys := make([]string, 0, len(r.Attributes))
+	for k := range r.Attributes {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		e.Str(k)
+		e.Str(r.Attributes[k])
+	}
+	return e.Finish()
+}
+
+// DecodeRegisterRequest parses the wire form.
+func DecodeRegisterRequest(b []byte) (RegisterRequest, error) {
+	d := wire.NewDecoder(b)
+	r := RegisterRequest{Handle: d.Str(), Type: d.Str(), TTLSeconds: d.I64()}
+	n := d.Count("attributes", 256)
+	if n > 0 {
+		r.Attributes = make(map[string]string, n)
+	}
+	for i := 0; i < n; i++ {
+		k := d.Str()
+		v := d.Str()
+		if d.Err() == nil {
+			r.Attributes[k] = v
+		}
+	}
+	if err := d.Done(); err != nil {
+		return RegisterRequest{}, err
+	}
+	return r, nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations:
+//
+//	Register:   body = RegisterRequest → "ok"
+//	Refresh:    body = handle → "ok"
+//	Unregister: body = handle → "ok"
+//	Find:       body = "type[|attr=value]" → newline-separated handles
+func (s *Service) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	if call.Caller.Anonymous && call.Op != "Find" {
+		return nil, fmt.Errorf("mds: %s requires an authenticated caller", call.Op)
+	}
+	switch call.Op {
+	case "Register":
+		req, err := DecodeRegisterRequest(call.Body)
+		if err != nil {
+			return nil, fmt.Errorf("mds: register: %w", err)
+		}
+		if _, err := s.Index.Register(call.Caller.Name, req.Handle, req.Type,
+			req.Attributes, time.Duration(req.TTLSeconds)*time.Second); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "Refresh":
+		if err := s.Index.Refresh(call.Caller.Name, string(call.Body), 0); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "Unregister":
+		if err := s.Index.Unregister(call.Caller.Name, string(call.Body)); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "Find":
+		q := Query{}
+		spec := string(call.Body)
+		if i := strings.IndexByte(spec, '|'); i >= 0 {
+			if eq := strings.IndexByte(spec[i+1:], '='); eq >= 0 {
+				q.Attr = spec[i+1 : i+1+eq]
+				q.Value = spec[i+2+eq:]
+			}
+			spec = spec[:i]
+		}
+		q.Type = spec
+		var out strings.Builder
+		for _, e := range s.Index.Find(q) {
+			fmt.Fprintf(&out, "%s %s %s\n", e.Handle, e.Type, e.Owner)
+		}
+		return []byte(out.String()), nil
+	default:
+		return nil, fmt.Errorf("mds: no op %q", call.Op)
+	}
+}
+
+// RegisterOwned is a helper for services co-located with the index.
+func (s *Service) RegisterOwned(owner gridcert.Name, handle, typ string, attrs map[string]string) error {
+	_, err := s.Index.Register(owner, handle, typ, attrs, 0)
+	return err
+}

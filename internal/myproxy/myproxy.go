@@ -1,0 +1,183 @@
+// Package myproxy implements an online credential repository in the
+// style of MyProxy, the companion service deployed alongside GSI: a user
+// delegates a medium-lived proxy credential to the repository; later —
+// possibly from another machine, a web portal, or a job — they
+// authenticate with a passphrase and receive a fresh short-lived proxy
+// delegated from the stored one. Private keys never leave the party that
+// generated them: storage and retrieval both use the GSI delegation
+// exchange.
+package myproxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/proxy"
+)
+
+// DefaultMaxLifetime bounds retrieved proxies (MyProxy's default is 12h).
+const DefaultMaxLifetime = 12 * time.Hour
+
+// maxFailures locks an entry after this many consecutive bad passphrases.
+const maxFailures = 5
+
+// Errors.
+var (
+	ErrNotFound      = errors.New("myproxy: no stored credential")
+	ErrBadPassphrase = errors.New("myproxy: bad passphrase")
+	ErrLocked        = errors.New("myproxy: entry locked after repeated failures")
+	ErrExpired       = errors.New("myproxy: stored credential expired")
+)
+
+type entry struct {
+	cred        *gridcert.Credential
+	passHash    []byte
+	salt        []byte
+	maxLifetime time.Duration
+	failures    int
+	storedAt    time.Time
+}
+
+// Server is the credential repository.
+type Server struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	now     func() time.Time
+}
+
+// NewServer creates an empty repository.
+func NewServer() *Server {
+	return &Server{entries: make(map[string]*entry), now: time.Now}
+}
+
+// SetClock overrides the clock (tests).
+func (s *Server) SetClock(now func() time.Time) { s.now = now }
+
+func hashPass(pass string, salt []byte) []byte {
+	h, err := gridcrypto.DeriveKey([]byte(pass), salt, []byte("myproxy passphrase"), 32)
+	if err != nil {
+		panic("myproxy: passphrase hashing cannot fail: " + err.Error())
+	}
+	return h
+}
+
+// Store deposits a credential under a username and passphrase. The
+// credential should be a medium-lived proxy delegated specifically for
+// the repository (the caller creates it with proxy.New). maxLifetime
+// bounds proxies later retrieved; 0 means DefaultMaxLifetime.
+func (s *Server) Store(username, passphrase string, cred *gridcert.Credential, maxLifetime time.Duration) error {
+	if username == "" || passphrase == "" {
+		return errors.New("myproxy: username and passphrase required")
+	}
+	if maxLifetime <= 0 {
+		maxLifetime = DefaultMaxLifetime
+	}
+	salt, err := gridcrypto.RandomBytes(16)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[username] = &entry{
+		cred:        cred,
+		passHash:    hashPass(passphrase, salt),
+		salt:        salt,
+		maxLifetime: maxLifetime,
+		storedAt:    s.now(),
+	}
+	return nil
+}
+
+// Info describes a stored credential without exposing it.
+type Info struct {
+	Identity gridcert.Name
+	NotAfter time.Time
+	StoredAt time.Time
+	MaxProxy time.Duration
+	Locked   bool
+}
+
+// Info reports metadata for a username.
+func (s *Server) Info(username string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[username]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	return Info{
+		Identity: e.cred.Identity(),
+		NotAfter: e.cred.Leaf().NotAfter,
+		StoredAt: e.storedAt,
+		MaxProxy: e.maxLifetime,
+		Locked:   e.failures >= maxFailures,
+	}, nil
+}
+
+// Destroy removes a stored credential (requires the passphrase).
+func (s *Server) Destroy(username, passphrase string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[username]
+	if !ok {
+		return ErrNotFound
+	}
+	if !gridcrypto.HMACEqual(e.passHash, hashPass(passphrase, e.salt)) {
+		return ErrBadPassphrase
+	}
+	delete(s.entries, username)
+	return nil
+}
+
+// Retrieve authenticates by passphrase and answers a delegation request:
+// the client generated a key pair locally (proxy.NewDelegatee) and the
+// repository signs a short-lived proxy below the stored credential.
+func (s *Server) Retrieve(username, passphrase string, req proxy.DelegationRequest) (proxy.DelegationReply, error) {
+	s.mu.Lock()
+	e, ok := s.entries[username]
+	if !ok {
+		s.mu.Unlock()
+		return proxy.DelegationReply{}, ErrNotFound
+	}
+	if e.failures >= maxFailures {
+		s.mu.Unlock()
+		return proxy.DelegationReply{}, ErrLocked
+	}
+	if !gridcrypto.HMACEqual(e.passHash, hashPass(passphrase, e.salt)) {
+		e.failures++
+		s.mu.Unlock()
+		return proxy.DelegationReply{}, ErrBadPassphrase
+	}
+	e.failures = 0
+	cred := e.cred
+	maxLifetime := e.maxLifetime
+	now := s.now()
+	s.mu.Unlock()
+
+	if now.After(cred.Leaf().NotAfter) {
+		return proxy.DelegationReply{}, ErrExpired
+	}
+	opts := proxy.Options{Lifetime: maxLifetime}
+	if req.Lifetime > 0 && req.Lifetime < maxLifetime {
+		opts.Lifetime = req.Lifetime
+	}
+	reply, err := proxy.HandleDelegation(cred, proxy.DelegationRequest{
+		PublicKey: req.PublicKey,
+		Limited:   req.Limited,
+	}, opts)
+	if err != nil {
+		return proxy.DelegationReply{}, fmt.Errorf("myproxy: delegating: %w", err)
+	}
+	return reply, nil
+}
+
+// Len reports the number of stored credentials.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,191 @@
+package myproxy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/proxy"
+)
+
+type bed struct {
+	trust *gridcert.TrustStore
+	alice *gridcert.Credential
+	srv   *Server
+}
+
+func newBed(t testing.TB) *bed {
+	t.Helper()
+	auth, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 7*24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gridcert.NewTrustStore()
+	trust.AddRoot(auth.Certificate())
+	alice, err := auth.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bed{trust: trust, alice: alice, srv: NewServer()}
+}
+
+// store deposits a week-long proxy for alice.
+func (b *bed) store(t testing.TB, pass string) {
+	t.Helper()
+	deposit, err := proxy.New(b.alice, proxy.Options{Lifetime: 7 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.srv.Store("alice", pass, deposit, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRetrieve(t *testing.T) {
+	b := newBed(t)
+	b.store(t, "pw")
+
+	delegatee, req, err := proxy.NewDelegatee(time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := b.srv.Retrieve("alice", "pw", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := delegatee.Accept(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.trust.Verify(cred.Chain, gridcert.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("retrieved credential invalid: %v", err)
+	}
+	if info.Identity.String() != "/O=Grid/CN=Alice" {
+		t.Fatalf("identity = %q", info.Identity)
+	}
+	if info.ProxyDepth != 2 { // stored proxy + retrieved proxy
+		t.Fatalf("proxy depth = %d", info.ProxyDepth)
+	}
+	// Requested 1h lifetime is honoured (leaf expires within ~1h).
+	life := time.Until(cred.Leaf().NotAfter)
+	if life > 90*time.Minute {
+		t.Fatalf("retrieved lifetime %v exceeds request", life)
+	}
+}
+
+func TestBadPassphraseAndLockout(t *testing.T) {
+	b := newBed(t)
+	b.store(t, "pw")
+	_, req, _ := proxy.NewDelegatee(time.Hour, false)
+	for i := 0; i < maxFailures; i++ {
+		if _, err := b.srv.Retrieve("alice", "wrong", req); !errors.Is(err, ErrBadPassphrase) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	// Now locked even with the right passphrase.
+	if _, err := b.srv.Retrieve("alice", "pw", req); !errors.Is(err, ErrLocked) {
+		t.Fatalf("after lockout: %v", err)
+	}
+	info, _ := b.srv.Info("alice")
+	if !info.Locked {
+		t.Fatal("Info does not report lock")
+	}
+}
+
+func TestFailureCounterResets(t *testing.T) {
+	b := newBed(t)
+	b.store(t, "pw")
+	_, req, _ := proxy.NewDelegatee(time.Hour, false)
+	for i := 0; i < maxFailures-1; i++ {
+		b.srv.Retrieve("alice", "wrong", req)
+	}
+	if _, err := b.srv.Retrieve("alice", "pw", req); err != nil {
+		t.Fatalf("valid retrieve before lockout: %v", err)
+	}
+	// Counter reset: more failures allowed again.
+	if _, err := b.srv.Retrieve("alice", "wrong", req); !errors.Is(err, ErrBadPassphrase) {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+func TestUnknownUserAndDestroy(t *testing.T) {
+	b := newBed(t)
+	_, req, _ := proxy.NewDelegatee(time.Hour, false)
+	if _, err := b.srv.Retrieve("ghost", "pw", req); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	b.store(t, "pw")
+	if err := b.srv.Destroy("alice", "wrong"); !errors.Is(err, ErrBadPassphrase) {
+		t.Fatalf("destroy with wrong pass: %v", err)
+	}
+	if err := b.srv.Destroy("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if b.srv.Len() != 0 {
+		t.Fatal("entry survived destroy")
+	}
+}
+
+func TestStoredCredentialExpiry(t *testing.T) {
+	b := newBed(t)
+	deposit, err := proxy.New(b.alice, proxy.Options{Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.srv.Store("alice", "pw", deposit, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.srv.SetClock(func() time.Time { return time.Now().Add(2 * time.Hour) })
+	_, req, _ := proxy.NewDelegatee(time.Hour, false)
+	if _, err := b.srv.Retrieve("alice", "pw", req); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired deposit: %v", err)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	b := newBed(t)
+	deposit, _ := proxy.New(b.alice, proxy.Options{})
+	if err := b.srv.Store("", "pw", deposit, 0); err == nil {
+		t.Fatal("empty username accepted")
+	}
+	if err := b.srv.Store("alice", "", deposit, 0); err == nil {
+		t.Fatal("empty passphrase accepted")
+	}
+}
+
+func TestInfo(t *testing.T) {
+	b := newBed(t)
+	b.store(t, "pw")
+	info, err := b.srv.Info("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Identity.String() != "/O=Grid/CN=Alice" || info.MaxProxy != DefaultMaxLifetime {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := b.srv.Info("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost info: %v", err)
+	}
+}
+
+func BenchmarkRetrieve(b *testing.B) {
+	bd := newBed(b)
+	bd.store(b, "pw")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, req, err := proxy.NewDelegatee(time.Hour, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reply, err := bd.srv.Retrieve("alice", "pw", req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Accept(reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package ogsa
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/gss"
+	"repro/internal/soap"
+	"repro/internal/wssec"
+	"repro/internal/xmlsec"
+)
+
+// AuditSink receives security-relevant events from the container. The
+// audit service of §4.1 implements it.
+type AuditSink interface {
+	Record(event, subject, detail string)
+}
+
+// ContainerConfig assembles a hosting environment.
+type ContainerConfig struct {
+	// Name labels the container (host identity).
+	Name string
+	// Credential authenticates the container's services.
+	Credential *gridcert.Credential
+	// TrustStore validates callers.
+	TrustStore *gridcert.TrustStore
+	// Authorizer decides inbound calls; nil permits everything that
+	// authenticated (used by per-user containers whose OS account is the
+	// authorization boundary).
+	Authorizer authz.Engine
+	// Audit receives events; nil disables auditing.
+	Audit AuditSink
+	// Policy is the published security policy; nil publishes a default
+	// (both mechanisms, gsi:proxy tokens, container trust roots).
+	Policy *wssec.PolicyDocument
+	// RejectLimited refuses limited-proxy callers container-wide (set on
+	// job-creating containers per the GSI limited-proxy rule).
+	RejectLimited bool
+}
+
+// Container is a hosting environment: it holds service instances, routes
+// secured SOAP traffic to them, and runs the Figure-3 server-side
+// security pipeline (token processing, identity establishment,
+// authorization, audit) so that "the application, knowing that the
+// hosting environment has already taken care of security, can focus on
+// application-specific request processing".
+type Container struct {
+	cfg        ContainerConfig
+	dispatcher *soap.Dispatcher
+	convMgr    *wssec.ConversationManager
+
+	mu        sync.RWMutex
+	services  map[string]Service
+	factories map[string]Factory
+	seq       uint64
+}
+
+// NewContainer builds a hosting environment and its SOAP dispatcher.
+func NewContainer(cfg ContainerConfig) (*Container, error) {
+	if cfg.Credential == nil {
+		return nil, errors.New("ogsa: container requires a credential")
+	}
+	if cfg.TrustStore == nil {
+		return nil, errors.New("ogsa: container requires a trust store")
+	}
+	c := &Container{
+		cfg:        cfg,
+		dispatcher: soap.NewDispatcher(),
+		services:   make(map[string]Service),
+		factories:  make(map[string]Factory),
+	}
+	c.convMgr = wssec.NewConversationManager(gss.Config{
+		Credential:    cfg.Credential,
+		TrustStore:    cfg.TrustStore,
+		RejectLimited: cfg.RejectLimited,
+	})
+	c.convMgr.Register(c.dispatcher)
+
+	// Publish security policy (§4.3). The default policy is recomputed on
+	// every fetch so trust roots added after boot are reflected.
+	c.dispatcher.Handle(wssec.ActionGetPolicy, func(env *soap.Envelope) (*soap.Envelope, error) {
+		pol := cfg.Policy
+		if pol == nil {
+			pol = c.defaultPolicy()
+		}
+		data, err := pol.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return env.Reply(data), nil
+	})
+
+	// Secured application traffic: stateful (conversation-wrapped) and
+	// stateless (signed) variants share the routing logic.
+	c.dispatcher.Handle("ogsa/", c.handleSigned)
+	c.dispatcher.Handle("ogsa-sc/", c.convMgr.Secure(c.handleConversation))
+	return c, nil
+}
+
+func (c *Container) defaultPolicy() *wssec.PolicyDocument {
+	var roots []string
+	for _, r := range c.cfg.TrustStore.Roots() {
+		fp := r.Fingerprint()
+		roots = append(roots, fmt.Sprintf("%x", fp[:]))
+	}
+	return &wssec.PolicyDocument{
+		Service:            c.cfg.Name,
+		Mechanisms:         []wssec.Mechanism{wssec.MechSecureConversation, wssec.MechMessageSignature},
+		AcceptedTokenTypes: []string{"gsi:proxy", "cas:assertion"},
+		TrustRoots:         roots,
+	}
+}
+
+// Dispatcher exposes the container's SOAP dispatcher for binding to a
+// transport (HTTP server or in-memory pipe).
+func (c *Container) Dispatcher() *soap.Dispatcher { return c.dispatcher }
+
+// ConversationManager exposes the WS-SecureConversation state (tests and
+// expiry sweeps).
+func (c *Container) ConversationManager() *wssec.ConversationManager { return c.convMgr }
+
+// Publish registers a service instance under a handle.
+func (c *Container) Publish(handle string, svc Service) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.services[handle] = svc
+}
+
+// PublishFactory registers a factory under a handle; its Create operation
+// becomes invocable as <handle> op "CreateService".
+func (c *Container) PublishFactory(handle string, f Factory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.factories[handle] = f
+}
+
+// Lookup returns a published service.
+func (c *Container) Lookup(handle string) (Service, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.services[handle]
+	return s, ok
+}
+
+// Handles lists published service handles.
+func (c *Container) Handles() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.services))
+	for h := range c.services {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Remove unpublishes a service.
+func (c *Container) Remove(handle string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.services, handle)
+}
+
+// SweepExpired destroys services whose soft-state lifetime has lapsed.
+// Returns the handles removed.
+func (c *Container) SweepExpired(now time.Time) []string {
+	type expirer interface{ ExpiredAt(time.Time) bool }
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var removed []string
+	for h, s := range c.services {
+		if e, ok := s.(expirer); ok && e.ExpiredAt(now) {
+			delete(c.services, h)
+			removed = append(removed, h)
+		}
+	}
+	return removed
+}
+
+// --- inbound pipeline --------------------------------------------------
+
+// handleSigned processes stateless, XML-Signature-authenticated traffic
+// with action form "ogsa/<handle>/<op>".
+func (c *Container) handleSigned(env *soap.Envelope) (*soap.Envelope, error) {
+	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{
+		TrustStore:    c.cfg.TrustStore,
+		RejectLimited: c.cfg.RejectLimited,
+	})
+	if err != nil {
+		c.audit("auth-fail", "", err.Error())
+		return nil, fmt.Errorf("ogsa: authentication: %w", err)
+	}
+	caller := Identity{Name: info.Identity, Limited: info.Limited}
+	return c.route(env, "ogsa/", caller)
+}
+
+// handleConversation processes conversation-secured traffic with action
+// form "ogsa-sc/<handle>/<op>". The peer was authenticated at context
+// establishment.
+func (c *Container) handleConversation(peer gss.Peer, env *soap.Envelope) (*soap.Envelope, error) {
+	caller := Identity{Anonymous: peer.Anonymous, Name: peer.Identity}
+	if peer.Info != nil {
+		caller.Limited = peer.Info.Limited
+	}
+	return c.route(env, "ogsa-sc/", caller)
+}
+
+// route authorizes and delivers an authenticated call.
+func (c *Container) route(env *soap.Envelope, prefix string, caller Identity) (*soap.Envelope, error) {
+	rest := strings.TrimPrefix(env.Action, prefix)
+	slash := strings.LastIndexByte(rest, '/')
+	if slash <= 0 || slash == len(rest)-1 {
+		return nil, fmt.Errorf("ogsa: malformed action %q (want %s<handle>/<op>)", env.Action, prefix)
+	}
+	handle, op := rest[:slash], rest[slash+1:]
+
+	// Authorization (Figure 3 step 5).
+	if c.cfg.Authorizer != nil {
+		decision, err := c.cfg.Authorizer.Authorize(authz.Request{
+			Subject:  caller.Name,
+			Resource: "ogsa:" + handle,
+			Action:   op,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ogsa: authorization service: %w", err)
+		}
+		if decision != authz.Permit {
+			c.audit("authz-deny", caller.Name.String(), handle+"/"+op)
+			return nil, fmt.Errorf("ogsa: %q denied %s on %s", caller.Name, op, handle)
+		}
+	}
+	c.audit("invoke", caller.Name.String(), handle+"/"+op)
+
+	// Factories answer CreateService.
+	if op == "CreateService" {
+		c.mu.RLock()
+		f, ok := c.factories[handle]
+		c.mu.RUnlock()
+		if ok {
+			newHandle, svc, err := f.Create(caller, env.Body)
+			if err != nil {
+				return nil, fmt.Errorf("ogsa: factory %q: %w", handle, err)
+			}
+			c.Publish(newHandle, svc)
+			c.audit("create-service", caller.Name.String(), newHandle)
+			return env.Reply([]byte(newHandle)), nil
+		}
+	}
+	c.mu.RLock()
+	svc, ok := c.services[handle]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchService, handle)
+	}
+	if b, ok := svc.(interface{ Destroyed() bool }); ok && b.Destroyed() {
+		return nil, ErrServiceDestroyed
+	}
+	reply, err := svc.Invoke(&Call{Service: handle, Op: op, Body: env.Body, Caller: caller})
+	if err != nil {
+		return nil, err
+	}
+	return env.Reply(reply), nil
+}
+
+func (c *Container) audit(event, subject, detail string) {
+	if c.cfg.Audit != nil {
+		c.cfg.Audit.Record(event, subject, detail)
+	}
+}
+
+// Client is the client side of container invocation: it wraps transports
+// and credentials into typed calls. Stateless calls sign each envelope;
+// stateful calls run over an established conversation.
+type Client struct {
+	// Transport delivers envelopes to the container.
+	Transport wssec.Transport
+	// Credential signs stateless requests and establishes conversations.
+	Credential *gridcert.Credential
+	// TrustStore validates the container.
+	TrustStore *gridcert.TrustStore
+
+	mu   sync.Mutex
+	conv *wssec.Conversation
+}
+
+// InvokeSigned makes a stateless, per-message-signed call.
+func (cl *Client) InvokeSigned(handle, op string, body []byte) ([]byte, error) {
+	env := soap.NewEnvelope("ogsa/"+handle+"/"+op, body)
+	if err := xmlsec.SignEnvelope(env, cl.Credential); err != nil {
+		return nil, err
+	}
+	reply, err := cl.Transport(env)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Fault != nil {
+		return nil, reply.Fault
+	}
+	return reply.Body, nil
+}
+
+// InvokeSecure makes a stateful call, establishing the conversation on
+// first use.
+func (cl *Client) InvokeSecure(handle, op string, body []byte) ([]byte, error) {
+	cl.mu.Lock()
+	if cl.conv == nil || cl.conv.Context().Expired() {
+		conv, err := wssec.EstablishConversation(gss.Config{
+			Credential: cl.Credential,
+			TrustStore: cl.TrustStore,
+		}, cl.Transport)
+		if err != nil {
+			cl.mu.Unlock()
+			return nil, err
+		}
+		cl.conv = conv
+	}
+	conv := cl.conv
+	cl.mu.Unlock()
+	reply, err := conv.Call(soap.NewEnvelope("ogsa-sc/"+handle+"/"+op, body))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Body, nil
+}
+
+// FetchPolicy retrieves the container's published security policy
+// (Figure 3 step 1).
+func (cl *Client) FetchPolicy() (*wssec.PolicyDocument, error) {
+	return wssec.FetchPolicy(cl.Transport)
+}

@@ -1,0 +1,247 @@
+package osim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAccounts(t *testing.T) {
+	s := NewSystem()
+	a, err := s.CreateAccount("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UID == RootUID {
+		t.Fatal("new account got root uid")
+	}
+	if _, err := s.CreateAccount("alice"); !errors.Is(err, ErrAccountExist) {
+		t.Fatalf("duplicate account: %v", err)
+	}
+	if got, ok := s.Lookup("alice"); !ok || got.UID != a.UID {
+		t.Fatal("Lookup failed")
+	}
+	if s.AccountName(a.UID) != "alice" {
+		t.Fatal("AccountName failed")
+	}
+}
+
+func TestFilePermissions(t *testing.T) {
+	s := NewSystem()
+	alice, _ := s.CreateAccount("alice")
+	s.CreateAccount("bob")
+	s.WriteFileAs(alice.UID, "/home/alice/secret", []byte("s3cret"), false)
+	s.WriteFileAs(RootUID, "/etc/hostcred", []byte("hostkey"), false)
+	s.WriteFileAs(RootUID, "/etc/gridmap", []byte("map"), true)
+
+	pa, _ := s.Boot("shell-a", "alice", false)
+	pb, _ := s.Boot("shell-b", "bob", false)
+	proot, _ := s.Boot("initd", "root", false)
+
+	if _, err := pa.ReadFile("/home/alice/secret"); err != nil {
+		t.Fatalf("owner read: %v", err)
+	}
+	if _, err := pb.ReadFile("/home/alice/secret"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("cross-account read: %v", err)
+	}
+	if _, err := pb.ReadFile("/etc/gridmap"); err != nil {
+		t.Fatalf("world-readable read: %v", err)
+	}
+	if _, err := pb.ReadFile("/etc/hostcred"); err == nil {
+		t.Fatal("non-root read host credential")
+	}
+	if _, err := proot.ReadFile("/home/alice/secret"); err != nil {
+		t.Fatalf("root read: %v", err)
+	}
+	if _, err := pa.ReadFile("/nonexistent"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("missing file: %v", err)
+	}
+	// Write rules.
+	if err := pb.WriteFile("/etc/gridmap", []byte("evil"), true); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner write: %v", err)
+	}
+	if err := pa.WriteFile("/home/alice/new", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.ReadFile("/home/alice/new"); err == nil {
+		t.Fatal("new file not owned by writer")
+	}
+}
+
+func TestSetuidExec(t *testing.T) {
+	s := NewSystem()
+	alice, _ := s.CreateAccount("alice")
+	var sawEUID int
+	s.InstallProgram(RootUID, "/usr/bin/grim", true, func(p *Process, args []string) error {
+		sawEUID = p.EUID
+		// Privileged program can read root-owned files.
+		_, err := p.ReadFile("/etc/hostcred")
+		return err
+	})
+	s.InstallProgram(RootUID, "/usr/bin/plain", false, func(p *Process, args []string) error {
+		sawEUID = p.EUID
+		return nil
+	})
+	s.WriteFileAs(RootUID, "/etc/hostcred", []byte("hk"), false)
+
+	pa, _ := s.Boot("shell", "alice", false)
+	if _, err := pa.Exec("/usr/bin/grim", "grim", false); err != nil {
+		t.Fatalf("setuid exec: %v", err)
+	}
+	if sawEUID != RootUID {
+		t.Fatalf("setuid program ran with euid %d", sawEUID)
+	}
+	if _, err := pa.Exec("/usr/bin/plain", "plain", false); err != nil {
+		t.Fatal(err)
+	}
+	if sawEUID != alice.UID {
+		t.Fatalf("non-setuid program ran with euid %d, want %d", sawEUID, alice.UID)
+	}
+	if _, err := pa.Exec("/etc/hostcred", "x", false); !errors.Is(err, ErrNotExec) {
+		t.Fatalf("exec of data file: %v", err)
+	}
+}
+
+func TestSetEUIDRules(t *testing.T) {
+	s := NewSystem()
+	alice, _ := s.CreateAccount("alice")
+	bob, _ := s.CreateAccount("bob")
+	proot, _ := s.Boot("starter", "root", false)
+	// Root can drop to any account — and then cannot climb back.
+	if err := proot.SetEUID(alice.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := proot.SetEUID(RootUID); !errors.Is(err, ErrPermission) {
+		t.Fatalf("regained root: %v", err)
+	}
+	if err := proot.SetEUID(bob.UID); !errors.Is(err, ErrPermission) {
+		t.Fatalf("lateral move: %v", err)
+	}
+	// Unknown uid.
+	pa, _ := s.Boot("shell", "alice", false)
+	if err := pa.SetEUID(99999); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("unknown uid: %v", err)
+	}
+}
+
+func TestPrivilegedOpAccounting(t *testing.T) {
+	s := NewSystem()
+	s.CreateAccount("alice")
+	s.WriteFileAs(RootUID, "/etc/f", []byte("x"), true)
+	pa, _ := s.Boot("shell", "alice", false)
+	proot, _ := s.Boot("rootd", "root", false)
+
+	base := s.PrivilegedOps()
+	pa.ReadFile("/etc/f") // unprivileged: not counted
+	if s.PrivilegedOps() != base {
+		t.Fatal("unprivileged op counted as privileged")
+	}
+	proot.ReadFile("/etc/f")
+	proot.ReadFile("/etc/f")
+	if got := s.PrivilegedOps() - base; got != 2 {
+		t.Fatalf("privileged ops = %d", got)
+	}
+	if got := s.ProcessPrivOps(proot.PID); got != 2 {
+		t.Fatalf("per-process priv ops = %d", got)
+	}
+}
+
+func TestAuditSnapshot(t *testing.T) {
+	s := NewSystem()
+	s.CreateAccount("globus")
+	s.InstallProgram(RootUID, "/usr/bin/setuid-starter", true, func(p *Process, args []string) error { return nil })
+	s.InstallProgram(RootUID, "/usr/bin/grim", true, func(p *Process, args []string) error { return nil })
+	s.InstallProgram(RootUID, "/usr/bin/tool", false, func(p *Process, args []string) error { return nil })
+
+	gk, _ := s.Boot("gatekeeper", "root", true)
+	s.Boot("mmjfs", "globus", true)
+
+	snap := s.Audit()
+	if len(snap.PrivilegedNetworkServices) != 1 || snap.PrivilegedNetworkServices[0] != "gatekeeper" {
+		t.Fatalf("priv net services = %v", snap.PrivilegedNetworkServices)
+	}
+	if len(snap.SetuidPrograms) != 2 {
+		t.Fatalf("setuid programs = %v", snap.SetuidPrograms)
+	}
+	gk.Exit()
+	snap = s.Audit()
+	if len(snap.PrivilegedNetworkServices) != 0 {
+		t.Fatal("dead process still audited")
+	}
+}
+
+func TestCompromiseBlastRadius(t *testing.T) {
+	s := NewSystem()
+	alice, _ := s.CreateAccount("alice")
+	globus, _ := s.CreateAccount("globus")
+	_ = globus
+	s.WriteFileAs(RootUID, "/etc/hostcred", []byte("hostkey"), false)
+	s.WriteFileAs(alice.UID, "/home/alice/data", []byte("d"), false)
+
+	// Root-running network service: total compromise.
+	gk, _ := s.Boot("gatekeeper", "root", true)
+	br := s.Compromise(gk)
+	if !br.Root {
+		t.Fatal("root process not flagged as root compromise")
+	}
+	if !contains(br.ReadableFiles, "/etc/hostcred") || !contains(br.WritableFiles, "/home/alice/data") {
+		t.Fatalf("root blast radius incomplete: %+v", br)
+	}
+
+	// Unprivileged service: only its own account.
+	mm, _ := s.Boot("mmjfs", "globus", true)
+	br = s.Compromise(mm)
+	if br.Root {
+		t.Fatal("unprivileged process flagged root")
+	}
+	if contains(br.ReadableFiles, "/etc/hostcred") || contains(br.ReadableFiles, "/home/alice/data") {
+		t.Fatalf("unprivileged blast radius leaked: %+v", br)
+	}
+	if len(br.OtherAccountsExposed) != 0 {
+		t.Fatalf("exposed accounts: %v", br.OtherAccountsExposed)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeadProcessOperations(t *testing.T) {
+	s := NewSystem()
+	s.CreateAccount("alice")
+	p, _ := s.Boot("shell", "alice", false)
+	p.Exit()
+	if _, err := p.ReadFile("/x"); !errors.Is(err, ErrDeadProcess) {
+		t.Fatalf("dead read: %v", err)
+	}
+	if _, err := p.Fork("child"); !errors.Is(err, ErrDeadProcess) {
+		t.Fatalf("dead fork: %v", err)
+	}
+	if p.Alive() {
+		t.Fatal("exited process alive")
+	}
+}
+
+func TestForkInheritsUIDs(t *testing.T) {
+	s := NewSystem()
+	alice, _ := s.CreateAccount("alice")
+	p, _ := s.Boot("shell", "alice", false)
+	c, err := p.Fork("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UID != alice.UID || c.EUID != alice.UID {
+		t.Fatalf("child uids = %d/%d", c.UID, c.EUID)
+	}
+}
+
+func TestBootUnknownAccount(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.Boot("x", "ghost", false); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("boot unknown account: %v", err)
+	}
+}

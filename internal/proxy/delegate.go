@@ -1,0 +1,141 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/wire"
+)
+
+// Remote delegation (paper §3 and GRAM step 7): the delegatee generates a
+// key pair locally and sends only the public key; the delegator signs a
+// proxy certificate over it and returns the certificate plus its own
+// chain. The private key never crosses the wire — this is the property
+// that makes GSI delegation safe to perform over the network.
+//
+// The exchange is two messages:
+//
+//	delegatee -> delegator: DelegationRequest (public key, desired options)
+//	delegator -> delegatee: DelegationReply   (proxy cert + signer chain)
+
+// DelegationRequest is the delegatee's half of the exchange.
+type DelegationRequest struct {
+	PublicKey gridcrypto.PublicKey
+	Lifetime  time.Duration // 0 = delegator default
+	Limited   bool          // request only a limited proxy
+}
+
+// Encode serialises the request.
+func (r DelegationRequest) Encode() []byte {
+	return wire.NewEncoder().
+		Bytes(r.PublicKey.Encode()).
+		I64(int64(r.Lifetime / time.Second)).
+		Bool(r.Limited).
+		Finish()
+}
+
+// DecodeDelegationRequest parses a request.
+func DecodeDelegationRequest(b []byte) (DelegationRequest, error) {
+	d := wire.NewDecoder(b)
+	pkBytes := d.Bytes()
+	seconds := d.I64()
+	limited := d.Bool()
+	if err := d.Done(); err != nil {
+		return DelegationRequest{}, fmt.Errorf("proxy: bad delegation request: %w", err)
+	}
+	if seconds < 0 {
+		return DelegationRequest{}, errors.New("proxy: negative delegation lifetime")
+	}
+	pk, err := gridcrypto.DecodePublicKey(pkBytes)
+	if err != nil {
+		return DelegationRequest{}, err
+	}
+	return DelegationRequest{
+		PublicKey: pk,
+		Lifetime:  time.Duration(seconds) * time.Second,
+		Limited:   limited,
+	}, nil
+}
+
+// DelegationReply carries the issued proxy certificate and the signer's
+// chain so the delegatee can assemble a complete credential.
+type DelegationReply struct {
+	ProxyCert   *gridcert.Certificate
+	SignerChain []*gridcert.Certificate
+}
+
+// Encode serialises the reply.
+func (r DelegationReply) Encode() []byte {
+	return wire.NewEncoder().
+		Bytes(r.ProxyCert.Encode()).
+		Bytes(gridcert.EncodeChain(r.SignerChain)).
+		Finish()
+}
+
+// DecodeDelegationReply parses a reply.
+func DecodeDelegationReply(b []byte) (DelegationReply, error) {
+	d := wire.NewDecoder(b)
+	certBytes := d.Bytes()
+	chainBytes := d.Bytes()
+	if err := d.Done(); err != nil {
+		return DelegationReply{}, fmt.Errorf("proxy: bad delegation reply: %w", err)
+	}
+	cert, err := gridcert.Decode(certBytes)
+	if err != nil {
+		return DelegationReply{}, err
+	}
+	chain, err := gridcert.DecodeChain(chainBytes)
+	if err != nil {
+		return DelegationReply{}, err
+	}
+	return DelegationReply{ProxyCert: cert, SignerChain: chain}, nil
+}
+
+// Delegatee drives the receiving side of a delegation.
+type Delegatee struct {
+	key *gridcrypto.KeyPair
+}
+
+// NewDelegatee generates the fresh key pair and produces the request.
+func NewDelegatee(lifetime time.Duration, limited bool) (*Delegatee, DelegationRequest, error) {
+	key, err := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+	if err != nil {
+		return nil, DelegationRequest{}, err
+	}
+	return &Delegatee{key: key}, DelegationRequest{
+		PublicKey: key.Public(),
+		Lifetime:  lifetime,
+		Limited:   limited,
+	}, nil
+}
+
+// Accept consumes the reply and assembles the delegated credential,
+// verifying that the proxy certificate really covers our key.
+func (d *Delegatee) Accept(reply DelegationReply) (*gridcert.Credential, error) {
+	if !reply.ProxyCert.PublicKey.Equal(d.key.Public()) {
+		return nil, errors.New("proxy: delegated certificate is for a different key")
+	}
+	chain := append([]*gridcert.Certificate{reply.ProxyCert}, reply.SignerChain...)
+	return gridcert.NewCredential(chain, d.key)
+}
+
+// HandleDelegation is the delegator side: given an incoming request and
+// the local credential, issue the proxy and build the reply. The options
+// act as the delegator's policy; a requested lifetime can only shorten it,
+// and a requested limitation is honoured.
+func HandleDelegation(signer *gridcert.Credential, req DelegationRequest, opts Options) (DelegationReply, error) {
+	if req.Lifetime > 0 && (opts.Lifetime == 0 || req.Lifetime < opts.Lifetime) {
+		opts.Lifetime = req.Lifetime
+	}
+	if req.Limited && opts.Variant == 0 {
+		opts.Variant = gridcert.ProxyLimited
+	}
+	cert, err := Issue(signer, req.PublicKey, opts)
+	if err != nil {
+		return DelegationReply{}, err
+	}
+	return DelegationReply{ProxyCert: cert, SignerChain: signer.Chain}, nil
+}

@@ -1,0 +1,136 @@
+// Package proxy implements X.509 proxy-certificate creation and
+// delegation (paper §3, "Dynamic creation of entities"). A user creates a
+// proxy by signing a new certificate with their own credentials instead
+// of involving a CA — this is the mechanism that lets new identities be
+// created "quickly without the involvement of a traditional
+// administrator", and it underpins single sign-on and rights delegation.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+)
+
+// DefaultLifetime matches the grid-proxy-init default of 12 hours: long
+// enough for a working session, short enough that an unprotected proxy
+// key is a bounded liability.
+const DefaultLifetime = 12 * time.Hour
+
+// Options controls proxy creation.
+type Options struct {
+	// Variant selects delegation semantics; zero value means impersonation.
+	Variant gridcert.ProxyVariant
+	// Lifetime of the new proxy; 0 means DefaultLifetime. The window is
+	// additionally clipped to the signer's own validity.
+	Lifetime time.Duration
+	// PathLenConstraint caps further delegation below the new proxy.
+	// 0 (the zero value) means unlimited; to forbid any further
+	// delegation set NoFurtherDelegation.
+	PathLenConstraint int
+	// NoFurtherDelegation issues the proxy with path length 0, so no
+	// proxy may be derived below it.
+	NoFurtherDelegation bool
+	// PolicyLanguage/Policy attach a restriction document (required for
+	// ProxyRestricted).
+	PolicyLanguage string
+	Policy         []byte
+	// Extensions are copied into the proxy certificate (e.g. GRIM or CAS
+	// payloads).
+	Extensions []gridcert.Extension
+	// KeyAlgorithm for the new proxy key; zero value means Ed25519.
+	KeyAlgorithm gridcrypto.Algorithm
+}
+
+// New creates a proxy credential below signer. The returned credential
+// contains the new proxy certificate, the signer's chain, and the fresh
+// private key — exactly what grid-proxy-init leaves in /tmp/x509up_uNNN.
+func New(signer *gridcert.Credential, opts Options) (*gridcert.Credential, error) {
+	key, err := gridcrypto.GenerateKeyPair(keyAlg(opts))
+	if err != nil {
+		return nil, err
+	}
+	cert, err := Issue(signer, key.Public(), opts)
+	if err != nil {
+		return nil, err
+	}
+	chain := append([]*gridcert.Certificate{cert}, signer.Chain...)
+	return gridcert.NewCredential(chain, key)
+}
+
+// Issue signs a proxy certificate for an externally supplied public key.
+// This is the signer-side half of remote delegation: the remote party
+// generated the key and we certify it.
+func Issue(signer *gridcert.Credential, pub gridcrypto.PublicKey, opts Options) (*gridcert.Certificate, error) {
+	if signer == nil {
+		return nil, errors.New("proxy: nil signer credential")
+	}
+	leaf := signer.Leaf()
+	if leaf.Type == gridcert.TypeCA {
+		return nil, errors.New("proxy: CA credentials must not sign proxies")
+	}
+	if leaf.KeyUsage&gridcert.UsageDelegation == 0 {
+		return nil, fmt.Errorf("proxy: signer %q lacks delegation usage", leaf.Subject)
+	}
+	if leaf.IsProxy() && leaf.Proxy.PathLenConstraint == 0 {
+		return nil, fmt.Errorf("proxy: signer %q has path-length constraint 0", leaf.Subject)
+	}
+	variant := opts.Variant
+	if variant == 0 {
+		variant = gridcert.ProxyImpersonation
+	}
+	if variant == gridcert.ProxyRestricted && opts.PolicyLanguage == "" {
+		return nil, errors.New("proxy: restricted proxy requires a policy language")
+	}
+	life := opts.Lifetime
+	if life <= 0 {
+		life = DefaultLifetime
+	}
+	now := time.Now()
+	notAfter := now.Add(life)
+	// A proxy must not outlive its signer.
+	if notAfter.After(leaf.NotAfter) {
+		notAfter = leaf.NotAfter
+	}
+	serial, err := gridcrypto.RandomSerial()
+	if err != nil {
+		return nil, err
+	}
+	pathLen := opts.PathLenConstraint
+	if pathLen <= 0 {
+		pathLen = -1 // unlimited
+	}
+	if opts.NoFurtherDelegation {
+		pathLen = 0
+	}
+	cert, err := gridcert.Sign(gridcert.Template{
+		SerialNumber: serial,
+		Type:         gridcert.TypeProxy,
+		Subject:      leaf.Subject.WithCN("proxy-" + strconv.FormatUint(serial, 10)),
+		NotBefore:    now.Add(-time.Minute),
+		NotAfter:     notAfter,
+		KeyUsage:     leaf.KeyUsage,
+		Proxy: &gridcert.ProxyInfo{
+			Variant:           variant,
+			PathLenConstraint: pathLen,
+			PolicyLanguage:    opts.PolicyLanguage,
+			Policy:            opts.Policy,
+		},
+		Extensions: opts.Extensions,
+	}, pub, leaf.Subject, signer.Key)
+	if err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+func keyAlg(opts Options) gridcrypto.Algorithm {
+	if opts.KeyAlgorithm.Valid() {
+		return opts.KeyAlgorithm
+	}
+	return gridcrypto.AlgEd25519
+}

@@ -1,0 +1,141 @@
+package secsvc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ogsa"
+)
+
+// AuditEvent is one securely logged event.
+type AuditEvent struct {
+	Seq     uint64
+	Time    time.Time
+	Event   string
+	Subject string
+	Detail  string
+	// Hash chains the event to its predecessor: SHA-256 over the previous
+	// hash and this event's fields. Truncating or rewriting the log
+	// breaks the chain.
+	Hash [32]byte
+}
+
+// AuditLog is the audit service of §4.1: "a service that securely logs
+// relevant information about events." Integrity comes from a hash chain;
+// the container feeds it via the ogsa.AuditSink interface.
+type AuditLog struct {
+	*ogsa.Base
+
+	mu     sync.RWMutex
+	events []AuditEvent
+	last   [32]byte
+}
+
+// NewAuditLog creates an empty log.
+func NewAuditLog() *AuditLog {
+	return &AuditLog{Base: ogsa.NewBase()}
+}
+
+var _ ogsa.AuditSink = (*AuditLog)(nil)
+
+// Record implements ogsa.AuditSink.
+func (l *AuditLog) Record(event, subject, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := AuditEvent{
+		Seq:     uint64(len(l.events)),
+		Time:    timeNow().UTC(),
+		Event:   event,
+		Subject: subject,
+		Detail:  detail,
+	}
+	e.Hash = hashEvent(l.last, e)
+	l.events = append(l.events, e)
+	l.last = e.Hash
+}
+
+func hashEvent(prev [32]byte, e AuditEvent) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	fmt.Fprintf(h, "%d|%d|%s|%s|%s", e.Seq, e.Time.UnixNano(), e.Event, e.Subject, e.Detail)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Len reports the number of events.
+func (l *AuditLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log.
+func (l *AuditLog) Events() []AuditEvent {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]AuditEvent(nil), l.events...)
+}
+
+// VerifyChain recomputes the hash chain, returning the index of the first
+// corrupted event, or -1 if the log is intact.
+func (l *AuditLog) VerifyChain() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev [32]byte
+	for i, e := range l.events {
+		if hashEvent(prev, e) != e.Hash {
+			return i
+		}
+		prev = e.Hash
+	}
+	return -1
+}
+
+// Tamper is a test hook that corrupts an event in place.
+func (l *AuditLog) Tamper(i int, detail string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.events) {
+		return errors.New("secsvc: tamper index out of range")
+	}
+	l.events[i].Detail = detail
+	return nil
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations:
+//
+//	Count:  → decimal number of events
+//	Verify: → "intact" or "corrupt at <i>"
+//	Query:  body = event-name filter → newline-separated matching entries
+func (l *AuditLog) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := l.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	switch call.Op {
+	case "Count":
+		return []byte(fmt.Sprintf("%d", l.Len())), nil
+	case "Verify":
+		if i := l.VerifyChain(); i >= 0 {
+			return []byte(fmt.Sprintf("corrupt at %d", i)), nil
+		}
+		return []byte("intact"), nil
+	case "Query":
+		filter := string(call.Body)
+		var buf bytes.Buffer
+		for _, e := range l.Events() {
+			if filter == "" || e.Event == filter {
+				fmt.Fprintf(&buf, "%d %s %s %s %s\n", e.Seq, e.Time.Format(time.RFC3339), e.Event, e.Subject, e.Detail)
+			}
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("secsvc: audit has no op %q", call.Op)
+	}
+}

@@ -1,0 +1,289 @@
+// Package secsvc implements the OGSA security services enumerated by the
+// paper's §4.1 (after the OGSA Security Roadmap): credential processing,
+// authorization, credential conversion, identity mapping, and audit —
+// each cast as a Grid service so "applications can outsource security
+// functionality by using a security service with a particular
+// implementation to fit its current need."
+package secsvc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/bridge"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/kerberos"
+	"repro/internal/ogsa"
+	"repro/internal/wire"
+)
+
+// CredentialProcessing is the token-processing/validation service: it
+// "handles the details of processing and validating authentication
+// tokens" so hosting environments need not understand each mechanism.
+type CredentialProcessing struct {
+	*ogsa.Base
+	Trust *gridcert.TrustStore
+}
+
+// NewCredentialProcessing builds the service over a trust store.
+func NewCredentialProcessing(trust *gridcert.TrustStore) *CredentialProcessing {
+	return &CredentialProcessing{Base: ogsa.NewBase(), Trust: trust}
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations:
+//
+//	ValidateChain: body = encoded certificate chain → identity DN string.
+func (s *CredentialProcessing) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	switch call.Op {
+	case "ValidateChain":
+		chain, err := gridcert.DecodeChain(call.Body)
+		if err != nil {
+			return nil, fmt.Errorf("secsvc: chain: %w", err)
+		}
+		info, err := s.Trust.Verify(chain, gridcert.VerifyOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("secsvc: validation: %w", err)
+		}
+		return []byte(info.Identity.String()), nil
+	default:
+		return nil, fmt.Errorf("secsvc: credential-processing has no op %q", call.Op)
+	}
+}
+
+// Authorization wraps an authz.Engine as an OGSA service.
+type Authorization struct {
+	*ogsa.Base
+	Engine authz.Engine
+}
+
+// NewAuthorization builds the service.
+func NewAuthorization(engine authz.Engine) *Authorization {
+	return &Authorization{Base: ogsa.NewBase(), Engine: engine}
+}
+
+// EncodeAuthzRequest serialises an authorization question for the wire.
+func EncodeAuthzRequest(req authz.Request) []byte {
+	e := wire.NewEncoder()
+	e.Str(req.Subject.String())
+	e.U32(uint32(len(req.Groups)))
+	for _, g := range req.Groups {
+		e.Str(g)
+	}
+	e.U32(uint32(len(req.Roles)))
+	for _, r := range req.Roles {
+		e.Str(r)
+	}
+	e.Str(req.Resource)
+	e.Str(req.Action)
+	return e.Finish()
+}
+
+// DecodeAuthzRequest reverses EncodeAuthzRequest.
+func DecodeAuthzRequest(b []byte) (authz.Request, error) {
+	d := wire.NewDecoder(b)
+	var req authz.Request
+	subj := d.Str()
+	ng := d.Count("groups", 1024)
+	for i := 0; i < ng; i++ {
+		req.Groups = append(req.Groups, d.Str())
+	}
+	nr := d.Count("roles", 1024)
+	for i := 0; i < nr; i++ {
+		req.Roles = append(req.Roles, d.Str())
+	}
+	req.Resource = d.Str()
+	req.Action = d.Str()
+	if err := d.Done(); err != nil {
+		return authz.Request{}, err
+	}
+	var err error
+	req.Subject, err = gridcert.ParseName(subj)
+	if err != nil {
+		return authz.Request{}, err
+	}
+	return req, nil
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations:
+//
+//	Decide: body = encoded request → "permit" | "deny" | "not-applicable".
+func (s *Authorization) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	switch call.Op {
+	case "Decide":
+		req, err := DecodeAuthzRequest(call.Body)
+		if err != nil {
+			return nil, fmt.Errorf("secsvc: request: %w", err)
+		}
+		d, err := s.Engine.Authorize(req)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(d.String()), nil
+	default:
+		return nil, fmt.Errorf("secsvc: authorization has no op %q", call.Op)
+	}
+}
+
+// IdentityMapping wraps a bridge.IdentityMapper as an OGSA service: "a
+// service that takes a user's identity in one domain and returns the
+// identity in another."
+type IdentityMapping struct {
+	*ogsa.Base
+	Mapper *bridge.IdentityMapper
+}
+
+// NewIdentityMapping builds the service.
+func NewIdentityMapping(m *bridge.IdentityMapper) *IdentityMapping {
+	return &IdentityMapping{Base: ogsa.NewBase(), Mapper: m}
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations (body = DN string unless noted):
+//
+//	MapToLocal:    → local account name
+//	MapToKerberos: → principal string
+//	MapFromKerberos: body = principal → DN string
+func (s *IdentityMapping) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	switch call.Op {
+	case "MapToLocal":
+		dn, err := gridcert.ParseName(string(call.Body))
+		if err != nil {
+			return nil, err
+		}
+		acct, ok := s.Mapper.LocalFor(dn)
+		if !ok {
+			return nil, fmt.Errorf("secsvc: no local mapping for %q", dn)
+		}
+		return []byte(acct), nil
+	case "MapToKerberos":
+		dn, err := gridcert.ParseName(string(call.Body))
+		if err != nil {
+			return nil, err
+		}
+		p, ok := s.Mapper.KerberosFor(dn)
+		if !ok {
+			return nil, fmt.Errorf("secsvc: no kerberos mapping for %q", dn)
+		}
+		return []byte(p.String()), nil
+	case "MapFromKerberos":
+		p, err := kerberos.ParsePrincipal(string(call.Body))
+		if err != nil {
+			return nil, err
+		}
+		dn, ok := s.Mapper.DNForKerberos(p)
+		if !ok {
+			return nil, fmt.Errorf("secsvc: no grid mapping for %q", p)
+		}
+		return []byte(dn.String()), nil
+	default:
+		return nil, fmt.Errorf("secsvc: identity-mapping has no op %q", call.Op)
+	}
+}
+
+// CredentialConversion wraps the KCA gateway as an OGSA service: "a
+// service that enables bridging of different trust or mechanism domains
+// by converting credentials between trust roots or mechanisms."
+type CredentialConversion struct {
+	*ogsa.Base
+	KCA *bridge.KCA
+}
+
+// NewCredentialConversion builds the service.
+func NewCredentialConversion(kca *bridge.KCA) *CredentialConversion {
+	return &CredentialConversion{Base: ogsa.NewBase(), KCA: kca}
+}
+
+// ConversionRequest is the wire form of a Kerberos→GSI conversion: the
+// client authenticates with a ticket+authenticator and supplies the
+// public key to certify.
+type ConversionRequest struct {
+	TicketService  string
+	TicketSrcRealm string
+	TicketRealm    string
+	TicketBlob     []byte
+	Authenticator  []byte
+	PublicKey      gridcrypto.PublicKey
+}
+
+// Encode serialises the request.
+func (r ConversionRequest) Encode() []byte {
+	return wire.NewEncoder().
+		Str(r.TicketService).
+		Str(r.TicketSrcRealm).
+		Str(r.TicketRealm).
+		Bytes(r.TicketBlob).
+		Bytes(r.Authenticator).
+		Bytes(r.PublicKey.Encode()).
+		Finish()
+}
+
+// DecodeConversionRequest parses the wire form.
+func DecodeConversionRequest(b []byte) (ConversionRequest, error) {
+	d := wire.NewDecoder(b)
+	r := ConversionRequest{
+		TicketService:  d.Str(),
+		TicketSrcRealm: d.Str(),
+		TicketRealm:    d.Str(),
+		TicketBlob:     d.Bytes(),
+		Authenticator:  d.Bytes(),
+	}
+	pkBytes := d.Bytes()
+	if err := d.Done(); err != nil {
+		return ConversionRequest{}, err
+	}
+	pk, err := gridcrypto.DecodePublicKey(pkBytes)
+	if err != nil {
+		return ConversionRequest{}, err
+	}
+	r.PublicKey = pk
+	return r, nil
+}
+
+// Invoke implements ogsa.Service.
+//
+// Operations:
+//
+//	KerberosToGSI: body = ConversionRequest → encoded certificate.
+func (s *CredentialConversion) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	switch call.Op {
+	case "KerberosToGSI":
+		req, err := DecodeConversionRequest(call.Body)
+		if err != nil {
+			return nil, fmt.Errorf("secsvc: conversion request: %w", err)
+		}
+		ticket := kerberos.Ticket{
+			Service:  kerberos.Principal{Name: req.TicketService, Realm: req.TicketRealm},
+			SrcRealm: req.TicketSrcRealm,
+			Blob:     req.TicketBlob,
+		}
+		cert, err := s.KCA.IssueForKey(ticket, kerberos.Authenticator{Blob: req.Authenticator}, req.PublicKey)
+		if err != nil {
+			return nil, err
+		}
+		return cert.Encode(), nil
+	default:
+		return nil, fmt.Errorf("secsvc: credential-conversion has no op %q", call.Op)
+	}
+}
+
+// timeNow is indirected for audit tests.
+var timeNow = time.Now

@@ -1,0 +1,267 @@
+package secsvc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/bridge"
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/kerberos"
+	"repro/internal/ogsa"
+)
+
+func testTrust(t testing.TB) (*ca.Authority, *gridcert.TrustStore, *gridcert.Credential) {
+	t.Helper()
+	auth, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := gridcert.NewTrustStore()
+	if err := ts.AddRoot(auth.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := auth.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auth, ts, alice
+}
+
+func call(op string, body []byte) *ogsa.Call {
+	return &ogsa.Call{Op: op, Body: body, Caller: ogsa.Identity{Name: gridcert.MustParseName("/O=Grid/CN=Caller")}}
+}
+
+func TestCredentialProcessingValidateChain(t *testing.T) {
+	_, ts, alice := testTrust(t)
+	svc := NewCredentialProcessing(ts)
+	reply, err := svc.Invoke(call("ValidateChain", gridcert.EncodeChain(alice.Chain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "/O=Grid/CN=Alice" {
+		t.Fatalf("identity = %q", reply)
+	}
+	// Garbage chain.
+	if _, err := svc.Invoke(call("ValidateChain", []byte("junk"))); err == nil {
+		t.Fatal("garbage chain validated")
+	}
+	// Unknown op.
+	if _, err := svc.Invoke(call("Nope", nil)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestAuthorizationService(t *testing.T) {
+	pol := authz.NewPolicy(authz.DenyOverrides).Add(authz.Rule{
+		Effect:    authz.EffectPermit,
+		Subjects:  []string{"/O=Grid/CN=Alice"},
+		Resources: []string{"data:/x"},
+		Actions:   []string{"read"},
+	})
+	svc := NewAuthorization(&authz.PolicyEngine{Policy: pol, DefaultDeny: true})
+
+	req := authz.Request{
+		Subject:  gridcert.MustParseName("/O=Grid/CN=Alice"),
+		Resource: "data:/x",
+		Action:   "read",
+	}
+	reply, err := svc.Invoke(call("Decide", EncodeAuthzRequest(req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "permit" {
+		t.Fatalf("decision = %q", reply)
+	}
+	req.Action = "write"
+	reply, err = svc.Invoke(call("Decide", EncodeAuthzRequest(req)))
+	if err != nil || string(reply) != "deny" {
+		t.Fatalf("write: %q %v", reply, err)
+	}
+}
+
+func TestAuthzRequestRoundTrip(t *testing.T) {
+	req := authz.Request{
+		Subject:  gridcert.MustParseName("/O=Grid/CN=Alice"),
+		Groups:   []string{"g1", "g2"},
+		Roles:    []string{"r1"},
+		Resource: "res",
+		Action:   "act",
+	}
+	dec, err := DecodeAuthzRequest(EncodeAuthzRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Subject.Equal(req.Subject) || len(dec.Groups) != 2 || len(dec.Roles) != 1 ||
+		dec.Resource != "res" || dec.Action != "act" {
+		t.Fatalf("round trip: %+v", dec)
+	}
+	if _, err := DecodeAuthzRequest([]byte("junk")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestIdentityMappingService(t *testing.T) {
+	m := bridge.NewIdentityMapper()
+	dn := gridcert.MustParseName("/O=Grid/CN=Alice")
+	m.MapLocal(dn, "alice")
+	m.MapKerberos(dn, kerberos.Principal{Name: "alice", Realm: "ANL.GOV"})
+	svc := NewIdentityMapping(m)
+
+	reply, err := svc.Invoke(call("MapToLocal", []byte(dn.String())))
+	if err != nil || string(reply) != "alice" {
+		t.Fatalf("MapToLocal: %q %v", reply, err)
+	}
+	reply, err = svc.Invoke(call("MapToKerberos", []byte(dn.String())))
+	if err != nil || string(reply) != "alice@ANL.GOV" {
+		t.Fatalf("MapToKerberos: %q %v", reply, err)
+	}
+	reply, err = svc.Invoke(call("MapFromKerberos", []byte("alice@ANL.GOV")))
+	if err != nil || string(reply) != dn.String() {
+		t.Fatalf("MapFromKerberos: %q %v", reply, err)
+	}
+	if _, err := svc.Invoke(call("MapToLocal", []byte("/CN=Unknown"))); err == nil {
+		t.Fatal("unknown mapping succeeded")
+	}
+}
+
+func TestCredentialConversionService(t *testing.T) {
+	kdc := kerberos.NewKDC("ANL.GOV")
+	principal := kdc.RegisterPrincipal("alice", "pw")
+	kcaP, kcaKey, err := kdc.RegisterService("kca/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority, err := ca.New(gridcert.MustParseName("/O=ANL/CN=KCA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper := bridge.NewIdentityMapper()
+	dn := gridcert.MustParseName("/O=ANL/CN=Alice")
+	mapper.MapKerberos(dn, principal)
+	kca := bridge.NewKCA(authority, kerberos.NewService(kcaP, kcaKey), mapper)
+	svc := NewCredentialConversion(kca)
+
+	// Client side: login and build the conversion request.
+	tgt, tgtSess, err := kdc.ASExchange("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth1, _ := kerberos.NewAuthenticator(principal, tgtSess, time.Now())
+	st, stSess, err := kdc.TGSExchange(tgt, auth1, "kca/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apAuth, _ := kerberos.NewAuthenticator(principal, stSess, time.Now())
+	clientKey, _ := gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+	req := ConversionRequest{
+		TicketService:  st.Service.Name,
+		TicketSrcRealm: st.SrcRealm,
+		TicketRealm:    st.Service.Realm,
+		TicketBlob:     st.Blob,
+		Authenticator:  apAuth.Blob,
+		PublicKey:      clientKey.Public(),
+	}
+	reply, err := svc.Invoke(call("KerberosToGSI", req.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := gridcert.Decode(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Subject.Equal(dn) {
+		t.Fatalf("converted subject = %q", cert.Subject)
+	}
+	if !cert.PublicKey.Equal(clientKey.Public()) {
+		t.Fatal("certificate is not over the client key")
+	}
+	// The credential assembles and verifies against the KCA root.
+	cred, err := gridcert.NewCredential([]*gridcert.Certificate{cert}, clientKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := gridcert.NewTrustStore()
+	ts.AddRoot(authority.Certificate())
+	if _, err := ts.Verify(cred.Chain, gridcert.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Replayed authenticator fails.
+	if _, err := svc.Invoke(call("KerberosToGSI", req.Encode())); err == nil {
+		t.Fatal("replayed conversion accepted")
+	}
+}
+
+func TestAuditChain(t *testing.T) {
+	l := NewAuditLog()
+	l.Record("invoke", "alice", "svc/op")
+	l.Record("authz-deny", "bob", "svc/op2")
+	l.Record("invoke", "alice", "svc/op3")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if i := l.VerifyChain(); i != -1 {
+		t.Fatalf("fresh chain corrupt at %d", i)
+	}
+	if err := l.Tamper(1, "rewritten"); err != nil {
+		t.Fatal(err)
+	}
+	if i := l.VerifyChain(); i != 1 {
+		t.Fatalf("tamper detected at %d, want 1", i)
+	}
+	if err := l.Tamper(99, "x"); err == nil {
+		t.Fatal("out-of-range tamper accepted")
+	}
+}
+
+func TestAuditServiceOps(t *testing.T) {
+	l := NewAuditLog()
+	l.Record("invoke", "alice", "a")
+	l.Record("deny", "bob", "b")
+
+	reply, err := l.Invoke(call("Count", nil))
+	if err != nil || string(reply) != "2" {
+		t.Fatalf("Count: %q %v", reply, err)
+	}
+	reply, err = l.Invoke(call("Verify", nil))
+	if err != nil || string(reply) != "intact" {
+		t.Fatalf("Verify: %q %v", reply, err)
+	}
+	reply, err = l.Invoke(call("Query", []byte("deny")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(reply), "bob") || strings.Contains(string(reply), "alice") {
+		t.Fatalf("Query = %q", reply)
+	}
+	l.Tamper(0, "x")
+	reply, _ = l.Invoke(call("Verify", nil))
+	if !strings.Contains(string(reply), "corrupt at 0") {
+		t.Fatalf("Verify after tamper = %q", reply)
+	}
+}
+
+func TestAuditConcurrentRecord(t *testing.T) {
+	l := NewAuditLog()
+	done := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				l.Record("e", "s", "d")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if l.Len() != 400 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if i := l.VerifyChain(); i != -1 {
+		t.Fatalf("concurrent chain corrupt at %d", i)
+	}
+}

@@ -1,0 +1,179 @@
+package soap
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler processes one envelope and returns the reply.
+type Handler func(*Envelope) (*Envelope, error)
+
+// Dispatcher routes envelopes by action prefix. Registering action "x"
+// matches "x" exactly; registering "x/" matches any action with that
+// prefix (operation families of one service).
+type Dispatcher struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewDispatcher creates an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a handler for an action (or action prefix ending "/").
+func (d *Dispatcher) Handle(action string, h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handlers[action] = h
+}
+
+// Dispatch routes an envelope to its handler.
+func (d *Dispatcher) Dispatch(env *Envelope) (*Envelope, error) {
+	d.mu.RLock()
+	h, ok := d.handlers[env.Action]
+	if !ok {
+		// Longest matching prefix registered with trailing "/".
+		best := ""
+		for pattern := range d.handlers {
+			if strings.HasSuffix(pattern, "/") && strings.HasPrefix(env.Action, pattern) && len(pattern) > len(best) {
+				best = pattern
+			}
+		}
+		if best != "" {
+			h, ok = d.handlers[best], true
+		}
+	}
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoHandler, env.Action)
+	}
+	return h(env)
+}
+
+// Server is an HTTP binding for a dispatcher: envelopes are POSTed as
+// XML and replies returned in the response body.
+type Server struct {
+	dispatcher *Dispatcher
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// NewServer binds the dispatcher on addr ("127.0.0.1:0" for ephemeral).
+func NewServer(addr string, d *Dispatcher) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{dispatcher: d, listener: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/soap", s.serveHTTP)
+	s.httpServer = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.httpServer.Serve(ln)
+	return s, nil
+}
+
+// URL returns the endpoint URL.
+func (s *Server) URL() string { return "http://" + s.listener.Addr().String() + "/soap" }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.httpServer.Close() }
+
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<24))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	env, err := Unmarshal(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reply, err := s.dispatcher.Dispatch(env)
+	if err != nil {
+		reply = env.FaultReply("Receiver", err.Error())
+	}
+	out, err := reply.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(out)
+}
+
+// Client posts envelopes to a SOAP endpoint.
+type Client struct {
+	// Endpoint is the service URL.
+	Endpoint string
+	// HTTP allows customising the underlying client; nil uses a default
+	// with a 30s timeout.
+	HTTP *http.Client
+}
+
+// Call sends the envelope and parses the reply. A SOAP fault in the reply
+// is returned as a *Fault error alongside the envelope.
+func (c *Client) Call(env *Envelope) (*Envelope, error) {
+	data, err := env.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Post(c.Endpoint, "text/xml; charset=utf-8", strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("soap: POST: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("soap: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	reply, err := Unmarshal(body)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Fault != nil {
+		return reply, reply.Fault
+	}
+	return reply, nil
+}
+
+// Pipe is an in-memory SOAP transport: a client Call function wired
+// directly to a dispatcher, for co-located services and tests.
+func Pipe(d *Dispatcher) func(*Envelope) (*Envelope, error) {
+	return func(env *Envelope) (*Envelope, error) {
+		// Round-trip through the wire form so in-memory behaves like HTTP.
+		data, err := env.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := d.Dispatch(parsed)
+		if err != nil {
+			return nil, err
+		}
+		if reply.Fault != nil {
+			return reply, reply.Fault
+		}
+		return reply, nil
+	}
+}

@@ -1,0 +1,81 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Relay implements the WS-Routing-style message relaying the paper's §6
+// names as future work for firewall compatibility: envelopes traverse one
+// or more application-level intermediaries instead of requiring a direct
+// transport connection. Because GT3 security is message-level (signatures
+// and wrapped bodies travel *in* the envelope), end-to-end security
+// survives the hops — which transport-level TLS cannot offer.
+//
+// A Relay forwards by the envelope's To field. Hops may rewrite
+// uncovered headers (e.g. routing hints) but any tampering with signed
+// parts is detected at the destination.
+type Relay struct {
+	mu     sync.RWMutex
+	routes map[string]Handler // destination prefix -> next hop
+	// Hops counts messages forwarded (observability).
+	hops int
+}
+
+// NewRelay creates an empty relay.
+func NewRelay() *Relay {
+	return &Relay{routes: make(map[string]Handler)}
+}
+
+// Route registers the next hop for a destination prefix. An envelope
+// whose To starts with the prefix is forwarded to the handler (another
+// relay, or a terminal dispatcher).
+func (r *Relay) Route(prefix string, next Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes[prefix] = next
+}
+
+// Hops reports how many envelopes this relay has forwarded.
+func (r *Relay) Hops() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hops
+}
+
+// Forward relays an envelope toward its destination, appending a
+// via-header (uncovered by signatures, as a real intermediary would).
+func (r *Relay) Forward(env *Envelope) (*Envelope, error) {
+	if env.To == "" {
+		return nil, errors.New("soap: relay requires a To address")
+	}
+	r.mu.RLock()
+	var (
+		best string
+		next Handler
+	)
+	for prefix, h := range r.routes {
+		if len(prefix) > len(best) && hasPrefix(env.To, prefix) {
+			best, next = prefix, h
+		}
+	}
+	r.mu.RUnlock()
+	if next == nil {
+		return nil, fmt.Errorf("soap: relay has no route for %q", env.To)
+	}
+	r.mu.Lock()
+	r.hops++
+	r.mu.Unlock()
+	// Record the hop in an uncovered header, like a Via line.
+	via, _ := env.Header("via")
+	env.SetHeader("via", append(append([]byte(nil), via.Content...), []byte("|relay")...))
+	return next(env)
+}
+
+// Handler returns the relay itself as a Handler, so relays chain.
+func (r *Relay) Handler() Handler { return r.Forward }
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

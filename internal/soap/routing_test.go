@@ -1,0 +1,79 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+)
+
+func terminal(reply string) Handler {
+	return func(env *Envelope) (*Envelope, error) {
+		return env.Reply([]byte(reply)), nil
+	}
+}
+
+func TestRelayRoutesByPrefix(t *testing.T) {
+	r := NewRelay()
+	r.Route("gsh://site-a/", terminal("from-a"))
+	r.Route("gsh://site-b/", terminal("from-b"))
+
+	env := NewEnvelope("op", nil)
+	env.To = "gsh://site-a/service1"
+	reply, err := r.Forward(env)
+	if err != nil || string(reply.Body) != "from-a" {
+		t.Fatalf("%v %q", err, reply.Body)
+	}
+	env2 := NewEnvelope("op", nil)
+	env2.To = "gsh://site-b/service9"
+	reply, err = r.Forward(env2)
+	if err != nil || string(reply.Body) != "from-b" {
+		t.Fatalf("%v %q", err, reply.Body)
+	}
+	if r.Hops() != 2 {
+		t.Fatalf("hops = %d", r.Hops())
+	}
+}
+
+func TestRelayLongestPrefixWins(t *testing.T) {
+	r := NewRelay()
+	r.Route("gsh://site/", terminal("coarse"))
+	r.Route("gsh://site/special/", terminal("fine"))
+	env := NewEnvelope("op", nil)
+	env.To = "gsh://site/special/svc"
+	reply, err := r.Forward(env)
+	if err != nil || string(reply.Body) != "fine" {
+		t.Fatalf("%v %q", err, reply.Body)
+	}
+}
+
+func TestRelayErrors(t *testing.T) {
+	r := NewRelay()
+	env := NewEnvelope("op", nil)
+	if _, err := r.Forward(env); err == nil {
+		t.Fatal("missing To accepted")
+	}
+	env.To = "gsh://unknown/svc"
+	if _, err := r.Forward(env); err == nil {
+		t.Fatal("unroutable destination accepted")
+	}
+}
+
+func TestRelayChainAddsViaHeaders(t *testing.T) {
+	// Two relays in sequence: edge -> interior -> service.
+	interior := NewRelay()
+	interior.Route("gsh://", func(env *Envelope) (*Envelope, error) {
+		via, _ := env.Header("via")
+		return env.Reply(via.Content), nil
+	})
+	edge := NewRelay()
+	edge.Route("gsh://", interior.Handler())
+
+	env := NewEnvelope("op", nil)
+	env.To = "gsh://inner/svc"
+	reply, err := edge.Forward(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(reply.Body); strings.Count(got, "|relay") != 2 {
+		t.Fatalf("via trail = %q, want two hops", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package vo models virtual organizations as policy and trust overlays
+// over classical organizations (paper §2, Figure 1): multiple domains
+// outsource a slice of policy control to a VO, which coordinates it so
+// resources can be shared across domains that have no direct trust
+// relationship. The package also quantifies the paper's trust-formation
+// argument (§3): unilateral CA trust lets an N-domain VO form with O(N)
+// single-party acts, where Kerberos-style bilateral agreements need
+// O(N²) two-party acts.
+package vo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/kerberos"
+)
+
+// Domain is one classical organization: its own CA, its own trust store,
+// its own local policy, and optionally a Kerberos realm.
+type Domain struct {
+	Name  string
+	CA    *ca.Authority
+	Trust *gridcert.TrustStore
+	Local *authz.Policy
+	Realm *kerberos.KDC
+
+	mu sync.Mutex
+	// unilateralActs counts single-party administrative acts (installing
+	// a trust root). No remote party participates.
+	unilateralActs int
+}
+
+// NewDomain creates a domain with a fresh CA that trusts itself.
+func NewDomain(name string) (*Domain, error) {
+	subject, err := gridcert.ParseName("/O=" + name + "/CN=CA")
+	if err != nil {
+		return nil, err
+	}
+	authority, err := ca.New(subject, 365*24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		return nil, err
+	}
+	trust := gridcert.NewTrustStore()
+	if err := trust.AddRoot(authority.Certificate()); err != nil {
+		return nil, err
+	}
+	return &Domain{
+		Name:  name,
+		CA:    authority,
+		Trust: trust,
+		Local: authz.NewPolicy(authz.DenyOverrides),
+	}, nil
+}
+
+// TrustRoot unilaterally installs a foreign CA certificate. This is the
+// single-entity decision the paper highlights: no agreement with the
+// foreign organization is required.
+func (d *Domain) TrustRoot(root *gridcert.Certificate) error {
+	if err := d.Trust.AddRoot(root); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.unilateralActs++
+	d.mu.Unlock()
+	return nil
+}
+
+// UnilateralActs reports how many single-party trust acts this domain has
+// performed.
+func (d *Domain) UnilateralActs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.unilateralActs
+}
+
+// NewUser issues a user credential from the domain's CA.
+func (d *Domain) NewUser(cn string) (*gridcert.Credential, error) {
+	subject, err := gridcert.ParseName("/O=" + d.Name + "/CN=" + cn)
+	if err != nil {
+		return nil, err
+	}
+	return d.CA.NewEntity(subject, 12*time.Hour)
+}
+
+// VO is a virtual organization: a named community spanning domains.
+type VO struct {
+	Name string
+	// Policy is the community policy outsourced to the VO by its
+	// participating resource providers.
+	Policy *authz.Policy
+
+	mu      sync.Mutex
+	domains []*Domain
+}
+
+// New creates an empty VO.
+func New(name string) *VO {
+	return &VO{Name: name, Policy: authz.NewPolicy(authz.DenyOverrides)}
+}
+
+// Domains returns the participating domains.
+func (v *VO) Domains() []*Domain {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]*Domain(nil), v.domains...)
+}
+
+// FormationCost summarises what it took to connect every domain pair.
+type FormationCost struct {
+	Domains int
+	// UnilateralActs: total single-party trust-root installations (GSI).
+	UnilateralActs int
+	// BilateralAgreements: total two-party organizational agreements
+	// (Kerberos inter-realm keys).
+	BilateralAgreements int
+	Elapsed             time.Duration
+}
+
+// JoinGSI adds domains to the VO the GSI way: every domain unilaterally
+// installs every other participating domain's CA. No agreements.
+// The act count is O(N²) root installs in the per-domain-CA worst case
+// but each act is unilateral — and with a shared community CA (see
+// JoinGSIWithCommunityCA) it drops to O(N). Crucially the number of
+// *agreements* is zero either way.
+func (v *VO) JoinGSI(domains ...*Domain) (FormationCost, error) {
+	start := time.Now()
+	v.mu.Lock()
+	v.domains = append(v.domains, domains...)
+	all := append([]*Domain(nil), v.domains...)
+	v.mu.Unlock()
+	cost := FormationCost{Domains: len(all)}
+	for _, d := range all {
+		for _, other := range all {
+			if d == other {
+				continue
+			}
+			if _, ok := d.Trust.Root(other.CA.Name()); ok {
+				continue
+			}
+			if err := d.TrustRoot(other.CA.Certificate()); err != nil {
+				return cost, err
+			}
+			cost.UnilateralActs++
+		}
+	}
+	cost.Elapsed = time.Since(start)
+	return cost, nil
+}
+
+// JoinGSIWithCommunityCA adds domains the streamlined way: one community
+// CA (e.g. the DOE Grids CA of the paper's national-scale infrastructure)
+// is unilaterally trusted by each domain — O(N) acts total.
+func (v *VO) JoinGSIWithCommunityCA(community *ca.Authority, domains ...*Domain) (FormationCost, error) {
+	start := time.Now()
+	v.mu.Lock()
+	v.domains = append(v.domains, domains...)
+	v.mu.Unlock()
+	cost := FormationCost{Domains: len(domains)}
+	for _, d := range domains {
+		if err := d.TrustRoot(community.Certificate()); err != nil {
+			return cost, err
+		}
+		cost.UnilateralActs++
+	}
+	cost.Elapsed = time.Since(start)
+	return cost, nil
+}
+
+// FormKerberos connects every pair of domains with a bilateral
+// inter-realm agreement — the O(N²), administrator-mediated baseline.
+// Every domain must have a Realm.
+func FormKerberos(domains []*Domain) (FormationCost, error) {
+	start := time.Now()
+	cost := FormationCost{Domains: len(domains)}
+	for i, a := range domains {
+		if a.Realm == nil {
+			return cost, fmt.Errorf("vo: domain %q has no Kerberos realm", a.Name)
+		}
+		for _, b := range domains[i+1:] {
+			if b.Realm == nil {
+				return cost, fmt.Errorf("vo: domain %q has no Kerberos realm", b.Name)
+			}
+			if err := kerberos.EstablishInterRealmTrust(a.Realm, b.Realm); err != nil {
+				return cost, err
+			}
+			cost.BilateralAgreements++
+		}
+	}
+	cost.Elapsed = time.Since(start)
+	return cost, nil
+}
+
+// SameTrustDomain implements the GT2 implicit proxy-trust policy (paper
+// §3): "any two entities bearing proxy certificates issued by the same
+// user will inherently trust each other." Both chains must validate in
+// the given store and share the same end-entity identity.
+func SameTrustDomain(store *gridcert.TrustStore, a, b []*gridcert.Certificate) (bool, error) {
+	ia, err := store.Verify(a, gridcert.VerifyOptions{})
+	if err != nil {
+		return false, fmt.Errorf("vo: first chain: %w", err)
+	}
+	ib, err := store.Verify(b, gridcert.VerifyOptions{})
+	if err != nil {
+		return false, fmt.Errorf("vo: second chain: %w", err)
+	}
+	return ia.Identity.Equal(ib.Identity), nil
+}
+
+// Overlay evaluates the Figure-1 policy overlay for a resource inside a
+// domain: the effective decision is local ∩ VO.
+type Overlay struct {
+	Domain *Domain
+	VO     *VO
+}
+
+// Decide returns the effective decision plus components.
+func (o Overlay) Decide(req authz.Request) (effective, local, community authz.Decision) {
+	local = o.Domain.Local.Evaluate(req)
+	community = o.VO.Policy.Evaluate(req)
+	effective = authz.Combine(local, community)
+	if effective != authz.Permit {
+		effective = authz.Deny
+	}
+	return effective, local, community
+}

@@ -1,0 +1,264 @@
+package vo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/gss"
+	"repro/internal/kerberos"
+	"repro/internal/proxy"
+)
+
+func makeDomains(t testing.TB, n int, withRealms bool) []*Domain {
+	t.Helper()
+	out := make([]*Domain, n)
+	for i := range out {
+		d, err := NewDomain(fmt.Sprintf("Org%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withRealms {
+			d.Realm = kerberos.NewKDC(fmt.Sprintf("ORG%02d.EXAMPLE", i))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func TestJoinGSIActCounts(t *testing.T) {
+	domains := makeDomains(t, 4, false)
+	v := New("climate")
+	cost, err := v.JoinGSI(domains...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 domains, each installs 3 foreign roots = 12 unilateral acts,
+	// zero agreements.
+	if cost.UnilateralActs != 12 {
+		t.Fatalf("UnilateralActs = %d", cost.UnilateralActs)
+	}
+	if cost.BilateralAgreements != 0 {
+		t.Fatalf("BilateralAgreements = %d", cost.BilateralAgreements)
+	}
+	// Joining again is idempotent (no new acts).
+	cost2, err := v.JoinGSI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2.UnilateralActs != 0 {
+		t.Fatalf("re-join acts = %d", cost2.UnilateralActs)
+	}
+}
+
+func TestJoinCommunityCALinear(t *testing.T) {
+	domains := makeDomains(t, 8, false)
+	community, err := ca.New(gridcert.MustParseName("/O=DOEGrids/CN=CA"), 365*24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New("national")
+	cost, err := v.JoinGSIWithCommunityCA(community, domains...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.UnilateralActs != 8 {
+		t.Fatalf("UnilateralActs = %d, want N", cost.UnilateralActs)
+	}
+}
+
+func TestFormKerberosQuadratic(t *testing.T) {
+	domains := makeDomains(t, 5, true)
+	cost, err := FormKerberos(domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.BilateralAgreements != 10 { // 5*4/2
+		t.Fatalf("BilateralAgreements = %d", cost.BilateralAgreements)
+	}
+	// Realmless domain fails.
+	bad := makeDomains(t, 2, false)
+	if _, err := FormKerberos(bad); err == nil {
+		t.Fatal("FormKerberos accepted realmless domains")
+	}
+}
+
+func TestCrossDomainAuthAfterGSIJoin(t *testing.T) {
+	domains := makeDomains(t, 2, false)
+	v := New("pair")
+	if _, err := v.JoinGSI(domains...); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := domains[0].NewUser("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobSvc, err := domains[1].NewUser("Service B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice (domain 0) authenticates to a service in domain 1; each side
+	// validates with its own domain's trust store.
+	_, actx, err := gss.Establish(
+		gss.Config{Credential: alice, TrustStore: domains[0].Trust},
+		gss.Config{Credential: bobSvc, TrustStore: domains[1].Trust},
+	)
+	if err != nil {
+		t.Fatalf("cross-domain auth after VO join: %v", err)
+	}
+	if actx.Peer().Identity.String() != "/O=Org00/CN=Alice" {
+		t.Fatalf("peer = %q", actx.Peer().Identity)
+	}
+}
+
+func TestCrossDomainAuthFailsWithoutJoin(t *testing.T) {
+	domains := makeDomains(t, 2, false)
+	alice, _ := domains[0].NewUser("Alice")
+	bobSvc, _ := domains[1].NewUser("Service B")
+	_, _, err := gss.Establish(
+		gss.Config{Credential: alice, TrustStore: domains[0].Trust},
+		gss.Config{Credential: bobSvc, TrustStore: domains[1].Trust},
+	)
+	if err == nil {
+		t.Fatal("cross-domain auth succeeded without any trust establishment")
+	}
+}
+
+func TestSameTrustDomain(t *testing.T) {
+	domains := makeDomains(t, 1, false)
+	d := domains[0]
+	alice, err := d.NewUser("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := d.NewUser("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice creates two proxies (e.g. two dynamically created services).
+	p1, err := proxy.New(alice, proxy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := proxy.New(alice, proxy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := SameTrustDomain(d.Trust, p1.Chain, p2.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("two proxies of the same user not in same trust domain")
+	}
+	// Bob's proxy is not in Alice's trust domain.
+	pb, _ := proxy.New(bob, proxy.Options{})
+	same, err = SameTrustDomain(d.Trust, p1.Chain, pb.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Fatal("different users' proxies share a trust domain")
+	}
+	// Invalid chain errors.
+	if _, err := SameTrustDomain(gridcert.NewTrustStore(), p1.Chain, p2.Chain); err == nil {
+		t.Fatal("untrusted chains accepted")
+	}
+}
+
+func TestOverlayDecide(t *testing.T) {
+	domains := makeDomains(t, 1, false)
+	d := domains[0]
+	v := New("overlay")
+	alice := gridcert.MustParseName("/O=Org00/CN=Alice")
+
+	d.Local.Add(authz.Rule{
+		Effect:    authz.EffectPermit,
+		Resources: []string{"cluster:/*"},
+		Actions:   []string{"read", "job-submit"},
+	})
+	v.Policy.Add(authz.Rule{
+		Effect:    authz.EffectPermit,
+		Subjects:  []string{alice.String()},
+		Resources: []string{"cluster:/partition-vo/*"},
+		Actions:   []string{"job-submit"},
+	})
+
+	o := Overlay{Domain: d, VO: v}
+	// Both permit.
+	eff, local, comm := o.Decide(authz.Request{Subject: alice, Resource: "cluster:/partition-vo/n1", Action: "job-submit"})
+	if eff != authz.Permit || local != authz.Permit || comm != authz.Permit {
+		t.Fatalf("eff=%v local=%v vo=%v", eff, local, comm)
+	}
+	// VO does not cover: deny even though local permits.
+	eff, _, _ = o.Decide(authz.Request{Subject: alice, Resource: "cluster:/other/n1", Action: "job-submit"})
+	if eff != authz.Deny {
+		t.Fatalf("eff=%v for VO-uncovered resource", eff)
+	}
+	// Local does not cover: deny even though VO permits.
+	v.Policy.Add(authz.Rule{
+		Effect:    authz.EffectPermit,
+		Subjects:  []string{alice.String()},
+		Resources: []string{"tape:/archive"},
+		Actions:   []string{"read"},
+	})
+	eff, _, _ = o.Decide(authz.Request{Subject: alice, Resource: "tape:/archive", Action: "read"})
+	if eff != authz.Deny {
+		t.Fatalf("eff=%v for locally-uncovered resource", eff)
+	}
+}
+
+func TestFormationScaling(t *testing.T) {
+	// The E1 shape: GSI acts grow linearly with a community CA while
+	// Kerberos agreements grow quadratically.
+	for _, n := range []int{2, 4, 8} {
+		gsiDomains := makeDomains(t, n, false)
+		community, _ := ca.New(gridcert.MustParseName("/O=Community/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+		v := New("scale")
+		gsiCost, err := v.JoinGSIWithCommunityCA(community, gsiDomains...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		krbDomains := makeDomains(t, n, true)
+		krbCost, err := FormKerberos(krbDomains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gsiCost.UnilateralActs != n {
+			t.Fatalf("n=%d: GSI acts = %d", n, gsiCost.UnilateralActs)
+		}
+		if krbCost.BilateralAgreements != n*(n-1)/2 {
+			t.Fatalf("n=%d: Kerberos agreements = %d", n, krbCost.BilateralAgreements)
+		}
+		if n >= 4 && krbCost.BilateralAgreements <= gsiCost.UnilateralActs {
+			t.Fatalf("n=%d: expected Kerberos cost to dominate", n)
+		}
+	}
+}
+
+func BenchmarkVOFormationGSI8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		domains := makeDomains(b, 8, false)
+		community, _ := ca.New(gridcert.MustParseName("/O=Community/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+		v := New("bench")
+		b.StartTimer()
+		if _, err := v.JoinGSIWithCommunityCA(community, domains...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVOFormationKerberos8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		domains := makeDomains(b, 8, true)
+		b.StartTimer()
+		if _, err := FormKerberos(domains); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

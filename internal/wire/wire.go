@@ -1,0 +1,241 @@
+// Package wire provides the deterministic length-prefixed binary encoding
+// shared by the grid protocol messages (delegation, security-context
+// tokens, Kerberos messages). All integers are big-endian; variable-length
+// fields carry a uint32 length prefix.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxField caps any single length-prefixed field at 16 MiB.
+const MaxField = 1 << 24
+
+// ErrTruncated is returned when a decoder runs out of input.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Encoder accumulates a message.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) *Encoder { e.buf = append(e.buf, v); return e }
+
+// U16 appends a big-endian uint16.
+func (e *Encoder) U16(v uint16) *Encoder {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) *Encoder {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) *Encoder {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// I64 appends a big-endian int64.
+func (e *Encoder) I64(v int64) *Encoder { return e.U64(uint64(v)) }
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) *Encoder {
+	if v {
+		return e.U8(1)
+	}
+	return e.U8(0)
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(b []byte) *Encoder {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) *Encoder { return e.Bytes([]byte(s)) }
+
+// Finish returns the accumulated message.
+func (e *Encoder) Finish() []byte { return e.buf }
+
+// Decoder consumes a message.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first error encountered.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(ErrTruncated)
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (d *Decoder) U16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads a strict 0/1 byte.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(errors.New("wire: invalid boolean"))
+		return false
+	}
+}
+
+// Bytes reads a length-prefixed byte string (copied out of the input).
+func (d *Decoder) Bytes() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxField {
+		d.fail(fmt.Errorf("wire: field of %d bytes exceeds cap", n))
+		return nil
+	}
+	if !d.need(int(n)) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string { return string(d.Bytes()) }
+
+// Count validates a list length against a cap.
+func (d *Decoder) Count(what string, max int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		d.fail(fmt.Errorf("wire: %s count %d exceeds cap %d", what, n, max))
+		return 0
+	}
+	return int(n)
+}
+
+// Done reports an error unless the input was fully consumed.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// WriteFrame writes a length-prefixed frame to w. Frames carry protocol
+// tokens over stream transports.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxField {
+		return fmt.Errorf("wire: frame of %d bytes exceeds cap", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxField {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,274 @@
+// Package wssec implements the GT3 Web-services security protocols of the
+// paper (§4.4, §5.1): WS-SecureConversation (security-context
+// establishment whose tokens are the same GSS tokens GT2 frames over TCP,
+// here carried in SOAP envelopes), WS-Trust (a token-issuance service),
+// and WS-Policy (publication and intersection of service security
+// policy).
+package wssec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gridcrypto"
+	"repro/internal/gss"
+	"repro/internal/soap"
+)
+
+// SOAP actions of the WS-SecureConversation binding.
+const (
+	ActionRST  = "wssc/RequestSecurityToken"         // carries GSS token1
+	ActionRSTR = "wssc/RequestSecurityTokenResponse" // carries GSS token3
+)
+
+// SCTHeader carries the security-context-token identifier on secured
+// messages.
+const SCTHeader = "wssc:SecurityContextToken"
+
+// Transport is how envelopes reach the peer: an HTTP client call or an
+// in-memory pipe.
+type Transport func(*soap.Envelope) (*soap.Envelope, error)
+
+// Stats counts the messages and bytes of a context establishment, for
+// experiment E6.
+type Stats struct {
+	Messages int
+	Bytes    int
+}
+
+func (s *Stats) count(env *soap.Envelope) error {
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	s.Messages++
+	s.Bytes += len(data)
+	return nil
+}
+
+// Conversation is an established client-side secure conversation.
+type Conversation struct {
+	ContextID string
+	ctx       *gss.Context
+	transport Transport
+	stats     Stats
+}
+
+// EstablishConversation runs the WS-SecureConversation handshake against
+// a service endpoint. The GSS tokens are exactly those of the GT2
+// transport; only the carriage differs (SOAP request/response instead of
+// raw frames), which is the paper's §5.1 point.
+func EstablishConversation(cfg gss.Config, transport Transport) (*Conversation, error) {
+	init, err := gss.NewInitiator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := init.Start()
+	if err != nil {
+		return nil, err
+	}
+	conv := &Conversation{transport: transport}
+
+	req1 := soap.NewEnvelope(ActionRST, t1)
+	if err := conv.stats.count(req1); err != nil {
+		return nil, err
+	}
+	resp1, err := transport(req1)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: RST exchange: %w", err)
+	}
+	if err := conv.stats.count(resp1); err != nil {
+		return nil, err
+	}
+	sct, ok := resp1.Header(SCTHeader)
+	if !ok {
+		return nil, errors.New("wssec: RSTR missing security context token")
+	}
+	t3, ctx, err := init.Finish(resp1.Body)
+	if err != nil {
+		return nil, err
+	}
+	req2 := soap.NewEnvelope(ActionRSTR, t3)
+	req2.SetHeader(SCTHeader, sct.Content)
+	if err := conv.stats.count(req2); err != nil {
+		return nil, err
+	}
+	resp2, err := transport(req2)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: RSTR exchange: %w", err)
+	}
+	if err := conv.stats.count(resp2); err != nil {
+		return nil, err
+	}
+	if resp2.Fault != nil {
+		return nil, resp2.Fault
+	}
+	conv.ContextID = string(sct.Content)
+	conv.ctx = ctx
+	return conv, nil
+}
+
+// Stats returns establishment cost accounting.
+func (c *Conversation) Stats() Stats { return c.stats }
+
+// Context exposes the underlying GSS context.
+func (c *Conversation) Context() *gss.Context { return c.ctx }
+
+// Peer returns the authenticated service identity.
+func (c *Conversation) Peer() gss.Peer { return c.ctx.Peer() }
+
+// Call sends an application envelope through the secure conversation:
+// the body is wrapped (encrypted + integrity + ordering) under the
+// context, and the reply body unwrapped.
+func (c *Conversation) Call(env *soap.Envelope) (*soap.Envelope, error) {
+	wrapped, err := c.ctx.Wrap(env.Body)
+	if err != nil {
+		return nil, err
+	}
+	secured := *env
+	secured.Body = wrapped
+	secured.SetHeader(SCTHeader, []byte(c.ContextID))
+	reply, err := c.transport(&secured)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Fault != nil {
+		return reply, reply.Fault
+	}
+	plain, err := c.ctx.Unwrap(reply.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: unwrapping reply: %w", err)
+	}
+	out := *reply
+	out.Body = plain
+	return &out, nil
+}
+
+// ConversationManager is the service side: it answers the RST/RSTR
+// actions and unwraps secured application messages.
+type ConversationManager struct {
+	cfg gss.Config
+
+	mu       sync.Mutex
+	pending  map[string]*gss.Acceptor
+	sessions map[string]*serverSession
+}
+
+type serverSession struct {
+	ctx  *gss.Context
+	peer gss.Peer
+}
+
+// NewConversationManager creates a manager for a service credential.
+func NewConversationManager(cfg gss.Config) *ConversationManager {
+	return &ConversationManager{
+		cfg:      cfg,
+		pending:  make(map[string]*gss.Acceptor),
+		sessions: make(map[string]*serverSession),
+	}
+}
+
+// Register installs the WS-SecureConversation actions on a dispatcher.
+func (m *ConversationManager) Register(d *soap.Dispatcher) {
+	d.Handle(ActionRST, m.handleRST)
+	d.Handle(ActionRSTR, m.handleRSTR)
+}
+
+func (m *ConversationManager) handleRST(env *soap.Envelope) (*soap.Envelope, error) {
+	acc, err := gss.NewAcceptor(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := acc.Accept(env.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: accepting token1: %w", err)
+	}
+	idBytes, err := gridcrypto.RandomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("sct-%x", idBytes)
+	m.mu.Lock()
+	m.pending[id] = acc
+	m.mu.Unlock()
+	reply := env.Reply(t2)
+	reply.SetHeader(SCTHeader, []byte(id))
+	return reply, nil
+}
+
+func (m *ConversationManager) handleRSTR(env *soap.Envelope) (*soap.Envelope, error) {
+	sct, ok := env.Header(SCTHeader)
+	if !ok {
+		return nil, errors.New("wssec: RSTR missing context token")
+	}
+	id := string(sct.Content)
+	m.mu.Lock()
+	acc, ok := m.pending[id]
+	delete(m.pending, id)
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wssec: unknown pending context %q", id)
+	}
+	ctx, err := acc.Complete(env.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: completing context: %w", err)
+	}
+	m.mu.Lock()
+	m.sessions[id] = &serverSession{ctx: ctx, peer: ctx.Peer()}
+	m.mu.Unlock()
+	return env.Reply([]byte("established")), nil
+}
+
+// Sessions reports the number of live contexts.
+func (m *ConversationManager) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Expire drops sessions whose contexts have lapsed.
+func (m *ConversationManager) Expire() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, s := range m.sessions {
+		if s.ctx.Expired() {
+			delete(m.sessions, id)
+		}
+	}
+}
+
+// Secure wraps an application handler: incoming secured envelopes are
+// unwrapped and the authenticated peer passed to the handler; the reply
+// body is wrapped before returning. Envelopes without a context token are
+// rejected.
+func (m *ConversationManager) Secure(handler func(peer gss.Peer, env *soap.Envelope) (*soap.Envelope, error)) soap.Handler {
+	return func(env *soap.Envelope) (*soap.Envelope, error) {
+		sct, ok := env.Header(SCTHeader)
+		if !ok {
+			return nil, errors.New("wssec: message lacks security context token")
+		}
+		m.mu.Lock()
+		sess, ok := m.sessions[string(sct.Content)]
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("wssec: unknown security context %q", sct.Content)
+		}
+		plain, err := sess.ctx.Unwrap(env.Body)
+		if err != nil {
+			return nil, fmt.Errorf("wssec: unwrap: %w", err)
+		}
+		inner := *env
+		inner.Body = plain
+		reply, err := handler(sess.peer, &inner)
+		if err != nil {
+			return nil, err
+		}
+		wrapped, err := sess.ctx.Wrap(reply.Body)
+		if err != nil {
+			return nil, err
+		}
+		reply.Body = wrapped
+		return reply, nil
+	}
+}

@@ -1,0 +1,114 @@
+package wssec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gridcert"
+	"repro/internal/soap"
+	"repro/internal/wire"
+	"repro/internal/xmlsec"
+)
+
+// ActionIssue is the WS-Trust token-issuance action.
+const ActionIssue = "wstrust/Issue"
+
+// TokenRequest is a WS-Trust RequestSecurityToken: the requester asks an
+// STS to issue a token of a given type. The request envelope must be
+// signed (stateless XML-Signature authentication), so the STS knows who
+// is asking without a prior context.
+type TokenRequest struct {
+	// TokenType selects the issuer, e.g. "cas:assertion" or
+	// "kca:certificate".
+	TokenType string
+	// Claims is the issuer-specific request payload.
+	Claims []byte
+}
+
+// Encode serialises the request for an envelope body.
+func (r TokenRequest) Encode() []byte {
+	return wire.NewEncoder().Str(r.TokenType).Bytes(r.Claims).Finish()
+}
+
+// DecodeTokenRequest parses a request body.
+func DecodeTokenRequest(b []byte) (TokenRequest, error) {
+	d := wire.NewDecoder(b)
+	r := TokenRequest{TokenType: d.Str(), Claims: d.Bytes()}
+	if err := d.Done(); err != nil {
+		return TokenRequest{}, err
+	}
+	return r, nil
+}
+
+// Issuer produces tokens of one type for authenticated requesters.
+type Issuer func(requester *gridcert.ChainInfo, claims []byte) ([]byte, error)
+
+// STS is a WS-Trust security token service: the OGSA face of the
+// credential-issuance and conversion services of §4.1.
+type STS struct {
+	trust *gridcert.TrustStore
+
+	mu      sync.RWMutex
+	issuers map[string]Issuer
+}
+
+// NewSTS creates a token service that authenticates requesters against
+// the given trust store.
+func NewSTS(trust *gridcert.TrustStore) *STS {
+	return &STS{trust: trust, issuers: make(map[string]Issuer)}
+}
+
+// RegisterIssuer installs the issuer for a token type.
+func (s *STS) RegisterIssuer(tokenType string, issuer Issuer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.issuers[tokenType] = issuer
+}
+
+// Register installs the issue action on a dispatcher.
+func (s *STS) Register(d *soap.Dispatcher) {
+	d.Handle(ActionIssue, s.handleIssue)
+}
+
+func (s *STS) handleIssue(env *soap.Envelope) (*soap.Envelope, error) {
+	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{TrustStore: s.trust})
+	if err != nil {
+		return nil, fmt.Errorf("wssec: STS authentication: %w", err)
+	}
+	req, err := DecodeTokenRequest(env.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: bad token request: %w", err)
+	}
+	s.mu.RLock()
+	issuer, ok := s.issuers[req.TokenType]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wssec: no issuer for token type %q", req.TokenType)
+	}
+	token, err := issuer(info, req.Claims)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: issuing %q: %w", req.TokenType, err)
+	}
+	return env.Reply(token), nil
+}
+
+// RequestToken is the client side: sign a token request with cred and
+// send it via transport, returning the issued token.
+func RequestToken(transport Transport, cred *gridcert.Credential, tokenType string, claims []byte) ([]byte, error) {
+	env := soap.NewEnvelope(ActionIssue, TokenRequest{TokenType: tokenType, Claims: claims}.Encode())
+	if err := xmlsec.SignEnvelope(env, cred); err != nil {
+		return nil, err
+	}
+	reply, err := transport(env)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Fault != nil {
+		return nil, reply.Fault
+	}
+	if len(reply.Body) == 0 {
+		return nil, errors.New("wssec: empty token response")
+	}
+	return reply.Body, nil
+}

@@ -1,0 +1,228 @@
+// Package gsi is the public API of this Grid Security Infrastructure
+// reproduction ("Security for Grid Services", Welch et al., HPDC 2003).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - PKI: certificate authorities, trust stores, proxy certificates and
+//     delegation (GT2 §3);
+//   - security contexts: GSS-style mutual authentication and message
+//     protection, over raw sockets (GT2) or SOAP (GT3);
+//   - community authorization: CAS servers, assertions, and resource-side
+//     enforcement (Figure 2);
+//   - the GT3 service stack: hosting environments with security handler
+//     pipelines, published security policy, WS-SecureConversation and
+//     per-message signatures, and the OGSA security services (Figures 3);
+//   - GRAM: least-privilege remote job management (Figure 4).
+//
+// The quickstart example (examples/quickstart) shows the typical flow:
+// create a CA, issue a user, make a proxy, authenticate mutually, and
+// delegate.
+package gsi
+
+import (
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/ca"
+	"repro/internal/cas"
+	"repro/internal/core"
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/gsitransport"
+	"repro/internal/gss"
+	"repro/internal/myproxy"
+	"repro/internal/ogsa"
+	"repro/internal/proxy"
+	"repro/internal/soap"
+	"repro/internal/wssec"
+)
+
+// PKI types.
+type (
+	// Name is an X.500-style distinguished name.
+	Name = gridcert.Name
+	// Certificate is a grid certificate (identity, CA, or proxy).
+	Certificate = gridcert.Certificate
+	// Credential is a certificate chain plus the leaf private key.
+	Credential = gridcert.Credential
+	// TrustStore holds trusted CA roots and CRLs.
+	TrustStore = gridcert.TrustStore
+	// ChainInfo is the result of validating a chain.
+	ChainInfo = gridcert.ChainInfo
+	// VerifyOptions tunes chain validation.
+	VerifyOptions = gridcert.VerifyOptions
+	// CA is a certificate authority.
+	CA = ca.Authority
+	// ProxyOptions tunes proxy creation and delegation.
+	ProxyOptions = proxy.Options
+)
+
+// Security context types.
+type (
+	// Context is an established GSS security context.
+	Context = gss.Context
+	// ContextConfig parameterises context establishment.
+	ContextConfig = gss.Config
+	// Peer is the authenticated remote party.
+	Peer = gss.Peer
+	// Conn is a GT2-style secured transport connection.
+	Conn = gsitransport.Conn
+)
+
+// Authorization and CAS types.
+type (
+	// Policy is an ordered rule set.
+	Policy = authz.Policy
+	// Rule is one policy statement.
+	Rule = authz.Rule
+	// Request is an access-control question.
+	Request = authz.Request
+	// Decision is permit/deny/not-applicable.
+	Decision = authz.Decision
+	// GridMap maps grid identities to local accounts.
+	GridMap = authz.GridMap
+	// CASServer is a community authorization server.
+	CASServer = cas.Server
+	// CASAssertion is a signed VO policy statement.
+	CASAssertion = cas.Assertion
+	// CASEnforcer applies local ∩ VO policy at a resource.
+	CASEnforcer = cas.Enforcer
+)
+
+// GT3 service types.
+type (
+	// Container is an OGSA hosting environment.
+	Container = ogsa.Container
+	// Service is a Grid service.
+	Service = ogsa.Service
+	// Call is an authenticated, authorized invocation.
+	Call = ogsa.Call
+	// ServiceClient invokes container services (signed or stateful).
+	ServiceClient = ogsa.Client
+	// Requestor automates the Figure-3 secured-request pipeline.
+	Requestor = core.Requestor
+	// Stack is a hosting environment with the standard security services.
+	Stack = core.Stack
+	// Bootstrap is a single-CA demo/test environment.
+	Bootstrap = core.Bootstrap
+	// PolicyDocument is a published WS-Policy security policy.
+	PolicyDocument = wssec.PolicyDocument
+	// Envelope is a SOAP message.
+	Envelope = soap.Envelope
+	// MyProxy is an online credential repository.
+	MyProxy = myproxy.Server
+)
+
+// Decision and effect constants.
+const (
+	Permit        = authz.Permit
+	Deny          = authz.Deny
+	NotApplicable = authz.NotApplicable
+	EffectPermit  = authz.EffectPermit
+	EffectDeny    = authz.EffectDeny
+)
+
+// Proxy variants.
+const (
+	ProxyImpersonation = gridcert.ProxyImpersonation
+	ProxyLimited       = gridcert.ProxyLimited
+	ProxyRestricted    = gridcert.ProxyRestricted
+)
+
+// ParseName parses "/O=Grid/CN=Alice" style distinguished names.
+func ParseName(s string) (Name, error) { return gridcert.ParseName(s) }
+
+// MustParseName is ParseName that panics on error.
+func MustParseName(s string) Name { return gridcert.MustParseName(s) }
+
+// NewCA creates a certificate authority with a self-signed root.
+func NewCA(subject string, lifetime time.Duration) (*CA, error) {
+	n, err := gridcert.ParseName(subject)
+	if err != nil {
+		return nil, err
+	}
+	return ca.New(n, lifetime, ca.DefaultPolicy())
+}
+
+// NewTrustStore creates an empty trust store.
+func NewTrustStore() *TrustStore { return gridcert.NewTrustStore() }
+
+// NewProxy creates a proxy credential below signer (grid-proxy-init).
+func NewProxy(signer *Credential, opts ProxyOptions) (*Credential, error) {
+	return proxy.New(signer, opts)
+}
+
+// EstablishContext runs an in-memory mutual authentication and returns
+// both sides' contexts.
+func EstablishContext(initiator, acceptor ContextConfig) (*Context, *Context, error) {
+	return gss.Establish(initiator, acceptor)
+}
+
+// DialGSI connects to a GT2-style secured TCP endpoint.
+func DialGSI(addr string, cfg ContextConfig) (*Conn, error) {
+	return gsitransport.Dial(addr, cfg)
+}
+
+// NewPolicy creates a deny-overrides policy.
+func NewPolicy(rules ...Rule) *Policy {
+	return authz.NewPolicy(authz.DenyOverrides).Add(rules...)
+}
+
+// NewGridMap creates an empty grid-mapfile.
+func NewGridMap() *GridMap { return authz.NewGridMap() }
+
+// NewCASServer creates a community authorization server for a VO
+// credential.
+func NewCASServer(voCred *Credential) *CASServer { return cas.NewServer(voCred) }
+
+// NewCASEnforcer creates the resource-side CAS policy combiner.
+func NewCASEnforcer(trust *TrustStore, local *Policy) *CASEnforcer {
+	return cas.NewEnforcer(trust, local)
+}
+
+// EmbedAssertion wraps a CAS assertion into a restricted proxy.
+func EmbedAssertion(member *Credential, a *CASAssertion) (*Credential, error) {
+	return cas.EmbedInProxy(member, a)
+}
+
+// NewBootstrap builds a complete single-CA environment: CA, trust store,
+// host credential, and a security stack.
+func NewBootstrap(caName, hostName string, authorizer authz.Engine) (*Bootstrap, error) {
+	return core.NewBootstrap(caName, hostName, authorizer)
+}
+
+// NewMyProxy creates an online credential repository.
+func NewMyProxy() *MyProxy { return myproxy.NewServer() }
+
+// PipeTransport wires a Requestor or ServiceClient directly to a
+// container in-process.
+func PipeTransport(c *Container) func(*Envelope) (*Envelope, error) {
+	return soap.Pipe(c.Dispatcher())
+}
+
+// ServeHTTP binds a container's dispatcher to an HTTP endpoint and
+// returns its URL and a shutdown function.
+func ServeHTTP(c *Container, addr string) (url string, shutdown func() error, err error) {
+	srv, err := soap.NewServer(addr, c.Dispatcher())
+	if err != nil {
+		return "", nil, err
+	}
+	return srv.URL(), srv.Close, nil
+}
+
+// HTTPTransport returns a transport calling a remote SOAP endpoint.
+func HTTPTransport(endpoint string) func(*Envelope) (*Envelope, error) {
+	client := &soap.Client{Endpoint: endpoint}
+	return client.Call
+}
+
+// GenerateKey creates a fresh Ed25519 key pair (for CSR-style issuance).
+func GenerateKey() (*gridcrypto.KeyPair, error) {
+	return gridcrypto.GenerateKeyPair(gridcrypto.AlgEd25519)
+}
+
+// EncodeChain serialises a certificate chain, leaf first.
+func EncodeChain(chain []*Certificate) []byte { return gridcert.EncodeChain(chain) }
+
+// DecodeChain reverses EncodeChain.
+func DecodeChain(b []byte) ([]*Certificate, error) { return gridcert.DecodeChain(b) }
