@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench fmt
+
+## ci: the tier-1 gate — format check, vet, build, test.
+ci: fmt-check vet build test
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## bench: regenerate the paper's measurements.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## fmt: rewrite files in place.
+fmt:
+	gofmt -w .

@@ -1,23 +1,22 @@
 // Command casctl demonstrates the Community Authorization Service flow
-// of the paper's Figure 2: a VO enrolls members and policy, a member
-// obtains a signed assertion, embeds it in a restricted proxy, and a
+// of the paper's Figure 2 on the handle-based gsi API: a VO enrolls
+// members and policy, a member's Client requests a signed assertion
+// under a context.Context, embeds it in a restricted proxy, and a
 // resource enforces the intersection of VO and local policy.
 //
 // Usage:
 //
-//	casctl [-member DN] [-resource R] [-action A]
+//	casctl [-member DN] [-resource R] [-action A] [-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/authz"
-	"repro/internal/ca"
-	"repro/internal/cas"
-	"repro/internal/gridcert"
+	"repro/pkg/gsi"
 )
 
 func main() {
@@ -25,39 +24,47 @@ func main() {
 	member := flag.String("member", "/O=Grid/CN=Alice", "member DN")
 	resource := flag.String("resource", "data:/climate/run1", "resource to access")
 	action := flag.String("action", "read", "action to attempt")
+	timeout := flag.Duration("timeout", 10*time.Second, "deadline for the assertion request")
 	flag.Parse()
 
-	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	authority, err := gsi.NewCA("/O=Grid/CN=CA", 24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gridcert.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+	if err != nil {
 		log.Fatal(err)
 	}
-	memberDN := gridcert.MustParseName(*member)
+	memberDN := gsi.MustParseName(*member)
 	memberCred, err := authority.NewEntity(memberDN, 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	voCred, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=ClimateVO CAS"), 12*time.Hour)
+	voCred, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=ClimateVO CAS"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	server := cas.NewServer(voCred)
+	server := gsi.NewCASServer(voCred)
 	server.AddMember(memberDN, "researchers")
-	server.AddPolicy(authz.Rule{
+	server.AddPolicy(gsi.Rule{
 		ID:        "vo-read-climate",
-		Effect:    authz.EffectPermit,
+		Effect:    gsi.EffectPermit,
 		Groups:    []string{"researchers"},
 		Resources: []string{"data:/climate/*"},
 		Actions:   []string{"read"},
 	})
 	fmt.Printf("VO %s: 1 member, %d policy rule(s)\n", server.VO(), server.PolicySize())
 
-	// Step 1: member obtains a signed assertion.
-	assertion, err := server.IssueAssertion(memberDN)
+	// Step 1: the member's Client obtains a signed assertion.
+	client, err := env.NewClient(memberCred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assertion, err := client.RequestAssertion(ctx, server)
 	if err != nil {
 		log.Fatalf("step 1 (issue): %v", err)
 	}
@@ -65,23 +72,23 @@ func main() {
 		assertion.Subject, len(assertion.Rules), assertion.ExpiresAt.Format(time.RFC3339))
 
 	// Step 2: embed in a restricted proxy.
-	proxyCred, err := cas.EmbedInProxy(memberCred, assertion)
+	proxyCred, err := client.EmbedAssertion(assertion)
 	if err != nil {
 		log.Fatalf("step 2 (embed): %v", err)
 	}
 	fmt.Printf("step 2: restricted proxy %s\n", proxyCred.Leaf().Subject)
 
-	// Step 3: resource enforcement (local ∩ VO).
-	local := authz.NewPolicy(authz.DenyOverrides).Add(authz.Rule{
+	// Step 3: resource enforcement (local ∩ VO), under the same context.
+	local := gsi.NewPolicy(gsi.Rule{
 		ID:        "local-allow-all-data",
-		Effect:    authz.EffectPermit,
+		Effect:    gsi.EffectPermit,
 		Subjects:  []string{"*"},
 		Resources: []string{"data:/*"},
 		Actions:   []string{"read", "write"},
 	})
-	enforcer := cas.NewEnforcer(trust, local)
+	enforcer := gsi.NewCASEnforcer(env.Trust(), local)
 	enforcer.TrustVO(server.Certificate())
-	res, err := enforcer.Authorize(proxyCred.Chain, *resource, *action, time.Time{})
+	res, err := enforcer.AuthorizeContext(ctx, proxyCred.Chain, *resource, *action, time.Time{})
 	if err != nil {
 		log.Fatalf("step 3 (enforce): %v", err)
 	}

@@ -18,7 +18,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/gridcert"
+	"repro/pkg/gsi"
 )
 
 func main() {
@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("certinfo: base64: %v", err)
 	}
-	cert, err := gridcert.Decode(raw)
+	cert, err := gsi.DecodeCertificate(raw)
 	if err != nil {
 		log.Fatalf("certinfo: decode: %v", err)
 	}

@@ -1,6 +1,8 @@
 // Command gramsim runs the GT3 GRAM job-initiation simulation of the
-// paper's Figure 4 and prints the least-privilege comparison of §5.2
-// (experiments E4 and E5).
+// paper's Figure 4 — through the handle-based gsi API, context-first —
+// and prints the least-privilege comparison of §5.2 (experiments E4 and
+// E5; the GT2 baseline of E5 drives the internal gatekeeper simulation
+// the new API deliberately does not expose).
 //
 // Usage:
 //
@@ -8,16 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/authz"
-	"repro/internal/ca"
 	"repro/internal/gram"
-	"repro/internal/gridcert"
-	"repro/internal/proxy"
+	"repro/pkg/gsi"
 )
 
 func main() {
@@ -37,56 +37,70 @@ func main() {
 }
 
 type world struct {
-	trust *gridcert.TrustStore
-	alice *gridcert.Credential
-	host  *gridcert.Credential
-	gm    *authz.GridMap
+	env   *gsi.Environment
+	alice *gsi.Credential
+	host  *gsi.Credential
+	gm    *gsi.GridMap
 }
 
 func newWorld() world {
-	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	authority, err := gsi.NewCA("/O=Grid/CN=CA", 24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gridcert.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
-		log.Fatal(err)
-	}
-	alice, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=cluster.example.org"), 12*time.Hour)
+	alice, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gm := authz.NewGridMap()
+	host, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=cluster.example.org"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gm := gsi.NewGridMap()
 	gm.Add(alice.Identity(), "alice")
-	return world{trust: trust, alice: alice, host: host, gm: gm}
+	return world{env: env, alice: alice, host: host, gm: gm}
+}
+
+// proxyClient builds a Client for a fresh proxy below w.alice.
+func (w world) proxyClient() *gsi.Client {
+	aliceClient, err := w.env.NewClient(w.alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := aliceClient.Proxy(gsi.ProxyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := w.env.NewClient(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return client
 }
 
 func runE4(jobs int) {
+	ctx := context.Background()
 	w := newWorld()
-	res, err := gram.NewResource(w.host, w.trust, w.gm)
+	res, err := gsi.NewJobResource(w.host, w.env.Trust(), w.gm)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := res.CreateAccount("alice"); err != nil {
 		log.Fatal(err)
 	}
-	p, err := proxy.New(w.alice, proxy.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	client := &gram.Client{Credential: p, Trust: w.trust, Resource: res}
-	desc := gram.JobDescription{Executable: gram.JobProgram, Queue: "debug", DelegateCredential: true}
+	client := w.proxyClient()
+	desc := gsi.JobDescription{Executable: gsi.JobProgram, Queue: "debug", DelegateCredential: true}
 
 	fmt.Println("E4: GT3 GRAM job initiation (Figure 4)")
 	fmt.Printf("%-6s %-10s %-12s %s\n", "job", "path", "latency", "state")
 	for i := 0; i < jobs; i++ {
 		before := res.Stats()
 		start := time.Now()
-		mjs, err := client.SubmitAndRun(desc)
+		mjs, err := client.SubmitJob(ctx, res, desc)
 		if err != nil {
 			log.Fatalf("job %d: %v", i, err)
 		}
@@ -106,34 +120,34 @@ func runE4(jobs int) {
 }
 
 func runE5(jobs int) {
+	ctx := context.Background()
 	w := newWorld()
 	fmt.Printf("E5: least-privilege comparison over %d jobs (§5.2)\n\n", jobs)
 
-	// GT3.
-	res3, err := gram.NewResource(w.host, w.trust, w.gm)
+	// GT3, through the public handle API.
+	res3, err := gsi.NewJobResource(w.host, w.env.Trust(), w.gm)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res3.CreateAccount("alice")
-	p, _ := proxy.New(w.alice, proxy.Options{})
-	client := &gram.Client{Credential: p, Trust: w.trust, Resource: res3}
+	client := w.proxyClient()
 	for i := 0; i < jobs; i++ {
-		if _, err := client.SubmitAndRun(gram.JobDescription{Executable: gram.JobProgram, DelegateCredential: true}); err != nil {
+		if _, err := client.SubmitJob(ctx, res3, gsi.JobDescription{Executable: gsi.JobProgram, DelegateCredential: true}); err != nil {
 			log.Fatal(err)
 		}
 	}
 	snap3 := res3.Sys.Audit()
 
-	// GT2.
+	// GT2 baseline: the privileged gatekeeper, simulated internally.
 	w2 := newWorld()
-	res2, err := gram.NewGT2Resource(w2.host, w2.trust, w2.gm)
+	res2, err := gram.NewGT2Resource(w2.host, w2.env.Trust(), w2.gm)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res2.CreateAccount("alice")
-	p2, _ := proxy.New(w2.alice, proxy.Options{})
+	client2 := w2.proxyClient()
 	for i := 0; i < jobs; i++ {
-		if _, err := gram.SubmitSigned(res2, p2, gram.JobDescription{Executable: gram.JobProgram}); err != nil {
+		if _, err := gram.SubmitSigned(res2, client2.Credential(), gsi.JobDescription{Executable: gsi.JobProgram}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,8 +1,10 @@
-// Command gridca demonstrates the grid certificate authority: it creates
-// a CA, issues user and host certificates, revokes one, and prints the
-// resulting PKI state. All state is in-memory (this repository's keys
-// are deliberately not persistable); the tool exists to show the
-// issuance and revocation flows end to end.
+// Command gridca demonstrates the grid certificate authority through
+// the public gsi API: it creates a CA, issues user and host
+// certificates, revokes one, and prints the resulting PKI state. All
+// state is in-memory (this repository's keys are deliberately not
+// persistable); the tool exists to show the issuance and revocation
+// flows end to end — including the typed gsi.ErrUntrustedIssuer a
+// relying party sees for a revoked certificate.
 //
 // Usage:
 //
@@ -11,14 +13,15 @@ package main
 
 import (
 	"encoding/base64"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"time"
 
-	"repro/internal/ca"
 	"repro/internal/gridcert"
+	"repro/pkg/gsi"
 )
 
 func main() {
@@ -29,11 +32,7 @@ func main() {
 	revokeFirst := flag.Bool("revoke-first", false, "revoke the first issued user and publish a CRL")
 	flag.Parse()
 
-	subject, err := gridcert.ParseName(*caName)
-	if err != nil {
-		log.Fatalf("bad CA name: %v", err)
-	}
-	authority, err := ca.New(subject, 365*24*time.Hour, ca.DefaultPolicy())
+	authority, err := gsi.NewCA(*caName, 365*24*time.Hour)
 	if err != nil {
 		log.Fatalf("creating CA: %v", err)
 	}
@@ -41,9 +40,9 @@ func main() {
 	fp := authority.Certificate().Fingerprint()
 	fmt.Printf("  fingerprint: %x\n", fp[:8])
 
-	var issued []*gridcert.Credential
+	var issued []*gsi.Credential
 	for _, u := range strings.Split(*users, ",") {
-		dn, err := gridcert.ParseName(strings.TrimSpace(u))
+		dn, err := gsi.ParseName(strings.TrimSpace(u))
 		if err != nil {
 			log.Fatalf("bad user DN %q: %v", u, err)
 		}
@@ -54,7 +53,7 @@ func main() {
 		issued = append(issued, cred)
 		fmt.Printf("issued user:  %s\n", cred.Leaf())
 	}
-	hostDN, err := gridcert.ParseName(*host)
+	hostDN, err := gsi.ParseName(*host)
 	if err != nil {
 		log.Fatalf("bad host DN: %v", err)
 	}
@@ -77,16 +76,18 @@ func main() {
 		}
 		fmt.Printf("revoked serial %d; CRL #%d lists %d serial(s)\n", serial, crl.Number, len(crl.Serials))
 
-		// Demonstrate the effect on a relying party.
-		trust := gridcert.NewTrustStore()
-		if err := trust.AddRoot(authority.Certificate()); err != nil {
+		// Demonstrate the effect on a relying party: an Environment with
+		// the CRL installed refuses the chain with a typed error.
+		env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := trust.AddCRL(crl); err != nil {
+		if err := env.Trust().AddCRL(crl); err != nil {
 			log.Fatal(err)
 		}
-		_, err = trust.Verify(issued[0].Chain, gridcert.VerifyOptions{})
-		fmt.Printf("verification of revoked cert: %v\n", err)
+		_, err = env.Trust().Verify(issued[0].Chain, gsi.VerifyOptions{})
+		fmt.Printf("verification of revoked cert: %v (revoked=%v)\n",
+			err, errors.Is(err, gridcert.ErrRevoked))
 	}
 
 	st := authority.Stats()

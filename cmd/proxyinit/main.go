@@ -1,8 +1,8 @@
 // Command proxyinit is the analog of grid-proxy-init: it creates a proxy
-// certificate below a user credential and validates the resulting chain.
-// It bootstraps a demo CA and user in memory, then shows the proxy's
-// properties (variant, lifetime, delegation depth) and the validation
-// result.
+// certificate below a user credential and validates the resulting chain,
+// driving the handle-based gsi API (Environment + Client). It bootstraps
+// a demo CA and user in memory, then shows the proxy's properties
+// (variant, lifetime, delegation depth) and the validation result.
 //
 // Usage:
 //
@@ -15,9 +15,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/ca"
-	"repro/internal/gridcert"
-	"repro/internal/proxy"
+	"repro/pkg/gsi"
 )
 
 func main() {
@@ -28,16 +26,19 @@ func main() {
 	depth := flag.Int("depth", 1, "delegation chain depth to create")
 	noDelegate := flag.Bool("no-delegate", false, "forbid further delegation below the first proxy")
 	flag.Parse()
+	if *depth < 1 {
+		log.Fatal("proxyinit: -depth must be at least 1")
+	}
 
-	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=Demo CA"), 365*24*time.Hour, ca.DefaultPolicy())
+	authority, err := gsi.NewCA("/O=Grid/CN=Demo CA", 365*24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gridcert.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+	if err != nil {
 		log.Fatal(err)
 	}
-	dn, err := gridcert.ParseName(*subject)
+	dn, err := gsi.ParseName(*subject)
 	if err != nil {
 		log.Fatalf("bad subject: %v", err)
 	}
@@ -47,9 +48,9 @@ func main() {
 	}
 	fmt.Printf("user credential: %s\n", user.Leaf())
 
-	opts := proxy.Options{Lifetime: time.Duration(*hours) * time.Hour}
+	opts := gsi.ProxyOptions{Lifetime: time.Duration(*hours) * time.Hour}
 	if *limited {
-		opts.Variant = gridcert.ProxyLimited
+		opts.Variant = gsi.ProxyLimited
 	}
 	if *noDelegate {
 		opts.NoFurtherDelegation = true
@@ -57,12 +58,16 @@ func main() {
 	cur := user
 	start := time.Now()
 	for i := 0; i < *depth; i++ {
-		next, err := proxy.New(cur, opts)
+		client, err := env.NewClient(cur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next, err := client.Proxy(opts)
 		if err != nil {
 			log.Fatalf("creating proxy %d: %v", i+1, err)
 		}
 		cur = next
-		opts = proxy.Options{Lifetime: time.Duration(*hours) * time.Hour}
+		opts = gsi.ProxyOptions{Lifetime: time.Duration(*hours) * time.Hour}
 	}
 	elapsed := time.Since(start)
 
@@ -73,7 +78,7 @@ func main() {
 	fmt.Printf("chain length:   %d certificates\n", len(cur.Chain))
 	fmt.Printf("created in:     %v\n", elapsed)
 
-	info, err := trust.Verify(cur.Chain, gridcert.VerifyOptions{})
+	info, err := env.Trust().Verify(cur.Chain, gsi.VerifyOptions{})
 	if err != nil {
 		log.Fatalf("chain does not validate: %v", err)
 	}

@@ -3,7 +3,8 @@
 // the source server to push a dataset to the destination server, with
 // the source authenticating to the destination *as Alice* using a
 // credential she delegated. Her long-term key never leaves her machine;
-// the data never passes through her.
+// the data never passes through her. The PKI world is assembled through
+// the handle-based gsi API.
 //
 //	go run ./examples/datamovement
 package main
@@ -14,32 +15,30 @@ import (
 	"time"
 
 	"repro/internal/authz"
-	"repro/internal/ca"
-	"repro/internal/gridcert"
 	"repro/internal/gridftp"
-	"repro/internal/proxy"
+	"repro/pkg/gsi"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	authority, err := gsi.NewCA("/O=Grid/CN=CA", 24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gridcert.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
-		log.Fatal(err)
-	}
-	alice, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	srcHost, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host storage-a"), 12*time.Hour)
+	alice, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dstHost, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host storage-b"), 12*time.Hour)
+	srcHost, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=host storage-a"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dstHost, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=host storage-b"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,6 +51,7 @@ func main() {
 			Actions:  []string{"read", "write", "delete", "list"},
 		},
 	)
+	trust := env.Trust()
 	src, err := gridftp.NewServer("127.0.0.1:0", gridftp.NewStore(policy), srcHost, trust)
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +66,11 @@ func main() {
 
 	// Alice uploads a dataset to the source with her proxy (single
 	// sign-on over a mutually authenticated, encrypted channel).
-	aliceProxy, err := proxy.New(alice, proxy.Options{Lifetime: time.Hour})
+	aliceClient, err := env.NewClient(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aliceProxy, err := aliceClient.Proxy(gsi.ProxyOptions{Lifetime: time.Hour})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,50 +1,53 @@
-// GRAM job submission: the complete Figure-4 flow — a requestor signs a
-// job description, the Proxy Router and MMJFS route and verify it, the
-// Setuid Starter and GRIM bring up a per-user LMJFS with a host-derived
-// credential, an MJS is created, and the requestor mutually authenticates
-// with it, delegates a credential, and runs the job. The simulated OS
-// shows that no privileged network service was involved.
+// GRAM job submission: the complete Figure-4 flow through the
+// handle-based API — a requestor signs a job description, the Proxy
+// Router and MMJFS route and verify it, the Setuid Starter and GRIM
+// bring up a per-user LMJFS with a host-derived credential, an MJS is
+// created, and the requestor mutually authenticates with it, delegates
+// a credential, and runs the job — all under a context.Context with a
+// deadline. The simulated OS shows that no privileged network service
+// was involved.
 //
 //	go run ./examples/gramjob
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/authz"
-	"repro/internal/ca"
-	"repro/internal/gram"
-	"repro/internal/gridcert"
-	"repro/internal/proxy"
+	"repro/pkg/gsi"
 )
 
 func main() {
 	log.SetFlags(0)
+	// The whole submission flow runs under one deadline: cancellation
+	// aborts between the submit, connect, delegate, and start steps.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
 	// Grid PKI and the resource's host credential.
-	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	authority, err := gsi.NewCA("/O=Grid/CN=CA", 24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gridcert.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
-		log.Fatal(err)
-	}
-	alice, err := authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=cluster.example.org"), 12*time.Hour)
+	alice, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=cluster.example.org"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The resource: grid-mapfile maps Alice to local account "alice".
-	gm := authz.NewGridMap()
+	gm := gsi.NewGridMap()
 	gm.Add(alice.Identity(), "alice")
-	resource, err := gram.NewResource(host, trust, gm)
+	resource, err := gsi.NewJobResource(host, env.Trust(), gm)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,15 +57,22 @@ func main() {
 	fmt.Println("resource booted:", resource.HostIdentity())
 	fmt.Println("initial privilege posture:", resource.Sys.Audit())
 
-	// Step 1: Alice creates a proxy (single sign-on) and signs a job
-	// description with it.
-	aliceProxy, err := proxy.New(alice, proxy.Options{Lifetime: 12 * time.Hour})
+	// Step 1: Alice creates a proxy (single sign-on); her proxy Client
+	// signs job descriptions with it.
+	aliceClient, err := env.NewClient(alice)
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := &gram.Client{Credential: aliceProxy, Trust: trust, Resource: resource}
-	desc := gram.JobDescription{
-		Executable:         gram.JobProgram,
+	aliceProxy, err := aliceClient.Proxy(gsi.ProxyOptions{Lifetime: 12 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := env.NewClient(aliceProxy, gsi.WithDelegation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	desc := gsi.JobDescription{
+		Executable:         gsi.JobProgram,
 		Args:               []string{"--steps", "1000"},
 		Directory:          "/home/alice",
 		Stdout:             "/home/alice/run.out",
@@ -70,47 +80,23 @@ func main() {
 		DelegateCredential: true,
 	}
 
-	// Steps 2–6: submit. The router finds no LMJFS for alice, so the
-	// MMJFS verifies the request, the Setuid Starter creates the LMJFS,
-	// and GRIM mints its credential.
+	// Steps 2–7 (cold): SubmitJob signs and submits the description; the
+	// router finds no LMJFS for alice, so the MMJFS verifies the request,
+	// the Setuid Starter creates the LMJFS, GRIM mints its credential,
+	// and the client connects, delegates, and starts the job.
 	start := time.Now()
-	handle, err := client.Submit(desc)
+	mjs, err := client.SubmitJob(ctx, resource, desc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("steps 2-6 (cold): MJS %s created in account %q (%v)\n",
-		handle.MJSHandle, handle.Account, time.Since(start).Round(time.Microsecond))
-
-	// Watch the job through its service data element.
-	mjs, _ := resource.LookupMJS(handle.MJSHandle)
-	updates := mjs.Data.Subscribe("jobState")
-	done := make(chan struct{})
-	go func() {
-		for ev := range updates {
-			fmt.Printf("  jobState -> %s\n", ev.Value)
-			if string(ev.Value) == "Done" || string(ev.Value) == "Failed" {
-				close(done)
-				return
-			}
-		}
-	}()
-
-	// Step 7: connect, mutually authenticate, verify the GRIM credential,
-	// delegate, and start.
-	if _, err := client.Run(handle); err != nil {
-		log.Fatal(err)
-	}
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		log.Fatal("timed out waiting for job completion")
-	}
-	fmt.Printf("step 7: job complete; delegated identity on the MJS: %s\n",
-		mjs.DelegatedCredential().Identity())
+	fmt.Printf("steps 2-7 (cold): MJS %s created in account %q (%v)\n",
+		mjs.Handle(), mjs.Job().Account, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("job finished in state %s; delegated identity on the MJS: %s\n",
+		mjs.Job().State(), mjs.DelegatedCredential().Identity())
 
 	// A second submission from the same user takes the warm path.
 	start = time.Now()
-	if _, err := client.SubmitAndRun(desc); err != nil {
+	if _, err := client.SubmitJob(ctx, resource, desc); err != nil {
 		log.Fatal(err)
 	}
 	st := resource.Stats()

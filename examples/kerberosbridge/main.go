@@ -2,26 +2,28 @@
 // joins the grid without replacing it (§3, "multiple security
 // mechanisms"). Alice logs in with her Kerberos password, the KCA
 // converts her ticket into a short-lived grid certificate, and she
-// authenticates to a grid service with it; the reverse PKINIT gateway
-// turns a grid credential back into Kerberos tickets for local services.
+// authenticates to a grid service with it through the handle-based gsi
+// API; the reverse PKINIT gateway turns a grid credential back into
+// Kerberos tickets for local services.
 //
 //	go run ./examples/kerberosbridge
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bridge"
-	"repro/internal/ca"
 	"repro/internal/gridcert"
-	"repro/internal/gss"
 	"repro/internal/kerberos"
+	"repro/pkg/gsi"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// The site: a Kerberos realm with users and a KCA service.
 	kdc := kerberos.NewKDC("ANL.GOV")
@@ -33,29 +35,34 @@ func main() {
 	fmt.Println("site realm:", kdc.Realm(), "with principal", alicePrincipal)
 
 	// The KCA: a CA whose root grid parties install, plus the identity map.
-	kcaAuthority, err := ca.New(gridcert.MustParseName("/O=ANL/CN=Kerberos CA"), 30*24*time.Hour, ca.DefaultPolicy())
+	kcaAuthority, err := gsi.NewCA("/O=ANL/CN=Kerberos CA", 30*24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mapper := bridge.NewIdentityMapper()
-	aliceDN := gridcert.MustParseName("/O=ANL/CN=Alice")
+	aliceDN := gsi.MustParseName("/O=ANL/CN=Alice")
 	mapper.MapKerberos(aliceDN, alicePrincipal)
 	mapper.MapLocal(aliceDN, "alice")
 	kca := bridge.NewKCA(kcaAuthority, kerberos.NewService(kcaPrincipal, kcaKey), mapper)
 
-	// The grid side: a service whose trust store includes the KCA root.
-	gridAuthority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=CA"), 30*24*time.Hour, ca.DefaultPolicy())
+	// The grid side: the service's Environment trusts the site's KCA — a
+	// unilateral act. Alice's Environment trusts the grid CA.
+	gridAuthority, err := gsi.NewCA("/O=Grid/CN=CA", 30*24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	service, err := gridAuthority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host data.example.org"), 7*24*time.Hour)
+	service, err := gridAuthority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=host data.example.org"), 7*24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	serviceTrust := gridcert.NewTrustStore()
-	serviceTrust.AddRoot(kca.Authority()) // unilateral act: trust the site's KCA
-	aliceTrust := gridcert.NewTrustStore()
-	aliceTrust.AddRoot(gridAuthority.Certificate())
+	serviceEnv, err := gsi.NewEnvironment(gsi.WithRoots(kca.Authority()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aliceEnv, err := gsi.NewEnvironment(gsi.WithRoots(gridAuthority.Certificate()))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Alice's morning: kinit …
 	tgt, tgtSession, err := kdc.ASExchange("alice", "correct horse battery")
@@ -80,11 +87,16 @@ func main() {
 		gridCred.Leaf().Subject, origin.Value,
 		gridCred.Leaf().NotAfter.Format(time.RFC3339))
 
-	// Grid authentication with the converted credential.
-	_, serverCtx, err := gss.Establish(
-		gss.Config{Credential: gridCred, TrustStore: aliceTrust},
-		gss.Config{Credential: service, TrustStore: serviceTrust},
-	)
+	// Grid authentication with the converted credential, through Alice's
+	// Client handle under a context.
+	aliceClient, err := aliceEnv.NewClient(gridCred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, serverCtx, err := aliceClient.Establish(ctx, gsi.ContextConfig{
+		Credential: service,
+		TrustStore: serviceEnv.Trust(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,9 +104,11 @@ func main() {
 
 	// The reverse direction: PKINIT turns a grid credential into Kerberos
 	// tickets so grid jobs can reach Kerberized site services.
-	pkinitTrust := gridcert.NewTrustStore()
-	pkinitTrust.AddRoot(kca.Authority())
-	gw := bridge.NewPKINIT(kdc, pkinitTrust, mapper)
+	pkinitEnv, err := gsi.NewEnvironment(gsi.WithRoots(kca.Authority()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gw := bridge.NewPKINIT(kdc, pkinitEnv.Trust(), mapper)
 	tgt2, session2, err := gw.Convert(gridCred.Chain)
 	if err != nil {
 		log.Fatal(err)

@@ -1,11 +1,14 @@
-// Quickstart: the core GSI flow through the public API — create a CA,
-// issue a user and a service, single sign-on with a proxy certificate,
-// mutual authentication, protected messaging, and remote delegation.
+// Quickstart: the core GSI flow through the public handle-based API —
+// create a CA, build an Environment of its trust roots, issue a user
+// and a service, single sign-on with a proxy certificate, mutual
+// authentication under a context.Context, protected messaging, and
+// remote delegation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,15 +19,16 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	// 1. A certificate authority and a trust store that trusts it.
+	// 1. A certificate authority and an Environment trusting it.
 	// Trust is unilateral: installing the root is a single-party act.
 	authority, err := gsi.NewCA("/O=Grid/CN=Quickstart CA", 365*24*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trust := gsi.NewTrustStore()
-	if err := trust.AddRoot(authority.Certificate()); err != nil {
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("1. CA created:", authority.Name())
@@ -40,19 +44,28 @@ func main() {
 	}
 	fmt.Println("2. issued:", alice.Leaf().Subject, "and", gridftp.Leaf().Subject)
 
-	// 3. Single sign-on: Alice creates a 12-hour proxy. The proxy has its
-	// own key, so her long-term key can stay offline.
-	aliceProxy, err := gsi.NewProxy(alice, gsi.ProxyOptions{Lifetime: 12 * time.Hour})
+	// 3. Single sign-on: Alice's Client mints a 12-hour proxy. The proxy
+	// has its own key, so her long-term key can stay offline.
+	aliceClient, err := env.NewClient(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aliceProxy, err := aliceClient.Proxy(gsi.ProxyOptions{Lifetime: 12 * time.Hour})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("3. proxy created:", aliceProxy.Leaf().Subject)
 
-	// 4. Mutual authentication between the proxy and the service.
-	ictx, actx, err := gsi.EstablishContext(
-		gsi.ContextConfig{Credential: aliceProxy, TrustStore: trust},
-		gsi.ContextConfig{Credential: gridftp, TrustStore: trust},
-	)
+	// 4. Mutual authentication between the proxy and the service, under
+	// a context (a deadline here would abort the handshake mid-flight).
+	proxyClient, err := env.NewClient(aliceProxy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ictx, actx, err := proxyClient.Establish(ctx, gsi.ContextConfig{
+		Credential: gridftp,
+		TrustStore: env.Trust(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	info, err := trust.Verify(delegated.Chain, gsi.VerifyOptions{})
+	info, err := env.Trust().Verify(delegated.Chain, gsi.VerifyOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

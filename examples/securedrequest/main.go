@@ -1,13 +1,16 @@
-// Secured request: the Figure-3 pipeline over real HTTP. A hosting
-// environment publishes its security policy; the client-side Requestor
-// fetches it, selects a mechanism, establishes trust, and invokes the
-// service; the container authenticates, authorizes, and audits before the
-// application sees the call.
+// Secured request: the Figure-3 pipeline over real HTTP through the
+// handle-based API. A hosting environment publishes its security
+// policy; Client.Invoke fetches it, selects a mechanism, establishes
+// trust, and invokes the service under a context.Context; the container
+// authenticates, authorizes, and audits before the application sees the
+// call. Denials come back as typed errors matchable with errors.Is.
 //
 //	go run ./examples/securedrequest
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -44,6 +47,7 @@ func (s *inventoryService) Invoke(call *gsi.Call) ([]byte, error) {
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Server side: bootstrap a CA + host + security stack, with an
 	// authorization service that admits only Alice.
@@ -74,14 +78,22 @@ func main() {
 	defer shutdown()
 	fmt.Println("hosting environment listening at", url)
 
-	// Client side: Alice invokes through the Requestor, which runs the
-	// whole Figure-3 pipeline for her.
+	// Client side: an Environment sharing the bootstrap's trust roots,
+	// and a Client handle for Alice. Invoke runs the whole Figure-3
+	// pipeline under the context.
+	env, err := gsi.NewEnvironment(gsi.WithTrustStore(boot.Trust))
+	if err != nil {
+		log.Fatal(err)
+	}
 	alice, err := boot.CA.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	requestor := &gsi.Requestor{Credential: alice, Trust: boot.Trust}
-	out, trace, err := requestor.Invoke(gsi.HTTPTransport(url), "inventory", "list", nil)
+	aliceClient, err := env.NewClient(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, trace, err := aliceClient.Invoke(ctx, url, "inventory", "list", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,23 +106,28 @@ func main() {
 		trace.Mechanism)
 
 	// Bob authenticates fine but is denied by the authorization service
-	// (step 5) — the application never sees his call.
+	// (step 5) — surfaced as a typed gsi.ErrUnauthorized; the
+	// application never sees his call.
 	bob, err := boot.CA.NewEntity(gsi.MustParseName("/O=Grid/CN=Bob"), 12*time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reqBob := &gsi.Requestor{Credential: bob, Trust: boot.Trust}
-	if _, _, err := reqBob.Invoke(gsi.HTTPTransport(url), "inventory", "list", nil); err != nil {
+	bobClient, err := env.NewClient(bob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := bobClient.Invoke(ctx, url, "inventory", "list", nil); errors.Is(err, gsi.ErrUnauthorized) {
+		fmt.Println("bob denied as expected (errors.Is(err, gsi.ErrUnauthorized)):", err)
+	} else if err != nil {
 		fmt.Println("bob denied as expected:", err)
 	}
 
 	// The audit service recorded everything, tamper-evidently.
-	client := &gsi.ServiceClient{Transport: gsi.HTTPTransport(url), Credential: alice, TrustStore: boot.Trust}
-	count, err := client.InvokeSigned("security/audit", "Count", nil)
+	count, _, err := aliceClient.Invoke(ctx, url, "security/audit", "Count", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	intact, err := client.InvokeSigned("security/audit", "Verify", nil)
+	intact, _, err := aliceClient.Invoke(ctx, url, "security/audit", "Verify", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,12 +2,14 @@
 // policy overlay of Figure 1) and share a dataset under CAS-governed
 // community policy (Figure 2). Argonne's resource lets VO members read
 // its climate data; ISI's user Alice accesses it without Argonne ever
-// having heard of her — the VO is the bridge.
+// having heard of her — the VO is the bridge. The CAS request path runs
+// through the handle-based API under a context.Context.
 //
 //	go run ./examples/vodatasharing
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Two classical organizations, each with its own CA and local policy.
 	anl, err := vo.NewDomain("ANL")
@@ -75,24 +78,33 @@ func main() {
 	enforcer := gsi.NewCASEnforcer(anl.Trust, local)
 	enforcer.TrustVO(casServer.Certificate())
 
-	// Step 1–2: Alice gets her assertion and embeds it in a proxy.
-	assertion, err := casServer.IssueAssertion(alice.Identity())
+	// Step 1–2 through Alice's Client handle: request the assertion
+	// (cancellable) and embed it in a restricted proxy.
+	aliceEnv, err := gsi.NewEnvironment(gsi.WithTrustStore(isi.Trust))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cred, err := gsi.EmbedAssertion(alice, assertion)
+	aliceClient, err := aliceEnv.NewClient(alice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assertion, err := aliceClient.RequestAssertion(ctx, casServer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cred, err := aliceClient.EmbedAssertion(assertion)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("assertion issued and embedded in restricted proxy")
 
-	// Step 3: the ANL resource decides.
+	// Step 3: the ANL resource decides, also under the context.
 	for _, attempt := range []struct{ action, resource string }{
 		{"read", "gridftp:/climate/run7"},
 		{"write", "gridftp:/climate/run7"},
 		{"read", "gridftp:/secret/plans"},
 	} {
-		res, err := enforcer.Authorize(cred.Chain, attempt.resource, attempt.action, time.Time{})
+		res, err := enforcer.AuthorizeContext(ctx, cred.Chain, attempt.resource, attempt.action, time.Time{})
 		if err != nil && res.Decision != authz.Deny {
 			log.Fatal(err)
 		}
@@ -107,7 +119,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := casServer.IssueAssertion(mallory.Identity()); err != nil {
+	malloryClient, err := aliceEnv.NewClient(mallory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := malloryClient.RequestAssertion(ctx, casServer); err != nil {
 		fmt.Println("non-member denied an assertion:", err)
 	}
 

@@ -17,6 +17,7 @@
 package cas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -244,6 +245,16 @@ func (s *Server) PolicySize() int { return s.policy.Len() }
 // The caller must have authenticated requester (e.g. via a GSS context);
 // CAS trusts that identity here.
 func (s *Server) IssueAssertion(requester gridcert.Name) (*Assertion, error) {
+	return s.IssueAssertionContext(context.Background(), requester)
+}
+
+// IssueAssertionContext is IssueAssertion honoring ctx: the policy scan is
+// abandoned when the context ends, so a request against a huge VO policy
+// respects its deadline.
+func (s *Server) IssueAssertionContext(ctx context.Context, requester gridcert.Name) (*Assertion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	groups, ok := s.IsMember(requester)
 	if !ok {
 		return nil, fmt.Errorf("cas: %q is not a member of VO %q", requester, s.VO())
@@ -254,7 +265,12 @@ func (s *Server) IssueAssertion(requester gridcert.Name) (*Assertion, error) {
 	// subject directly — the resource need not know VO-internal groups.
 	var granted []authz.Rule
 	probe := authz.Request{Subject: requester, Groups: groups}
-	for _, r := range s.policy.Rules() {
+	for i, r := range s.policy.Rules() {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if ruleCouldApply(r, probe) {
 			scoped := r
 			scoped.Subjects = []string{requester.String()}
@@ -264,6 +280,11 @@ func (s *Server) IssueAssertion(requester gridcert.Name) (*Assertion, error) {
 		}
 	}
 	now := s.now()
+	// Final gate before signing: nothing is signed for a caller that has
+	// already gone away.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a := &Assertion{
 		VO:        s.VO(),
 		Subject:   requester,

@@ -1,6 +1,7 @@
 package cas
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -54,6 +55,15 @@ type Result struct {
 
 // Authorize runs the full step-3 check on a presented chain.
 func (e *Enforcer) Authorize(chain []*gridcert.Certificate, resource, action string, now time.Time) (Result, error) {
+	return e.AuthorizeContext(context.Background(), chain, resource, action, now)
+}
+
+// AuthorizeContext is Authorize honoring ctx: a canceled or expired
+// context denies the request with ctx.Err() before any validation work.
+func (e *Enforcer) AuthorizeContext(ctx context.Context, chain []*gridcert.Certificate, resource, action string, now time.Time) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Decision: authz.Deny, Reason: "request context ended"}, err
+	}
 	if now.IsZero() {
 		now = time.Now()
 	}

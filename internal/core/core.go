@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -196,8 +197,18 @@ func (r *Requestor) capabilities(cred *gridcert.Credential) wssec.ClientCapabili
 
 // Invoke runs the full Figure-3 pipeline against a target transport.
 func (r *Requestor) Invoke(transport wssec.Transport, handle, op string, body []byte) ([]byte, Trace, error) {
+	return r.InvokeContext(context.Background(), transport, handle, op, body)
+}
+
+// InvokeContext is Invoke honoring ctx: the pipeline aborts between the
+// policy-fetch, conversion, token-processing, and invocation phases when
+// the context ends, returning ctx.Err().
+func (r *Requestor) InvokeContext(ctx context.Context, transport wssec.Transport, handle, op string, body []byte) ([]byte, Trace, error) {
 	var trace Trace
 
+	if err := ctx.Err(); err != nil {
+		return nil, trace, err
+	}
 	// Step 1: retrieve and inspect the target's security policy.
 	t0 := time.Now()
 	pol, err := wssec.FetchPolicy(transport)
@@ -205,6 +216,9 @@ func (r *Requestor) Invoke(transport wssec.Transport, handle, op string, body []
 		return nil, trace, fmt.Errorf("core: fetching policy: %w", err)
 	}
 	trace.PolicyFetch = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, trace, err
+	}
 
 	// Step 2: determine whether current credentials satisfy the policy;
 	// convert if not.
@@ -232,6 +246,9 @@ func (r *Requestor) Invoke(transport wssec.Transport, handle, op string, body []
 		}
 	}
 	trace.Mechanism = agreement.Mechanism
+	if err := ctx.Err(); err != nil {
+		return nil, trace, err
+	}
 
 	// Steps 3–4: token processing, then delivery; step 5 (authorization)
 	// runs inside the target container.
@@ -249,6 +266,9 @@ func (r *Requestor) Invoke(transport wssec.Transport, handle, op string, body []
 			_ = noCtx
 		}
 		trace.TokenProcessing = time.Since(t2)
+		if err := ctx.Err(); err != nil {
+			return nil, trace, err
+		}
 		t3 := time.Now()
 		out, err := client.InvokeSecure(handle, op, body)
 		trace.Invocation = time.Since(t3)

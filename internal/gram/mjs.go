@@ -86,8 +86,17 @@ type Connection struct {
 // MJS as having a GRIM credential issued from an appropriate host
 // credential and containing a Grid identity matching its own."
 func (m *MJS) Connect(requestor *gridcert.Credential, requestorTrust *gridcert.TrustStore) (*Connection, error) {
+	return m.ConnectWith(gss.Config{Credential: requestor, TrustStore: requestorTrust})
+}
+
+// ConnectWith is Connect with full control over the requestor-side GSS
+// options (delegation intent, expected peer, limited-proxy rejection,
+// proxy-depth caps). reqCfg.Credential and reqCfg.TrustStore are
+// mandatory.
+func (m *MJS) ConnectWith(reqCfg gss.Config) (*Connection, error) {
+	requestor, requestorTrust := reqCfg.Credential, reqCfg.TrustStore
 	ictx, actx, err := gss.Establish(
-		gss.Config{Credential: requestor, TrustStore: requestorTrust},
+		reqCfg,
 		gss.Config{Credential: m.cred, TrustStore: m.res.Trust, RejectLimited: true},
 	)
 	if err != nil {

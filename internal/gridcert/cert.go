@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gridcrypto"
@@ -148,8 +149,11 @@ type Certificate struct {
 	Signature    []byte
 
 	// raw caches the full encoding; rawTBS caches the signed portion.
-	raw    []byte
-	rawTBS []byte
+	// Atomic pointers: certificates are shared across goroutines (a host
+	// credential serves many concurrent handshakes), and a duplicate
+	// compute-and-store is benign — the encoding is deterministic.
+	raw    atomic.Pointer[[]byte]
+	rawTBS atomic.Pointer[[]byte]
 }
 
 const certVersion = 1
@@ -193,8 +197,8 @@ func (c *Certificate) ValidAt(t time.Time) bool {
 
 // encodeTBS builds the to-be-signed portion of the certificate encoding.
 func (c *Certificate) encodeTBS() []byte {
-	if c.rawTBS != nil {
-		return c.rawTBS
+	if p := c.rawTBS.Load(); p != nil {
+		return *p
 	}
 	e := &encoder{}
 	e.u8(c.Version)
@@ -222,22 +226,24 @@ func (c *Certificate) encodeTBS() []byte {
 		e.bool(ext.Critical)
 		e.bytes(ext.Value)
 	}
-	c.rawTBS = e.buf
-	return c.rawTBS
+	buf := e.buf
+	c.rawTBS.Store(&buf)
+	return buf
 }
 
 // Encode returns the full wire encoding: TBS bytes, algorithm, signature.
 func (c *Certificate) Encode() []byte {
-	if c.raw != nil {
-		return c.raw
+	if p := c.raw.Load(); p != nil {
+		return *p
 	}
 	tbs := c.encodeTBS()
 	e := &encoder{}
 	e.bytes(tbs)
 	e.u8(uint8(c.SignatureAlg))
 	e.bytes(c.Signature)
-	c.raw = e.buf
-	return c.raw
+	buf := e.buf
+	c.raw.Store(&buf)
+	return buf
 }
 
 // Decode parses a certificate produced by Encode. The signature is not
@@ -259,7 +265,8 @@ func Decode(b []byte) (*Certificate, error) {
 	}
 	c.SignatureAlg = alg
 	c.Signature = sig
-	c.raw = append([]byte(nil), b...)
+	rawCopy := append([]byte(nil), b...)
+	c.raw.Store(&rawCopy)
 	return c, nil
 }
 
@@ -306,7 +313,8 @@ func decodeTBS(tbs []byte) (*Certificate, error) {
 	if err := c.checkStructure(); err != nil {
 		return nil, err
 	}
-	c.rawTBS = append([]byte(nil), tbs...)
+	tbsCopy := append([]byte(nil), tbs...)
+	c.rawTBS.Store(&tbsCopy)
 	return c, nil
 }
 

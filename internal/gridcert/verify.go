@@ -7,6 +7,23 @@ import (
 	"time"
 )
 
+// Sentinel errors exposed so relying parties can branch on the class of
+// validation failure with errors.Is. Verify wraps them with chain-specific
+// detail.
+var (
+	// ErrUntrustedIssuer marks chains that do not terminate at a trusted
+	// root.
+	ErrUntrustedIssuer = errors.New("gridcert: untrusted issuer")
+	// ErrExpired marks certificates (or roots) outside their validity
+	// window.
+	ErrExpired = errors.New("gridcert: certificate expired or not yet valid")
+	// ErrRevoked marks certificates listed on an installed CRL.
+	ErrRevoked = errors.New("gridcert: certificate revoked")
+	// ErrLimitedProxy marks limited-proxy chains rejected by
+	// VerifyOptions.RejectLimited.
+	ErrLimitedProxy = errors.New("gridcert: limited proxy not acceptable for this operation")
+)
+
 // TrustStore is the set of trusted CA root certificates. Trust in a CA is
 // established unilaterally — any entity can add a root without involving
 // its organization — which is the property the paper identifies as key to
@@ -171,10 +188,10 @@ func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainIn
 			return nil, err
 		}
 	} else {
-		return nil, fmt.Errorf("gridcert: no trusted root for chain ending at %q (issuer %q)", top.Subject, top.Issuer)
+		return nil, fmt.Errorf("%w: no trusted root for chain ending at %q (issuer %q)", ErrUntrustedIssuer, top.Subject, top.Issuer)
 	}
 	if !root.ValidAt(now) {
-		return nil, fmt.Errorf("gridcert: trust root %q expired or not yet valid", root.Subject)
+		return nil, fmt.Errorf("%w: trust root %q", ErrExpired, root.Subject)
 	}
 
 	info := &ChainInfo{Root: root}
@@ -198,7 +215,7 @@ func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainIn
 			parent = chain[i+1]
 		}
 		if !cert.ValidAt(now) {
-			return nil, fmt.Errorf("gridcert: certificate %q outside validity window at %s", cert.Subject, now.UTC().Format(time.RFC3339))
+			return nil, fmt.Errorf("%w: certificate %q outside validity window at %s", ErrExpired, cert.Subject, now.UTC().Format(time.RFC3339))
 		}
 		// Signature check. The top cert may BE the root (already trusted).
 		if !(i == len(chain)-1 && cert == root) {
@@ -208,7 +225,7 @@ func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainIn
 		}
 		// Revocation applies to CA-issued certificates.
 		if parent.Type == TypeCA && ts.revoked(parent.Subject, cert.SerialNumber) {
-			return nil, fmt.Errorf("gridcert: certificate %q (serial %d) is revoked", cert.Subject, cert.SerialNumber)
+			return nil, fmt.Errorf("%w: certificate %q (serial %d)", ErrRevoked, cert.Subject, cert.SerialNumber)
 		}
 		// Issuer name must match parent subject.
 		if !cert.Issuer.Equal(parent.Subject) {
@@ -287,7 +304,7 @@ func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainIn
 		return nil, fmt.Errorf("gridcert: proxy depth %d exceeds limit %d", info.ProxyDepth, opts.MaxProxyDepth)
 	}
 	if opts.RejectLimited && info.Limited {
-		return nil, errors.New("gridcert: limited proxy not acceptable for this operation")
+		return nil, ErrLimitedProxy
 	}
 	info.Subject = chain[0].Subject
 	return info, nil

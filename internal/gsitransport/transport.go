@@ -10,14 +10,94 @@
 package gsitransport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gss"
 	"repro/internal/wire"
 )
+
+// aLongTimeAgo is a non-zero time far in the past, used to force pending
+// reads and writes on a net.Conn to fail immediately when a context is
+// canceled (the same trick the standard library's net/http uses).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// deadlineScope selects which half of a connection a context governs,
+// so a deadline armed for a send cannot interrupt (or be cleared by) a
+// concurrent receive on the same full-duplex Conn.
+type deadlineScope int
+
+const (
+	scopeBoth  deadlineScope = iota // serial use (handshake)
+	scopeRead                       // Receive path
+	scopeWrite                      // Send path
+)
+
+func (s deadlineScope) set(raw net.Conn, t time.Time) {
+	switch s {
+	case scopeRead:
+		raw.SetReadDeadline(t)
+	case scopeWrite:
+		raw.SetWriteDeadline(t)
+	default:
+		raw.SetDeadline(t)
+	}
+}
+
+// runWithContext executes op — a blocking read/write sequence on raw —
+// under ctx: the context deadline is installed as the connection deadline
+// for the given scope, and cancellation forces the in-flight operation to
+// fail promptly. When the context ended, its error is returned in place
+// of the induced I/O error.
+func runWithContext(ctx context.Context, raw net.Conn, scope deadlineScope, op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		scope.set(raw, deadline)
+		defer scope.set(raw, time.Time{})
+	}
+	if ctx.Done() == nil {
+		return op()
+	}
+	watchDone := make(chan struct{})
+	interrupted := make(chan struct{})
+	go func() {
+		defer close(interrupted)
+		select {
+		case <-ctx.Done():
+			scope.set(raw, aLongTimeAgo)
+		case <-watchDone:
+		}
+	}()
+	err := op()
+	close(watchDone)
+	<-interrupted
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	// The socket deadline mirrors the context deadline and may fire a
+	// hair earlier than the context's own timer; attribute the timeout
+	// to the context rather than leaking a raw I/O error.
+	if _, hasDeadline := ctx.Deadline(); hasDeadline {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return context.DeadlineExceeded
+		}
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		scope.set(raw, time.Time{})
+	}
+	return err
+}
 
 // Conn is a secured connection. It exposes message-oriented Send/Receive
 // (GSI protects discrete records, not a byte stream) plus the underlying
@@ -28,6 +108,11 @@ type Conn struct {
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
+
+	// broken marks the record stream desynchronized: an interrupted
+	// Send/Receive may have left a partial frame on the wire, after
+	// which no further record can be trusted.
+	broken atomic.Bool
 
 	// Accounting for experiment E6.
 	handshakeMsgs  int
@@ -42,60 +127,84 @@ type HandshakeStats struct {
 
 // Client performs the initiator handshake over raw.
 func Client(raw net.Conn, cfg gss.Config) (*Conn, error) {
+	return ClientContext(context.Background(), raw, cfg)
+}
+
+// ClientContext performs the initiator handshake over raw, honoring ctx:
+// cancellation or deadline expiry aborts the handshake mid-flight, even
+// while blocked reading a token from the peer.
+func ClientContext(ctx context.Context, raw net.Conn, cfg gss.Config) (*Conn, error) {
 	init, err := gss.NewInitiator(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Conn{raw: raw}
-	t1, err := init.Start()
+	err = runWithContext(ctx, raw, scopeBoth, func() error {
+		t1, err := init.Start()
+		if err != nil {
+			return err
+		}
+		if err := c.writeToken(t1); err != nil {
+			return fmt.Errorf("gsitransport: sending token1: %w", err)
+		}
+		t2, err := c.readToken()
+		if err != nil {
+			return fmt.Errorf("gsitransport: reading token2: %w", err)
+		}
+		t3, gctx, err := init.Finish(t2)
+		if err != nil {
+			return err
+		}
+		if err := c.writeToken(t3); err != nil {
+			return fmt.Errorf("gsitransport: sending token3: %w", err)
+		}
+		c.ctx = gctx
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.writeToken(t1); err != nil {
-		return nil, fmt.Errorf("gsitransport: sending token1: %w", err)
-	}
-	t2, err := c.readToken()
-	if err != nil {
-		return nil, fmt.Errorf("gsitransport: reading token2: %w", err)
-	}
-	t3, ctx, err := init.Finish(t2)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.writeToken(t3); err != nil {
-		return nil, fmt.Errorf("gsitransport: sending token3: %w", err)
-	}
-	c.ctx = ctx
 	return c, nil
 }
 
 // Server performs the acceptor handshake over raw.
 func Server(raw net.Conn, cfg gss.Config) (*Conn, error) {
+	return ServerContext(context.Background(), raw, cfg)
+}
+
+// ServerContext performs the acceptor handshake over raw, honoring ctx.
+func ServerContext(ctx context.Context, raw net.Conn, cfg gss.Config) (*Conn, error) {
 	acc, err := gss.NewAcceptor(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Conn{raw: raw}
-	t1, err := c.readToken()
-	if err != nil {
-		return nil, fmt.Errorf("gsitransport: reading token1: %w", err)
-	}
-	t2, err := acc.Accept(t1)
+	err = runWithContext(ctx, raw, scopeBoth, func() error {
+		t1, err := c.readToken()
+		if err != nil {
+			return fmt.Errorf("gsitransport: reading token1: %w", err)
+		}
+		t2, err := acc.Accept(t1)
+		if err != nil {
+			return err
+		}
+		if err := c.writeToken(t2); err != nil {
+			return fmt.Errorf("gsitransport: sending token2: %w", err)
+		}
+		t3, err := c.readToken()
+		if err != nil {
+			return fmt.Errorf("gsitransport: reading token3: %w", err)
+		}
+		gctx, err := acc.Complete(t3)
+		if err != nil {
+			return err
+		}
+		c.ctx = gctx
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.writeToken(t2); err != nil {
-		return nil, fmt.Errorf("gsitransport: sending token2: %w", err)
-	}
-	t3, err := c.readToken()
-	if err != nil {
-		return nil, fmt.Errorf("gsitransport: reading token3: %w", err)
-	}
-	ctx, err := acc.Complete(t3)
-	if err != nil {
-		return nil, err
-	}
-	c.ctx = ctx
 	return c, nil
 }
 
@@ -128,21 +237,62 @@ func (c *Conn) Handshake() HandshakeStats {
 
 // Send protects and transmits one message.
 func (c *Conn) Send(msg []byte) error {
+	return c.SendContext(context.Background(), msg)
+}
+
+// ErrBroken marks a connection whose record stream was desynchronized
+// by an interrupted Send or Receive; only Close is useful afterwards.
+var ErrBroken = errors.New("gsitransport: connection broken by interrupted operation")
+
+// SendContext is Send honoring ctx cancellation and deadlines. An
+// interruption mid-frame poisons the connection (ErrBroken thereafter):
+// a partial frame on the wire makes every later record unparseable.
+func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.broken.Load() {
+		return ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
+		return err // nothing written yet; the stream is still intact
+	}
 	w, err := c.ctx.Wrap(msg)
 	if err != nil {
 		return err
 	}
-	return wire.WriteFrame(c.raw, w)
+	if err := runWithContext(ctx, c.raw, scopeWrite, func() error {
+		return wire.WriteFrame(c.raw, w)
+	}); err != nil {
+		c.broken.Store(true)
+		return err
+	}
+	return nil
 }
 
 // Receive reads and unprotects one message.
 func (c *Conn) Receive() ([]byte, error) {
+	return c.ReceiveContext(context.Background())
+}
+
+// ReceiveContext is Receive honoring ctx cancellation and deadlines. As
+// with SendContext, an interruption mid-frame poisons the connection.
+func (c *Conn) ReceiveContext(ctx context.Context) ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	w, err := wire.ReadFrame(c.raw)
+	if c.broken.Load() {
+		return nil, ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // nothing read yet; the stream is still intact
+	}
+	var w []byte
+	err := runWithContext(ctx, c.raw, scopeRead, func() error {
+		var err error
+		w, err = wire.ReadFrame(c.raw)
+		return err
+	})
 	if err != nil {
+		c.broken.Store(true)
 		return nil, err
 	}
 	return c.ctx.Unwrap(w)
@@ -159,6 +309,17 @@ func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 type Listener struct {
 	inner net.Listener
 	cfg   gss.Config
+
+	// pending parks the in-flight inner Accept of a canceled
+	// AcceptContext call, so the next caller takes it over instead of
+	// racing it for (and losing) the next incoming connection.
+	mu      sync.Mutex
+	pending chan acceptResult
+}
+
+type acceptResult struct {
+	raw net.Conn
+	err error
 }
 
 // NewListener builds a secured listener.
@@ -168,11 +329,55 @@ func NewListener(inner net.Listener, cfg gss.Config) *Listener {
 
 // Accept waits for a connection and completes the security handshake.
 func (l *Listener) Accept() (*Conn, error) {
-	raw, err := l.inner.Accept()
-	if err != nil {
+	return l.AcceptContext(context.Background())
+}
+
+// AcceptContext is Accept honoring ctx: cancellation aborts both the wait
+// for a connection and an in-flight acceptor handshake. A canceled call
+// parks its in-flight inner Accept for the next caller, so no incoming
+// connection is stolen and closed by an abandoned wait.
+func (l *Listener) AcceptContext(ctx context.Context) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	conn, err := Server(raw, l.cfg)
+	// Take over a parked accept from a previously canceled call, or
+	// start a fresh one.
+	l.mu.Lock()
+	ch := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	if ch == nil {
+		ch = make(chan acceptResult, 1)
+		go func() {
+			raw, err := l.inner.Accept()
+			ch <- acceptResult{raw, err}
+		}()
+	}
+	var raw net.Conn
+	select {
+	case <-ctx.Done():
+		l.mu.Lock()
+		if l.pending == nil {
+			l.pending = ch
+			l.mu.Unlock()
+		} else {
+			// Another canceled call already parked its accept; drain
+			// this one in the background so the connection isn't leaked.
+			l.mu.Unlock()
+			go func() {
+				if a := <-ch; a.raw != nil {
+					a.raw.Close()
+				}
+			}()
+		}
+		return nil, ctx.Err()
+	case a := <-ch:
+		if a.err != nil {
+			return nil, a.err
+		}
+		raw = a.raw
+	}
+	conn, err := ServerContext(ctx, raw, l.cfg)
 	if err != nil {
 		raw.Close()
 		return nil, err
@@ -180,19 +385,40 @@ func (l *Listener) Accept() (*Conn, error) {
 	return conn, nil
 }
 
-// Close closes the inner listener.
-func (l *Listener) Close() error { return l.inner.Close() }
+// Close closes the inner listener and reaps any parked accept.
+func (l *Listener) Close() error {
+	err := l.inner.Close()
+	l.mu.Lock()
+	ch := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	if ch != nil {
+		go func() {
+			if a := <-ch; a.raw != nil {
+				a.raw.Close()
+			}
+		}()
+	}
+	return err
+}
 
 // Addr returns the inner listener's address.
 func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
 
 // Dial connects to addr over TCP and completes the initiator handshake.
 func Dial(addr string, cfg gss.Config) (*Conn, error) {
-	raw, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, cfg)
+}
+
+// DialContext is Dial honoring ctx for both the TCP connect and the
+// security handshake.
+func DialContext(ctx context.Context, addr string, cfg gss.Config) (*Conn, error) {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := Client(raw, cfg)
+	conn, err := ClientContext(ctx, raw, cfg)
 	if err != nil {
 		raw.Close()
 		return nil, err

@@ -1,6 +1,7 @@
 package gss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -124,6 +125,16 @@ func (c *Context) VerifyMIC(msg, mic []byte) error {
 // Establish runs a complete in-memory handshake between two configs and
 // returns both contexts. It exists for tests and for co-located services.
 func Establish(initCfg, acceptCfg Config) (initCtx, acceptCtx *Context, err error) {
+	return EstablishContext(context.Background(), initCfg, acceptCfg)
+}
+
+// EstablishContext is Establish honoring ctx: cancellation or deadline
+// expiry aborts the handshake at the next token boundary, returning
+// ctx.Err().
+func EstablishContext(ctx context.Context, initCfg, acceptCfg Config) (initCtx, acceptCtx *Context, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	init, err := NewInitiator(initCfg)
 	if err != nil {
 		return nil, nil, err
@@ -136,12 +147,21 @@ func Establish(initCfg, acceptCfg Config) (initCtx, acceptCtx *Context, err erro
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t2, err := acc.Accept(t1)
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t3, ictx, err := init.Finish(t2)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	actx, err := acc.Complete(t3)

@@ -57,6 +57,9 @@ type Config struct {
 	TrustStore *gridcert.TrustStore
 	// Anonymous (initiator only) withholds the local identity.
 	Anonymous bool
+	// Delegate (initiator only) announces the intent to delegate a proxy
+	// credential immediately after establishment (sets FlagDelegate).
+	Delegate bool
 	// RejectLimited refuses peers authenticating with limited proxies.
 	RejectLimited bool
 	// MaxProxyDepth caps the peer chain's proxy depth (0 = unlimited).

@@ -47,6 +47,9 @@ func (i *Initiator) Start() ([]byte, error) {
 	if i.cfg.Anonymous {
 		i.flags |= FlagAnonymous
 	}
+	if i.cfg.Delegate {
+		i.flags |= FlagDelegate
+	}
 	t1 := token1{flags: i.flags, nonce: nonce, share: i.ecdh.PublicBytes()}
 	enc := t1.encode()
 	i.tr.add("token1", enc)
@@ -69,7 +72,7 @@ func (i *Initiator) Finish(token2Bytes []byte) ([]byte, *Context, error) {
 	// its signature over the transcript-so-far.
 	chain, err := gridcert.DecodeChain(t2.chain)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: acceptor chain: %v", ErrAuthFailed, err)
+		return nil, nil, fmt.Errorf("%w: acceptor chain: %w", ErrAuthFailed, err)
 	}
 	info, err := i.cfg.TrustStore.Verify(chain, gridcert.VerifyOptions{
 		Now:           i.cfg.now(),
@@ -77,7 +80,7 @@ func (i *Initiator) Finish(token2Bytes []byte) ([]byte, *Context, error) {
 		MaxProxyDepth: i.cfg.MaxProxyDepth,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: acceptor chain: %v", ErrAuthFailed, err)
+		return nil, nil, fmt.Errorf("%w: acceptor chain: %w", ErrAuthFailed, err)
 	}
 	if !i.cfg.ExpectedPeer.Empty() && !info.Identity.Equal(i.cfg.ExpectedPeer) {
 		return nil, nil, fmt.Errorf("%w: acceptor identity %q, expected %q", ErrAuthFailed, info.Identity, i.cfg.ExpectedPeer)
@@ -225,7 +228,7 @@ func (a *Acceptor) Complete(token3Bytes []byte) (*Context, error) {
 	if !t3.anonymous {
 		chain, err := gridcert.DecodeChain(t3.chain)
 		if err != nil {
-			return nil, fmt.Errorf("%w: initiator chain: %v", ErrAuthFailed, err)
+			return nil, fmt.Errorf("%w: initiator chain: %w", ErrAuthFailed, err)
 		}
 		info, err := a.cfg.TrustStore.Verify(chain, gridcert.VerifyOptions{
 			Now:           a.cfg.now(),
@@ -233,7 +236,7 @@ func (a *Acceptor) Complete(token3Bytes []byte) (*Context, error) {
 			MaxProxyDepth: a.cfg.MaxProxyDepth,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%w: initiator chain: %v", ErrAuthFailed, err)
+			return nil, fmt.Errorf("%w: initiator chain: %w", ErrAuthFailed, err)
 		}
 		if !a.cfg.ExpectedPeer.Empty() && !info.Identity.Equal(a.cfg.ExpectedPeer) {
 			return nil, fmt.Errorf("%w: initiator identity %q, expected %q", ErrAuthFailed, info.Identity, a.cfg.ExpectedPeer)

@@ -9,6 +9,7 @@
 package myproxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -70,6 +71,15 @@ func hashPass(pass string, salt []byte) []byte {
 // the repository (the caller creates it with proxy.New). maxLifetime
 // bounds proxies later retrieved; 0 means DefaultMaxLifetime.
 func (s *Server) Store(username, passphrase string, cred *gridcert.Credential, maxLifetime time.Duration) error {
+	return s.StoreContext(context.Background(), username, passphrase, cred, maxLifetime)
+}
+
+// StoreContext is Store honoring ctx: the (deliberately slow) passphrase
+// derivation is skipped when the context has already ended.
+func (s *Server) StoreContext(ctx context.Context, username, passphrase string, cred *gridcert.Credential, maxLifetime time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if username == "" || passphrase == "" {
 		return errors.New("myproxy: username and passphrase required")
 	}
@@ -78,6 +88,9 @@ func (s *Server) Store(username, passphrase string, cred *gridcert.Credential, m
 	}
 	salt, err := gridcrypto.RandomBytes(16)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -137,6 +150,15 @@ func (s *Server) Destroy(username, passphrase string) error {
 // the client generated a key pair locally (proxy.NewDelegatee) and the
 // repository signs a short-lived proxy below the stored credential.
 func (s *Server) Retrieve(username, passphrase string, req proxy.DelegationRequest) (proxy.DelegationReply, error) {
+	return s.RetrieveContext(context.Background(), username, passphrase, req)
+}
+
+// RetrieveContext is Retrieve honoring ctx: the passphrase check and the
+// delegation signing are both skipped once the context ends.
+func (s *Server) RetrieveContext(ctx context.Context, username, passphrase string, req proxy.DelegationRequest) (proxy.DelegationReply, error) {
+	if err := ctx.Err(); err != nil {
+		return proxy.DelegationReply{}, err
+	}
 	s.mu.Lock()
 	e, ok := s.entries[username]
 	if !ok {
@@ -160,6 +182,9 @@ func (s *Server) Retrieve(username, passphrase string, req proxy.DelegationReque
 
 	if now.After(cred.Leaf().NotAfter) {
 		return proxy.DelegationReply{}, ErrExpired
+	}
+	if err := ctx.Err(); err != nil {
+		return proxy.DelegationReply{}, err
 	}
 	opts := proxy.Options{Lifetime: maxLifetime}
 	if req.Lifetime > 0 && req.Lifetime < maxLifetime {

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -124,6 +125,12 @@ type Client struct {
 // Call sends the envelope and parses the reply. A SOAP fault in the reply
 // is returned as a *Fault error alongside the envelope.
 func (c *Client) Call(env *Envelope) (*Envelope, error) {
+	return c.CallContext(context.Background(), env)
+}
+
+// CallContext is Call honoring ctx: the HTTP round-trip is canceled when
+// the context ends, aborting an in-flight RPC.
+func (c *Client) CallContext(ctx context.Context, env *Envelope) (*Envelope, error) {
 	data, err := env.Marshal()
 	if err != nil {
 		return nil, err
@@ -132,8 +139,16 @@ func (c *Client) Call(env *Envelope) (*Envelope, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
-	resp, err := hc.Post(c.Endpoint, "text/xml; charset=utf-8", strings.NewReader(string(data)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(string(data)))
 	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("soap: POST: %w", err)
 	}
 	defer resp.Body.Close()

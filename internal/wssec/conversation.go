@@ -7,6 +7,7 @@
 package wssec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,6 +31,10 @@ const SCTHeader = "wssc:SecurityContextToken"
 // in-memory pipe.
 type Transport func(*soap.Envelope) (*soap.Envelope, error)
 
+// ContextTransport is a Transport whose round-trips honor a
+// context.Context (cancellation aborts the in-flight exchange).
+type ContextTransport func(context.Context, *soap.Envelope) (*soap.Envelope, error)
+
 // Stats counts the messages and bytes of a context establishment, for
 // experiment E6.
 type Stats struct {
@@ -49,10 +54,11 @@ func (s *Stats) count(env *soap.Envelope) error {
 
 // Conversation is an established client-side secure conversation.
 type Conversation struct {
-	ContextID string
-	ctx       *gss.Context
-	transport Transport
-	stats     Stats
+	ContextID    string
+	ctx          *gss.Context
+	transport    Transport
+	ctxTransport ContextTransport // set when established via EstablishConversationContext
+	stats        Stats
 }
 
 // EstablishConversation runs the WS-SecureConversation handshake against
@@ -109,6 +115,24 @@ func EstablishConversation(cfg gss.Config, transport Transport) (*Conversation, 
 	return conv, nil
 }
 
+// EstablishConversationContext is EstablishConversation over a
+// context-aware transport: ctx governs both token exchanges, and the
+// returned conversation's CallContext threads per-call contexts through
+// the same transport.
+func EstablishConversationContext(ctx context.Context, cfg gss.Config, transport ContextTransport) (*Conversation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conv, err := EstablishConversation(cfg, func(env *soap.Envelope) (*soap.Envelope, error) {
+		return transport(ctx, env)
+	})
+	if err != nil {
+		return nil, err
+	}
+	conv.ctxTransport = transport
+	return conv, nil
+}
+
 // Stats returns establishment cost accounting.
 func (c *Conversation) Stats() Stats { return c.stats }
 
@@ -122,6 +146,15 @@ func (c *Conversation) Peer() gss.Peer { return c.ctx.Peer() }
 // the body is wrapped (encrypted + integrity + ordering) under the
 // context, and the reply body unwrapped.
 func (c *Conversation) Call(env *soap.Envelope) (*soap.Envelope, error) {
+	return c.CallContext(context.Background(), env)
+}
+
+// CallContext is Call honoring ctx when the conversation was established
+// over a context-aware transport; otherwise ctx only gates entry.
+func (c *Conversation) CallContext(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	wrapped, err := c.ctx.Wrap(env.Body)
 	if err != nil {
 		return nil, err
@@ -129,7 +162,12 @@ func (c *Conversation) Call(env *soap.Envelope) (*soap.Envelope, error) {
 	secured := *env
 	secured.Body = wrapped
 	secured.SetHeader(SCTHeader, []byte(c.ContextID))
-	reply, err := c.transport(&secured)
+	var reply *soap.Envelope
+	if c.ctxTransport != nil {
+		reply, err = c.ctxTransport(ctx, &secured)
+	} else {
+		reply, err = c.transport(&secured)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,243 @@
+package gsi
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/gram"
+	"repro/internal/gss"
+	"repro/internal/proxy"
+)
+
+// Client is the initiator handle of the redesigned API: one grid party
+// (a user proxy, a service acting on a user's behalf) bound to an
+// Environment, from which it takes trust roots and clock. All blocking
+// operations take a context.Context and honor its cancellation and
+// deadline; all failures are *Error values classified onto the package
+// taxonomy.
+//
+//	client, _ := env.NewClient(aliceProxy, gsi.WithTransport(gsi.TransportGT2()))
+//	sess, err := client.Connect(ctx, endpoint)
+type Client struct {
+	env  *Environment
+	cred *Credential
+	base settings
+}
+
+// NewClient builds a Client from a credential. A nil credential is
+// allowed only together with WithAnonymous.
+func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, error) {
+	base := settings{transport: TransportGT2()}
+	base, err := base.apply(opts)
+	if err != nil {
+		return nil, opErr("gsi.NewClient", err)
+	}
+	if cred == nil && !base.anonymous {
+		return nil, opErr("gsi.NewClient", errors.New("gsi: client requires a credential unless anonymous"))
+	}
+	return &Client{env: e, cred: cred, base: base}, nil
+}
+
+// Environment returns the client's environment.
+func (c *Client) Environment() *Environment { return c.env }
+
+// Credential returns the client's credential (nil for anonymous
+// clients).
+func (c *Client) Credential() *Credential { return c.cred }
+
+// resolve folds per-call options over the handle's base settings and
+// derives the effective context: the deadline-skew budget (if any) is
+// taken off the caller's deadline.
+func (c *Client) resolve(ctx context.Context, opts []Option) (context.Context, context.CancelFunc, settings, error) {
+	s, err := c.base.apply(opts)
+	if err != nil {
+		return ctx, func() {}, s, err
+	}
+	if deadline, ok := ctx.Deadline(); ok && s.deadlineSkew > 0 {
+		skewed, cancel := context.WithDeadline(ctx, deadline.Add(-s.deadlineSkew))
+		return skewed, cancel, s, nil
+	}
+	return ctx, func() {}, s, nil
+}
+
+// Connect establishes a secured session with the peer at endpoint over
+// the client's transport. Cancellation aborts the handshake mid-flight,
+// including while blocked on the network.
+func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (Session, error) {
+	const op = "gsi.Client.Connect"
+	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	sess, err := s.transport.Dial(ctx, endpoint, DialConfig{
+		Context:    s.contextConfig(c.env, c.cred),
+		Protection: s.protection,
+	})
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	return sess, nil
+}
+
+// Establish runs an in-memory mutual authentication against an acceptor
+// configuration — the handle-based form of the old EstablishContext free
+// function, for co-located services and tests.
+func (c *Client) Establish(ctx context.Context, acceptor ContextConfig, opts ...Option) (initiator, accepted *Context, err error) {
+	const op = "gsi.Client.Establish"
+	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, nil, opErr(op, err)
+	}
+	ictx, actx, err := gss.EstablishContext(ctx, s.contextConfig(c.env, c.cred), acceptor)
+	if err != nil {
+		return nil, nil, opErr(op, err)
+	}
+	return ictx, actx, nil
+}
+
+// Proxy creates a proxy credential below the client's credential
+// (grid-proxy-init as a method).
+func (c *Client) Proxy(opts ProxyOptions) (*Credential, error) {
+	cred, err := proxy.New(c.cred, opts)
+	if err != nil {
+		return nil, opErr("gsi.Client.Proxy", err)
+	}
+	return cred, nil
+}
+
+// RequestAssertion performs step 1 of the CAS flow (Figure 2): the
+// client's authenticated identity asks the VO's CAS server for its
+// signed policy assertion. Cancellation aborts the policy scan.
+func (c *Client) RequestAssertion(ctx context.Context, server *CASServer, opts ...Option) (*CASAssertion, error) {
+	const op = "gsi.Client.RequestAssertion"
+	ctx, cancelSkew, _, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	if c.cred == nil {
+		return nil, opErr(op, errors.New("gsi: anonymous clients cannot request assertions"))
+	}
+	a, err := server.IssueAssertionContext(ctx, c.cred.Identity())
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	return a, nil
+}
+
+// EmbedAssertion wraps a CAS assertion into a restricted proxy below the
+// client's credential (step 2 of Figure 2), returning the credential the
+// client presents to VO resources.
+func (c *Client) EmbedAssertion(a *CASAssertion) (*Credential, error) {
+	cred, err := cas.EmbedInProxy(c.cred, a)
+	if err != nil {
+		return nil, opErr("gsi.Client.EmbedAssertion", err)
+	}
+	return cred, nil
+}
+
+// RetrieveCredential authenticates to a MyProxy repository by passphrase
+// and receives a fresh short-lived proxy delegated from the stored
+// credential. The private key is generated locally and never crosses the
+// exchange.
+func (c *Client) RetrieveCredential(ctx context.Context, repo *MyProxy, username, passphrase string, lifetime time.Duration, opts ...Option) (*Credential, error) {
+	const op = "gsi.Client.RetrieveCredential"
+	ctx, cancelSkew, _, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, opErr(op, err)
+	}
+	delegatee, req, err := proxy.NewDelegatee(lifetime, false)
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	req.Lifetime = lifetime
+	reply, err := repo.RetrieveContext(ctx, username, passphrase, req)
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	cred, err := delegatee.Accept(reply)
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	return cred, nil
+}
+
+// StoreCredential delegates a proxy below the client's credential into a
+// MyProxy repository under username/passphrase; maxLifetime bounds
+// proxies later retrieved.
+func (c *Client) StoreCredential(ctx context.Context, repo *MyProxy, username, passphrase string, deposit *Credential, maxLifetime time.Duration, opts ...Option) error {
+	const op = "gsi.Client.StoreCredential"
+	ctx, cancelSkew, _, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return opErr(op, err)
+	}
+	if err := repo.StoreContext(ctx, username, passphrase, deposit, maxLifetime); err != nil {
+		return opErr(op, err)
+	}
+	return nil
+}
+
+// SubmitJob runs the full Figure-4 GRAM flow against a resource: sign
+// and submit the description, then mutually authenticate with the
+// created MJS, delegate if the description asks for it, and start the
+// job. Cancellation aborts between the submit, connect, delegate, and
+// start steps.
+func (c *Client) SubmitJob(ctx context.Context, resource *JobResource, desc JobDescription, opts ...Option) (*MJS, error) {
+	const op = "gsi.Client.SubmitJob"
+	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	// The resolved options shape the step-7 MJS connection: delegation
+	// intent, peer pinning, limited-proxy rejection, depth caps.
+	gc := &gram.Client{
+		Credential:    c.cred,
+		Trust:         c.env.trust,
+		Resource:      resource,
+		ConnectConfig: s.contextConfig(c.env, nil),
+	}
+	mjs, err := gc.SubmitAndRunContext(ctx, desc)
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	return mjs, nil
+}
+
+// Invoke runs the Figure-3 secured-request pipeline against a GT3
+// container endpoint (policy fetch, mechanism selection, token
+// processing, delivery), returning the reply and the phase timings.
+func (c *Client) Invoke(ctx context.Context, endpoint, handle, op string, body []byte, opts ...Option) ([]byte, Trace, error) {
+	const opName = "gsi.Client.Invoke"
+	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, Trace{}, opErr(opName, err)
+	}
+	r := &Requestor{
+		Credential:      c.cred,
+		Trust:           c.env.trust,
+		PreferStateless: s.protection == ProtectionSigned,
+	}
+	out, trace, err := r.InvokeContext(ctx, HTTPTransport(endpoint), handle, op, body)
+	if err != nil {
+		return nil, trace, opErr(opName, err)
+	}
+	return out, trace, nil
+}
+
+// compile-time interface checks for the session implementations.
+var (
+	_ Session = (*gt2Session)(nil)
+	_ Session = (*gt3Session)(nil)
+	_ Session = (*gt3SignedSession)(nil)
+)

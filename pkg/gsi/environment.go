@@ -1,0 +1,98 @@
+package gsi
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+)
+
+// Environment is the ambient security world a process operates in: the
+// trust roots it accepts, the clock it validates against, and the
+// default authorization policy its servers enforce. Clients and Servers
+// are constructed from an Environment so that every handshake and every
+// chain validation in the process agrees on these three things.
+//
+//	env, _ := gsi.NewEnvironment(gsi.WithRoots(caCert))
+//	client, _ := env.NewClient(cred)
+//	server, _ := env.NewServer(hostCred)
+type Environment struct {
+	trust      *gridcert.TrustStore
+	now        func() time.Time
+	authorizer authz.Engine
+}
+
+// EnvOption configures NewEnvironment.
+type EnvOption func(*Environment) error
+
+// WithTrustStore adopts an existing trust store (shared with code using
+// the lower-level API).
+func WithTrustStore(ts *TrustStore) EnvOption {
+	return func(e *Environment) error {
+		if ts == nil {
+			return errors.New("gsi: nil trust store")
+		}
+		e.trust = ts
+		return nil
+	}
+}
+
+// WithRoots installs trusted CA roots into the environment's store.
+func WithRoots(roots ...*Certificate) EnvOption {
+	return func(e *Environment) error {
+		for _, r := range roots {
+			if err := e.trust.AddRoot(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WithClock overrides the validation clock (tests, replay of recorded
+// traffic).
+func WithClock(now func() time.Time) EnvOption {
+	return func(e *Environment) error {
+		if now == nil {
+			return errors.New("gsi: nil clock")
+		}
+		e.now = now
+		return nil
+	}
+}
+
+// WithAuthorizer sets the environment's default authorization engine,
+// enforced by Servers built from it (nil means authenticate-only).
+func WithAuthorizer(engine authz.Engine) EnvOption {
+	return func(e *Environment) error {
+		e.authorizer = engine
+		return nil
+	}
+}
+
+// NewEnvironment builds an Environment. With no options it has an empty
+// trust store (add roots later via Trust().AddRoot) and the system
+// clock.
+func NewEnvironment(opts ...EnvOption) (*Environment, error) {
+	e := &Environment{
+		trust: gridcert.NewTrustStore(),
+		now:   time.Now,
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, opErr("gsi.NewEnvironment", err)
+		}
+	}
+	return e, nil
+}
+
+// Trust returns the environment's trust store.
+func (e *Environment) Trust() *TrustStore { return e.trust }
+
+// Now returns the environment's current time.
+func (e *Environment) Now() time.Time { return e.now() }
+
+// Authorizer returns the environment's default authorization engine
+// (nil means authenticate-only).
+func (e *Environment) Authorizer() authz.Engine { return e.authorizer }

@@ -1,7 +1,34 @@
 // Package gsi is the public API of this Grid Security Infrastructure
 // reproduction ("Security for Grid Services", Welch et al., HPDC 2003).
 //
-// It re-exports the stable surface of the internal packages:
+// # The handle-based API
+//
+// The primary surface is three handles (see DESIGN.md for the full
+// shape and migration notes):
+//
+//   - Environment — trust roots + clock + authorization policy,
+//     constructed with NewEnvironment and EnvOptions;
+//   - Client — an initiator credential bound to an Environment; its
+//     Connect/Establish/RequestAssertion/RetrieveCredential/SubmitJob/
+//     Invoke methods all take a context.Context (cancellation and
+//     deadlines are honored mid-handshake and mid-RPC) and return typed
+//     errors matchable with errors.Is (ErrExpiredCredential,
+//     ErrUntrustedIssuer, ErrUnauthorized, ErrContextClosed,
+//     ErrTransport, …);
+//   - Server — an acceptor credential serving secured exchanges to a
+//     Handler behind the environment's authorizer.
+//
+// Both handles take functional options (WithTransport, WithDelegation,
+// WithMessageProtection, WithDeadlineSkew, WithExpectedPeer, …), and the
+// Transport interface unifies the GT2 raw-socket path (TransportGT2)
+// and the GT3 SOAP/HTTP path (TransportGT3) — the same handshake
+// tokens over either carriage, chosen by option rather than by
+// function name.
+//
+// # Underlying domain types
+//
+// The package also re-exports the stable surface of the internal
+// packages:
 //
 //   - PKI: certificate authorities, trust stores, proxy certificates and
 //     delegation (GT2 §3);
@@ -13,6 +40,9 @@
 //     pipelines, published security policy, WS-SecureConversation and
 //     per-message signatures, and the OGSA security services (Figures 3);
 //   - GRAM: least-privilege remote job management (Figure 4).
+//
+// The free functions at the bottom of this file predate the handles;
+// they remain as thin deprecated shims.
 //
 // The quickstart example (examples/quickstart) shows the typical flow:
 // create a CA, issue a user, make a proxy, authenticate mutually, and
@@ -26,6 +56,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/cas"
 	"repro/internal/core"
+	"repro/internal/gram"
 	"repro/internal/gridcert"
 	"repro/internal/gridcrypto"
 	"repro/internal/gsitransport"
@@ -79,6 +110,8 @@ type (
 	Request = authz.Request
 	// Decision is permit/deny/not-applicable.
 	Decision = authz.Decision
+	// Engine decides authorization requests.
+	Engine = authz.Engine
 	// GridMap maps grid identities to local accounts.
 	GridMap = authz.GridMap
 	// CASServer is a community authorization server.
@@ -111,6 +144,23 @@ type (
 	Envelope = soap.Envelope
 	// MyProxy is an online credential repository.
 	MyProxy = myproxy.Server
+	// Trace records where time went in one secured request (Figure 3).
+	Trace = core.Trace
+)
+
+// GRAM types (Figure 4).
+type (
+	// JobResource is a GT3 GRAM resource (router, MMJFS, per-user
+	// LMJFS/MJS machinery over a simulated OS).
+	JobResource = gram.Resource
+	// JobDescription describes a job to submit.
+	JobDescription = gram.JobDescription
+	// JobHandle identifies a submitted job.
+	JobHandle = gram.JobHandle
+	// MJS is a managed job service instance.
+	MJS = gram.MJS
+	// Job is the job state machine an MJS manages.
+	Job = gram.Job
 )
 
 // Decision and effect constants.
@@ -128,6 +178,17 @@ const (
 	ProxyLimited       = gridcert.ProxyLimited
 	ProxyRestricted    = gridcert.ProxyRestricted
 )
+
+// JobProgram is the well-known simulated job executable on GRAM
+// resources.
+const JobProgram = gram.JobProgram
+
+// NewJobResource boots a GT3 GRAM resource host (Figure 4): proxy
+// router, MMJFS, setuid starter, and GRIM over a simulated OS. Jobs are
+// submitted with Client.SubmitJob.
+func NewJobResource(hostCred *Credential, trust *TrustStore, gridmap *GridMap) (*JobResource, error) {
+	return gram.NewResource(hostCred, trust, gridmap)
+}
 
 // ParseName parses "/O=Grid/CN=Alice" style distinguished names.
 func ParseName(s string) (Name, error) { return gridcert.ParseName(s) }
@@ -154,11 +215,21 @@ func NewProxy(signer *Credential, opts ProxyOptions) (*Credential, error) {
 
 // EstablishContext runs an in-memory mutual authentication and returns
 // both sides' contexts.
+//
+// Deprecated: build a Client with Environment.NewClient and use
+// Client.Establish, which honors a context.Context and returns typed
+// errors.
 func EstablishContext(initiator, acceptor ContextConfig) (*Context, *Context, error) {
 	return gss.Establish(initiator, acceptor)
 }
 
 // DialGSI connects to a GT2-style secured TCP endpoint.
+//
+// Deprecated: build a Client with Environment.NewClient and use
+// Client.Connect with TransportGT2 (the default), which honors a
+// context.Context mid-handshake and returns typed errors. DialGSI
+// remains for callers speaking raw GT2 record streams rather than
+// request/response exchanges.
 func DialGSI(addr string, cfg ContextConfig) (*Conn, error) {
 	return gsitransport.Dial(addr, cfg)
 }
@@ -172,7 +243,7 @@ func NewPolicy(rules ...Rule) *Policy {
 func NewGridMap() *GridMap { return authz.NewGridMap() }
 
 // NewCASServer creates a community authorization server for a VO
-// credential.
+// credential. Members request assertions with Client.RequestAssertion.
 func NewCASServer(voCred *Credential) *CASServer { return cas.NewServer(voCred) }
 
 // NewCASEnforcer creates the resource-side CAS policy combiner.
@@ -181,6 +252,9 @@ func NewCASEnforcer(trust *TrustStore, local *Policy) *CASEnforcer {
 }
 
 // EmbedAssertion wraps a CAS assertion into a restricted proxy.
+//
+// Deprecated: use Client.EmbedAssertion, which classifies failures onto
+// the package error taxonomy.
 func EmbedAssertion(member *Credential, a *CASAssertion) (*Credential, error) {
 	return cas.EmbedInProxy(member, a)
 }
@@ -226,3 +300,6 @@ func EncodeChain(chain []*Certificate) []byte { return gridcert.EncodeChain(chai
 
 // DecodeChain reverses EncodeChain.
 func DecodeChain(b []byte) ([]*Certificate, error) { return gridcert.DecodeChain(b) }
+
+// DecodeCertificate parses one encoded certificate (grid-cert-info).
+func DecodeCertificate(b []byte) (*Certificate, error) { return gridcert.Decode(b) }

@@ -1,0 +1,185 @@
+package gsi
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/gss"
+)
+
+// ProtectionLevel selects the message-protection mechanism a client
+// requests — the two GT3 mechanisms of the paper's §4.4, which the GT2
+// transport maps onto its record protection.
+type ProtectionLevel int
+
+const (
+	// ProtectionPrivate establishes a security context and encrypts every
+	// message under it (WS-SecureConversation on GT3, wrapped records on
+	// GT2). Amortizes the handshake across calls; the default.
+	ProtectionPrivate ProtectionLevel = iota
+	// ProtectionSigned signs each message independently with the caller's
+	// credential (per-message XML signature on GT3). Stateless: no
+	// handshake, but every message pays a signature. GT2 — whose
+	// transport always establishes a context — treats it as
+	// ProtectionPrivate.
+	ProtectionSigned
+)
+
+// String names the protection level.
+func (p ProtectionLevel) String() string {
+	switch p {
+	case ProtectionPrivate:
+		return "private"
+	case ProtectionSigned:
+		return "signed"
+	default:
+		return "unknown"
+	}
+}
+
+// settings is the resolved option set of a Client, Server, Connect, or
+// Serve call. Options compose left to right; per-call options override
+// per-handle ones.
+type settings struct {
+	transport     Transport
+	protection    ProtectionLevel
+	delegation    bool
+	anonymous     bool
+	rejectLimited bool
+	maxProxyDepth int
+	expectedPeer  Name
+	lifetime      time.Duration
+	deadlineSkew  time.Duration
+}
+
+// Option configures a Client or Server handle, or a single
+// Connect/Serve call on one. Options that do not apply to a given
+// operation (e.g. WithTransport on the in-memory Establish) are
+// ignored by it; the context-shaping options (WithDeadlineSkew) and
+// the GSS options apply everywhere a handshake or deadline exists.
+type Option func(*settings) error
+
+// WithTransport selects how sessions reach peers: TransportGT2 (the
+// raw-socket GT2 protocol) or TransportGT3 (SOAP over HTTP). Callers
+// pick transport by option, never by function name.
+func WithTransport(t Transport) Option {
+	return func(s *settings) error {
+		if t == nil {
+			return errors.New("gsi: nil transport")
+		}
+		s.transport = t
+		return nil
+	}
+}
+
+// WithMessageProtection selects the protection mechanism for sessions.
+func WithMessageProtection(level ProtectionLevel) Option {
+	return func(s *settings) error {
+		if level != ProtectionPrivate && level != ProtectionSigned {
+			return errors.New("gsi: unknown protection level")
+		}
+		s.protection = level
+		return nil
+	}
+}
+
+// WithDelegation announces the intent to delegate a proxy credential to
+// the peer immediately after establishment (sets the GSS delegation
+// flag, so the acceptor can prepare).
+func WithDelegation() Option {
+	return func(s *settings) error {
+		s.delegation = true
+		return nil
+	}
+}
+
+// WithAnonymous withholds the client identity: only the server
+// authenticates (policy-discovery requests).
+func WithAnonymous() Option {
+	return func(s *settings) error {
+		s.anonymous = true
+		return nil
+	}
+}
+
+// WithRejectLimited refuses peers that authenticate with limited proxy
+// credentials (the GSI job-initiation rule).
+func WithRejectLimited() Option {
+	return func(s *settings) error {
+		s.rejectLimited = true
+		return nil
+	}
+}
+
+// WithMaxProxyDepth caps the peer chain's delegation depth (0 removes
+// the cap).
+func WithMaxProxyDepth(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return errors.New("gsi: negative proxy depth")
+		}
+		s.maxProxyDepth = n
+		return nil
+	}
+}
+
+// WithExpectedPeer requires the peer's grid identity (its end-entity
+// subject, regardless of proxying) to equal name.
+func WithExpectedPeer(name Name) Option {
+	return func(s *settings) error {
+		s.expectedPeer = name
+		return nil
+	}
+}
+
+// WithLifetime caps the security-context lifetime (0 means the 12h
+// default; never beyond the credential's own expiry).
+func WithLifetime(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return errors.New("gsi: negative lifetime")
+		}
+		s.lifetime = d
+		return nil
+	}
+}
+
+// WithDeadlineSkew shrinks the context deadline a session operation sees
+// by d, budgeting for clock skew between grid parties: an operation that
+// must complete by T locally is given up at T-d so the peer — whose
+// clock may run up to d ahead — never observes work past its own T.
+func WithDeadlineSkew(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return errors.New("gsi: negative deadline skew")
+		}
+		s.deadlineSkew = d
+		return nil
+	}
+}
+
+// apply folds opts over base, returning the resolved settings.
+func (s settings) apply(opts []Option) (settings, error) {
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// contextConfig assembles the GSS configuration for one side of an
+// establishment from an environment, a credential, and settings.
+func (s settings) contextConfig(env *Environment, cred *Credential) gss.Config {
+	return gss.Config{
+		Credential:    cred,
+		TrustStore:    env.trust,
+		Anonymous:     s.anonymous,
+		Delegate:      s.delegation,
+		RejectLimited: s.rejectLimited,
+		MaxProxyDepth: s.maxProxyDepth,
+		ExpectedPeer:  s.expectedPeer,
+		Lifetime:      s.lifetime,
+		Now:           env.now,
+	}
+}

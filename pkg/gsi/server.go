@@ -1,0 +1,66 @@
+package gsi
+
+import (
+	"context"
+	"errors"
+)
+
+// Server is the acceptor handle of the redesigned API: a service
+// credential bound to an Environment, serving secured exchanges over a
+// chosen Transport. The environment's authorizer (if any) gates every
+// exchange before the handler runs, so the handler sees only
+// authenticated, authorized calls — the paper's hosting-environment
+// pipeline as an API shape.
+//
+//	server, _ := env.NewServer(hostCred, gsi.WithTransport(gsi.TransportGT3()))
+//	ep, _ := server.Serve(ctx, "127.0.0.1:0", handler)
+//	defer ep.Close()
+type Server struct {
+	env  *Environment
+	cred *Credential
+	base settings
+}
+
+// NewServer builds a Server handle. A credential is mandatory: GSI
+// always authenticates the service side.
+func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, error) {
+	if cred == nil {
+		return nil, opErr("gsi.NewServer", errors.New("gsi: server requires a credential"))
+	}
+	base := settings{transport: TransportGT2()}
+	base, err := base.apply(opts)
+	if err != nil {
+		return nil, opErr("gsi.NewServer", err)
+	}
+	return &Server{env: e, cred: cred, base: base}, nil
+}
+
+// Environment returns the server's environment.
+func (s *Server) Environment() *Environment { return s.env }
+
+// Identity returns the server's grid identity.
+func (s *Server) Identity() Name { return s.cred.Leaf().Subject }
+
+// Serve starts accepting secured sessions on addr ("host:port";
+// ":0"-style addresses pick an ephemeral port — read the dialable form
+// from Endpoint.Addr). The endpoint stops when ctx ends or Close is
+// called; in-flight handshakes and exchanges abort with the context.
+func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Option) (Endpoint, error) {
+	const op = "gsi.Server.Serve"
+	if h == nil {
+		return nil, opErr(op, errors.New("gsi: nil handler"))
+	}
+	resolved, err := s.base.apply(opts)
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	ep, err := resolved.transport.Serve(ctx, addr, ServeConfig{
+		Context:     resolved.contextConfig(s.env, s.cred),
+		Handler:     h,
+		Environment: s.env,
+	})
+	if err != nil {
+		return nil, opErr(op, err)
+	}
+	return ep, nil
+}

@@ -1,0 +1,402 @@
+package gsi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/gsitransport"
+	"repro/internal/ogsa"
+	"repro/internal/soap"
+	"repro/internal/wire"
+	"repro/internal/wssec"
+	"repro/internal/xmlsec"
+)
+
+// Handler serves one secured exchange on a Server. By the time it runs,
+// the transport has authenticated peer and (for GT3) the container has
+// authorized the call; op and body are the application request.
+type Handler func(ctx context.Context, peer Peer, op string, body []byte) ([]byte, error)
+
+// Session is an established secured channel to one peer. Exchange is a
+// request/response round-trip; every call honors its context's
+// cancellation and deadline mid-RPC.
+type Session interface {
+	// Exchange sends op+body and returns the peer's reply.
+	Exchange(ctx context.Context, op string, body []byte) ([]byte, error)
+	// Peer is the authenticated remote party (zero-valued on
+	// ProtectionSigned GT3 sessions, which authenticate requests, not
+	// the response channel).
+	Peer() Peer
+	// Close releases the session.
+	Close() error
+}
+
+// Endpoint is a served address accepting sessions.
+type Endpoint interface {
+	// Addr is the dialable address: "host:port" for GT2, a URL for GT3.
+	Addr() string
+	// Close stops accepting and tears down live sessions.
+	Close() error
+}
+
+// Transport is how secured sessions reach peers. The two
+// implementations carry the very same GSS handshake tokens — the GT2
+// transport frames them over TCP, the GT3 transport carries them in
+// SOAP envelopes (the paper's §5.1 observation) — so callers choose by
+// option, not by function name:
+//
+//	client, _ := env.NewClient(cred, gsi.WithTransport(gsi.TransportGT3()))
+type Transport interface {
+	// String names the transport ("gt2", "gt3").
+	String() string
+	// Dial establishes a secured session with the peer at endpoint.
+	Dial(ctx context.Context, endpoint string, cfg DialConfig) (Session, error)
+	// Serve accepts sessions on addr, delivering exchanges to a handler.
+	Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error)
+}
+
+// DialConfig is what a Transport needs to initiate sessions. Custom
+// Transport implementations receive the resolved option set this way.
+type DialConfig struct {
+	// Context parameterises the GSS handshake.
+	Context ContextConfig
+	// Protection selects the message-protection mechanism.
+	Protection ProtectionLevel
+}
+
+// ServeConfig is what a Transport needs to accept sessions.
+type ServeConfig struct {
+	// Context parameterises the acceptor side of handshakes.
+	Context ContextConfig
+	// Handler receives authenticated, authorized exchanges.
+	Handler Handler
+	// Environment supplies the authorizer and audit plumbing (GT3).
+	Environment *Environment
+}
+
+// exchangeHandle is the service handle GT3 exchanges are routed under.
+const exchangeHandle = "gsi.exchange"
+
+// --- GT2: the raw-socket transport -------------------------------------
+
+type gt2Transport struct{}
+
+// TransportGT2 returns the GT2 transport: the GSS handshake framed
+// directly over TCP, followed by wrapped records (paper §3). Endpoints
+// are "host:port" addresses.
+func TransportGT2() Transport { return gt2Transport{} }
+
+func (gt2Transport) String() string { return "gt2" }
+
+// gt2 exchange framing: request = (op, body); reply = (status, payload)
+// where status 0 carries a result and nonzero an error message.
+const (
+	gt2StatusOK byte = iota
+	gt2StatusUnauthorized
+	gt2StatusNotFound
+	gt2StatusError
+)
+
+func gt2EncodeRequest(op string, body []byte) []byte {
+	return wire.NewEncoder().Str(op).Bytes(body).Finish()
+}
+
+func gt2DecodeRequest(b []byte) (op string, body []byte, err error) {
+	d := wire.NewDecoder(b)
+	op = d.Str()
+	body = d.Bytes()
+	return op, body, d.Done()
+}
+
+func gt2EncodeReply(status byte, payload []byte) []byte {
+	return wire.NewEncoder().U8(status).Bytes(payload).Finish()
+}
+
+func gt2DecodeReply(b []byte) (status byte, payload []byte, err error) {
+	d := wire.NewDecoder(b)
+	status = d.U8()
+	payload = d.Bytes()
+	return status, payload, d.Done()
+}
+
+func gt2Status(err error) byte {
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		return gt2StatusUnauthorized
+	case errors.Is(err, ErrNotFound):
+		return gt2StatusNotFound
+	default:
+		return gt2StatusError
+	}
+}
+
+func gt2StatusErr(status byte, msg string) error {
+	remote := fmt.Errorf("gsi: remote error: %s", msg)
+	switch status {
+	case gt2StatusUnauthorized:
+		return &Error{Op: "gsi.Session.Exchange", Kind: ErrUnauthorized, Err: remote}
+	case gt2StatusNotFound:
+		return &Error{Op: "gsi.Session.Exchange", Kind: ErrNotFound, Err: remote}
+	default:
+		return &Error{Op: "gsi.Session.Exchange", Err: remote}
+	}
+}
+
+func (gt2Transport) Dial(ctx context.Context, endpoint string, cfg DialConfig) (Session, error) {
+	conn, err := gsitransport.DialContext(ctx, endpoint, cfg.Context)
+	if err != nil {
+		return nil, err
+	}
+	return &gt2Session{conn: conn}, nil
+}
+
+type gt2Session struct {
+	conn *gsitransport.Conn
+	mu   sync.Mutex // serializes request/response pairs on the record stream
+}
+
+func (s *gt2Session) Exchange(ctx context.Context, op string, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.conn.SendContext(ctx, gt2EncodeRequest(op, body)); err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	reply, err := s.conn.ReceiveContext(ctx)
+	if err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	status, payload, err := gt2DecodeReply(reply)
+	if err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	if status != gt2StatusOK {
+		return nil, gt2StatusErr(status, string(payload))
+	}
+	return payload, nil
+}
+
+func (s *gt2Session) Peer() Peer { return s.conn.Peer() }
+
+func (s *gt2Session) Close() error { return s.conn.Close() }
+
+func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error) {
+	inner, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	listener := gsitransport.NewListener(inner, cfg.Context)
+	ep := &gt2Endpoint{addr: inner.Addr().String(), cancel: cancel, listener: listener}
+	go func() {
+		for {
+			conn, err := listener.AcceptContext(serveCtx)
+			if err != nil {
+				if serveCtx.Err() != nil || errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue // a failed handshake must not stop the acceptor
+			}
+			go serveGT2Conn(serveCtx, conn, cfg)
+		}
+	}()
+	return ep, nil
+}
+
+// serveGT2Conn answers exchanges on one accepted connection until the
+// peer hangs up or the serve context ends.
+func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig) {
+	defer conn.Close()
+	peer := conn.Peer()
+	authorizer := authorizerOf(cfg.Environment)
+	for {
+		req, err := conn.ReceiveContext(ctx)
+		if err != nil {
+			return
+		}
+		op, body, err := gt2DecodeRequest(req)
+		if err != nil {
+			return
+		}
+		var reply []byte
+		if authErr := authorizeExchange(authorizer, peer, op); authErr != nil {
+			reply = gt2EncodeReply(gt2Status(authErr), []byte(authErr.Error()))
+		} else if out, err := cfg.Handler(ctx, peer, op, body); err != nil {
+			reply = gt2EncodeReply(gt2Status(err), []byte(err.Error()))
+		} else {
+			reply = gt2EncodeReply(gt2StatusOK, out)
+		}
+		if err := conn.SendContext(ctx, reply); err != nil {
+			return
+		}
+	}
+}
+
+type gt2Endpoint struct {
+	addr     string
+	cancel   context.CancelFunc
+	listener *gsitransport.Listener
+}
+
+func (e *gt2Endpoint) Addr() string { return e.addr }
+
+func (e *gt2Endpoint) Close() error {
+	e.cancel()
+	return e.listener.Close()
+}
+
+// --- GT3: the SOAP/HTTP transport --------------------------------------
+
+type gt3Transport struct{}
+
+// TransportGT3 returns the GT3 transport: the same handshake tokens
+// carried in WS-SecureConversation SOAP envelopes over HTTP, or
+// per-message XML signatures for ProtectionSigned (paper §4.4, §5.1).
+// Endpoints are SOAP URLs as returned by Endpoint.Addr.
+func TransportGT3() Transport { return gt3Transport{} }
+
+func (gt3Transport) String() string { return "gt3" }
+
+func (gt3Transport) Dial(ctx context.Context, endpoint string, cfg DialConfig) (Session, error) {
+	soapClient := &soap.Client{Endpoint: endpoint}
+	transport := func(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
+		return soapClient.CallContext(ctx, env)
+	}
+	if cfg.Protection == ProtectionSigned {
+		return &gt3SignedSession{cred: cfg.Context.Credential, transport: transport}, nil
+	}
+	conv, err := wssec.EstablishConversationContext(ctx, cfg.Context, transport)
+	if err != nil {
+		return nil, err
+	}
+	return &gt3Session{conv: conv}, nil
+}
+
+type gt3Session struct {
+	conv *wssec.Conversation
+}
+
+func (s *gt3Session) Exchange(ctx context.Context, op string, body []byte) ([]byte, error) {
+	reply, err := s.conv.CallContext(ctx, soap.NewEnvelope("ogsa-sc/"+exchangeHandle+"/"+op, body))
+	if err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	return reply.Body, nil
+}
+
+func (s *gt3Session) Peer() Peer { return s.conv.Peer() }
+
+func (s *gt3Session) Close() error { return nil }
+
+// gt3SignedSession is the stateless variant: no context, each message
+// signed under the caller's credential.
+type gt3SignedSession struct {
+	cred      *Credential
+	transport wssec.ContextTransport
+}
+
+func (s *gt3SignedSession) Exchange(ctx context.Context, op string, body []byte) ([]byte, error) {
+	env := soap.NewEnvelope("ogsa/"+exchangeHandle+"/"+op, body)
+	if err := xmlsec.SignEnvelope(env, s.cred); err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	reply, err := s.transport(ctx, env)
+	if err != nil {
+		return nil, opErr("gsi.Session.Exchange", err)
+	}
+	if reply.Fault != nil {
+		return nil, opErr("gsi.Session.Exchange", reply.Fault)
+	}
+	return reply.Body, nil
+}
+
+func (s *gt3SignedSession) Peer() Peer { return Peer{} }
+
+func (s *gt3SignedSession) Close() error { return nil }
+
+func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error) {
+	container, err := ogsa.NewContainer(ogsa.ContainerConfig{
+		Name:          exchangeHandle,
+		Credential:    cfg.Context.Credential,
+		TrustStore:    cfg.Context.TrustStore,
+		Authorizer:    authorizerOf(cfg.Environment),
+		RejectLimited: cfg.Context.RejectLimited,
+	})
+	if err != nil {
+		return nil, err
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	container.Publish(exchangeHandle, &handlerService{ctx: serveCtx, h: cfg.Handler})
+	srv, err := soap.NewServer(addr, container.Dispatcher())
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &gt3Endpoint{url: srv.URL(), cancel: cancel, close: srv.Close}, nil
+}
+
+// handlerService adapts a Handler to the OGSA service interface. The
+// per-exchange context is the serve context: SOAP's request path carries
+// no caller deadline, so cancellation here means endpoint shutdown.
+type handlerService struct {
+	ctx context.Context
+	h   Handler
+}
+
+func (s *handlerService) Invoke(call *ogsa.Call) ([]byte, error) {
+	peer := Peer{
+		Anonymous: call.Caller.Anonymous,
+		Identity:  call.Caller.Name,
+		Subject:   call.Caller.Name,
+	}
+	return s.h(s.ctx, peer, call.Op, call.Body)
+}
+
+type gt3Endpoint struct {
+	url    string
+	cancel context.CancelFunc
+	close  func() error
+}
+
+func (e *gt3Endpoint) Addr() string { return e.url }
+
+func (e *gt3Endpoint) Close() error {
+	e.cancel()
+	return e.close()
+}
+
+// --- shared server-side authorization -----------------------------------
+
+func authorizerOf(env *Environment) Engine {
+	if env == nil {
+		return nil
+	}
+	return env.authorizer
+}
+
+// authorizeExchange runs the environment's authorization engine against
+// one GT2 exchange, mirroring the container's Figure-3 step 5 with the
+// resource named after the exchange handle.
+func authorizeExchange(engine Engine, peer Peer, op string) error {
+	if engine == nil {
+		return nil
+	}
+	decision, err := engine.Authorize(Request{
+		Subject:  peer.Identity,
+		Resource: "ogsa:" + exchangeHandle,
+		Action:   op,
+	})
+	if err != nil {
+		return &Error{Op: "gsi.Server", Err: err}
+	}
+	if decision != Permit {
+		return &Error{
+			Op:   "gsi.Server",
+			Kind: ErrUnauthorized,
+			Err:  fmt.Errorf("gsi: %q denied %s", peer.Identity, op),
+		}
+	}
+	return nil
+}
