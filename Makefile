@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench fmt
+.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool fmt
 
-## ci: the tier-1 gate — format check, vet, build, test.
-ci: fmt-check vet build test
+## ci: the tier-1 gate — format check, vet, build, test, race, fuzz smoke.
+ci: fmt-check vet build test race fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -20,9 +20,29 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the concurrency gate — the session pool and transports must be
+## clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+## fuzz-smoke: a short fuzz pass over every parser target (go test runs
+## one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzGT2DecodeRequest$$' -fuzztime=5s ./pkg/gsi
+	$(GO) test -run '^$$' -fuzz '^FuzzGT2DecodeReply$$' -fuzztime=5s ./pkg/gsi
+	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime=5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime=5s ./internal/wire
+
 ## bench: regenerate the paper's measurements.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## bench-pool: record the handshake-amortization pair into
+## BENCH_pool.json (the perf trajectory's data points).
+bench-pool:
+	$(GO) test -run '^$$' -bench 'ExchangeColdHandshake|ExchangePooledResume' -benchmem . \
+		| $(GO) run ./cmd/bench2json > BENCH_pool.json
+	@cat BENCH_pool.json
 
 ## fmt: rewrite files in place.
 fmt:

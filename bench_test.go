@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/vo"
 	"repro/internal/wssec"
 	"repro/internal/xmlsec"
+	"repro/pkg/gsi"
 )
 
 // --- shared fixtures ----------------------------------------------------
@@ -625,6 +627,80 @@ func BenchmarkE8_Bridge(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E10: handshake amortization — session pool + resumption --------------
+
+// The pair the ISSUE's acceptance criteria compare: the same secured
+// request/response over a live GT2 endpoint, paying the full public-key
+// handshake every call (cold) versus riding the session pool (pooled).
+// `make bench-pool` records them into BENCH_pool.json.
+
+func newExchangeBenchWorld(b *testing.B, clientOpts ...gsi.Option) (*gsi.Client, gsi.Endpoint) {
+	b.Helper()
+	w := newPoolWorld(b)
+	server, err := w.env.NewServer(w.host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := server.Serve(context.Background(), "127.0.0.1:0", func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ep.Close() })
+	client, err := w.env.NewClient(w.alice, clientOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if p := client.Pool(); p != nil {
+		b.Cleanup(func() { p.Close() })
+	}
+	return client, ep
+}
+
+// BenchmarkExchangeColdHandshake dials, handshakes, exchanges, and
+// tears down per operation — the pre-pool cost of every call.
+func BenchmarkExchangeColdHandshake(b *testing.B) {
+	client, ep := newExchangeBenchWorld(b)
+	ctx := context.Background()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := client.Connect(ctx, ep.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Exchange(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+		sess.Close()
+	}
+}
+
+// BenchmarkExchangePooledResume reuses one pooled connection across all
+// operations: the handshake is paid once, every later call costs only
+// record protection and the socket round trip.
+func BenchmarkExchangePooledResume(b *testing.B) {
+	client, ep := newExchangeBenchWorld(b, gsi.WithSessionPool(nil))
+	ctx := context.Background()
+	payload := make([]byte, 1024)
+	if _, err := client.Exchange(ctx, ep.Addr(), "echo", payload); err != nil {
+		b.Fatal(err) // warm the pool outside the timed region
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Exchange(ctx, ep.Addr(), "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := client.Pool().Stats()
+	b.ReportMetric(float64(st.Dials), "handshakes-total")
+	b.ReportMetric(float64(st.Hits), "pool-hits-total")
 }
 
 // --- E9: §3 — proxy delegation chains --------------------------------------

@@ -104,4 +104,33 @@ func main() {
 	}
 	fmt.Printf("6. delegated credential validates: identity=%s depth=%d\n",
 		info.Identity, info.ProxyDepth)
+
+	// 7. Session pooling: a pooled client pays the public-key handshake
+	// once per connection, not once per call. WithSessionPool(nil) gives
+	// the client a private pool; build one with NewSessionPool to share
+	// it between clients. Close drains the pool.
+	server, err := env.NewServer(gridftp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep, err := server.Serve(ctx, "127.0.0.1:0", func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	pooled, err := env.NewClient(aliceProxy, gsi.WithSessionPool(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pooled.Pool().Close()
+	for i := 0; i < 5; i++ {
+		if _, err := pooled.Exchange(ctx, ep.Addr(), "echo", []byte("req")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := pooled.Pool().Stats()
+	fmt.Printf("7. pooled exchanges: 5 calls, %d handshake(s), %d pool hit(s)\n",
+		st.Dials, st.Hits)
 }

@@ -1,0 +1,90 @@
+package gridcert
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestVerifyCachedHitsOnRepeatedChain(t *testing.T) {
+	caCert, _, userCert, _ := testPKI(t)
+	ts := newStore(t, caCert)
+	cache := NewVerifyCache(0)
+	chain := []*Certificate{userCert}
+	encoded := EncodeChain(chain)
+
+	for i := 0; i < 5; i++ {
+		info, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Identity.Equal(userCert.Subject) {
+			t.Fatalf("identity = %q", info.Identity)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("stats = %+v, want 1 miss / 4 hits", st)
+	}
+}
+
+func TestVerifyCachedKeyedByOptions(t *testing.T) {
+	caCert, _, userCert, userKey := testPKI(t)
+	ts := newStore(t, caCert)
+	cache := NewVerifyCache(0)
+	p, _ := issueProxy(t, userCert, userKey, ProxyLimited, -1)
+	chain := []*Certificate{p, userCert}
+	encoded := EncodeChain(chain)
+
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The same bytes with RejectLimited must NOT reuse the permissive
+	// result: options are part of the key.
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{RejectLimited: true}); !errors.Is(err, ErrLimitedProxy) {
+		t.Fatalf("RejectLimited through cache: %v", err)
+	}
+}
+
+func TestVerifyCachedInvalidatedByTrustChange(t *testing.T) {
+	caCert, caKey, userCert, _ := testPKI(t)
+	ts := newStore(t, caCert)
+	cache := NewVerifyCache(0)
+	chain := []*Certificate{userCert}
+	encoded := EncodeChain(chain)
+
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Revoking the user via a CRL bumps the generation: the cached
+	// result may not outlive the trust change.
+	crl, err := NewCRL(caCert.Subject, 1, []uint64{userCert.SerialNumber}, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AddCRL(crl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{}); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked cert through cache: %v", err)
+	}
+}
+
+func TestVerifyCachedHonorsValidityWindow(t *testing.T) {
+	caCert, _, userCert, _ := testPKI(t)
+	ts := newStore(t, caCert)
+	cache := NewVerifyCache(0)
+	chain := []*Certificate{userCert}
+	encoded := EncodeChain(chain)
+
+	now := time.Now()
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{Now: now}); err != nil {
+		t.Fatal(err)
+	}
+	// A validation instant past the chain's expiry must not be served
+	// from cache.
+	late := now.Add(48 * time.Hour)
+	if _, err := ts.VerifyCached(cache, encoded, chain, VerifyOptions{Now: late}); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired instant through cache: %v", err)
+	}
+}

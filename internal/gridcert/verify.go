@@ -32,6 +32,12 @@ type TrustStore struct {
 	mu    sync.RWMutex
 	roots map[string]*Certificate // keyed by subject string
 	crls  map[string]*CRL         // latest CRL per CA subject
+
+	// gen counts trust-state mutations (root or CRL changes). Verified-
+	// chain caches record the generation a result was computed under and
+	// discard it when the store has moved on, so withdrawing a root or
+	// installing a CRL invalidates every cached validation at once.
+	gen uint64
 }
 
 // NewTrustStore creates an empty trust store.
@@ -57,6 +63,7 @@ func (ts *TrustStore) AddRoot(root *Certificate) error {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	ts.roots[root.Subject.String()] = root
+	ts.gen++
 	return nil
 }
 
@@ -65,6 +72,7 @@ func (ts *TrustStore) RemoveRoot(subject Name) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	delete(ts.roots, subject.String())
+	ts.gen++
 }
 
 // Root returns the trusted root with the given subject, if present.
@@ -110,7 +118,17 @@ func (ts *TrustStore) AddCRL(crl *CRL) error {
 		return fmt.Errorf("gridcert: CRL number %d not newer than installed %d", crl.Number, prev.Number)
 	}
 	ts.crls[crl.Issuer.String()] = crl
+	ts.gen++
 	return nil
+}
+
+// Generation reports the trust-state revision: it increments whenever a
+// root or CRL is added or removed. Cached validation results are only
+// valid for the generation they were computed under.
+func (ts *TrustStore) Generation() uint64 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.gen
 }
 
 // revoked reports whether serial was revoked by the CA with the given name.

@@ -227,6 +227,19 @@ func (c *Conn) readToken() ([]byte, error) {
 // Context returns the established security context.
 func (c *Conn) Context() *gss.Context { return c.ctx }
 
+// Broken reports whether an interrupted Send or Receive desynchronized
+// the record stream (after which every operation returns ErrBroken).
+func (c *Conn) Broken() bool { return c.broken.Load() }
+
+// Healthy is the cheap, I/O-free liveness check a connection pool runs
+// before reusing an idle connection: the record stream is intact and
+// the security context has not lapsed. It cannot observe a peer that
+// vanished silently — that is what an application-level probe (or the
+// first failed exchange, which poisons the conn) is for.
+func (c *Conn) Healthy() bool {
+	return !c.broken.Load() && c.ctx != nil && !c.ctx.Expired()
+}
+
 // Peer returns the authenticated remote party.
 func (c *Conn) Peer() gss.Peer { return c.ctx.Peer() }
 
@@ -411,9 +424,10 @@ func Dial(addr string, cfg gss.Config) (*Conn, error) {
 }
 
 // DialContext is Dial honoring ctx for both the TCP connect and the
-// security handshake.
+// security handshake. TCP keepalive is enabled so pooled connections
+// parked idle detect dead peers at the transport layer.
 func DialContext(ctx context.Context, addr string, cfg gss.Config) (*Conn, error) {
-	var d net.Dialer
+	d := net.Dialer{KeepAlive: 15 * time.Second}
 	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err

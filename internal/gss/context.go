@@ -109,6 +109,83 @@ func (c *Context) Unwrap(wrapped []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// ResumeNonceSize is the length both resumption nonces must have.
+const ResumeNonceSize = 32
+
+// Resume derives a child context from an established one without any
+// public-key operation: fresh wrap and MIC keys are drawn by HKDF from
+// the parent's finished keys (known to both sides, ordered canonically)
+// salted with the two resumption nonces. Both parties call Resume with
+// the same nonces and obtain matching key schedules; each keeps its own
+// orientation. The child inherits the parent's authenticated peer,
+// flags, clock, and — crucially — its expiry, which newContext already
+// clamped to the local credential's lifetime: a resumed context can
+// never outlive the credential that authenticated the original
+// handshake. A lapsed parent cannot be resumed.
+//
+// This is the WS-SecureConversation amortization the paper's §5.1
+// measures: one expensive bootstrap, many cheap session-key refreshes.
+func (c *Context) Resume(clientNonce, serverNonce []byte) (*Context, error) {
+	if c.Expired() {
+		return nil, ErrContextExpired
+	}
+	if len(clientNonce) != ResumeNonceSize || len(serverNonce) != ResumeNonceSize {
+		return nil, fmt.Errorf("%w: resumption nonce must be %d bytes", ErrBadToken, ResumeNonceSize)
+	}
+	// Order the finished keys canonically (initiator's first) so both
+	// orientations derive the same material.
+	initFin, acceptFin := c.micKey, c.vfyKey
+	if !c.initiator {
+		initFin, acceptFin = acceptFin, initFin
+	}
+	ikm := make([]byte, 0, len(initFin)+len(acceptFin))
+	ikm = append(ikm, initFin...)
+	ikm = append(ikm, acceptFin...)
+	salt := make([]byte, 0, len(clientNonce)+len(serverNonce))
+	salt = append(salt, clientNonce...)
+	salt = append(salt, serverNonce...)
+	prk := gridcrypto.HKDFExtract(salt, ikm)
+	var ks keySchedule
+	var err error
+	if ks.initWrite, err = gridcrypto.HKDFExpand(prk, []byte("gsi3 resume initiator write"), gridcrypto.AEADKeySize); err != nil {
+		return nil, err
+	}
+	if ks.acceptWrite, err = gridcrypto.HKDFExpand(prk, []byte("gsi3 resume acceptor write"), gridcrypto.AEADKeySize); err != nil {
+		return nil, err
+	}
+	if ks.initFin, err = gridcrypto.HKDFExpand(prk, []byte("gsi3 resume initiator finished"), 32); err != nil {
+		return nil, err
+	}
+	if ks.acceptFin, err = gridcrypto.HKDFExpand(prk, []byte("gsi3 resume acceptor finished"), 32); err != nil {
+		return nil, err
+	}
+	sendKey, recvKey := ks.initWrite, ks.acceptWrite
+	micKey, vfyKey := ks.initFin, ks.acceptFin
+	if !c.initiator {
+		sendKey, recvKey = recvKey, sendKey
+		micKey, vfyKey = vfyKey, micKey
+	}
+	sealer, err := gridcrypto.NewSealer(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	opener, err := gridcrypto.NewOpener(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		initiator: c.initiator,
+		peer:      c.peer,
+		flags:     c.flags,
+		expiry:    c.expiry,
+		now:       c.now,
+		sealer:    sealer,
+		opener:    opener,
+		micKey:    micKey,
+		vfyKey:    vfyKey,
+	}, nil
+}
+
 // GetMIC computes an integrity check over msg without encrypting it.
 func (c *Context) GetMIC(msg []byte) []byte {
 	return gridcrypto.HMACSHA256(c.micKey, msg)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/gridcrypto"
 	"repro/internal/gss"
@@ -54,7 +55,10 @@ func (s *Stats) count(env *soap.Envelope) error {
 
 // Conversation is an established client-side secure conversation.
 type Conversation struct {
-	ContextID    string
+	ContextID string
+	// Resumed reports whether this conversation was derived from an
+	// earlier one via ActionResume instead of the full bootstrap.
+	Resumed      bool
 	ctx          *gss.Context
 	transport    Transport
 	ctxTransport ContextTransport // set when established via EstablishConversationContext
@@ -188,14 +192,20 @@ func (c *Conversation) CallContext(ctx context.Context, env *soap.Envelope) (*so
 type ConversationManager struct {
 	cfg gss.Config
 
-	mu       sync.Mutex
-	pending  map[string]*gss.Acceptor
-	sessions map[string]*serverSession
+	mu         sync.Mutex
+	pending    map[string]*gss.Acceptor
+	sessions   map[string]*serverSession
+	lastExpire time.Time
 }
 
 type serverSession struct {
 	ctx  *gss.Context
 	peer gss.Peer
+
+	// usedNonces records client nonces already spent on ActionResume,
+	// so a captured resume request cannot be replayed to mint further
+	// sessions. Bounded by maxResumesPerSession.
+	usedNonces map[string]struct{}
 }
 
 // NewConversationManager creates a manager for a service credential.
@@ -207,13 +217,16 @@ func NewConversationManager(cfg gss.Config) *ConversationManager {
 	}
 }
 
-// Register installs the WS-SecureConversation actions on a dispatcher.
+// Register installs the WS-SecureConversation actions on a dispatcher,
+// including the one-round-trip ActionResume.
 func (m *ConversationManager) Register(d *soap.Dispatcher) {
 	d.Handle(ActionRST, m.handleRST)
 	d.Handle(ActionRSTR, m.handleRSTR)
+	d.Handle(ActionResume, m.handleResume)
 }
 
 func (m *ConversationManager) handleRST(env *soap.Envelope) (*soap.Envelope, error) {
+	m.maybeExpire()
 	acc, err := gss.NewAcceptor(m.cfg)
 	if err != nil {
 		return nil, err
@@ -269,6 +282,23 @@ func (m *ConversationManager) Sessions() int {
 func (m *ConversationManager) Expire() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.expireLocked()
+}
+
+// maybeExpire runs the lapsed-session sweep at most once per minute, so
+// the establishment and resumption handlers keep the session table
+// pruned without paying an O(sessions) scan on every call.
+func (m *ConversationManager) maybeExpire() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.lastExpire) >= time.Minute {
+		m.expireLocked()
+	}
+}
+
+// expireLocked is the sweep body; callers hold the mutex.
+func (m *ConversationManager) expireLocked() {
+	m.lastExpire = time.Now()
 	for id, s := range m.sessions {
 		if s.ctx.Expired() {
 			delete(m.sessions, id)

@@ -27,7 +27,10 @@ type Client struct {
 }
 
 // NewClient builds a Client from a credential. A nil credential is
-// allowed only together with WithAnonymous.
+// allowed only together with WithAnonymous. Any pool option
+// (WithSessionPool, WithMaxIdle, WithIdleTTL, WithMaxConcurrentPerHost)
+// enables session pooling; without an explicitly shared pool the client
+// gets a private one tuned by those options.
 func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, error) {
 	base := settings{transport: TransportGT2()}
 	base, err := base.apply(opts)
@@ -37,8 +40,14 @@ func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, erro
 	if cred == nil && !base.anonymous {
 		return nil, opErr("gsi.NewClient", errors.New("gsi: client requires a credential unless anonymous"))
 	}
+	if base.poolEnable && base.pool == nil {
+		base.pool = newSessionPool(base)
+	}
 	return &Client{env: e, cred: cred, base: base}, nil
 }
+
+// Pool returns the client's session pool (nil when pooling is off).
+func (c *Client) Pool() *SessionPool { return c.base.pool }
 
 // Environment returns the client's environment.
 func (c *Client) Environment() *Environment { return c.env }
@@ -64,7 +73,11 @@ func (c *Client) resolve(ctx context.Context, opts []Option) (context.Context, c
 
 // Connect establishes a secured session with the peer at endpoint over
 // the client's transport. Cancellation aborts the handshake mid-flight,
-// including while blocked on the network.
+// including while blocked on the network. On a pooling client the
+// session is checked out of the pool — its Close returns it for reuse
+// rather than tearing it down — so the handshake is paid only when the
+// pool has no live session for (endpoint, transport, protection,
+// delegation, credential).
 func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (Session, error) {
 	const op = "gsi.Client.Connect"
 	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
@@ -72,14 +85,100 @@ func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (
 	if err != nil {
 		return nil, opErr(op, err)
 	}
-	sess, err := s.transport.Dial(ctx, endpoint, DialConfig{
-		Context:    s.contextConfig(c.env, c.cred),
-		Protection: s.protection,
-	})
+	if err := s.poolUsable(); err != nil {
+		return nil, opErr(op, err)
+	}
+	if s.pool != nil {
+		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, c.cred), c.dialFunc(endpoint, s))
+		if err != nil {
+			return nil, opErr(op, err)
+		}
+		return sess, nil
+	}
+	sess, err := c.dialFunc(endpoint, s)(ctx)
 	if err != nil {
 		return nil, opErr(op, err)
 	}
 	return sess, nil
+}
+
+// dialFunc packages one dial attempt for direct use or pool checkout.
+// A pooling client threads the pool's secure-conversation resumption
+// cache into the transport so even fresh GT3 dials skip the WS-Trust
+// bootstrap when an earlier conversation with the peer is still warm.
+func (c *Client) dialFunc(endpoint string, s settings) func(context.Context) (Session, error) {
+	cfg := DialConfig{
+		Context:    s.contextConfig(c.env, c.cred),
+		Protection: s.protection,
+	}
+	if s.pool != nil {
+		cfg.resumption = s.pool.resume
+		cfg.resumeKey = poolKeyOf(c.env, endpoint, s, c.cred).resumeScope()
+	}
+	return func(ctx context.Context) (Session, error) {
+		return s.transport.Dial(ctx, endpoint, cfg)
+	}
+}
+
+// Exchange performs one secured request/response with the peer at
+// endpoint: on a pooling client it checks a session out, exchanges, and
+// returns it; otherwise it dials, exchanges, and closes. When a reused
+// session turns out poisoned (the peer went away while it sat idle),
+// the exchange is retried on a fresh session — only reused sessions are
+// retried, so an error from a newly established session is reported,
+// not masked by re-execution.
+//
+// The retry relaxes at-most-once delivery: a parked connection that
+// died after the peer processed the request but before the reply
+// arrived is indistinguishable from one that died before delivery, so
+// the op may execute twice. Issue non-idempotent operations through
+// Connect and Session.Exchange instead, which never retry.
+func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte, opts ...Option) ([]byte, error) {
+	const opName = "gsi.Client.Exchange"
+	ctx, cancelSkew, s, err := c.resolve(ctx, opts)
+	defer cancelSkew()
+	if err != nil {
+		return nil, opErr(opName, err)
+	}
+	if err := s.poolUsable(); err != nil {
+		return nil, opErr(opName, err)
+	}
+	if s.pool == nil {
+		sess, err := c.dialFunc(endpoint, s)(ctx)
+		if err != nil {
+			return nil, opErr(opName, err)
+		}
+		defer sess.Close()
+		out, err := sess.Exchange(ctx, op, body)
+		if err != nil {
+			return nil, opErr(opName, err)
+		}
+		return out, nil
+	}
+	key := poolKeyOf(c.env, endpoint, s, c.cred)
+	dial := c.dialFunc(endpoint, s)
+	// Every reused-but-poisoned session may hide another stale one
+	// behind it in the idle pool; allow one attempt per possible parked
+	// session plus a final fresh dial.
+	attempts := s.pool.maxIdle + 2
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		sess, err := s.pool.checkout(ctx, key, dial)
+		if err != nil {
+			return nil, opErr(opName, err)
+		}
+		out, err := sess.Exchange(ctx, op, body)
+		retriable := err != nil && sess.reused && sess.poisoned.Load() && ctx.Err() == nil
+		sess.Close()
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retriable {
+			break
+		}
+	}
+	return nil, opErr(opName, lastErr)
 }
 
 // Establish runs an in-memory mutual authentication against an acceptor
@@ -240,4 +339,9 @@ var (
 	_ Session = (*gt2Session)(nil)
 	_ Session = (*gt3Session)(nil)
 	_ Session = (*gt3SignedSession)(nil)
+	_ Session = (*pooledSession)(nil)
+
+	_ sessionHealth = (*gt2Session)(nil)
+	_ sessionHealth = (*gt3Session)(nil)
+	_ sessionProber = (*gt2Session)(nil)
 )

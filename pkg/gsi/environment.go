@@ -2,10 +2,12 @@ package gsi
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/authz"
 	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
 )
 
 // Environment is the ambient security world a process operates in: the
@@ -21,6 +23,17 @@ type Environment struct {
 	trust      *gridcert.TrustStore
 	now        func() time.Time
 	authorizer authz.Engine
+
+	// id is a process-unique random tag naming this environment in
+	// string-keyed caches (the secure-conversation resumption cache),
+	// where a pointer would be unsound across GC address reuse.
+	id string
+
+	// chains memoizes successful peer-chain validations across every
+	// handshake in the environment, so repeated peers skip full path
+	// validation. Invalidation is automatic: entries are bound to the
+	// trust store's generation and the chain's validity window.
+	chains *gridcert.VerifyCache
 }
 
 // EnvOption configures NewEnvironment.
@@ -75,9 +88,15 @@ func WithAuthorizer(engine authz.Engine) EnvOption {
 // trust store (add roots later via Trust().AddRoot) and the system
 // clock.
 func NewEnvironment(opts ...EnvOption) (*Environment, error) {
+	tag, err := gridcrypto.RandomBytes(8)
+	if err != nil {
+		return nil, opErr("gsi.NewEnvironment", err)
+	}
 	e := &Environment{
-		trust: gridcert.NewTrustStore(),
-		now:   time.Now,
+		trust:  gridcert.NewTrustStore(),
+		now:    time.Now,
+		chains: gridcert.NewVerifyCache(gridcert.DefaultVerifyCacheSize),
+		id:     fmt.Sprintf("env-%x", tag),
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
@@ -96,3 +115,9 @@ func (e *Environment) Now() time.Time { return e.now() }
 // Authorizer returns the environment's default authorization engine
 // (nil means authenticate-only).
 func (e *Environment) Authorizer() authz.Engine { return e.authorizer }
+
+// ChainCacheStats reports the environment's verified-chain cache
+// effectiveness (hits mean repeated peers skipped full path validation).
+func (e *Environment) ChainCacheStats() gridcert.VerifyCacheStats {
+	return e.chains.Stats()
+}

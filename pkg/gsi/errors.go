@@ -51,6 +51,12 @@ var (
 	// ErrBadPassphrase marks MyProxy passphrase failures (including
 	// lockout after repeated attempts).
 	ErrBadPassphrase = errors.New("gsi: bad passphrase")
+	// ErrPoolExhausted marks session-pool checkouts that could not
+	// produce a session: the per-host concurrency cap was still reached
+	// when the checkout deadline passed, or the pool was closed. A
+	// checkout abandoned by explicit cancellation reports
+	// ErrContextClosed instead.
+	ErrPoolExhausted = errors.New("gsi: session pool exhausted")
 )
 
 // Error is the concrete error type returned at the pkg/gsi boundary. It

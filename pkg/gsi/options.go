@@ -50,6 +50,14 @@ type settings struct {
 	expectedPeer  Name
 	lifetime      time.Duration
 	deadlineSkew  time.Duration
+
+	// Session pooling. poolEnable is set by any pool option; NewClient
+	// then creates a private pool unless one was adopted explicitly.
+	pool           *SessionPool
+	poolEnable     bool
+	poolMaxIdle    int           // 0 = DefaultMaxIdle
+	poolIdleTTL    time.Duration // 0 = DefaultIdleTTL
+	poolMaxPerHost int           // 0 = DefaultMaxConcurrentPerHost, < 0 = unlimited
 }
 
 // Option configures a Client or Server handle, or a single
@@ -144,6 +152,65 @@ func WithLifetime(d time.Duration) Option {
 	}
 }
 
+// WithSessionPool enables session pooling on a Client: Connect checks
+// sessions out of the pool and Session.Close returns them for reuse, so
+// the public-key handshake is paid once per pooled connection instead
+// of once per call (the paper's WS-SecureConversation amortization
+// argument). Passing nil gives the client a private pool built from the
+// other pool options; passing a pool built with NewSessionPool shares
+// it — sessions are keyed by (endpoint, transport, protection,
+// delegation, credential), so clients with different credentials never
+// receive each other's sessions.
+func WithSessionPool(p *SessionPool) Option {
+	return func(s *settings) error {
+		s.pool = p
+		s.poolEnable = true
+		return nil
+	}
+}
+
+// WithMaxIdle caps the idle sessions the pool parks per key (omit for
+// DefaultMaxIdle; a pool always parks at least one). Implies pooling.
+func WithMaxIdle(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return errors.New("gsi: max idle must be positive")
+		}
+		s.poolMaxIdle = n
+		s.poolEnable = true
+		return nil
+	}
+}
+
+// WithIdleTTL bounds how long an idle session may sit parked before the
+// pool discards it instead of reusing it (omit for DefaultIdleTTL).
+// Implies pooling.
+func WithIdleTTL(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return errors.New("gsi: idle TTL must be positive")
+		}
+		s.poolIdleTTL = d
+		s.poolEnable = true
+		return nil
+	}
+}
+
+// WithMaxConcurrentPerHost caps live sessions (checked out plus idle)
+// per pool key; checkouts beyond the cap wait for a return until their
+// context ends (default DefaultMaxConcurrentPerHost; negative removes
+// the cap). Implies pooling.
+func WithMaxConcurrentPerHost(n int) Option {
+	return func(s *settings) error {
+		if n == 0 {
+			return errors.New("gsi: zero concurrent-per-host cap")
+		}
+		s.poolMaxPerHost = n
+		s.poolEnable = true
+		return nil
+	}
+}
+
 // WithDeadlineSkew shrinks the context deadline a session operation sees
 // by d, budgeting for clock skew between grid parties: an operation that
 // must complete by T locally is given up at T-d so the peer — whose
@@ -156,6 +223,17 @@ func WithDeadlineSkew(d time.Duration) Option {
 		s.deadlineSkew = d
 		return nil
 	}
+}
+
+// poolUsable rejects resolved settings that ask for pooling no pool
+// can satisfy: pools are materialized by NewClient (or adopted via
+// WithSessionPool with a concrete pool), so pool options appearing
+// only per-call would otherwise be silently ignored.
+func (s settings) poolUsable() error {
+	if s.poolEnable && s.pool == nil {
+		return errors.New("gsi: pool options require a pooled client (enable pooling at NewClient, or pass a concrete pool via WithSessionPool)")
+	}
+	return nil
 }
 
 // apply folds opts over base, returning the resolved settings.
@@ -174,6 +252,7 @@ func (s settings) contextConfig(env *Environment, cred *Credential) gss.Config {
 	return gss.Config{
 		Credential:    cred,
 		TrustStore:    env.trust,
+		ChainCache:    env.chains,
 		Anonymous:     s.anonymous,
 		Delegate:      s.delegation,
 		RejectLimited: s.rejectLimited,

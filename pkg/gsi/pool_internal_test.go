@@ -1,0 +1,39 @@
+package gsi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/soap"
+)
+
+// TestSessionPoisonedClassification pins down which exchange errors let
+// a session back into the idle pool: peer-reported application errors
+// are benign, channel-level failures — including SOAP faults that
+// report the secure conversation itself dead — poison.
+func TestSessionPoisonedClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"remote status", gt2StatusErr(gt2StatusError, "boom"), false},
+		{"remote unauthorized", gt2StatusErr(gt2StatusUnauthorized, "denied"), false},
+		{"remote not found", gt2StatusErr(gt2StatusNotFound, "gone"), false},
+		{"application fault", &soap.Fault{Code: "app", Reason: "quota exceeded"}, false},
+		{"wrapped application fault", fmt.Errorf("call: %w", &soap.Fault{Code: "app", Reason: "denied by policy"}), false},
+		{"unknown security context fault", &soap.Fault{Code: "handler", Reason: `wssec: unknown security context "sct-1"`}, true},
+		{"unwrap fault", &soap.Fault{Code: "handler", Reason: "wssec: unwrap: cipher: message authentication failed"}, true},
+		{"transport error", errors.New("read tcp: connection reset by peer"), true},
+		{"broken conn", opErr("gsi.Session.Exchange", errors.New("gsitransport: connection broken by interrupted operation")), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := sessionPoisoned(tc.err); got != tc.want {
+				t.Fatalf("sessionPoisoned(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}

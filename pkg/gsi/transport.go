@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/gsitransport"
@@ -17,7 +18,9 @@ import (
 
 // Handler serves one secured exchange on a Server. By the time it runs,
 // the transport has authenticated peer and (for GT3) the container has
-// authorized the call; op and body are the application request.
+// authorized the call; op and body are the application request. Op
+// names beginning with "gsi.__" are reserved for the transport itself
+// (the GT2 liveness ping) and never reach the handler.
 type Handler func(ctx context.Context, peer Peer, op string, body []byte) ([]byte, error)
 
 // Session is an established secured channel to one peer. Exchange is a
@@ -65,6 +68,16 @@ type DialConfig struct {
 	Context ContextConfig
 	// Protection selects the message-protection mechanism.
 	Protection ProtectionLevel
+
+	// resumption and resumeKey, when set by a pooling client, let the
+	// GT3 transport resume an established secure conversation (one
+	// symmetric-crypto round trip) instead of re-running the WS-Trust
+	// bootstrap. The key is the client's pool key rendered to a stable
+	// string, so the two keyings can never diverge. Custom transports
+	// never see either; they are plumbing between the session pool and
+	// the built-in transports.
+	resumption *wssec.ResumptionCache
+	resumeKey  string
 }
 
 // ServeConfig is what a Transport needs to accept sessions.
@@ -79,6 +92,17 @@ type ServeConfig struct {
 
 // exchangeHandle is the service handle GT3 exchanges are routed under.
 const exchangeHandle = "gsi.exchange"
+
+// reservedOpPrefix is the op namespace owned by the transport layer:
+// ops under it never reach the authorizer or the application handler
+// on either transport.
+const reservedOpPrefix = "gsi.__"
+
+// gt2PingOp is the infrastructure-level liveness probe of the GT2
+// exchange protocol: answered by the server loop itself (one wrapped
+// round trip proving peer, context, and record stream are all alive)
+// without touching the authorizer or the application handler.
+const gt2PingOp = reservedOpPrefix + "ping"
 
 // --- GT2: the raw-socket transport -------------------------------------
 
@@ -133,8 +157,13 @@ func gt2Status(err error) byte {
 	}
 }
 
+// errRemoteStatus marks errors the peer reported over an intact record
+// stream: the exchange failed, but the connection is still safe to
+// reuse (the session pool branches on this when deciding poisoning).
+var errRemoteStatus = errors.New("gsi: remote status")
+
 func gt2StatusErr(status byte, msg string) error {
-	remote := fmt.Errorf("gsi: remote error: %s", msg)
+	remote := fmt.Errorf("%w: %s", errRemoteStatus, msg)
 	switch status {
 	case gt2StatusUnauthorized:
 		return &Error{Op: "gsi.Session.Exchange", Kind: ErrUnauthorized, Err: remote}
@@ -182,6 +211,17 @@ func (s *gt2Session) Peer() Peer { return s.conn.Peer() }
 
 func (s *gt2Session) Close() error { return s.conn.Close() }
 
+// Healthy is the I/O-free reuse check the session pool runs: record
+// stream intact, security context unexpired.
+func (s *gt2Session) Healthy() bool { return s.conn.Healthy() }
+
+// Probe is the active liveness check: one ping exchange through the
+// secured stream, answered by the server loop below the application.
+func (s *gt2Session) Probe(ctx context.Context) error {
+	_, err := s.Exchange(ctx, gt2PingOp, nil)
+	return err
+}
+
 func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error) {
 	inner, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -221,7 +261,11 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig)
 			return
 		}
 		var reply []byte
-		if authErr := authorizeExchange(authorizer, peer, op); authErr != nil {
+		if op == gt2PingOp {
+			reply = gt2EncodeReply(gt2StatusOK, []byte("pong"))
+		} else if strings.HasPrefix(op, reservedOpPrefix) {
+			reply = gt2EncodeReply(gt2StatusNotFound, []byte("gsi: reserved op "+op))
+		} else if authErr := authorizeExchange(authorizer, peer, op); authErr != nil {
 			reply = gt2EncodeReply(gt2Status(authErr), []byte(authErr.Error()))
 		} else if out, err := cfg.Handler(ctx, peer, op, body); err != nil {
 			reply = gt2EncodeReply(gt2Status(err), []byte(err.Error()))
@@ -267,6 +311,13 @@ func (gt3Transport) Dial(ctx context.Context, endpoint string, cfg DialConfig) (
 	if cfg.Protection == ProtectionSigned {
 		return &gt3SignedSession{cred: cfg.Context.Credential, transport: transport}, nil
 	}
+	if cfg.resumption != nil && cfg.resumeKey != "" {
+		conv, _, err := cfg.resumption.EstablishOrResume(ctx, cfg.resumeKey, cfg.Context, transport)
+		if err != nil {
+			return nil, err
+		}
+		return &gt3Session{conv: conv}, nil
+	}
 	conv, err := wssec.EstablishConversationContext(ctx, cfg.Context, transport)
 	if err != nil {
 		return nil, err
@@ -289,6 +340,9 @@ func (s *gt3Session) Exchange(ctx context.Context, op string, body []byte) ([]by
 func (s *gt3Session) Peer() Peer { return s.conv.Peer() }
 
 func (s *gt3Session) Close() error { return nil }
+
+// Healthy reports whether the conversation's context has not lapsed.
+func (s *gt3Session) Healthy() bool { return !s.conv.Context().Expired() }
 
 // gt3SignedSession is the stateless variant: no context, each message
 // signed under the caller's credential.
@@ -346,6 +400,9 @@ type handlerService struct {
 }
 
 func (s *handlerService) Invoke(call *ogsa.Call) ([]byte, error) {
+	if strings.HasPrefix(call.Op, reservedOpPrefix) {
+		return nil, fmt.Errorf("gsi: reserved op %s not found", call.Op)
+	}
 	peer := Peer{
 		Anonymous: call.Caller.Anonymous,
 		Identity:  call.Caller.Name,
