@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool fmt
+.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman fmt
 
 ## ci: the tier-1 gate — format check, vet, build, test, race, fuzz smoke.
 ci: fmt-check vet build test race fuzz-smoke
@@ -32,6 +32,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGT2DecodeReply$$' -fuzztime=5s ./pkg/gsi
 	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime=5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime=5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationRequest$$' -fuzztime=5s ./internal/proxy
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationReply$$' -fuzztime=5s ./internal/proxy
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -43,6 +45,14 @@ bench-pool:
 	$(GO) test -run '^$$' -bench 'ExchangeColdHandshake|ExchangePooledResume' -benchmem . \
 		| $(GO) run ./cmd/bench2json > BENCH_pool.json
 	@cat BENCH_pool.json
+
+## bench-credman: record the rotation-cost pair (pooled exchanges under
+## a stable credential vs. across credential rotations) into
+## BENCH_credman.json.
+bench-credman:
+	$(GO) test -run '^$$' -bench 'ExchangeSteadyState|ExchangeAcrossRotation' -benchmem . \
+		| $(GO) run ./cmd/bench2json > BENCH_credman.json
+	@cat BENCH_credman.json
 
 ## fmt: rewrite files in place.
 fmt:

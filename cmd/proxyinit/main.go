@@ -4,12 +4,20 @@
 // a demo CA and user in memory, then shows the proxy's properties
 // (variant, lifetime, delegation depth) and the validation result.
 //
+// With -renew it additionally demonstrates one-shot renewal through the
+// credential lifecycle subsystem: instead of minting a second proxy
+// from scratch, the proxy is handed to a CredentialManager whose
+// renewal source re-delegates below the user credential, and one Renew
+// publishes a fresh successor (what the background loop does ahead of
+// every expiry).
+//
 // Usage:
 //
-//	proxyinit [-subject DN] [-hours N] [-limited] [-depth N] [-no-delegate]
+//	proxyinit [-subject DN] [-hours N] [-limited] [-depth N] [-no-delegate] [-renew]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +33,7 @@ func main() {
 	limited := flag.Bool("limited", false, "create a limited proxy (GRAM will refuse job creation)")
 	depth := flag.Int("depth", 1, "delegation chain depth to create")
 	noDelegate := flag.Bool("no-delegate", false, "forbid further delegation below the first proxy")
+	renew := flag.Bool("renew", false, "renew the proxy once through the credential manager")
 	flag.Parse()
 	if *depth < 1 {
 		log.Fatal("proxyinit: -depth must be at least 1")
@@ -86,5 +95,44 @@ func main() {
 		info.Identity, info.ProxyDepth, info.Limited)
 	if info.Limited {
 		fmt.Println("note: limited proxies are rejected for job initiation (GSI rule)")
+	}
+
+	if *renew {
+		// One-shot renewal: the manager obtains a successor from its
+		// source (here, re-delegation below the user credential) and
+		// publishes it — rotation hooks would rekey session pools at
+		// this moment. The background loop (cm.Start) drives the same
+		// path ahead of every expiry. The renewal options are rebuilt
+		// from the flags (the depth loop reset opts), so -limited and
+		// -no-delegate carry over to the successor.
+		renewOpts := gsi.ProxyOptions{Lifetime: time.Duration(*hours) * time.Hour}
+		if *limited {
+			renewOpts.Variant = gsi.ProxyLimited
+		}
+		if *noDelegate {
+			renewOpts.NoFurtherDelegation = true
+		}
+		cm, err := env.NewCredentialManager(cur,
+			gsi.DelegationRenewal(user, renewOpts),
+			gsi.WithRenewalHorizon(time.Duration(*hours)*time.Hour/4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cm.Close()
+		renewStart := time.Now()
+		next, err := cm.Renew(context.Background())
+		if err != nil {
+			log.Fatalf("renewing proxy: %v", err)
+		}
+		fmt.Printf("renewed subject: %s\n", next.Leaf().Subject)
+		fmt.Printf("renewed until:   %s (%s of validity)\n",
+			next.Leaf().NotAfter.Format(time.RFC3339),
+			time.Until(next.Leaf().NotAfter).Round(time.Minute))
+		fmt.Printf("renewal took:    %v\n", time.Since(renewStart))
+		if _, err := env.Trust().Verify(next.Chain, gsi.VerifyOptions{}); err != nil {
+			log.Fatalf("renewed chain does not validate: %v", err)
+		}
+		st := cm.Stats()
+		fmt.Printf("manager stats:   rotations=%d failures=%d\n", st.Rotations, st.Failures)
 	}
 }

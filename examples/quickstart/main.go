@@ -133,4 +133,36 @@ func main() {
 	st := pooled.Pool().Stats()
 	fmt.Printf("7. pooled exchanges: 5 calls, %d handshake(s), %d pool hit(s)\n",
 		st.Dials, st.Hits)
+
+	// 8. Credential lifecycle: a CredentialManager keeps the proxy alive
+	// past its own expiry — ahead of a configurable horizon it obtains a
+	// successor (here by re-delegating below Alice's credential; MyProxy
+	// and remote delegation endpoints are the other sources) and a
+	// managed, pooled client rolls onto it with no dropped traffic:
+	// rotation drains the old sessions and new calls handshake under the
+	// successor. cm.Start() would do this continuously in the background.
+	cm, err := env.NewCredentialManager(aliceProxy,
+		gsi.DelegationRenewal(alice, gsi.ProxyOptions{Lifetime: 12 * time.Hour}),
+		gsi.WithRenewalHorizon(time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cm.Close()
+	managed, err := env.NewClient(nil, gsi.WithCredentialManager(cm), gsi.WithSessionPool(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer managed.Pool().Close()
+	if _, err := managed.Exchange(ctx, ep.Addr(), "echo", []byte("before")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cm.Renew(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := managed.Exchange(ctx, ep.Addr(), "echo", []byte("after")); err != nil {
+		log.Fatal(err)
+	}
+	ms := managed.Pool().Stats()
+	fmt.Printf("8. rotated credentials mid-traffic: %d rotation(s), %d session(s) retired, 0 failures\n",
+		cm.Stats().Rotations, ms.Retired)
 }

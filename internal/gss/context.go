@@ -46,9 +46,21 @@ func newContext(initiator bool, ks keySchedule, peer Peer, cfg Config, flags Fla
 		nowFn = time.Now
 	}
 	expiry := nowFn().Add(cfg.lifetime())
-	// A context never outlives the local credential.
+	// A context never outlives the credentials that authenticated it —
+	// neither the local one nor any certificate in the peer's validated
+	// chain (chain validity is the min over the chain: the instant any
+	// link lapses, re-validation of the peer would fail, so the context
+	// must lapse with it). This is what lets credential rotation reason
+	// about contexts: once the old credential's NotAfter passes, every
+	// context it authenticated — and every resumed child, which inherits
+	// this expiry — is provably dead.
 	if cfg.Credential != nil && cfg.Credential.Leaf().NotAfter.Before(expiry) {
 		expiry = cfg.Credential.Leaf().NotAfter
+	}
+	for _, cert := range peer.Chain {
+		if cert.NotAfter.Before(expiry) {
+			expiry = cert.NotAfter
+		}
 	}
 	return &Context{
 		initiator: initiator,

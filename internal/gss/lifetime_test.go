@@ -1,0 +1,127 @@
+package gss
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/gridcert"
+	"repro/internal/proxy"
+)
+
+// lifetimeWorld builds a CA, a user with a near-expiry proxy, and a
+// long-lived host credential, all validated against a fixed clock.
+func lifetimeWorld(t *testing.T, proxyLifetime time.Duration) (user, nearProxy, host *gridcert.Credential, trust *gridcert.TrustStore, now time.Time) {
+	t.Helper()
+	authority, err := ca.New(gridcert.MustParseName("/O=Grid/CN=Lifetime CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust = gridcert.NewTrustStore()
+	if err := trust.AddRoot(authority.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	user, err = authority.NewEntity(gridcert.MustParseName("/O=Grid/CN=Shortlived"), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearProxy, err = proxy.New(user, proxy.Options{Lifetime: proxyLifetime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err = authority.NewHostEntity(gridcert.MustParseName("/O=Grid/CN=host long.example.org"), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return user, nearProxy, host, trust, time.Now()
+}
+
+// A context must never outlive the credential that authenticated it —
+// on either side. The regression here is the acceptor's: its own
+// credential is long-lived, so before the peer-chain clamp its context
+// would happily outlive the initiator's nearly expired proxy, and a
+// "live" context could carry traffic for an identity whose credential
+// had already lapsed (exactly what credential rotation must be able to
+// rule out).
+func TestContextExpiryClampsToPeerCredential(t *testing.T) {
+	const proxyLife = 90 * time.Second
+	_, nearProxy, host, trust, now := lifetimeWorld(t, proxyLife)
+	clock := func() time.Time { return now }
+
+	ictx, actx, err := Establish(
+		Config{Credential: nearProxy, TrustStore: trust, Now: clock},
+		Config{Credential: host, TrustStore: trust, Now: clock},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proxyNotAfter := nearProxy.Leaf().NotAfter
+	if ictx.Expiry().After(proxyNotAfter) {
+		t.Errorf("initiator context expiry %s outlives its own credential %s", ictx.Expiry(), proxyNotAfter)
+	}
+	if actx.Expiry().After(proxyNotAfter) {
+		t.Errorf("acceptor context expiry %s outlives the peer credential %s", actx.Expiry(), proxyNotAfter)
+	}
+	// The clamp must bite exactly: nothing else in this world expires
+	// sooner than the near-expiry proxy.
+	if !actx.Expiry().Equal(proxyNotAfter) {
+		t.Errorf("acceptor context expiry = %s, want the peer proxy's NotAfter %s", actx.Expiry(), proxyNotAfter)
+	}
+
+	// Once the proxy's lifetime passes, both contexts must refuse
+	// traffic — including the acceptor's, whose own credential is
+	// still good for hours.
+	later := now.Add(proxyLife + 2*time.Second)
+	lateClock := func() time.Time { return later }
+	ictx2, actx2, err := Establish(
+		Config{Credential: nearProxy, TrustStore: trust, Now: clock},
+		Config{Credential: host, TrustStore: trust, Now: clock},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ictx2.now, actx2.now = lateClock, lateClock
+	if !ictx2.Expired() {
+		t.Error("initiator context not expired after its credential lapsed")
+	}
+	if !actx2.Expired() {
+		t.Error("acceptor context not expired after the peer credential lapsed")
+	}
+	if _, err := actx2.Wrap([]byte("late")); err == nil {
+		t.Error("Wrap succeeded on a context whose peer credential lapsed")
+	}
+}
+
+// A resumed child inherits the clamped expiry, so resumption can never
+// stretch a context past the credential that authenticated its
+// bootstrap.
+func TestResumedContextInheritsPeerClamp(t *testing.T) {
+	_, nearProxy, host, trust, now := lifetimeWorld(t, 90*time.Second)
+	clock := func() time.Time { return now }
+	ictx, actx, err := Establish(
+		Config{Credential: nearProxy, TrustStore: trust, Now: clock},
+		Config{Credential: host, TrustStore: trust, Now: clock},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := make([]byte, ResumeNonceSize)
+	sn := make([]byte, ResumeNonceSize)
+	for i := range cn {
+		cn[i], sn[i] = byte(i), byte(255-i)
+	}
+	childA, err := actx.Resume(cn, sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !childA.Expiry().Equal(actx.Expiry()) {
+		t.Errorf("resumed child expiry %s != parent %s", childA.Expiry(), actx.Expiry())
+	}
+	if childA.Expiry().After(nearProxy.Leaf().NotAfter) {
+		t.Errorf("resumed child outlives the peer credential: %s > %s", childA.Expiry(), nearProxy.Leaf().NotAfter)
+	}
+	if _, err := ictx.Resume(cn, sn); err != nil {
+		t.Fatalf("initiator resume: %v", err)
+	}
+}

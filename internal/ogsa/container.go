@@ -195,7 +195,7 @@ func (c *Container) handleSigned(env *soap.Envelope) (*soap.Envelope, error) {
 		return nil, fmt.Errorf("ogsa: authentication: %w", err)
 	}
 	caller := Identity{Name: info.Identity, Limited: info.Limited}
-	return c.route(env, "ogsa/", caller)
+	return c.route(env, "ogsa/", caller, false)
 }
 
 // handleConversation processes conversation-secured traffic with action
@@ -206,11 +206,12 @@ func (c *Container) handleConversation(peer gss.Peer, env *soap.Envelope) (*soap
 	if peer.Info != nil {
 		caller.Limited = peer.Info.Limited
 	}
-	return c.route(env, "ogsa-sc/", caller)
+	return c.route(env, "ogsa-sc/", caller, true)
 }
 
-// route authorizes and delivers an authenticated call.
-func (c *Container) route(env *soap.Envelope, prefix string, caller Identity) (*soap.Envelope, error) {
+// route authorizes and delivers an authenticated call. conversation
+// marks calls that arrived over an established secure conversation.
+func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, conversation bool) (*soap.Envelope, error) {
 	rest := strings.TrimPrefix(env.Action, prefix)
 	slash := strings.LastIndexByte(rest, '/')
 	if slash <= 0 || slash == len(rest)-1 {
@@ -259,7 +260,7 @@ func (c *Container) route(env *soap.Envelope, prefix string, caller Identity) (*
 	if b, ok := svc.(interface{ Destroyed() bool }); ok && b.Destroyed() {
 		return nil, ErrServiceDestroyed
 	}
-	reply, err := svc.Invoke(&Call{Service: handle, Op: op, Body: env.Body, Caller: caller})
+	reply, err := svc.Invoke(&Call{Service: handle, Op: op, Body: env.Body, Caller: caller, Conversation: conversation})
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,11 @@ type Call struct {
 	Body []byte
 	// Caller is the authenticated identity established by the container.
 	Caller Identity
+	// Conversation reports that the call arrived over an established
+	// secure conversation (WS-SecureConversation), as opposed to a
+	// stateless per-message signature. Services that hand out live
+	// key material — the delegation port type — require it.
+	Conversation bool
 }
 
 // Service is a Grid service: a named set of operations plus the standard

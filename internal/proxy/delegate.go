@@ -3,6 +3,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/gridcert"
@@ -48,6 +49,11 @@ func DecodeDelegationRequest(b []byte) (DelegationRequest, error) {
 	}
 	if seconds < 0 {
 		return DelegationRequest{}, errors.New("proxy: negative delegation lifetime")
+	}
+	if seconds > math.MaxInt64/int64(time.Second) {
+		// A seconds count this large would overflow time.Duration and
+		// wrap into an arbitrary (possibly negative) lifetime.
+		return DelegationRequest{}, errors.New("proxy: delegation lifetime overflows")
 	}
 	pk, err := gridcrypto.DecodePublicKey(pkBytes)
 	if err != nil {

@@ -240,6 +240,25 @@ func (rc *ResumptionCache) EstablishOrResume(ctx context.Context, key string, cf
 	return conv, false, nil
 }
 
+// InvalidateMatching drops every cached parent whose key satisfies
+// match, returning how many were dropped. Credential rotation uses it:
+// cache keys embed the credential fingerprint, so dropping a retired
+// credential's keys guarantees its resumption trees are never used to
+// mint new conversations — even though the underlying contexts may
+// remain cryptographically valid until the old credential's NotAfter.
+func (rc *ResumptionCache) InvalidateMatching(match func(key string) bool) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for k := range rc.parents {
+		if match(k) {
+			delete(rc.parents, k)
+			n++
+		}
+	}
+	return n
+}
+
 // evict removes key only if it still maps to parent (a concurrent
 // bootstrap may have replaced it).
 func (rc *ResumptionCache) evict(key string, parent *Conversation) {

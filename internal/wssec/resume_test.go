@@ -209,3 +209,54 @@ func TestResumeUnknownContextRejected(t *testing.T) {
 		t.Fatal("resume with unknown token accepted")
 	}
 }
+
+// InvalidateMatching drops exactly the matching parents: subsequent
+// EstablishOrResume calls under the dropped key must bootstrap fresh
+// (a miss), never resume off the invalidated conversation — the
+// credential-rotation guarantee.
+func TestResumptionCacheInvalidateMatching(t *testing.T) {
+	b := newBed(t)
+	d := soap.NewDispatcher()
+	mgr := NewConversationManager(gss.Config{Credential: b.host, TrustStore: b.ts})
+	mgr.Register(d)
+	transport := pipeCtx(d)
+	ctx := context.Background()
+	cfg := gss.Config{Credential: b.alice, TrustStore: b.ts}
+
+	rc := NewResumptionCache(8)
+	for _, key := range []string{"ep|cred-old", "ep2|cred-old", "ep|cred-new"} {
+		if _, resumed, err := rc.EstablishOrResume(ctx, key, cfg, transport); err != nil || resumed {
+			t.Fatalf("bootstrap of %q: resumed=%v err=%v", key, resumed, err)
+		}
+	}
+	if st := rc.Stats(); st.Len != 3 || st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 3 cached bootstraps", st)
+	}
+
+	// Warm path sanity: the cached parent resumes.
+	if _, resumed, err := rc.EstablishOrResume(ctx, "ep|cred-old", cfg, transport); err != nil || !resumed {
+		t.Fatalf("warm resume: resumed=%v err=%v", resumed, err)
+	}
+
+	dropped := rc.InvalidateMatching(func(key string) bool {
+		return len(key) >= 8 && key[len(key)-8:] == "cred-old"
+	})
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want the 2 old-credential parents", dropped)
+	}
+	if st := rc.Stats(); st.Len != 1 {
+		t.Fatalf("len = %d, want only the new-credential parent", st.Len)
+	}
+
+	// The invalidated keys bootstrap fresh; the surviving key resumes.
+	misses := rc.Stats().Misses
+	if _, resumed, err := rc.EstablishOrResume(ctx, "ep|cred-old", cfg, transport); err != nil || resumed {
+		t.Fatalf("post-invalidation establish: resumed=%v err=%v", resumed, err)
+	}
+	if got := rc.Stats().Misses; got != misses+1 {
+		t.Fatalf("misses = %d, want %d", got, misses+1)
+	}
+	if _, resumed, err := rc.EstablishOrResume(ctx, "ep|cred-new", cfg, transport); err != nil || !resumed {
+		t.Fatalf("surviving parent must resume: resumed=%v err=%v", resumed, err)
+	}
+}

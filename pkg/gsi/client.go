@@ -27,23 +27,44 @@ type Client struct {
 }
 
 // NewClient builds a Client from a credential. A nil credential is
-// allowed only together with WithAnonymous. Any pool option
+// allowed only together with WithAnonymous or WithCredentialManager (a
+// managed client always reads the manager's current credential, so a
+// fixed one here would be misleading). Any pool option
 // (WithSessionPool, WithMaxIdle, WithIdleTTL, WithMaxConcurrentPerHost)
 // enables session pooling; without an explicitly shared pool the client
-// gets a private one tuned by those options.
+// gets a private one tuned by those options. A pooling client bound to
+// a CredentialManager rekeys its pool on every rotation: the replaced
+// credential's sessions drain and its resumption trees are dropped.
 func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, error) {
 	base := settings{transport: TransportGT2()}
 	base, err := base.apply(opts)
 	if err != nil {
 		return nil, opErr("gsi.NewClient", err)
 	}
-	if cred == nil && !base.anonymous {
-		return nil, opErr("gsi.NewClient", errors.New("gsi: client requires a credential unless anonymous"))
+	if cred == nil && !base.anonymous && base.credman == nil {
+		return nil, opErr("gsi.NewClient", errors.New("gsi: client requires a credential unless anonymous or managed"))
+	}
+	if cred != nil && base.credman != nil {
+		return nil, opErr("gsi.NewClient", errors.New("gsi: a managed client takes its credential from the manager; pass a nil credential"))
 	}
 	if base.poolEnable && base.pool == nil {
 		base.pool = newSessionPool(base)
 	}
+	if base.pool != nil && base.credman != nil {
+		base.credman.bindPool(base.pool)
+	}
 	return &Client{env: e, cred: cred, base: base}, nil
+}
+
+// credential resolves the client's effective credential: the manager's
+// current one on a managed client, the fixed one otherwise. Callers
+// snapshot it once per operation so a rotation cannot split one
+// operation across two credentials.
+func (c *Client) credential() *Credential {
+	if c.base.credman != nil {
+		return c.base.credman.Current()
+	}
+	return c.cred
 }
 
 // Pool returns the client's session pool (nil when pooling is off).
@@ -52,9 +73,14 @@ func (c *Client) Pool() *SessionPool { return c.base.pool }
 // Environment returns the client's environment.
 func (c *Client) Environment() *Environment { return c.env }
 
-// Credential returns the client's credential (nil for anonymous
-// clients).
-func (c *Client) Credential() *Credential { return c.cred }
+// Credential returns the client's effective credential: the manager's
+// current one on a managed client (so it changes across rotations), the
+// fixed one otherwise, nil for anonymous clients.
+func (c *Client) Credential() *Credential { return c.credential() }
+
+// CredentialManager returns the manager a managed client is bound to
+// (nil otherwise).
+func (c *Client) CredentialManager() *CredentialManager { return c.base.credman }
 
 // resolve folds per-call options over the handle's base settings and
 // derives the effective context: the deadline-skew budget (if any) is
@@ -88,14 +114,15 @@ func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (
 	if err := s.poolUsable(); err != nil {
 		return nil, opErr(op, err)
 	}
+	cred := c.credential()
 	if s.pool != nil {
-		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, c.cred), c.dialFunc(endpoint, s))
+		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, cred), c.dialFunc(endpoint, s, cred))
 		if err != nil {
 			return nil, opErr(op, err)
 		}
 		return sess, nil
 	}
-	sess, err := c.dialFunc(endpoint, s)(ctx)
+	sess, err := c.dialFunc(endpoint, s, cred)(ctx)
 	if err != nil {
 		return nil, opErr(op, err)
 	}
@@ -106,14 +133,19 @@ func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (
 // A pooling client threads the pool's secure-conversation resumption
 // cache into the transport so even fresh GT3 dials skip the WS-Trust
 // bootstrap when an earlier conversation with the peer is still warm.
-func (c *Client) dialFunc(endpoint string, s settings) func(context.Context) (Session, error) {
+func (c *Client) dialFunc(endpoint string, s settings, cred *Credential) func(context.Context) (Session, error) {
 	cfg := DialConfig{
-		Context:    s.contextConfig(c.env, c.cred),
+		Context:    s.contextConfig(c.env, cred),
 		Protection: s.protection,
 	}
-	if s.pool != nil {
+	// A retired credential dials without the resumption cache at all:
+	// otherwise a client still holding it would re-seed a parent
+	// conversation under the retired fingerprint right after the
+	// rotation invalidated those trees, and later dials would resume
+	// off it. Retired means every dial bootstraps fresh, permanently.
+	if s.pool != nil && !s.pool.fingerprintRetired(cred) {
 		cfg.resumption = s.pool.resume
-		cfg.resumeKey = poolKeyOf(c.env, endpoint, s, c.cred).resumeScope()
+		cfg.resumeKey = poolKeyOf(c.env, endpoint, s, cred).resumeScope()
 	}
 	return func(ctx context.Context) (Session, error) {
 		return s.transport.Dial(ctx, endpoint, cfg)
@@ -144,7 +176,7 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 		return nil, opErr(opName, err)
 	}
 	if s.pool == nil {
-		sess, err := c.dialFunc(endpoint, s)(ctx)
+		sess, err := c.dialFunc(endpoint, s, c.credential())(ctx)
 		if err != nil {
 			return nil, opErr(opName, err)
 		}
@@ -155,15 +187,16 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 		}
 		return out, nil
 	}
-	key := poolKeyOf(c.env, endpoint, s, c.cred)
-	dial := c.dialFunc(endpoint, s)
 	// Every reused-but-poisoned session may hide another stale one
 	// behind it in the idle pool; allow one attempt per possible parked
-	// session plus a final fresh dial.
+	// session plus a final fresh dial. The credential is re-resolved per
+	// attempt so a retry racing a rotation lands on the successor.
 	attempts := s.pool.maxIdle + 2
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		sess, err := s.pool.checkout(ctx, key, dial)
+		cred := c.credential()
+		key := poolKeyOf(c.env, endpoint, s, cred)
+		sess, err := s.pool.checkout(ctx, key, c.dialFunc(endpoint, s, cred))
 		if err != nil {
 			return nil, opErr(opName, err)
 		}
@@ -191,7 +224,7 @@ func (c *Client) Establish(ctx context.Context, acceptor ContextConfig, opts ...
 	if err != nil {
 		return nil, nil, opErr(op, err)
 	}
-	ictx, actx, err := gss.EstablishContext(ctx, s.contextConfig(c.env, c.cred), acceptor)
+	ictx, actx, err := gss.EstablishContext(ctx, s.contextConfig(c.env, c.credential()), acceptor)
 	if err != nil {
 		return nil, nil, opErr(op, err)
 	}
@@ -201,7 +234,7 @@ func (c *Client) Establish(ctx context.Context, acceptor ContextConfig, opts ...
 // Proxy creates a proxy credential below the client's credential
 // (grid-proxy-init as a method).
 func (c *Client) Proxy(opts ProxyOptions) (*Credential, error) {
-	cred, err := proxy.New(c.cred, opts)
+	cred, err := proxy.New(c.credential(), opts)
 	if err != nil {
 		return nil, opErr("gsi.Client.Proxy", err)
 	}
@@ -218,10 +251,11 @@ func (c *Client) RequestAssertion(ctx context.Context, server *CASServer, opts .
 	if err != nil {
 		return nil, opErr(op, err)
 	}
-	if c.cred == nil {
+	cred := c.credential()
+	if cred == nil {
 		return nil, opErr(op, errors.New("gsi: anonymous clients cannot request assertions"))
 	}
-	a, err := server.IssueAssertionContext(ctx, c.cred.Identity())
+	a, err := server.IssueAssertionContext(ctx, cred.Identity())
 	if err != nil {
 		return nil, opErr(op, err)
 	}
@@ -232,7 +266,7 @@ func (c *Client) RequestAssertion(ctx context.Context, server *CASServer, opts .
 // client's credential (step 2 of Figure 2), returning the credential the
 // client presents to VO resources.
 func (c *Client) EmbedAssertion(a *CASAssertion) (*Credential, error) {
-	cred, err := cas.EmbedInProxy(c.cred, a)
+	cred, err := cas.EmbedInProxy(c.credential(), a)
 	if err != nil {
 		return nil, opErr("gsi.Client.EmbedAssertion", err)
 	}
@@ -300,7 +334,7 @@ func (c *Client) SubmitJob(ctx context.Context, resource *JobResource, desc JobD
 	// The resolved options shape the step-7 MJS connection: delegation
 	// intent, peer pinning, limited-proxy rejection, depth caps.
 	gc := &gram.Client{
-		Credential:    c.cred,
+		Credential:    c.credential(),
 		Trust:         c.env.trust,
 		Resource:      resource,
 		ConnectConfig: s.contextConfig(c.env, nil),
@@ -323,7 +357,7 @@ func (c *Client) Invoke(ctx context.Context, endpoint, handle, op string, body [
 		return nil, Trace{}, opErr(opName, err)
 	}
 	r := &Requestor{
-		Credential:      c.cred,
+		Credential:      c.credential(),
 		Trust:           c.env.trust,
 		PreferStateless: s.protection == ProtectionSigned,
 	}

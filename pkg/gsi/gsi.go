@@ -18,6 +18,13 @@
 //   - Server — an acceptor credential serving secured exchanges to a
 //     Handler behind the environment's authorizer.
 //
+// A fourth handle, CredentialManager, keeps a credential alive across
+// its own expiry: it renews from a pluggable RenewalSource (MyProxy,
+// local re-delegation, or a remote delegation endpoint) ahead of a
+// configurable horizon, and a Client bound to one (WithCredentialManager)
+// picks up each rotation on its very next call — its session pool
+// drains the replaced credential's sessions while traffic continues.
+//
 // Both handles take functional options (WithTransport, WithDelegation,
 // WithMessageProtection, WithDeadlineSkew, WithExpectedPeer, …), and the
 // Transport interface unifies the GT2 raw-socket path (TransportGT2)
@@ -144,6 +151,14 @@ type (
 	Envelope = soap.Envelope
 	// MyProxy is an online credential repository.
 	MyProxy = myproxy.Server
+	// DelegationConfig tunes a container's delegation port type
+	// (Container.EnableDelegation; see DelegationEndpoint).
+	DelegationConfig = ogsa.DelegationConfig
+	// DelegationService is the online delegation port type: subjects
+	// deposit a credential over a secure conversation and later
+	// retrieve fresh proxies minted below it (a renewal source for
+	// CredentialManager via EndpointRenewal).
+	DelegationService = ogsa.DelegationService
 	// Trace records where time went in one secured request (Figure 3).
 	Trace = core.Trace
 )

@@ -58,6 +58,14 @@ type settings struct {
 	poolMaxIdle    int           // 0 = DefaultMaxIdle
 	poolIdleTTL    time.Duration // 0 = DefaultIdleTTL
 	poolMaxPerHost int           // 0 = DefaultMaxConcurrentPerHost, < 0 = unlimited
+
+	// Credential lifecycle. credman makes a Client's credential dynamic;
+	// the renew* knobs tune a CredentialManager under construction.
+	credman       *CredentialManager
+	renewHorizon  time.Duration // 0 = credman.DefaultHorizon
+	renewJitter   time.Duration
+	renewRetryMin time.Duration
+	renewRetryMax time.Duration
 }
 
 // Option configures a Client or Server handle, or a single
@@ -207,6 +215,67 @@ func WithMaxConcurrentPerHost(n int) Option {
 		}
 		s.poolMaxPerHost = n
 		s.poolEnable = true
+		return nil
+	}
+}
+
+// WithCredentialManager binds a Client to a CredentialManager: the
+// client's credential becomes dynamic — every Connect/Exchange reads
+// the manager's current credential, so a rotation is picked up by the
+// very next call with no coordination. On a pooling client the pool is
+// additionally rekeyed at each rotation: idle sessions under the
+// replaced credential are drained, its secure-conversation resumption
+// trees are invalidated, and returning sessions are discarded instead
+// of parked, while new checkouts handshake under the successor.
+func WithCredentialManager(cm *CredentialManager) Option {
+	return func(s *settings) error {
+		if cm == nil {
+			return errors.New("gsi: nil credential manager")
+		}
+		s.credman = cm
+		return nil
+	}
+}
+
+// WithRenewalHorizon sets how far before the managed credential's
+// NotAfter a CredentialManager starts renewing (NewCredentialManager
+// option; 0 means the package default).
+func WithRenewalHorizon(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return errors.New("gsi: negative renewal horizon")
+		}
+		s.renewHorizon = d
+		return nil
+	}
+}
+
+// WithRenewalJitter desynchronizes renewal across a fleet: each renewal
+// fires up to d earlier than the horizon, uniformly at random
+// (NewCredentialManager option).
+func WithRenewalJitter(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return errors.New("gsi: negative renewal jitter")
+		}
+		s.renewJitter = d
+		return nil
+	}
+}
+
+// WithRenewalRetry bounds the exponential backoff between failed
+// renewal attempts (NewCredentialManager option; zeros mean the
+// package defaults).
+func WithRenewalRetry(min, max time.Duration) Option {
+	return func(s *settings) error {
+		if min < 0 || max < 0 {
+			return errors.New("gsi: negative renewal retry bound")
+		}
+		if max > 0 && min > max {
+			return errors.New("gsi: renewal retry min exceeds max")
+		}
+		s.renewRetryMin = min
+		s.renewRetryMax = max
 		return nil
 	}
 }

@@ -132,6 +132,10 @@ type PoolStats struct {
 	// Resumes counts GT3 sessions whose conversation was resumed from
 	// the secure-conversation cache instead of fully bootstrapped.
 	Resumes uint64
+	// Retired counts sessions closed because their credential was
+	// retired by a rotation: idle sessions drained at RetireCredential
+	// plus checked-out sessions discarded as they returned.
+	Retired uint64
 	// Idle and Active are the current session counts across all keys.
 	Idle   int
 	Active int
@@ -154,14 +158,16 @@ type SessionPool struct {
 
 	resume *wssec.ResumptionCache
 
-	mu     sync.Mutex
-	closed bool
-	hosts  map[poolKey]*hostPool
+	mu      sync.Mutex
+	closed  bool
+	hosts   map[poolKey]*hostPool
+	retired map[[32]byte]time.Time // rotated-away fingerprints → their NotAfter
 
-	dials     atomic.Uint64
-	hits      atomic.Uint64
-	evictions atomic.Uint64
-	poisoned  atomic.Uint64
+	dials       atomic.Uint64
+	hits        atomic.Uint64
+	evictions   atomic.Uint64
+	poisoned    atomic.Uint64
+	retiredSess atomic.Uint64
 }
 
 // NewSessionPool builds a standalone pool tuned by the pool options
@@ -204,6 +210,7 @@ func (p *SessionPool) Stats() PoolStats {
 		Evictions: p.evictions.Load(),
 		Poisoned:  p.poisoned.Load(),
 		Resumes:   p.resume.Stats().Hits,
+		Retired:   p.retiredSess.Load(),
 	}
 	p.mu.Lock()
 	for _, hp := range p.hosts {
@@ -417,8 +424,99 @@ func (p *SessionPool) discard(key poolKey, sess Session) {
 	}
 }
 
+// RetireCredential rekeys the pool after a credential rotation: idle
+// sessions established under old's leaf fingerprint are closed, the
+// fingerprint is marked so sessions still checked out drain — they
+// finish their in-flight exchange, then are discarded at return instead
+// of parked — and old's secure-conversation resumption trees are
+// invalidated so they can never seed new conversations. New checkouts
+// are keyed by the successor's fingerprint and handshake fresh. A
+// Client bound to a CredentialManager calls this automatically on
+// rotation; call it directly when rotating credentials by hand over a
+// shared pool.
+func (p *SessionPool) RetireCredential(old *Credential) {
+	if old == nil {
+		return
+	}
+	fp := old.Leaf().Fingerprint()
+	var toClose []Session
+	p.mu.Lock()
+	if !p.closed {
+		if p.retired == nil {
+			p.retired = make(map[[32]byte]time.Time)
+		}
+		// Once a retired credential's own NotAfter passes, no session
+		// under it can be parked anyway — every context it
+		// authenticated has expired (gss clamps context lifetime to the
+		// credential) and fails the health check at release. Prune such
+		// entries so a pool rotating for months stays bounded.
+		now := time.Now()
+		for oldFP, notAfter := range p.retired {
+			if now.After(notAfter) {
+				delete(p.retired, oldFP)
+			}
+		}
+		p.retired[fp] = old.Leaf().NotAfter
+	}
+	for key, hp := range p.hosts {
+		if key.credential != fp {
+			continue
+		}
+		for _, it := range hp.idle {
+			toClose = append(toClose, it.sess)
+			hp.signal() // each closed idle session frees capacity
+		}
+		hp.idle = nil
+		p.reapLocked(key, hp)
+	}
+	p.mu.Unlock()
+	for _, sess := range toClose {
+		p.retiredSess.Add(1)
+		sess.Close()
+	}
+	// Resumption-cache keys end in the credential fingerprint (see
+	// poolKey.resumeScope), so a suffix match removes exactly the
+	// retired credential's parent conversations.
+	suffix := fmt.Sprintf("%x", fp)
+	p.resume.InvalidateMatching(func(key string) bool {
+		return strings.HasSuffix(key, suffix)
+	})
+}
+
+// credentialRetired reports whether key's credential has been rotated
+// away. Callers hold the mutex.
+func (p *SessionPool) credentialRetired(key poolKey) bool {
+	if len(p.retired) == 0 || key.anonymous {
+		return false
+	}
+	_, ok := p.retired[key.credential]
+	return ok
+}
+
+// isClosed reports whether Close ran (rotation hooks prune themselves
+// on closed pools).
+func (p *SessionPool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// fingerprintRetired reports whether cred's leaf fingerprint has been
+// rotated away (dials under it must skip the resumption cache).
+func (p *SessionPool) fingerprintRetired(cred *Credential) bool {
+	if cred == nil {
+		return false
+	}
+	fp := cred.Leaf().Fingerprint()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.retired[fp]
+	return ok
+}
+
 // release returns a session to the idle pool, or closes it when the
-// pool is closed, the session was poisoned, or the idle cap is reached.
+// pool is closed, the session was poisoned, the session's credential
+// was retired (rotation drain), or the idle cap is reached.
 func (p *SessionPool) release(key poolKey, sess Session, poisoned bool) {
 	if poisoned {
 		p.poisoned.Add(1)
@@ -426,6 +524,12 @@ func (p *SessionPool) release(key poolKey, sess Session, poisoned bool) {
 		return
 	}
 	p.mu.Lock()
+	if p.credentialRetired(key) {
+		p.mu.Unlock()
+		p.retiredSess.Add(1)
+		p.discard(key, sess)
+		return
+	}
 	hp := p.host(key)
 	hp.active--
 	if p.closed || len(hp.idle) >= p.maxIdle || !sessionHealthy(sess) {
