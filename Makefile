@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman fmt
+.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz fmt
 
-## ci: the tier-1 gate — format check, vet, build, test, race, fuzz smoke.
-ci: fmt-check vet build test race fuzz-smoke
+## ci: the tier-1 gate — format check, vet, build, test, race, fuzz
+## smoke, and the authorization-decision benchmark pair (which also
+## asserts cached decisions stay cached).
+ci: fmt-check vet build test race fuzz-smoke bench-authz
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -34,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime=5s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationRequest$$' -fuzztime=5s ./internal/proxy
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationReply$$' -fuzztime=5s ./internal/proxy
+	$(GO) test -run '^$$' -fuzz '^FuzzGridMapRoundTrip$$' -fuzztime=5s ./internal/authz
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -53,6 +56,13 @@ bench-credman:
 	$(GO) test -run '^$$' -bench 'ExchangeSteadyState|ExchangeAcrossRotation' -benchmem . \
 		| $(GO) run ./cmd/bench2json > BENCH_credman.json
 	@cat BENCH_credman.json
+
+## bench-authz: record the authorization-decision pair (full pipeline
+## evaluation vs. decision-cache hit) into BENCH_authz.json.
+bench-authz:
+	$(GO) test -run '^$$' -bench 'AuthorizeCold|AuthorizeCached' -benchmem . \
+		| $(GO) run ./cmd/bench2json > BENCH_authz.json
+	@cat BENCH_authz.json
 
 ## fmt: rewrite files in place.
 fmt:

@@ -1,0 +1,136 @@
+// Benchmarks for the authorization pipeline: what one per-exchange
+// decision costs. BenchmarkAuthorizeCold runs the full evaluation every
+// time — CAS assertion signature verification, VO ∩ local rule scans,
+// gridmap lookup — the price every exchange paid before the decision
+// cache. BenchmarkAuthorizeCached serves the same decision from the
+// sharded cache: one map lookup plus generation checks. `make
+// bench-authz` records both into BENCH_authz.json; the ≥5x gap is the
+// throughput claim of PR 4.
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/pkg/gsi"
+)
+
+// newBenchAuthzWorld builds the decision workload: a member carrying a
+// CAS assertion, a 65-rule local policy (64 non-matching fillers ahead
+// of the matching rule — a realistically long scan), and a gridmap.
+func newBenchAuthzWorld(b *testing.B, cacheTTL time.Duration) (*gsi.AuthorizationPipeline, gsi.Peer) {
+	b.Helper()
+	authority, err := gsi.NewCA("/O=Grid/CN=Bench CA", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alice, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	voCred, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=BenchVO CAS"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo := gsi.NewCASServer(voCred)
+	vo.AddMember(alice.Identity(), "researchers")
+	vo.AddPolicy(gsi.Rule{
+		ID:        "vo-read",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	client, err := env.NewClient(alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assertion, err := client.RequestAssertion(context.Background(), vo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, err := client.EmbedAssertion(assertion)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	local := gsi.NewPolicy()
+	for i := 0; i < 64; i++ {
+		local.Add(gsi.Rule{
+			ID:        "filler",
+			Effect:    gsi.EffectPermit,
+			Subjects:  []string{"/O=Grid/CN=Somebody Else"},
+			Resources: []string{"data:/other/*"},
+			Actions:   []string{"write"},
+		})
+	}
+	local.Add(gsi.Rule{
+		ID:        "local-read",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"data:/*"},
+		Actions:   []string{"read"},
+	})
+	gridmap := gsi.NewGridMap()
+	gridmap.Add(alice.Identity(), "alice")
+
+	pl, err := env.NewAuthorizationPipeline(
+		gsi.WithLocalPolicy(local),
+		gsi.WithTrustedVO(vo.Certificate()),
+		gsi.WithGridMap(gridmap),
+		gsi.WithDecisionCache(cacheTTL),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The peer as a transport hands it over: chain validated once at
+	// handshake time, so the per-exchange cost under measurement is the
+	// decision itself, not authentication.
+	info, err := env.Trust().Verify(cred.Chain, gsi.VerifyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	peer := gsi.Peer{Identity: info.Identity, Subject: info.Subject, Chain: cred.Chain, Info: info}
+	return pl, peer
+}
+
+// BenchmarkAuthorizeCold: the cache is disabled, so every exchange pays
+// assertion verification plus both rule-list scans.
+func BenchmarkAuthorizeCold(b *testing.B) {
+	pl, peer := newBenchAuthzWorld(b, 0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read")
+		if err != nil || d.Decision != gsi.Permit {
+			b.Fatalf("%+v %v", d, err)
+		}
+	}
+}
+
+// BenchmarkAuthorizeCached: same decision served from the sharded
+// cache (warmed by one cold evaluation).
+func BenchmarkAuthorizeCached(b *testing.B) {
+	pl, peer := newBenchAuthzWorld(b, time.Hour)
+	ctx := context.Background()
+	if d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read"); err != nil || d.Decision != gsi.Permit {
+		b.Fatalf("warmup: %+v %v", d, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read")
+		if err != nil || d.Decision != gsi.Permit {
+			b.Fatalf("%+v %v", d, err)
+		}
+		if !d.Cached {
+			b.Fatal("decision fell out of the cache")
+		}
+	}
+}

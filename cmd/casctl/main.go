@@ -4,18 +4,26 @@
 // under a context.Context, embeds it in a restricted proxy, and a
 // resource enforces the intersection of VO and local policy.
 //
+// With -serve the enforcement runs through a live facade server's
+// authorization pipeline instead of the bare enforcer: N exchanges hit
+// the decision cache, a -revoke pass proves the generation bump defeats
+// cached grants, and the audit chain is verified.
+//
 // Usage:
 //
 //	casctl [-member DN] [-resource R] [-action A] [-timeout D]
+//	       [-serve] [-exchanges N] [-cache-ttl D] [-revoke]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/internal/secsvc"
 	"repro/pkg/gsi"
 )
 
@@ -25,6 +33,10 @@ func main() {
 	resource := flag.String("resource", "data:/climate/run1", "resource to access")
 	action := flag.String("action", "read", "action to attempt")
 	timeout := flag.Duration("timeout", 10*time.Second, "deadline for the assertion request")
+	serve := flag.Bool("serve", false, "also enforce through a live facade server's authorization pipeline")
+	exchanges := flag.Int("exchanges", 8, "exchanges to run against the facade server (-serve)")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "decision-cache TTL for the pipeline (-serve; 0 disables)")
+	revoke := flag.Bool("revoke", true, "revoke the local rule mid-traffic and prove the cache honors it (-serve)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -94,4 +106,92 @@ func main() {
 	}
 	fmt.Printf("step 3: %s %s -> %s (local=%s vo=%s): %s\n",
 		*action, *resource, res.Decision, res.Local, res.VO, res.Reason)
+
+	if !*serve {
+		return
+	}
+
+	// Step 4: the same decision, but made by a live facade server's
+	// authorization pipeline — decision cache, gridmap mapping, and
+	// audit chain included. The VO grants the exchange resource so the
+	// assertion applies to served traffic.
+	server.AddPolicy(gsi.Rule{
+		ID:        "vo-exchange",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"ogsa:gsi.exchange"},
+		Actions:   []string{*action},
+	})
+	assertion, err = client.RequestAssertion(ctx, server)
+	if err != nil {
+		log.Fatalf("step 4 (re-issue): %v", err)
+	}
+	proxyCred, err = client.EmbedAssertion(assertion)
+	if err != nil {
+		log.Fatalf("step 4 (re-embed): %v", err)
+	}
+	host, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=host casctl"), 12*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverLocal := gsi.NewPolicy(gsi.Rule{
+		ID:        "local-exchange",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"ogsa:gsi.exchange"},
+		Actions:   []string{"*"},
+	})
+	gridmap := gsi.NewGridMap()
+	gridmap.Add(memberDN, "griduser")
+	audit := secsvc.NewAuditLog()
+	pipeline, err := env.NewAuthorizationPipeline(
+		gsi.WithLocalPolicy(serverLocal),
+		gsi.WithTrustedVO(server.Certificate()),
+		gsi.WithGridMap(gridmap),
+		gsi.WithAuditSink(audit),
+		gsi.WithDecisionCache(*cacheTTL),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	facade, err := env.NewServer(host, gsi.WithAuthorizationPipeline(pipeline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep, err := facade.Serve(ctx, "127.0.0.1:0",
+		func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+			return []byte(peer.LocalAccount), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	voClient, err := env.NewClient(proxyCred, gsi.WithSessionPool(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer voClient.Pool().Close()
+	var account []byte
+	for i := 0; i < *exchanges; i++ {
+		if account, err = voClient.Exchange(ctx, ep.Addr(), *action, nil); err != nil {
+			log.Fatalf("step 4 (exchange %d): %v", i, err)
+		}
+	}
+	st := pipeline.CacheStats()
+	fmt.Printf("step 4: %d facade exchange(s) as account %q — cache %d hit(s) / %d miss(es)\n",
+		*exchanges, account, st.Hits, st.Misses)
+
+	if *revoke {
+		serverLocal.Remove("local-exchange")
+		if _, err := voClient.Exchange(ctx, ep.Addr(), *action, nil); errors.Is(err, gsi.ErrUnauthorized) {
+			fmt.Println("step 5: local rule revoked — very next exchange denied, no stale cache grant")
+		} else {
+			log.Fatalf("step 5: post-revocation exchange returned %v, want unauthorized", err)
+		}
+	}
+	intact := "intact"
+	if i := audit.VerifyChain(); i >= 0 {
+		intact = fmt.Sprintf("corrupt at %d", i)
+	}
+	fmt.Printf("audit: %d event(s), chain %s\n", audit.Len(), intact)
 }

@@ -165,4 +165,39 @@ func main() {
 	ms := managed.Pool().Stats()
 	fmt.Printf("8. rotated credentials mid-traffic: %d rotation(s), %d session(s) retired, 0 failures\n",
 		cm.Stats().Rotations, ms.Retired)
+
+	// 9. Authorization pipeline: a server built with WithLocalPolicy /
+	// WithGridMap (and WithTrustedVO for community assertions) gates
+	// every exchange through the chain-aware pipeline — local ∩ VO
+	// policy, grid-mapfile mapping surfaced as Peer.LocalAccount, a
+	// decision cache on the hot path, and every outcome auditable via
+	// WithAuditSink. Here local policy admits Alice by DN and the
+	// gridmap names her local account.
+	local := gsi.NewPolicy(gsi.Rule{
+		ID:        "allow-alice",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{alice.Identity().String()},
+		Resources: []string{"ogsa:gsi.exchange"},
+		Actions:   []string{"*"},
+	})
+	gridmap := gsi.NewGridMap()
+	gridmap.Add(alice.Identity(), "alice")
+	authzServer, err := env.NewServer(gridftp,
+		gsi.WithLocalPolicy(local), gsi.WithGridMap(gridmap))
+	if err != nil {
+		log.Fatal(err)
+	}
+	authzEP, err := authzServer.Serve(ctx, "127.0.0.1:0",
+		func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+			return []byte(peer.LocalAccount), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer authzEP.Close()
+	account, err := pooled.Exchange(ctx, authzEP.Addr(), "whoami", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("9. authorized exchange ran as local account %q (policy + gridmap enforced in the facade)\n", account)
 }

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"unicode"
 
 	"repro/internal/gridcert"
 )
@@ -17,6 +19,7 @@ import (
 type GridMap struct {
 	mu      sync.RWMutex
 	entries map[string]string // DN string -> local account
+	gen     uint64
 }
 
 // NewGridMap creates an empty map.
@@ -24,11 +27,37 @@ func NewGridMap() *GridMap {
 	return &GridMap{entries: make(map[string]string)}
 }
 
-// Add maps a grid identity to a local account.
+// Add maps a grid identity to a local account. The account must be a
+// single token — non-empty, no whitespace or control characters —
+// because Serialize writes it raw: an embedded newline would forge a
+// whole extra mapfile line, and an embedded space would silently
+// truncate on reparse. Violations panic (configuration error).
 func (g *GridMap) Add(dn gridcert.Name, account string) {
+	// The empty DN is the identity an anonymous peer presents, and its
+	// rendering ("/") does not survive a Serialize/Parse round trip —
+	// reject it at the mutation API just as the parser does.
+	if dn.Empty() {
+		panic("authz: gridmap entry for the empty DN")
+	}
+	if !validAccount(account) {
+		panic(fmt.Sprintf("authz: gridmap account %q must be one token without whitespace or control characters", account))
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.entries[dn.String()] = account
+	g.gen++
+}
+
+func validAccount(account string) bool {
+	if account == "" {
+		return false
+	}
+	for _, r := range account {
+		if unicode.IsSpace(r) || unicode.IsControl(r) {
+			return false
+		}
+	}
+	return true
 }
 
 // Remove deletes a mapping.
@@ -36,6 +65,16 @@ func (g *GridMap) Remove(dn gridcert.Name) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	delete(g.entries, dn.String())
+	g.gen++
+}
+
+// Generation reports the map revision: it increments on every mutation.
+// Cached identity-to-account decisions are only valid for the
+// generation they were computed under.
+func (g *GridMap) Generation() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.gen
 }
 
 // Lookup returns the local account for a grid identity.
@@ -88,19 +127,43 @@ func ParseGridMap(text string) (*GridMap, error) {
 		if !strings.HasPrefix(line, `"`) {
 			return nil, fmt.Errorf("authz: gridmap line %d: DN must be quoted", lineNo)
 		}
-		end := strings.Index(line[1:], `"`)
-		if end < 0 {
-			return nil, fmt.Errorf("authz: gridmap line %d: unterminated DN", lineNo)
+		// Serialize renders DNs with %q, so quotes, backslashes, and
+		// non-ASCII inside the DN arrive escaped; QuotedPrefix walks the
+		// escapes to the true closing quote and Unquote reverses them.
+		// Hand-written legacy mapfiles were never Go-quoted, though —
+		// a raw `\` in a DN is not a valid escape — so lines that fail
+		// strict unquoting fall back to the historical scan-to-the-
+		// next-quote reading with no escape processing.
+		var dnStr, rest string
+		if quoted, err := strconv.QuotedPrefix(line); err == nil {
+			unquoted, uerr := strconv.Unquote(quoted)
+			if uerr != nil {
+				return nil, fmt.Errorf("authz: gridmap line %d: bad DN quoting: %w", lineNo, uerr)
+			}
+			dnStr, rest = unquoted, line[len(quoted):]
+		} else {
+			end := strings.Index(line[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("authz: gridmap line %d: unterminated DN", lineNo)
+			}
+			dnStr, rest = line[1:1+end], line[2+end:]
 		}
-		dnStr := line[1 : 1+end]
-		rest := strings.TrimSpace(line[2+end:])
+		rest = strings.TrimSpace(rest)
 		if rest == "" {
 			return nil, fmt.Errorf("authz: gridmap line %d: missing account", lineNo)
 		}
 		account := strings.Fields(rest)[0]
+		if !validAccount(account) {
+			return nil, fmt.Errorf("authz: gridmap line %d: account %q contains control characters", lineNo, account)
+		}
 		dn, err := gridcert.ParseName(dnStr)
 		if err != nil {
 			return nil, fmt.Errorf("authz: gridmap line %d: %w", lineNo, err)
+		}
+		// The empty DN is the identity an anonymous peer would present;
+		// mapping it to an account would be an open door.
+		if dn.Empty() {
+			return nil, fmt.Errorf("authz: gridmap line %d: empty DN", lineNo)
 		}
 		g.Add(dn, account)
 	}

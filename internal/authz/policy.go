@@ -8,6 +8,7 @@ package authz
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,11 @@ const (
 	// EffectDeny rules refuse access.
 	EffectDeny Effect = 2
 )
+
+// Valid reports whether e is a known effect. The zero value is
+// deliberately invalid: a rule whose author forgot the effect must
+// never silently permit.
+func (e Effect) Valid() bool { return e == EffectPermit || e == EffectDeny }
 
 // Rule is one policy statement. Empty matcher fields match anything.
 type Rule struct {
@@ -187,17 +193,69 @@ type Policy struct {
 	mu        sync.RWMutex
 	rules     []Rule
 	combining Combining
+	gen       uint64
 }
 
 // NewPolicy creates a policy with the given combining algorithm.
 func NewPolicy(c Combining) *Policy { return &Policy{combining: c} }
 
-// Add appends rules to the policy.
+// Add appends rules to the policy. Rules with an invalid Effect are a
+// programmer error and panic; rules decoded from untrusted input go
+// through AddChecked instead.
 func (p *Policy) Add(rules ...Rule) *Policy {
+	if err := p.AddChecked(rules...); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AddChecked appends rules, rejecting the whole batch if any rule
+// carries an effect other than EffectPermit or EffectDeny. This is the
+// entry point for rules that crossed a trust boundary (CAS assertions,
+// serialized policy): an attacker-chosen effect byte must fail loudly,
+// not decay into an implicit permit.
+func (p *Policy) AddChecked(rules ...Rule) error {
+	for _, r := range rules {
+		if !r.Effect.Valid() {
+			return fmt.Errorf("authz: rule %q has invalid effect %d (want EffectPermit or EffectDeny)", r.ID, r.Effect)
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.rules = append(p.rules, rules...)
-	return p
+	p.gen++
+	return nil
+}
+
+// Remove deletes every rule with the given ID, reporting whether any
+// was removed. Removal bumps the policy generation, so decision caches
+// keyed on it re-evaluate on their very next lookup.
+func (p *Policy) Remove(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.rules[:0]
+	removed := false
+	for _, r := range p.rules {
+		if r.ID == id {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	p.rules = kept
+	if removed {
+		p.gen++
+	}
+	return removed
+}
+
+// Generation reports the policy revision: it increments on every
+// mutation. Cached decisions are only valid for the generation they
+// were computed under.
+func (p *Policy) Generation() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.gen
 }
 
 // Len returns the number of rules.
@@ -223,14 +281,17 @@ func (p *Policy) Evaluate(req Request) Decision {
 		if !r.Matches(req) {
 			continue
 		}
+		// Fail closed: only EffectPermit ever permits. Any other effect —
+		// EffectDeny or an unknown value that slipped past Add validation
+		// (e.g. a rule built directly or decoded before checking) — denies.
 		switch p.combining {
 		case FirstApplicable:
-			if r.Effect == EffectDeny {
-				return Deny
+			if r.Effect == EffectPermit {
+				return Permit
 			}
-			return Permit
+			return Deny
 		case DenyOverrides:
-			if r.Effect == EffectDeny {
+			if r.Effect != EffectPermit {
 				return Deny
 			}
 			sawPermit = true
@@ -288,10 +349,13 @@ func Combine(decisions ...Decision) Decision {
 	sawNA := false
 	for _, d := range decisions {
 		switch d {
-		case Deny:
-			return Deny
+		case Permit:
+			// Contributes a permit; the conjunction stays open.
 		case NotApplicable:
 			sawNA = true
+		default:
+			// Deny, or a decision value outside the enum: fail closed.
+			return Deny
 		}
 	}
 	if sawNA {

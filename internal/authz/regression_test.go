@@ -1,0 +1,290 @@
+package authz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gridcert"
+)
+
+// TestZeroEffectRuleDeniesEverywhere is the fail-open regression: a rule
+// whose Effect was never set (the zero value) used to count as Permit
+// under all three combining algorithms. It must deny under every one.
+func TestZeroEffectRuleDeniesEverywhere(t *testing.T) {
+	req := Request{Subject: alice, Resource: "data:/x", Action: "read"}
+	for _, c := range []Combining{DenyOverrides, PermitOverrides, FirstApplicable} {
+		p := NewPolicy(c)
+		// Bypass Add validation the way a hand-built or pre-validation
+		// decoded rule set would: write the rule slice directly.
+		p.rules = []Rule{{ID: "forgot-effect"}}
+		if d := p.Evaluate(req); d == Permit {
+			t.Fatalf("combining %d: zero-effect rule permitted", c)
+		}
+	}
+	// PermitOverrides with only an invalid-effect match must resolve Deny,
+	// not NotApplicable: the rule matched, and unknown effects are Deny.
+	p := NewPolicy(PermitOverrides)
+	p.rules = []Rule{{ID: "forgot-effect"}}
+	if d := p.Evaluate(req); d != Deny {
+		t.Fatalf("permit-overrides zero-effect: got %s, want deny", d)
+	}
+}
+
+// TestUnknownEffectValueDenies covers effect bytes outside the enum
+// entirely (e.g. a corrupted serialized rule).
+func TestUnknownEffectValueDenies(t *testing.T) {
+	req := Request{Subject: alice, Resource: "r", Action: "a"}
+	for _, eff := range []Effect{0, 3, 7, 255} {
+		p := NewPolicy(DenyOverrides)
+		p.rules = []Rule{{ID: "weird", Effect: eff}}
+		if d := p.Evaluate(req); d == Permit {
+			t.Fatalf("effect %d permitted", eff)
+		}
+	}
+}
+
+func TestAddRejectsInvalidEffect(t *testing.T) {
+	p := NewPolicy(DenyOverrides)
+	if err := p.AddChecked(Rule{ID: "bad"}); err == nil {
+		t.Fatal("AddChecked accepted a zero-effect rule")
+	}
+	if err := p.AddChecked(Rule{ID: "weird", Effect: 9}); err == nil {
+		t.Fatal("AddChecked accepted an out-of-enum effect")
+	}
+	// A rejected batch must not be partially applied.
+	if err := p.AddChecked(
+		Rule{ID: "ok", Effect: EffectPermit},
+		Rule{ID: "bad"},
+	); err == nil {
+		t.Fatal("AddChecked accepted a batch with an invalid rule")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("rejected batch partially applied: %d rules", p.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add did not panic on invalid effect")
+		}
+	}()
+	p.Add(Rule{ID: "bad"})
+}
+
+func TestCombineFailsClosedOnInvalidDecision(t *testing.T) {
+	if d := Combine(Permit, Decision(7)); d != Deny {
+		t.Fatalf("Combine with out-of-enum decision: got %s, want deny", d)
+	}
+}
+
+func TestPolicyGenerationAndRemove(t *testing.T) {
+	p := NewPolicy(DenyOverrides)
+	g0 := p.Generation()
+	p.Add(Rule{ID: "a", Effect: EffectPermit}, Rule{ID: "b", Effect: EffectDeny})
+	if p.Generation() == g0 {
+		t.Fatal("Add did not bump generation")
+	}
+	g1 := p.Generation()
+	if !p.Remove("a") {
+		t.Fatal("Remove did not find rule a")
+	}
+	if p.Generation() == g1 {
+		t.Fatal("Remove did not bump generation")
+	}
+	g2 := p.Generation()
+	if p.Remove("missing") {
+		t.Fatal("Remove found a missing rule")
+	}
+	if p.Generation() != g2 {
+		t.Fatal("no-op Remove bumped generation")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("want 1 rule after remove, got %d", p.Len())
+	}
+}
+
+func TestGridMapGeneration(t *testing.T) {
+	g := NewGridMap()
+	g0 := g.Generation()
+	g.Add(alice, "alice")
+	if g.Generation() == g0 {
+		t.Fatal("Add did not bump generation")
+	}
+	g1 := g.Generation()
+	g.Remove(alice)
+	if g.Generation() == g1 {
+		t.Fatal("Remove did not bump generation")
+	}
+}
+
+// TestGridMapRejectsUnserializableAccounts: Serialize writes accounts
+// raw, so an account with embedded whitespace (silent truncation on
+// reparse) or a newline (a forged extra mapfile line) must never get
+// in.
+func TestGridMapRejectsUnserializableAccounts(t *testing.T) {
+	for _, bad := range []string{"", "svc account", "a\tb", "alice\n\"/O=Grid/CN=Mallory\" root"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add accepted account %q", bad)
+				}
+			}()
+			NewGridMap().Add(alice, bad)
+		}()
+	}
+	g := NewGridMap()
+	g.Add(alice, "alice-01_x")
+	if _, err := ParseGridMap(g.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	// The empty DN renders as "/" which the parser (rightly) rejects,
+	// so the mutation API must refuse it up front.
+	defer func() {
+		if recover() == nil {
+			t.Error("Add accepted the empty DN")
+		}
+	}()
+	g.Add(gridcert.Name{}, "ghost")
+}
+
+// TestGridMapRoundTripAwkwardDNs is the serializer/parser regression:
+// Serialize escapes with %q, and the old parser scanned for a raw '"',
+// truncating any DN containing quotes or backslashes and never
+// unescaping. These DNs must round-trip exactly.
+func TestGridMapRoundTripAwkwardDNs(t *testing.T) {
+	awkward := []string{
+		`/O=Grid/CN=Alice "the admin"`,
+		`/O=Grid/CN=C:\Users\alice`,
+		"/O=Grid/CN=Ålice Ünïcode",
+		"/O=Grid/CN=名前",
+		`/O=Grid/OU="quoted"/CN=back\slash`,
+	}
+	g := NewGridMap()
+	for i, s := range awkward {
+		dn, err := gridcert.ParseName(s)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", s, err)
+		}
+		g.Add(dn, fmt.Sprintf("acct%d", i))
+	}
+	text := g.Serialize()
+	parsed, err := ParseGridMap(text)
+	if err != nil {
+		t.Fatalf("ParseGridMap of own Serialize output: %v\n%s", err, text)
+	}
+	if parsed.Len() != g.Len() {
+		t.Fatalf("round trip lost entries: %d -> %d\n%s", g.Len(), parsed.Len(), text)
+	}
+	for i, s := range awkward {
+		dn := gridcert.MustParseName(s)
+		acct, ok := parsed.Lookup(dn)
+		if !ok {
+			t.Fatalf("round trip lost %q", s)
+		}
+		if want := fmt.Sprintf("acct%d", i); acct != want {
+			t.Fatalf("round trip mapped %q to %q, want %q", s, acct, want)
+		}
+	}
+}
+
+// TestGridMapLegacyRawBackslashDN: hand-written mapfiles predate the
+// Go-quoted escaping Serialize uses; a raw backslash (not a valid Go
+// escape) must still parse under the historical scan-to-next-quote
+// reading.
+func TestGridMapLegacyRawBackslashDN(t *testing.T) {
+	g, err := ParseGridMap(`"/O=Grid/CN=DOMAIN\user" acct1` + "\n")
+	if err != nil {
+		t.Fatalf("legacy raw-backslash line rejected: %v", err)
+	}
+	dn := gridcert.MustParseName(`/O=Grid/CN=DOMAIN\user`)
+	if acct, ok := g.Lookup(dn); !ok || acct != "acct1" {
+		t.Fatalf("legacy DN mapped to %q, %v", acct, ok)
+	}
+	// And the canonical form it re-serializes to keeps round-tripping.
+	g2, err := ParseGridMap(g.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct, ok := g2.Lookup(dn); !ok || acct != "acct1" {
+		t.Fatal("canonicalized legacy DN lost in round trip")
+	}
+}
+
+// TestGridMapRoundTripQuick property-checks Serialize∘ParseGridMap over
+// random DN values drawn from a hostile alphabet.
+func TestGridMapRoundTripQuick(t *testing.T) {
+	alphabet := []rune(`abcXYZ"\'#%ü名 .-_,;`)
+	gen := func(r *rand.Rand) string {
+		n := 1 + r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteRune(alphabet[r.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGridMap()
+		want := make(map[string]string)
+		for i := 0; i < 1+r.Intn(8); i++ {
+			val := strings.TrimSpace(gen(r))
+			if val == "" || strings.ContainsAny(val, "/=") {
+				continue // not expressible as a DN component value
+			}
+			dn, err := gridcert.ParseName("/O=Grid/CN=" + val)
+			if err != nil {
+				continue
+			}
+			acct := fmt.Sprintf("u%d", i)
+			g.Add(dn, acct)
+			want[dn.String()] = acct
+		}
+		parsed, err := ParseGridMap(g.Serialize())
+		if err != nil {
+			t.Logf("seed %d: parse error: %v", seed, err)
+			return false
+		}
+		if parsed.Len() != len(want) {
+			return false
+		}
+		for dn, acct := range want {
+			got, ok := parsed.Lookup(gridcert.MustParseName(dn))
+			if !ok || got != acct {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzGridMapRoundTrip asserts parser totality plus parse/serialize
+// idempotence: any accepted input must serialize to a canonical form
+// that reparses to the same map.
+func FuzzGridMapRoundTrip(f *testing.F) {
+	f.Add("\"/O=Grid/CN=Alice\" alice\n")
+	f.Add("# comment\n\n\"/O=Grid/CN=Al\\\"ice\" a1 extra\n")
+	f.Add("\"/O=Grid/CN=C:\\\\x\" slash\n")
+	f.Add("\"/O=G\" ")
+	f.Add("not-quoted x\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ParseGridMap(text)
+		if err != nil {
+			return // rejection is fine; crashing or mis-parsing is not
+		}
+		canonical := g.Serialize()
+		g2, err := ParseGridMap(canonical)
+		if err != nil {
+			t.Fatalf("Serialize output does not reparse: %v\n%q", err, canonical)
+		}
+		if g2.Len() != g.Len() {
+			t.Fatalf("reparse changed entry count %d -> %d", g.Len(), g2.Len())
+		}
+		if g2.Serialize() != canonical {
+			t.Fatalf("serialize not idempotent:\n%q\n%q", canonical, g2.Serialize())
+		}
+	})
+}

@@ -38,6 +38,12 @@ type Assertion struct {
 	VO gridcert.Name
 	// Subject is the member the assertion speaks about.
 	Subject gridcert.Name
+	// Groups and Roles are the VO attributes the community vouches for:
+	// the subject's group memberships and role assignments at issuance.
+	// Resources can reference them in local policy (e.g. a rule matching
+	// group "climate-vo") without knowing VO internals.
+	Groups []string
+	Roles  []string
 	// Rules is the slice of VO policy granted to the subject.
 	Rules []authz.Rule
 	// IssuedAt / ExpiresAt bound the assertion's life.
@@ -51,9 +57,11 @@ const maxAssertionRules = 4096
 
 func (a *Assertion) tbs() []byte {
 	e := wire.NewEncoder()
-	e.Str("cas-assertion-v1")
+	e.Str("cas-assertion-v2")
 	e.Str(a.VO.String())
 	e.Str(a.Subject.String())
+	encodeStrings(e, a.Groups)
+	encodeStrings(e, a.Roles)
 	e.I64(a.IssuedAt.Unix())
 	e.I64(a.ExpiresAt.Unix())
 	e.U32(uint32(len(a.Rules)))
@@ -136,12 +144,14 @@ func DecodeAssertion(b []byte) (*Assertion, error) {
 		return nil, err
 	}
 	td := wire.NewDecoder(tbs)
-	if magic := td.Str(); td.Err() == nil && magic != "cas-assertion-v1" {
+	if magic := td.Str(); td.Err() == nil && magic != "cas-assertion-v2" {
 		return nil, fmt.Errorf("cas: bad assertion magic %q", magic)
 	}
 	a := &Assertion{}
 	voStr := td.Str()
 	subjStr := td.Str()
+	a.Groups = decodeStrings(td)
+	a.Roles = decodeStrings(td)
 	a.IssuedAt = time.Unix(td.I64(), 0).UTC()
 	a.ExpiresAt = time.Unix(td.I64(), 0).UTC()
 	n := td.Count("assertion rule", maxAssertionRules)
@@ -183,6 +193,7 @@ type Server struct {
 
 	mu      sync.RWMutex
 	members map[string][]string // member DN -> groups within the VO
+	roles   map[string][]string // member DN -> roles within the VO
 	policy  *authz.Policy
 	// AssertionLifetime bounds issued assertions (default 1h).
 	AssertionLifetime time.Duration
@@ -194,6 +205,7 @@ func NewServer(cred *gridcert.Credential) *Server {
 	return &Server{
 		cred:              cred,
 		members:           make(map[string][]string),
+		roles:             make(map[string][]string),
 		policy:            authz.NewPolicy(authz.DenyOverrides),
 		AssertionLifetime: time.Hour,
 		now:               time.Now,
@@ -222,6 +234,22 @@ func (s *Server) RemoveMember(dn gridcert.Name) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.members, dn.String())
+	delete(s.roles, dn.String())
+}
+
+// AssignRole grants VO roles to a member; issued assertions carry them
+// so resources can write role-based local policy.
+func (s *Server) AssignRole(dn gridcert.Name, roles ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roles[dn.String()] = append(s.roles[dn.String()], roles...)
+}
+
+// Roles reports the member's VO roles.
+func (s *Server) Roles(dn gridcert.Name) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.roles[dn.String()]...)
 }
 
 // IsMember reports membership and the member's groups.
@@ -259,12 +287,14 @@ func (s *Server) IssueAssertionContext(ctx context.Context, requester gridcert.N
 	if !ok {
 		return nil, fmt.Errorf("cas: %q is not a member of VO %q", requester, s.VO())
 	}
+	roles := s.Roles(requester)
 	// Select the rules that could ever apply to this member: rules that
-	// name the member, one of its groups, or everyone. CAS resolves group
-	// membership at issuance, so each granted rule is re-scoped to the
-	// subject directly — the resource need not know VO-internal groups.
+	// name the member, one of its groups or roles, or everyone. CAS
+	// resolves group membership at issuance, so each granted rule is
+	// re-scoped to the subject directly — the resource need not know
+	// VO-internal groups.
 	var granted []authz.Rule
-	probe := authz.Request{Subject: requester, Groups: groups}
+	probe := authz.Request{Subject: requester, Groups: groups, Roles: roles}
 	for i, r := range s.policy.Rules() {
 		if i%256 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -288,6 +318,8 @@ func (s *Server) IssueAssertionContext(ctx context.Context, requester gridcert.N
 	a := &Assertion{
 		VO:        s.VO(),
 		Subject:   requester,
+		Groups:    append([]string(nil), groups...),
+		Roles:     roles,
 		Rules:     granted,
 		IssuedAt:  now,
 		ExpiresAt: now.Add(s.AssertionLifetime),
@@ -327,13 +359,25 @@ func EmbedInProxy(member *gridcert.Credential, a *Assertion) (*gridcert.Credenti
 	})
 }
 
+// ErrNoAssertion reports a chain that carries no CAS policy block at
+// all. Callers branch on it to distinguish "the requester simply did
+// not present community credentials" (fall back to local policy) from
+// "the requester presented a CAS block that does not parse" (which must
+// deny — see Enforcer.AuthorizeContext).
+var ErrNoAssertion = errors.New("cas: chain carries no CAS assertion")
+
 // ExtractAssertion recovers a CAS assertion from a validated chain's
-// restricted-proxy policy blocks.
+// restricted-proxy policy blocks. Absence is reported as ErrNoAssertion;
+// any other error means a CAS block was present but malformed.
 func ExtractAssertion(info *gridcert.ChainInfo) (*Assertion, error) {
 	for _, pi := range info.Restricted {
 		if pi.PolicyLanguage == PolicyLanguage {
-			return DecodeAssertion(pi.Policy)
+			a, err := DecodeAssertion(pi.Policy)
+			if err != nil {
+				return nil, fmt.Errorf("cas: malformed assertion in chain: %w", err)
+			}
+			return a, nil
 		}
 	}
-	return nil, errors.New("cas: chain carries no CAS assertion")
+	return nil, ErrNoAssertion
 }

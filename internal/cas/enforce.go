@@ -2,6 +2,7 @@ package cas
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,49 @@ func (e *Enforcer) TrustVO(casCert *gridcert.Certificate) {
 	e.vos[casCert.Subject.String()] = casCert
 }
 
+func (e *Enforcer) trustedVO(vo gridcert.Name) (*gridcert.Certificate, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cert, ok := e.vos[vo.String()]
+	return cert, ok
+}
+
+// CheckAssertion extracts and fully verifies the CAS assertion a
+// validated chain carries: decode, trusted-VO resolution, signature and
+// validity window, subject binding. It is the one implementation of
+// the "is this community statement usable?" question, shared by the
+// Enforcer and the facade's authorization pipeline so the checks can
+// never drift apart. Outcomes:
+//
+//   - (nil, "", nil): the chain carries no assertion at all — the
+//     caller falls back to local policy;
+//   - (a, "", nil): a is fully verified and bound to the chain's
+//     identity;
+//   - (nil, reason, err): an assertion is present but unusable — the
+//     caller must deny, quoting reason (err adds detail and may be nil).
+func CheckAssertion(info *gridcert.ChainInfo, trustedVO func(gridcert.Name) (*gridcert.Certificate, bool), now time.Time) (*Assertion, string, error) {
+	assertion, aerr := ExtractAssertion(info)
+	switch {
+	case errors.Is(aerr, ErrNoAssertion):
+		return nil, "", nil
+	case aerr != nil:
+		// Present but malformed: failing open here (degrading to
+		// local-policy-only) is the bug this path exists to prevent.
+		return nil, "CAS assertion present but invalid", aerr
+	}
+	casCert, trusted := trustedVO(assertion.VO)
+	if !trusted {
+		return nil, fmt.Sprintf("assertion from untrusted VO %q", assertion.VO), nil
+	}
+	if err := assertion.Verify(casCert, now); err != nil {
+		return nil, "assertion verification failed", err
+	}
+	if !assertion.Subject.Equal(info.Identity) {
+		return nil, "assertion subject does not match authenticated identity", nil
+	}
+	return assertion, "", nil
+}
+
 // Result is an explained decision, for auditing.
 type Result struct {
 	Decision authz.Decision
@@ -74,14 +118,21 @@ func (e *Enforcer) AuthorizeContext(ctx context.Context, chain []*gridcert.Certi
 	res := Result{Identity: info.Identity}
 	req := authz.Request{Subject: info.Identity, Resource: resource, Action: action, Time: now}
 
-	// Local policy always applies.
-	res.Local = e.Local.Evaluate(req)
+	// VO policy applies through the assertion, if one is present. An
+	// assertion that is present but malformed must deny outright — it
+	// previously degraded to local-policy-only, letting a corrupted or
+	// tampered CAS block widen access to whatever local policy allows.
+	assertion, reason, aerr := CheckAssertion(info, e.trustedVO, now)
+	if reason != "" {
+		res.Decision = authz.Deny
+		res.Reason = reason
+		return res, aerr
+	}
 
-	// VO policy applies through the assertion, if one is present.
-	assertion, aerr := ExtractAssertion(info)
-	if aerr != nil {
-		// No assertion: decision rests on local policy alone, which must
-		// therefore permit explicitly.
+	if assertion == nil {
+		// No assertion at all: decision rests on local policy alone,
+		// which must therefore permit explicitly.
+		res.Local = e.Local.Evaluate(req)
 		res.VO = authz.NotApplicable
 		res.Decision = res.Local
 		if res.Decision != authz.Permit {
@@ -92,25 +143,21 @@ func (e *Enforcer) AuthorizeContext(ctx context.Context, chain []*gridcert.Certi
 		}
 		return res, nil
 	}
-	e.mu.RLock()
-	casCert, trusted := e.vos[assertion.VO.String()]
-	e.mu.RUnlock()
-	if !trusted {
+	// Only now — signature checked, subject bound — may the assertion's
+	// VO attributes flow into the request, so local policy can match on
+	// community groups and roles the VO actually vouched for.
+	req.Groups = assertion.Groups
+	req.Roles = assertion.Roles
+	res.Local = e.Local.Evaluate(req)
+	voPolicy := authz.NewPolicy(authz.DenyOverrides)
+	if err := voPolicy.AddChecked(assertion.Rules...); err != nil {
+		// A signed assertion can still carry an effect byte outside the
+		// enum; refusing it here keeps an attacker-chosen zero effect from
+		// ever reaching rule evaluation.
 		res.Decision = authz.Deny
-		res.Reason = fmt.Sprintf("assertion from untrusted VO %q", assertion.VO)
-		return res, nil
-	}
-	if err := assertion.Verify(casCert, now); err != nil {
-		res.Decision = authz.Deny
-		res.Reason = "assertion verification failed"
+		res.Reason = "assertion carries a rule with an invalid effect"
 		return res, err
 	}
-	if !assertion.Subject.Equal(info.Identity) {
-		res.Decision = authz.Deny
-		res.Reason = "assertion subject does not match authenticated identity"
-		return res, nil
-	}
-	voPolicy := authz.NewPolicy(authz.DenyOverrides).Add(assertion.Rules...)
 	res.VO = voPolicy.Evaluate(req)
 
 	// The applied policy is the intersection: both must permit.

@@ -154,6 +154,7 @@ type Certificate struct {
 	// compute-and-store is benign — the encoding is deterministic.
 	raw    atomic.Pointer[[]byte]
 	rawTBS atomic.Pointer[[]byte]
+	fp     atomic.Pointer[[32]byte]
 }
 
 const certVersion = 1
@@ -360,9 +361,17 @@ func (c *Certificate) CheckSignatureFrom(parent *Certificate) error {
 	return nil
 }
 
-// Fingerprint returns the SHA-256 of the full certificate encoding.
+// Fingerprint returns the SHA-256 of the full certificate encoding,
+// memoized: certificates are immutable after issue/decode, and
+// per-exchange consumers (the authorization decision cache, pool keys)
+// call this on their hot paths.
 func (c *Certificate) Fingerprint() [32]byte {
-	return sha256.Sum256(c.Encode())
+	if p := c.fp.Load(); p != nil {
+		return *p
+	}
+	sum := sha256.Sum256(c.Encode())
+	c.fp.Store(&sum)
+	return sum
 }
 
 // SelfSigned reports whether issuer and subject match (root CA shape).

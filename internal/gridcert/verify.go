@@ -160,6 +160,11 @@ type ChainInfo struct {
 	Subject Name
 	// EndEntity is the end-entity certificate.
 	EndEntity *Certificate
+	// Leaf is the first chain certificate (the proxy actually presented,
+	// or the end entity itself when no proxy is in play). Its fingerprint
+	// keys per-credential caches: it covers the public key, the validity
+	// window, and any embedded restricted-proxy policy.
+	Leaf *Certificate
 	// Root is the trust anchor that validated the chain.
 	Root *Certificate
 	// ProxyDepth counts proxy certificates in the chain.
@@ -325,5 +330,6 @@ func (ts *TrustStore) Verify(chain []*Certificate, opts VerifyOptions) (*ChainIn
 		return nil, ErrLimitedProxy
 	}
 	info.Subject = chain[0].Subject
+	info.Leaf = chain[0]
 	return info, nil
 }

@@ -103,6 +103,11 @@ type Peer struct {
 	Chain []*gridcert.Certificate
 	// Info is the validation result (nil if anonymous).
 	Info *gridcert.ChainInfo
+	// LocalAccount is the local account an authorization pipeline mapped
+	// the peer's grid identity to via the grid-mapfile (paper §5.3 step
+	// 3). Empty when no gridmap is configured; populated per exchange by
+	// the facade before the handler runs.
+	LocalAccount string
 }
 
 // errors exposed for callers that branch on them.

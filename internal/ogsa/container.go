@@ -1,6 +1,7 @@
 package ogsa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -21,6 +22,22 @@ type AuditSink interface {
 	Record(event, subject, detail string)
 }
 
+// ChainAuthorizer is the chain-aware authorization hook (Figure 3 step
+// 5, upgraded): unlike authz.Engine it receives the caller's full
+// authenticated peer — validated chain and ChainInfo included — so
+// implementations can verify CAS assertions, combine VO and local
+// policy, and map the identity through a grid-mapfile. It returns the
+// mapped local account (empty if no mapping applies) or an error to
+// deny the call. The pkg/gsi AuthorizationPipeline implements it.
+//
+// ctx is the lifetime of the authorization question; the container
+// passes context.Background() because the SOAP request path carries no
+// caller deadline, but other hosts (and future transports) thread the
+// real one.
+type ChainAuthorizer interface {
+	AuthorizeChain(ctx context.Context, peer gss.Peer, resource, action string) (localAccount string, err error)
+}
+
 // ContainerConfig assembles a hosting environment.
 type ContainerConfig struct {
 	// Name labels the container (host identity).
@@ -33,6 +50,14 @@ type ContainerConfig struct {
 	// authenticated (used by per-user containers whose OS account is the
 	// authorization boundary).
 	Authorizer authz.Engine
+	// ChainAuthorizer, when set, takes precedence over Authorizer: it
+	// sees the caller's validated chain, so CAS assertions and gridmap
+	// mappings participate in the decision.
+	ChainAuthorizer ChainAuthorizer
+	// Now overrides the clock authorization requests are stamped with
+	// (nil means time.Now). Wired from the facade Environment so
+	// time-bounded policy rules see the same clock as chain validation.
+	Now func() time.Time
 	// Audit receives events; nil disables auditing.
 	Audit AuditSink
 	// Policy is the published security policy; nil publishes a default
@@ -189,13 +214,15 @@ func (c *Container) handleSigned(env *soap.Envelope) (*soap.Envelope, error) {
 	info, err := xmlsec.VerifyEnvelope(env, xmlsec.VerifyOptions{
 		TrustStore:    c.cfg.TrustStore,
 		RejectLimited: c.cfg.RejectLimited,
+		Now:           c.now(),
 	})
 	if err != nil {
 		c.audit("auth-fail", "", err.Error())
 		return nil, fmt.Errorf("ogsa: authentication: %w", err)
 	}
 	caller := Identity{Name: info.Identity, Limited: info.Limited}
-	return c.route(env, "ogsa/", caller, false)
+	peer := gss.Peer{Identity: info.Identity, Subject: info.Subject, Info: info}
+	return c.route(env, "ogsa/", caller, peer, false)
 }
 
 // handleConversation processes conversation-secured traffic with action
@@ -206,12 +233,19 @@ func (c *Container) handleConversation(peer gss.Peer, env *soap.Envelope) (*soap
 	if peer.Info != nil {
 		caller.Limited = peer.Info.Limited
 	}
-	return c.route(env, "ogsa-sc/", caller, true)
+	return c.route(env, "ogsa-sc/", caller, peer, true)
+}
+
+func (c *Container) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
 }
 
 // route authorizes and delivers an authenticated call. conversation
 // marks calls that arrived over an established secure conversation.
-func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, conversation bool) (*soap.Envelope, error) {
+func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, peer gss.Peer, conversation bool) (*soap.Envelope, error) {
 	rest := strings.TrimPrefix(env.Action, prefix)
 	slash := strings.LastIndexByte(rest, '/')
 	if slash <= 0 || slash == len(rest)-1 {
@@ -219,12 +253,21 @@ func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, co
 	}
 	handle, op := rest[:slash], rest[slash+1:]
 
-	// Authorization (Figure 3 step 5).
-	if c.cfg.Authorizer != nil {
+	// Authorization (Figure 3 step 5). The chain-aware hook sees the
+	// full peer and wins over the plain engine when both are set.
+	if c.cfg.ChainAuthorizer != nil {
+		account, err := c.cfg.ChainAuthorizer.AuthorizeChain(context.Background(), peer, "ogsa:"+handle, op)
+		if err != nil {
+			c.audit("authz-deny", caller.Name.String(), handle+"/"+op)
+			return nil, fmt.Errorf("ogsa: %q denied %s on %s: %w", caller.Name, op, handle, err)
+		}
+		caller.LocalAccount = account
+	} else if c.cfg.Authorizer != nil {
 		decision, err := c.cfg.Authorizer.Authorize(authz.Request{
 			Subject:  caller.Name,
 			Resource: "ogsa:" + handle,
 			Action:   op,
+			Time:     c.now(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ogsa: authorization service: %w", err)

@@ -25,6 +25,9 @@ type Identity struct {
 	Name gridcert.Name
 	// Limited reports a limited-proxy authentication.
 	Limited bool
+	// LocalAccount is the local account the container's chain-aware
+	// authorizer mapped the caller to (empty when no gridmap applies).
+	LocalAccount string
 }
 
 // Call is one inbound, already-authenticated and authorized invocation.

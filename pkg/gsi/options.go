@@ -66,6 +66,22 @@ type settings struct {
 	renewJitter   time.Duration
 	renewRetryMin time.Duration
 	renewRetryMax time.Duration
+
+	// Authorization pipeline. authzPipeline adopts a prebuilt pipeline;
+	// the authz* fields assemble a private one (any of them also sets
+	// authzEnabled so servers know to build it). authzRev counts
+	// assembly-option applications, so Serve can tell per-call additions
+	// from the handle's baseline.
+	authzPipeline *AuthorizationPipeline
+	authzAdopted  bool // authzPipeline came from WithAuthorizationPipeline
+	authzEnabled  bool
+	authzRev      int
+	authzLocal    *Policy
+	authzVOs      []*Certificate
+	authzGridMap  *GridMap
+	authzTTL      time.Duration
+	authzTTLSet   bool
+	authzAudit    AuditSink
 }
 
 // Option configures a Client or Server handle, or a single
@@ -280,6 +296,119 @@ func WithRenewalRetry(min, max time.Duration) Option {
 	}
 }
 
+// WithAuthorizationPipeline attaches a prebuilt chain-aware
+// authorization pipeline (Environment.NewAuthorizationPipeline) to a
+// Server: every exchange on both transports passes through it before
+// the handler runs, and its decision cache and audit trail are shared
+// across all endpoints the server opens. Takes precedence over the
+// environment's plain WithAuthorizer engine. Combining it with the
+// assembly/tuning options below is an error — the pipeline's policy
+// lives inside the pipeline object, so those options could only be
+// dropped or misapplied; build the desired variant up front instead.
+func WithAuthorizationPipeline(p *AuthorizationPipeline) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return errors.New("gsi: nil authorization pipeline")
+		}
+		s.authzPipeline = p
+		s.authzAdopted = true
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WithLocalPolicy sets the resource's own policy for the authorization
+// pipeline a Server assembles (or Environment.NewAuthorizationPipeline
+// builds). Local policy must permit explicitly: a pipeline without one
+// denies every exchange.
+func WithLocalPolicy(p *Policy) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return errors.New("gsi: nil local policy")
+		}
+		s.authzLocal = p
+		s.authzRev++
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WithTrustedVO registers community authorization servers whose signed
+// assertions the pipeline honors: requests carrying a valid assertion
+// from one of these VOs are decided by the intersection of the VO's
+// policy and local policy (Figure 2 step 3).
+func WithTrustedVO(certs ...*Certificate) Option {
+	return func(s *settings) error {
+		for _, c := range certs {
+			if c == nil {
+				return errors.New("gsi: nil VO certificate")
+			}
+		}
+		// Copy-on-write: settings structs are copied by value when
+		// per-call options fold over a handle's base, so appending in
+		// place could write into the base's backing array and leak one
+		// call's VOs into another (a data race under concurrent Serves).
+		s.authzVOs = append(append([]*Certificate(nil), s.authzVOs...), certs...)
+		s.authzRev++
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WithGridMap installs the grid-mapfile the pipeline maps authorized
+// identities through (paper §5.3 step 3); the resulting local account
+// is exposed to handlers as Peer.LocalAccount. A permitted requester
+// with no entry is denied — the mapping is part of the decision.
+func WithGridMap(gm *GridMap) Option {
+	return func(s *settings) error {
+		if gm == nil {
+			return errors.New("gsi: nil gridmap")
+		}
+		s.authzGridMap = gm
+		s.authzRev++
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WithDecisionCache tunes the pipeline's decision cache: ttl bounds how
+// long a decision may be served without re-evaluation (policy, gridmap,
+// VO-set, and trust-store mutations invalidate immediately regardless,
+// via generation counters). ttl = 0 disables caching — every exchange
+// pays the full evaluation. Omitting the option keeps the cache at
+// DefaultDecisionTTL. Tuning alone does not create a pipeline: on a
+// server it takes effect only alongside an enforcement option
+// (WithLocalPolicy, WithTrustedVO, WithGridMap) — a cache with no
+// policy would be a deny-everything trap.
+func WithDecisionCache(ttl time.Duration) Option {
+	return func(s *settings) error {
+		if ttl < 0 {
+			return errors.New("gsi: negative decision-cache TTL")
+		}
+		s.authzTTL = ttl
+		s.authzRev++
+		s.authzTTLSet = true
+		return nil
+	}
+}
+
+// WithAuditSink directs every pipeline decision — permit and deny,
+// cached and cold — to sink. Pass a secsvc.AuditLog to land decisions
+// in the tamper-evident hash chain of the paper's audit service.
+// Observability alone does not create a pipeline: on a server it takes
+// effect only alongside an enforcement option (WithLocalPolicy,
+// WithTrustedVO, WithGridMap).
+func WithAuditSink(sink AuditSink) Option {
+	return func(s *settings) error {
+		if sink == nil {
+			return errors.New("gsi: nil audit sink")
+		}
+		s.authzAudit = sink
+		s.authzRev++
+		return nil
+	}
+}
+
 // WithDeadlineSkew shrinks the context deadline a session operation sees
 // by d, budgeting for clock skew between grid parties: an operation that
 // must complete by T locally is given up at T-d so the peer — whose
@@ -292,6 +421,15 @@ func WithDeadlineSkew(d time.Duration) Option {
 		s.deadlineSkew = d
 		return nil
 	}
+}
+
+// authzAssemblyDiffers reports whether pipeline-assembly options were
+// applied on top of base — i.e. per-call options asked for a different
+// pipeline than the handle already built. Serve rebuilds an
+// endpoint-private pipeline in that case rather than silently dropping
+// the per-call options.
+func (s settings) authzAssemblyDiffers(base settings) bool {
+	return s.authzRev != base.authzRev
 }
 
 // poolUsable rejects resolved settings that ask for pooling no pool

@@ -22,7 +22,11 @@ type Server struct {
 }
 
 // NewServer builds a Server handle. A credential is mandatory: GSI
-// always authenticates the service side.
+// always authenticates the service side. Pipeline options given here
+// (WithLocalPolicy, WithTrustedVO, WithGridMap, WithDecisionCache,
+// WithAuditSink) assemble one authorization pipeline shared by every
+// endpoint the server opens; WithAuthorizationPipeline adopts a
+// prebuilt one instead.
 func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, error) {
 	if cred == nil {
 		return nil, opErr("gsi.NewServer", errors.New("gsi: server requires a credential"))
@@ -31,6 +35,16 @@ func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, erro
 	base, err := base.apply(opts)
 	if err != nil {
 		return nil, opErr("gsi.NewServer", err)
+	}
+	if base.authzAdopted && base.authzRev > 0 {
+		// Same refusal Serve makes for the per-call combination: a
+		// prebuilt pipeline cannot be modified by assembly or tuning
+		// options, and dropping them silently would serve under weaker
+		// policy than the operator wrote down.
+		return nil, opErr("gsi.NewServer", errors.New("gsi: pipeline options cannot modify a prebuilt authorization pipeline; build the variant with Environment.NewAuthorizationPipeline and pass it via WithAuthorizationPipeline"))
+	}
+	if base.authzEnabled && base.authzPipeline == nil {
+		base.authzPipeline = newPipeline(e, base)
 	}
 	return &Server{env: e, cred: cred, base: base}, nil
 }
@@ -54,10 +68,31 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 	if err != nil {
 		return nil, opErr(op, err)
 	}
+	pipeline := resolved.authzPipeline
+	switch {
+	case resolved.authzAssemblyDiffers(s.base) && resolved.authzAdopted:
+		// Assembly or tuning options combined with an adopted pipeline —
+		// whether the adoption came from NewServer or this very call. A
+		// prebuilt pipeline's policy lives inside the pipeline object,
+		// not in these settings, so "merging" would rebuild an empty
+		// deny-all pipeline and silently dropping the options would be
+		// just as wrong — refuse loudly instead.
+		return nil, opErr(op, errors.New("gsi: per-call pipeline options cannot modify a prebuilt authorization pipeline; build the variant with Environment.NewAuthorizationPipeline and pass it via WithAuthorizationPipeline"))
+	case resolved.authzEnabled && resolved.authzAssemblyDiffers(s.base):
+		// Assembly options appeared (or changed) per-call on a handle
+		// whose pipeline — if any — was assembled from these same
+		// settings, so the merged settings fully describe the variant:
+		// this endpoint gets a private pipeline (its own decision
+		// cache). A per-call WithAuthorizationPipeline without assembly
+		// options falls through both cases and replaces the handle's
+		// pipeline as-is.
+		pipeline = newPipeline(s.env, resolved)
+	}
 	ep, err := resolved.transport.Serve(ctx, addr, ServeConfig{
 		Context:     resolved.contextConfig(s.env, s.cred),
 		Handler:     h,
 		Environment: s.env,
+		Pipeline:    pipeline,
 	})
 	if err != nil {
 		return nil, opErr(op, err)

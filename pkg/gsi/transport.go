@@ -88,6 +88,11 @@ type ServeConfig struct {
 	Handler Handler
 	// Environment supplies the authorizer and audit plumbing (GT3).
 	Environment *Environment
+	// Pipeline is the chain-aware authorization pipeline; when set it
+	// gates every exchange (CAS assertion, VO ∩ local policy, gridmap)
+	// on both transports and wins over the environment's plain
+	// authorizer.
+	Pipeline *AuthorizationPipeline
 }
 
 // exchangeHandle is the service handle GT3 exchanges are routed under.
@@ -265,12 +270,25 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig)
 			reply = gt2EncodeReply(gt2StatusOK, []byte("pong"))
 		} else if strings.HasPrefix(op, reservedOpPrefix) {
 			reply = gt2EncodeReply(gt2StatusNotFound, []byte("gsi: reserved op "+op))
-		} else if authErr := authorizeExchange(authorizer, peer, op); authErr != nil {
-			reply = gt2EncodeReply(gt2Status(authErr), []byte(authErr.Error()))
-		} else if out, err := cfg.Handler(ctx, peer, op, body); err != nil {
-			reply = gt2EncodeReply(gt2Status(err), []byte(err.Error()))
 		} else {
-			reply = gt2EncodeReply(gt2StatusOK, out)
+			// Authorization: the chain-aware pipeline when configured
+			// (CAS assertion, VO ∩ local policy, gridmap — with the
+			// mapped account surfaced on the handler's Peer), else the
+			// environment's plain engine.
+			exPeer := peer
+			var authErr error
+			if cfg.Pipeline != nil {
+				exPeer, authErr = authorizePipelined(ctx, cfg.Pipeline, peer, op)
+			} else {
+				authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
+			}
+			if authErr != nil {
+				reply = gt2EncodeReply(gt2Status(authErr), []byte(authErr.Error()))
+			} else if out, err := cfg.Handler(ctx, exPeer, op, body); err != nil {
+				reply = gt2EncodeReply(gt2Status(err), []byte(err.Error()))
+			} else {
+				reply = gt2EncodeReply(gt2StatusOK, out)
+			}
 		}
 		if err := conn.SendContext(ctx, reply); err != nil {
 			return
@@ -371,13 +389,20 @@ func (s *gt3SignedSession) Peer() Peer { return Peer{} }
 func (s *gt3SignedSession) Close() error { return nil }
 
 func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error) {
-	container, err := ogsa.NewContainer(ogsa.ContainerConfig{
+	containerCfg := ogsa.ContainerConfig{
 		Name:          exchangeHandle,
 		Credential:    cfg.Context.Credential,
 		TrustStore:    cfg.Context.TrustStore,
 		Authorizer:    authorizerOf(cfg.Environment),
 		RejectLimited: cfg.Context.RejectLimited,
-	})
+		Now:           cfg.Context.Now,
+	}
+	if cfg.Pipeline != nil {
+		// A typed-nil *AuthorizationPipeline must not become a non-nil
+		// interface in the container, hence the guard.
+		containerCfg.ChainAuthorizer = cfg.Pipeline
+	}
+	container, err := ogsa.NewContainer(containerCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -404,9 +429,10 @@ func (s *handlerService) Invoke(call *ogsa.Call) ([]byte, error) {
 		return nil, fmt.Errorf("gsi: reserved op %s not found", call.Op)
 	}
 	peer := Peer{
-		Anonymous: call.Caller.Anonymous,
-		Identity:  call.Caller.Name,
-		Subject:   call.Caller.Name,
+		Anonymous:    call.Caller.Anonymous,
+		Identity:     call.Caller.Name,
+		Subject:      call.Caller.Name,
+		LocalAccount: call.Caller.LocalAccount,
 	}
 	return s.h(s.ctx, peer, call.Op, call.Body)
 }
@@ -435,16 +461,22 @@ func authorizerOf(env *Environment) Engine {
 
 // authorizeExchange runs the environment's authorization engine against
 // one GT2 exchange, mirroring the container's Figure-3 step 5 with the
-// resource named after the exchange handle.
-func authorizeExchange(engine Engine, peer Peer, op string) error {
+// resource named after the exchange handle. The request is stamped with
+// the environment's clock so time-bounded rules never fall back to
+// time.Now inside the engine.
+func authorizeExchange(engine Engine, env *Environment, peer Peer, op string) error {
 	if engine == nil {
 		return nil
 	}
-	decision, err := engine.Authorize(Request{
+	req := Request{
 		Subject:  peer.Identity,
 		Resource: "ogsa:" + exchangeHandle,
 		Action:   op,
-	})
+	}
+	if env != nil {
+		req.Time = env.Now()
+	}
+	decision, err := engine.Authorize(req)
 	if err != nil {
 		return &Error{Op: "gsi.Server", Err: err}
 	}
@@ -456,4 +488,23 @@ func authorizeExchange(engine Engine, peer Peer, op string) error {
 		}
 	}
 	return nil
+}
+
+// authorizePipelined gates one GT2 exchange through the authorization
+// pipeline, returning the peer augmented with its gridmap account on
+// permit and an ErrUnauthorized-classified error on deny.
+func authorizePipelined(ctx context.Context, p *AuthorizationPipeline, peer Peer, op string) (Peer, error) {
+	d, err := p.Authorize(ctx, peer, "ogsa:"+exchangeHandle, op)
+	if err != nil {
+		return peer, &Error{Op: "gsi.Server", Err: err}
+	}
+	if d.Decision != Permit {
+		return peer, &Error{
+			Op:   "gsi.Server",
+			Kind: ErrUnauthorized,
+			Err:  fmt.Errorf("gsi: %q denied %s: %s", peer.Identity, op, d.Reason),
+		}
+	}
+	peer.LocalAccount = d.LocalAccount
+	return peer, nil
 }
