@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz fmt
+.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record gate-allocs fmt
 
 ## ci: the tier-1 gate — format check, vet, build, test, race, fuzz
-## smoke, and the authorization-decision benchmark pair (which also
-## asserts cached decisions stay cached).
-ci: fmt-check vet build test race fuzz-smoke bench-authz
+## smoke, the authorization-decision benchmark pair (which also asserts
+## cached decisions stay cached), and the record-layer allocs/op
+## regression gate.
+ci: fmt-check vet build test race fuzz-smoke bench-authz gate-allocs
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -37,6 +38,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationRequest$$' -fuzztime=5s ./internal/proxy
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelegationReply$$' -fuzztime=5s ./internal/proxy
 	$(GO) test -run '^$$' -fuzz '^FuzzGridMapRoundTrip$$' -fuzztime=5s ./internal/authz
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime=5s ./internal/record
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamReassembly$$' -fuzztime=5s ./internal/record
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -63,6 +66,27 @@ bench-authz:
 	$(GO) test -run '^$$' -bench 'AuthorizeCold|AuthorizeCached' -benchmem . \
 		| $(GO) run ./cmd/bench2json > BENCH_authz.json
 	@cat BENCH_authz.json
+
+## bench-record: record the record-layer data points into
+## BENCH_record.json — steady-state pooled exchange (allocs/op gate
+## ≤ 2), the zero-alloc idle probe, and the 64 MiB streamed transfer
+## against the reconstructed pre-refactor whole-message path. Each
+## transfer benchmark runs in its own process so one benchmark's heap
+## residue cannot skew the next one's GC pacing.
+bench-record:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkWholeMessageTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkStreamTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > BENCH_record.json
+	@cat BENCH_record.json
+
+## gate-allocs: the fast CI regression gate — steady-state pooled
+## Exchange must stay ≤ 2 allocs/op and the idle probe at 0.
+gate-allocs:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$' -benchmem ./pkg/gsi ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > /dev/null
 
 ## fmt: rewrite files in place.
 fmt:

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	go test -bench 'Exchange' -benchmem . | bench2json > BENCH_pool.json
+//
+// With -gate-allocs, bench2json doubles as the CI allocation
+// regression gate: it still emits the JSON, but exits nonzero when a
+// named benchmark's allocs/op exceeds its bound (or is missing from
+// the input entirely, so a renamed benchmark cannot silently disable
+// its gate):
+//
+//	... | bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > BENCH_record.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -35,6 +44,13 @@ type Series struct {
 }
 
 func main() {
+	gateSpec := flag.String("gate-allocs", "", "comma-separated Name=maxAllocsPerOp bounds enforced on the parsed results")
+	flag.Parse()
+	gates, err := parseGates(*gateSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(2)
+	}
 	series := Series{RecordedAt: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -70,6 +86,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+	if failures := checkGates(gates, series.Results); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench2json: gate failed:", f)
+		}
+		os.Exit(3)
+	}
+}
+
+// parseGates parses "Name=max,Name=max" into bounds.
+func parseGates(spec string) (map[string]float64, error) {
+	gates := make(map[string]float64)
+	if spec == "" {
+		return gates, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, bound, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("malformed -gate-allocs entry %q (want Name=max)", part)
+		}
+		v, err := strconv.ParseFloat(bound, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("malformed -gate-allocs bound in %q", part)
+		}
+		gates[name] = v
+	}
+	return gates, nil
+}
+
+// checkGates compares each gated benchmark's allocs/op metric against
+// its bound. A gated benchmark absent from the results (or lacking
+// -benchmem output) is itself a failure.
+func checkGates(gates map[string]float64, results []Result) []string {
+	var failures []string
+	for name, bound := range gates {
+		found := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			found = true
+			allocs, ok := r.Metrics["allocs/op"]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: no allocs/op metric (run with -benchmem)", name))
+				break
+			}
+			if allocs > bound {
+				failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op exceeds the gate of %.1f", name, allocs, bound))
+			}
+			break
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from input", name))
+		}
+	}
+	return failures
 }
 
 // parseBenchLine parses "BenchmarkName-8  123  456 ns/op  7 B/op ..."

@@ -10,7 +10,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/proxy"
@@ -200,4 +202,42 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("9. authorized exchange ran as local account %q (policy + gridmap enforced in the facade)\n", account)
+
+	// 10. Streaming: OpenStream moves bulk data as 256 KiB records
+	// through the pooled record layer — no 16 MiB message cap, one
+	// authorization per stream, and the pooled session returns for
+	// reuse when the stream closes cleanly. The server installs a
+	// StreamHandler; here it counts an uploaded "file" larger than any
+	// single message the old path could carry.
+	var received int64
+	streamServer, err := env.NewServer(gridftp,
+		gsi.WithStreamHandler(func(ctx context.Context, peer gsi.Peer, op string, st gsi.Stream) error {
+			n, err := io.Copy(io.Discard, st)
+			atomic.StoreInt64(&received, n)
+			return err
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamEP, err := streamServer.Serve(ctx, "127.0.0.1:0",
+		func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+			return body, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer streamEP.Close()
+	up, err := pooled.OpenStream(ctx, streamEP.Addr(), "upload:/exp/large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	large := make([]byte, 20<<20) // beyond the old whole-message cap
+	if _, err := up.Write(large); err != nil {
+		log.Fatal(err)
+	}
+	if err := up.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("10. streamed %d MiB upload in 256 KiB records (old cap was 16 MiB per message)\n",
+		atomic.LoadInt64(&received)>>20)
 }

@@ -23,9 +23,10 @@ var ErrOpenFailed = errors.New("gridcrypto: AEAD open failed")
 // context. A Sealer must only be used by one direction of a connection;
 // each side of a context derives its own sending key.
 type Sealer struct {
-	mu   sync.Mutex
-	aead cipher.AEAD
-	seq  uint64
+	mu    sync.Mutex
+	aead  cipher.AEAD
+	seq   uint64
+	nonce [12]byte // scratch, guarded by mu (a stack nonce would escape through the AEAD interface)
 }
 
 // NewSealer builds a Sealer over AES-256-GCM with the given key.
@@ -37,10 +38,22 @@ func NewSealer(key []byte) (*Sealer, error) {
 	return &Sealer{aead: aead}, nil
 }
 
+// SealOverhead is the per-record ciphertext expansion (the GCM tag).
+const SealOverhead = 16
+
 // Seal encrypts plaintext with associated data aad and returns the
 // sequence number used together with the ciphertext. Sequence numbers
 // start at zero and increase by one per call.
 func (s *Sealer) Seal(plaintext, aad []byte) (seq uint64, ciphertext []byte, err error) {
+	return s.SealInto(nil, plaintext, aad)
+}
+
+// SealInto is Seal appending the ciphertext to dst instead of a fresh
+// allocation. Pass dst = plaintext[:0] to encrypt in place (the caller's
+// buffer then holds ciphertext||tag, needing SealOverhead spare
+// capacity to avoid growing); any other overlap between dst's spare
+// capacity and plaintext is the caller's bug, per crypto/cipher.
+func (s *Sealer) SealInto(dst, plaintext, aad []byte) (seq uint64, ciphertext []byte, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.seq == ^uint64(0) {
@@ -48,18 +61,18 @@ func (s *Sealer) Seal(plaintext, aad []byte) (seq uint64, ciphertext []byte, err
 	}
 	seq = s.seq
 	s.seq++
-	nonce := make([]byte, 12)
-	binary.BigEndian.PutUint64(nonce[4:], seq)
-	ciphertext = s.aead.Seal(nil, nonce, plaintext, aad)
+	binary.BigEndian.PutUint64(s.nonce[4:], seq)
+	ciphertext = s.aead.Seal(dst, s.nonce[:], plaintext, aad)
 	return seq, ciphertext, nil
 }
 
 // Opener is the receiving half: it decrypts records sealed by the peer's
 // Sealer, enforcing strictly increasing sequence numbers (anti-replay).
 type Opener struct {
-	mu   sync.Mutex
-	aead cipher.AEAD
-	next uint64
+	mu    sync.Mutex
+	aead  cipher.AEAD
+	next  uint64
+	nonce [12]byte // scratch, guarded by mu
 }
 
 // NewOpener builds an Opener over AES-256-GCM with the given key.
@@ -75,14 +88,25 @@ func NewOpener(key []byte) (*Opener, error) {
 // must arrive in order; replayed or reordered sequence numbers are
 // rejected before any cryptographic work.
 func (o *Opener) Open(seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	return o.open(nil, seq, ciphertext, aad)
+}
+
+// OpenInPlace is Open decrypting into the ciphertext's own storage: the
+// returned plaintext is ciphertext[:len(ciphertext)-SealOverhead]. The
+// record is consumed either way — on success the buffer holds plaintext,
+// on failure its contents are undefined.
+func (o *Opener) OpenInPlace(seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	return o.open(ciphertext[:0], seq, ciphertext, aad)
+}
+
+func (o *Opener) open(dst []byte, seq uint64, ciphertext, aad []byte) ([]byte, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if seq != o.next {
 		return nil, fmt.Errorf("gridcrypto: record sequence %d, want %d (replay or reorder)", seq, o.next)
 	}
-	nonce := make([]byte, 12)
-	binary.BigEndian.PutUint64(nonce[4:], seq)
-	plaintext, err := o.aead.Open(nil, nonce, ciphertext, aad)
+	binary.BigEndian.PutUint64(o.nonce[4:], seq)
+	plaintext, err := o.aead.Open(dst, o.nonce[:], ciphertext, aad)
 	if err != nil {
 		return nil, ErrOpenFailed
 	}

@@ -36,17 +36,37 @@ func NewStore(policy *authz.Policy) *Store {
 
 // Put writes a file as identity.
 func (s *Store) Put(identity gridcert.Name, path string, data []byte) error {
+	return s.PutOwned(identity, path, append([]byte(nil), data...))
+}
+
+// PutOwned installs data without copying; ownership transfers to the
+// store, which treats every stored slice as immutable from then on.
+// The streaming PUT path assembles the file once from its chunks and
+// hands the assembly straight over.
+func (s *Store) PutOwned(identity gridcert.Name, path string, data []byte) error {
 	if err := s.authorize(identity, path, "write"); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.files[path] = append([]byte(nil), data...)
+	s.files[path] = data
 	return nil
 }
 
-// Get reads a file as identity.
+// Get reads a file as identity (copied out of the store).
 func (s *Store) Get(identity gridcert.Name, path string) ([]byte, error) {
+	data, err := s.Open(identity, path)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Open returns the stored content as an immutable reference: stored
+// slices are never mutated in place (Put installs fresh ones), so the
+// streaming GET path can seal records straight out of the store without
+// a defensive copy.
+func (s *Store) Open(identity gridcert.Name, path string) ([]byte, error) {
 	if err := s.authorize(identity, path, "read"); err != nil {
 		return nil, err
 	}
@@ -56,7 +76,7 @@ func (s *Store) Get(identity gridcert.Name, path string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("gridftp: no such file %q", path)
 	}
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // Delete removes a file as identity.
@@ -100,10 +120,13 @@ func (s *Store) authorize(identity gridcert.Name, path, action string) error {
 
 // --- control protocol ----------------------------------------------------
 
-// Command opcodes of the control protocol.
+// Command opcodes of the control protocol. GETS/PUTS stream their file
+// body as chunk records after the command/acknowledgement round trip,
+// so transfers are unbounded (no whole-message 16 MiB cap) and flow
+// through the pooled record layer in DefaultChunkSize pieces.
 const (
-	opGet  = "GET"
-	opPut  = "PUT"
+	opGetS = "GETS"
+	opPutS = "PUTS"
 	opDel  = "DEL"
 	opList = "LIST"
 	opOK   = "OK"

@@ -273,3 +273,93 @@ func BenchmarkSecuredTransfer64K(b *testing.B) {
 		}
 	}
 }
+
+// Streamed transfers are unbounded: a payload larger than the old
+// whole-message cap (wire.MaxField, 16 MiB) crosses in 256 KiB chunk
+// records and survives intact, and the session stays usable.
+func TestStreamedTransferBeyondOldCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("17 MiB transfer")
+	}
+	b := newBed(t, openAll("/O=Grid/CN=Alice"))
+	defer b.srv.Close()
+	c, err := Dial(b.srv.Addr(), b.alice, b.trust, b.srv.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	big := make([]byte, 17<<20) // > wire.MaxField
+	for i := range big {
+		big[i] = byte(i>>8) ^ byte(i)
+	}
+	if _, err := c.PutFrom("/big/dataset", bytes.NewReader(big)); err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	n, err := c.GetTo("/big/dataset", &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(big)) || !bytes.Equal(back.Bytes(), big) {
+		t.Fatalf("big transfer corrupted: %d bytes", n)
+	}
+	// Session still serves ordinary commands after two streams.
+	names, err := c.List("/big/")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("post-stream list: %v %v", names, err)
+	}
+}
+
+// An aborted PUT discards the partial file server-side and leaves the
+// session usable.
+func TestStreamedPutAbort(t *testing.T) {
+	b := newBed(t, openAll("/O=Grid/CN=Alice"))
+	defer b.srv.Close()
+	c, err := Dial(b.srv.Addr(), b.alice, b.trust, b.srv.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w, err := c.PutStream("/wip/half", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 600_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort("client changed its mind"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("/wip/half"); err == nil {
+		t.Fatal("partial file materialized despite abort")
+	}
+	// Unauthorized PUT is refused before any data is invited.
+	if err := c.Put("/ok/after", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/ok/after")
+	if err != nil || string(got) != "fine" {
+		t.Fatalf("post-abort session unusable: %q %v", got, err)
+	}
+}
+
+// A PUT denied by policy is rejected at the command stage — the client
+// never streams a byte.
+func TestStreamedPutDeniedUpFront(t *testing.T) {
+	b := newBed(t, openAll("/O=Grid/CN=Alice"))
+	defer b.srv.Close()
+	c, err := Dial(b.srv.Addr(), b.bob, b.trust, b.srv.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PutStream("/secret/file", 0); err == nil {
+		t.Fatal("unauthorized streamed PUT accepted")
+	}
+	// The refusal left no half-open stream: further commands work.
+	if _, err := c.List("/"); err == nil {
+		t.Fatal("bob should be denied list too")
+	}
+}

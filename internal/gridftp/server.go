@@ -1,7 +1,12 @@
 package gridftp
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -10,6 +15,7 @@ import (
 	"repro/internal/gsitransport"
 	"repro/internal/gss"
 	"repro/internal/proxy"
+	"repro/internal/record"
 )
 
 // Server is a GridFTP endpoint: a secured listener in front of a Store.
@@ -85,6 +91,7 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serve(conn *gsitransport.Conn) {
 	defer conn.Close()
+	ctx := context.Background()
 	identity := conn.Peer().Identity
 	for {
 		msg, err := conn.Receive()
@@ -96,26 +103,112 @@ func (s *Server) serve(conn *gsitransport.Conn) {
 			conn.Send(encodeCmd(opErr, "", []byte(err.Error())))
 			return
 		}
-		reply := s.execute(identity, verb, path, payload)
-		if err := conn.Send(reply); err != nil {
-			return
+		switch verb {
+		case opGetS:
+			if !s.serveGet(ctx, conn, identity, path) {
+				return
+			}
+		case opPutS:
+			if !s.servePut(ctx, conn, identity, path, payload) {
+				return
+			}
+		default:
+			if err := conn.Send(s.execute(identity, verb, path, payload)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveGet answers a streamed GET: acknowledge, then send the file as
+// chunk records straight out of the store (the seal is the only pass
+// over the data). Returns false when the connection is unusable.
+func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string) bool {
+	data, err := s.store.Open(identity, path)
+	if err != nil {
+		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+	}
+	if err := conn.Send(encodeCmd(opOK, path, nil)); err != nil {
+		return false
+	}
+	st := gsitransport.NewStream(ctx, conn)
+	if _, err := st.Write(data); err != nil {
+		// Mid-stream store-side failures would abort via CloseWithError;
+		// a transport failure here already broke the connection.
+		st.CloseWithError(err.Error())
+		return false
+	}
+	return st.CloseWrite() == nil
+}
+
+// servePut answers a streamed PUT: authorize before inviting any data,
+// acknowledge, assemble the inbound chunks, and confirm. The command
+// payload may carry an 8-byte size hint used to pre-size the assembly
+// (bounded — a lying hint degrades to incremental growth, never to an
+// oversized trust-the-peer allocation). Returns false when the
+// connection is unusable.
+func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte) bool {
+	// Fail-closed before the client ships a byte.
+	if err := s.store.authorize(identity, path, "write"); err != nil {
+		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+	}
+	var hint int64
+	if len(payload) == 8 {
+		hint = int64(binary.BigEndian.Uint64(payload))
+	}
+	st := gsitransport.NewStream(ctx, conn)
+	if err := conn.Send(encodeCmd(opOK, path, nil)); err != nil {
+		return false
+	}
+	assembled, err := readAllStream(st, hint)
+	if err != nil {
+		var peerErr *record.PeerError
+		if errors.As(err, &peerErr) {
+			// Clean client abort: the terminal record resynchronized the
+			// stream; report and keep serving.
+			return conn.Send(encodeCmd(opErr, path, []byte(peerErr.Msg))) == nil
+		}
+		return false
+	}
+	if err := s.store.PutOwned(identity, path, assembled); err != nil {
+		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+	}
+	return conn.Send(encodeCmd(opOK, path, nil)) == nil
+}
+
+// maxPutPrealloc caps how much memory a declared size hint may reserve
+// up front; larger (or lying) hints grow incrementally past it.
+const maxPutPrealloc = 256 << 20
+
+// readAllStream assembles a whole inbound stream, reading each chunk
+// straight into the accumulating slice's tail. A trusted-bounded size
+// hint pre-sizes the buffer so well-declared transfers never pay a
+// growth copy; growth otherwise rides append's amortized, non-zeroing
+// reallocation — bytes.Buffer's grow path (fresh make + clear per
+// doubling) measurably throttles multi-MiB uploads.
+func readAllStream(st *gsitransport.Stream, hint int64) ([]byte, error) {
+	prealloc := int64(1 << 20)
+	if hint > prealloc {
+		prealloc = min(hint, maxPutPrealloc)
+	}
+	data := make([]byte, 0, prealloc)
+	for {
+		if cap(data)-len(data) < 4096 {
+			data = append(data, 0)[:len(data)]
+		}
+		n, err := st.Read(data[len(data):cap(data)])
+		data = data[:len(data)+n]
+		if err == io.EOF {
+			return data, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 }
 
 func (s *Server) execute(identity gridcert.Name, verb, path string, payload []byte) []byte {
 	switch verb {
-	case opGet:
-		data, err := s.store.Get(identity, path)
-		if err != nil {
-			return encodeCmd(opErr, path, []byte(err.Error()))
-		}
-		return encodeCmd(opOK, path, data)
-	case opPut:
-		if err := s.store.Put(identity, path, payload); err != nil {
-			return encodeCmd(opErr, path, []byte(err.Error()))
-		}
-		return encodeCmd(opOK, path, nil)
 	case opDel:
 		if err := s.store.Delete(identity, path); err != nil {
 			return encodeCmd(opErr, path, []byte(err.Error()))
@@ -158,6 +251,118 @@ func (c *Client) roundTrip(verb, path string, payload []byte) ([]byte, error) {
 	if err := c.conn.Send(encodeCmd(verb, path, payload)); err != nil {
 		return nil, err
 	}
+	return c.readReply()
+}
+
+// GetReader is an in-flight streamed GET: an io.ReadCloser delivering
+// the file as its chunks arrive. Close before issuing further commands
+// on the same client.
+type GetReader struct {
+	st  *gsitransport.Stream
+	err error
+}
+
+// Read returns file bytes, io.EOF at the end of a complete transfer,
+// and the server's abort reason if it failed mid-stream.
+func (g *GetReader) Read(p []byte) (int, error) {
+	n, err := g.st.Read(p)
+	var peerErr *record.PeerError
+	if errors.As(err, &peerErr) {
+		err = fmt.Errorf("gridftp: server: %s", peerErr.Msg)
+	}
+	if err != nil && err != io.EOF {
+		g.err = err
+	}
+	return n, err
+}
+
+// Close drains any unread remainder so the session is reusable.
+func (g *GetReader) Close() error {
+	if g.err != nil {
+		g.st.Release()
+		return nil // already failed; connection state is settled
+	}
+	return g.st.Drain()
+}
+
+// GetStream starts a streamed GET of path.
+func (c *Client) GetStream(path string) (*GetReader, error) {
+	if _, err := c.roundTrip(opGetS, path, nil); err != nil {
+		return nil, err
+	}
+	return &GetReader{st: gsitransport.NewStream(context.Background(), c.conn)}, nil
+}
+
+// GetTo fetches path, writing the content to w as it arrives, and
+// returns the byte count.
+func (c *Client) GetTo(path string, w io.Writer) (int64, error) {
+	g, err := c.GetStream(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(w, g)
+	if cerr := g.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Get fetches a file into memory.
+func (c *Client) Get(path string) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.GetTo(path, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PutWriter is an in-flight streamed PUT: an io.WriteCloser whose Close
+// completes the transfer and returns the server's verdict. Abort
+// cancels mid-stream. Finish (Close or Abort) before issuing further
+// commands on the same client.
+type PutWriter struct {
+	c    *Client
+	st   *gsitransport.Stream
+	done bool
+}
+
+// Write ships file bytes as chunk records.
+func (w *PutWriter) Write(p []byte) (int, error) { return w.st.Write(p) }
+
+// Close sends FIN and waits for the server's confirmation.
+func (w *PutWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	defer w.st.Release()
+	if err := w.st.CloseWrite(); err != nil {
+		return err
+	}
+	_, err := w.c.readReply()
+	return err
+}
+
+// Abort cancels the transfer mid-stream: the server discards the
+// partial file and the session stays usable.
+func (w *PutWriter) Abort(reason string) error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	defer w.st.Release()
+	if err := w.st.CloseWithError(reason); err != nil {
+		return err
+	}
+	// The server acknowledges the abort with its ERR reply.
+	if _, err := w.c.readReply(); err == nil {
+		return errors.New("gridftp: server confirmed an aborted transfer")
+	}
+	return nil
+}
+
+// readReply consumes one OK/ERR control message.
+func (c *Client) readReply() ([]byte, error) {
 	msg, err := c.conn.Receive()
 	if err != nil {
 		return nil, err
@@ -172,13 +377,54 @@ func (c *Client) roundTrip(verb, path string, payload []byte) ([]byte, error) {
 	return rpayload, nil
 }
 
-// Get fetches a file.
-func (c *Client) Get(path string) ([]byte, error) { return c.roundTrip(opGet, path, nil) }
+// PutStream starts a streamed PUT to path. The server authorizes the
+// write before any data flows. sizeHint, when positive, lets the
+// server pre-size its assembly; 0 means unknown.
+func (c *Client) PutStream(path string, sizeHint int64) (*PutWriter, error) {
+	var payload []byte
+	if sizeHint > 0 {
+		payload = binary.BigEndian.AppendUint64(nil, uint64(sizeHint))
+	}
+	if _, err := c.roundTrip(opPutS, path, payload); err != nil {
+		return nil, err
+	}
+	return &PutWriter{c: c, st: gsitransport.NewStream(context.Background(), c.conn)}, nil
+}
 
-// Put stores a file.
+// PutFrom stores r's content at path, streaming as it reads, and
+// returns the byte count. Readers that know their length (bytes.Reader,
+// strings.Reader, os.File via Seek-implemented Len) declare it so the
+// server assembles without growth copies. A read failure aborts the
+// transfer so the server discards the partial file.
+func (c *Client) PutFrom(path string, r io.Reader) (int64, error) {
+	var hint int64
+	if l, ok := r.(interface{ Len() int }); ok {
+		hint = int64(l.Len())
+	}
+	w, err := c.PutStream(path, hint)
+	if err != nil {
+		return 0, err
+	}
+	buf := record.Get(record.DefaultChunkSize)
+	n, err := io.CopyBuffer(w, r, buf.B[:record.DefaultChunkSize])
+	buf.Free()
+	if err != nil {
+		w.Abort(err.Error())
+		return n, err
+	}
+	return n, w.Close()
+}
+
+// Put stores a file from memory.
 func (c *Client) Put(path string, data []byte) error {
-	_, err := c.roundTrip(opPut, path, data)
-	return err
+	w, err := c.PutStream(path, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
 }
 
 // Delete removes a file.
@@ -204,6 +450,10 @@ func (c *Client) List(prefix string) ([]string, error) {
 // then authenticates to the destination *as the client* and pushes the
 // file. This is GSI delegation doing its canonical job.
 //
+// The copy is streamed end to end — source chunks flow into destination
+// chunks through one transfer-sized buffer, never materializing the
+// file — so third-party moves are unbounded too.
+//
 // In this in-process reproduction the "source server side" runs in this
 // function with the delegated credential, exactly as the source host
 // would.
@@ -228,24 +478,39 @@ func ThirdPartyTransfer(client *gridcert.Credential, trust *gridcert.TrustStore,
 		return err
 	}
 
-	// 2. The source (acting with the delegated credential) reads the file
-	// from itself and pushes it to the destination as the client.
+	// 2. The source (acting with the delegated credential) streams the
+	// file from itself into the destination as the client.
 	srcConn, err := Dial(srcAddr, delegated, trust, srcHost)
 	if err != nil {
 		return fmt.Errorf("gridftp: third-party: source: %w", err)
 	}
 	defer srcConn.Close()
-	data, err := srcConn.Get(srcPath)
-	if err != nil {
-		return err
-	}
 	dstConn, err := Dial(dstAddr, delegated, trust, dstHost)
 	if err != nil {
 		return fmt.Errorf("gridftp: third-party: destination: %w", err)
 	}
 	defer dstConn.Close()
-	if err := dstConn.Put(dstPath, data); err != nil {
+
+	get, err := srcConn.GetStream(srcPath)
+	if err != nil {
 		return err
 	}
-	return nil
+	put, err := dstConn.PutStream(dstPath, 0)
+	if err != nil {
+		get.Close()
+		return err
+	}
+	buf := record.Get(record.DefaultChunkSize)
+	_, err = io.CopyBuffer(put, get, buf.B[:record.DefaultChunkSize])
+	buf.Free()
+	if err != nil {
+		put.Abort(err.Error())
+		get.Close()
+		return err
+	}
+	if err := put.Close(); err != nil {
+		get.Close()
+		return err
+	}
+	return get.Close()
 }

@@ -1,0 +1,194 @@
+package gsitransport
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"repro/internal/record"
+)
+
+// chunkRecvHint pre-sizes record reads for streams: a full DATA chunk
+// record (header + payload) plus the wrap expansion, so chunk reads hit
+// one pool class and never grow.
+const chunkRecvHint = record.ChunkHeader + record.DefaultChunkSize + SendOverhead
+
+// ErrWriteHalfClosed reports a Write after CloseWrite.
+var ErrWriteHalfClosed = errors.New("gsitransport: stream write half closed")
+
+// Stream is a secured byte stream carried as chunk records on a Conn's
+// record stream (record package, chunked mode). While a stream is in
+// flight it owns the connection's record stream: the application
+// protocol above it decides when a stream starts and both ends must
+// agree, after which DATA records flow until the explicit FIN (or
+// ERROR) terminal record. Each half is independently usable — a
+// transfer may stream in one direction only — and each half must be
+// driven by a single goroutine at a time.
+//
+// A stream that terminates cleanly (FIN sent and/or FIN read, per the
+// protocol's direction) leaves the connection synchronized and reusable
+// for further exchanges or streams; any I/O or sequence error breaks
+// the connection.
+type Stream struct {
+	c   *Conn
+	ctx context.Context
+
+	// Send half.
+	sender    record.ChunkSender
+	chunkSize int
+
+	// Receive half.
+	asm    record.Assembler
+	cur    []byte // unread remainder of the current DATA chunk
+	curBuf *record.Buf
+	rerr   error // terminal receive state: io.EOF after FIN, else the failure
+}
+
+// NewStream starts a stream on c, with ctx governing every record it
+// sends or receives. The caller's protocol must have put both ends in
+// agreement that chunk records follow.
+func NewStream(ctx context.Context, c *Conn) *Stream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.SetReceiveSizeHint(chunkRecvHint)
+	return &Stream{c: c, ctx: ctx, chunkSize: record.DefaultChunkSize}
+}
+
+// Conn returns the connection the stream rides on.
+func (s *Stream) Conn() *Conn { return s.c }
+
+// Write splits p into DATA chunk records of at most DefaultChunkSize
+// and sends each sealed in place from a pooled buffer.
+func (s *Stream) Write(p []byte) (int, error) {
+	if s.sender.Terminated() {
+		return 0, ErrWriteHalfClosed
+	}
+	written := 0
+	for written < len(p) {
+		piece := p[written:]
+		if len(piece) > s.chunkSize {
+			piece = piece[:s.chunkSize]
+		}
+		if err := s.sendChunk(func(frame []byte) ([]byte, error) {
+			return s.sender.AppendData(frame, piece)
+		}, len(piece)); err != nil {
+			return written, err
+		}
+		written += len(piece)
+	}
+	return written, nil
+}
+
+// CloseWrite terminates the send half cleanly with the FIN record.
+// Idempotent: a second close is a no-op.
+func (s *Stream) CloseWrite() error {
+	if s.sender.Terminated() {
+		return nil
+	}
+	return s.sendChunk(s.sender.AppendFIN, 0)
+}
+
+// CloseWithError aborts the send half with an ERROR record carrying
+// msg; the peer's reads fail with a *record.PeerError. No-op if the
+// half is already terminated.
+func (s *Stream) CloseWithError(msg string) error {
+	if s.sender.Terminated() {
+		return nil
+	}
+	return s.sendChunk(func(frame []byte) ([]byte, error) {
+		return s.sender.AppendError(frame, msg)
+	}, len(msg))
+}
+
+// sendChunk assembles one chunk record via appendFn directly into a
+// pooled frame buffer and sends it in place.
+func (s *Stream) sendChunk(appendFn func([]byte) ([]byte, error), payloadLen int) error {
+	buf := record.Get(Headroom + record.ChunkHeader + payloadLen + SendOverhead)
+	defer buf.Free()
+	frame, err := appendFn(buf.B[:Headroom])
+	if err != nil {
+		return err
+	}
+	return s.c.SendAssembled(s.ctx, frame)
+}
+
+// Read returns stream bytes as the peer's DATA chunks arrive, io.EOF
+// after its FIN, and a *record.PeerError if the peer aborted. A
+// sequence violation breaks the connection.
+func (s *Stream) Read(p []byte) (int, error) {
+	for {
+		if len(s.cur) > 0 {
+			n := copy(p, s.cur)
+			s.cur = s.cur[n:]
+			if len(s.cur) == 0 {
+				s.curBuf.Free()
+				s.curBuf = nil
+			}
+			return n, nil
+		}
+		if s.rerr != nil {
+			return 0, s.rerr
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+		view, buf, err := s.c.ReceiveView(s.ctx)
+		if err != nil {
+			s.rerr = err
+			return 0, err
+		}
+		payload, fin, err := s.asm.Accept(view)
+		switch {
+		case err != nil:
+			buf.Free()
+			var peerErr *record.PeerError
+			if !errors.As(err, &peerErr) {
+				// Sequence violation or garbage: the record stream can no
+				// longer be trusted.
+				s.c.broken.Store(true)
+			}
+			s.rerr = err
+			return 0, err
+		case fin:
+			buf.Free()
+			s.rerr = io.EOF
+			s.c.SetReceiveSizeHint(0)
+			return 0, io.EOF
+		case len(payload) == 0:
+			buf.Free() // empty DATA chunk: keep reading
+		default:
+			s.cur = payload
+			s.curBuf = buf
+		}
+	}
+}
+
+// Drain consumes and discards the peer's remaining chunks until FIN,
+// leaving the connection synchronized. Returns nil when the stream
+// ended cleanly (including a stream already fully read).
+func (s *Stream) Drain() error {
+	var scratch [4096]byte
+	for {
+		_, err := s.Read(scratch[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Release returns the stream's buffered state to the pool and restores
+// the connection's default receive sizing. Called by stream owners that
+// end a stream without reading it to FIN; the stream must not be used
+// afterwards.
+func (s *Stream) Release() {
+	if s.curBuf != nil {
+		s.curBuf.Free()
+		s.curBuf = nil
+		s.cur = nil
+	}
+	s.c.SetReceiveSizeHint(0)
+}

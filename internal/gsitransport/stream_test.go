@@ -1,0 +1,159 @@
+package gsitransport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// A stream must carry an arbitrarily chunk-unaligned byte sequence in
+// order, terminate with FIN, and leave the connection reusable for
+// ordinary exchanges afterwards.
+func TestStreamRoundTripAndResync(t *testing.T) {
+	creds := newCreds(t)
+	client, server := pipePair(t, creds)
+	defer client.Close()
+	defer server.Close()
+
+	payload := make([]byte, 3*record.DefaultChunkSize+12345)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+
+	errc := make(chan error, 1)
+	var got bytes.Buffer
+	go func() {
+		st := NewStream(context.Background(), server)
+		if _, err := io.Copy(&got, st); err != nil {
+			errc <- err
+			return
+		}
+		// Post-stream: the record stream must be clean for a plain reply.
+		errc <- server.Send([]byte("stream received"))
+	}()
+
+	st := NewStream(context.Background(), client)
+	// Deliberately awkward write sizes: sub-chunk, multi-chunk, empty.
+	for _, n := range []int{1, record.DefaultChunkSize - 1, 2*record.DefaultChunkSize + 100, len(payload)} {
+		if n > len(payload) {
+			n = len(payload)
+		}
+		if _, err := st.Write(payload[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Write(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseWrite(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("late")); !errors.Is(err, ErrWriteHalfClosed) {
+		t.Fatalf("write after FIN: %v", err)
+	}
+	// Receive before joining the server goroutine: its reply Send
+	// rendezvouses with this read on the synchronous pipe.
+	reply, err := client.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + (record.DefaultChunkSize - 1) + (2*record.DefaultChunkSize + 100) + len(payload)
+	if got.Len() != want {
+		t.Fatalf("received %d bytes, want %d", got.Len(), want)
+	}
+	if string(reply) != "stream received" {
+		t.Fatalf("post-stream exchange: %q", reply)
+	}
+	if !client.Healthy() || !server.Healthy() {
+		t.Fatal("clean stream broke the connection")
+	}
+}
+
+// A mid-stream abort surfaces to the reader as *record.PeerError and
+// keeps the connection usable (the terminal record resynchronized it).
+func TestStreamMidStreamError(t *testing.T) {
+	creds := newCreds(t)
+	client, server := pipePair(t, creds)
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		st := NewStream(context.Background(), server)
+		_, err := io.Copy(io.Discard, st)
+		done <- err
+	}()
+
+	st := NewStream(context.Background(), client)
+	if _, err := st.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseWithError("source storage failed"); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	var pe *record.PeerError
+	if !errors.As(err, &pe) || pe.Msg != "source storage failed" {
+		t.Fatalf("reader saw %v", err)
+	}
+	if !client.Healthy() || !server.Healthy() {
+		t.Fatal("clean abort broke the connection")
+	}
+}
+
+// Duplex: both directions stream concurrently on one connection.
+func TestStreamDuplex(t *testing.T) {
+	creds := newCreds(t)
+	client, server := pipePair(t, creds)
+	defer client.Close()
+	defer server.Close()
+
+	up := bytes.Repeat([]byte("up"), 100_000)
+	down := bytes.Repeat([]byte("down"), 80_000)
+
+	errc := make(chan error, 2)
+	var gotUp bytes.Buffer
+	go func() {
+		st := NewStream(context.Background(), server)
+		if _, err := io.Copy(&gotUp, st); err != nil {
+			errc <- err
+			return
+		}
+		if _, err := st.Write(down); err != nil {
+			errc <- err
+			return
+		}
+		errc <- st.CloseWrite()
+	}()
+
+	st := NewStream(context.Background(), client)
+	go func() {
+		if _, err := st.Write(up); err != nil {
+			errc <- err
+			return
+		}
+		errc <- st.CloseWrite()
+	}()
+	var gotDown bytes.Buffer
+	if _, err := io.Copy(&gotDown, st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(gotUp.Bytes(), up) || !bytes.Equal(gotDown.Bytes(), down) {
+		t.Fatal("duplex stream corrupted")
+	}
+}

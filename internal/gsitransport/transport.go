@@ -19,8 +19,19 @@ import (
 	"time"
 
 	"repro/internal/gss"
+	"repro/internal/record"
 	"repro/internal/wire"
 )
+
+// Headroom is the assembly headroom of this transport's record layer:
+// callers of SendAssembled build their plaintext at this offset of the
+// frame buffer so protection and framing happen in place (see
+// internal/record).
+const Headroom = record.FramePrefix + gss.WrapPrefix
+
+// SendOverhead is the total per-record expansion a sender must budget
+// spare buffer capacity for (headroom plus the AEAD trailer).
+const SendOverhead = record.FramePrefix + gss.WrapOverhead
 
 // aLongTimeAgo is a non-zero time far in the past, used to force pending
 // reads and writes on a net.Conn to fail immediately when a context is
@@ -108,6 +119,10 @@ type Conn struct {
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
+
+	// recvHint pre-sizes the pooled buffer records are read into
+	// (guarded by recvMu; 0 means the record layer's default).
+	recvHint int
 
 	// broken marks the record stream desynchronized: an interrupted
 	// Send/Receive may have left a partial frame on the wire, after
@@ -260,6 +275,8 @@ var ErrBroken = errors.New("gsitransport: connection broken by interrupted opera
 // SendContext is Send honoring ctx cancellation and deadlines. An
 // interruption mid-frame poisons the connection (ErrBroken thereafter):
 // a partial frame on the wire makes every later record unparseable.
+// The message is sealed straight into a pooled record buffer (one
+// cryptographic pass, no intermediate copy) and leaves in one write.
 func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -269,12 +286,36 @@ func (c *Conn) SendContext(ctx context.Context, msg []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err // nothing written yet; the stream is still intact
 	}
-	w, err := c.ctx.Wrap(msg)
-	if err != nil {
+	if err := runWithContext(ctx, c.raw, scopeWrite, func() error {
+		return record.SealAndWrite(c.raw, c.ctx, msg)
+	}); err != nil {
+		c.broken.Store(true)
+		return err
+	}
+	return nil
+}
+
+// SendAssembled protects and transmits a message assembled directly in
+// a record buffer: the caller built its plaintext at offset Headroom of
+// frame (reserving SendOverhead total spare capacity), so the record
+// layer seals in place and writes the complete frame with a single
+// Write — the zero-copy send path.
+//
+//	buf := record.Get(gsitransport.Headroom + n + gss.WrapOverhead - gss.WrapPrefix)
+//	frame := append(buf.B[:gsitransport.Headroom], plaintext...)
+//	err := conn.SendAssembled(ctx, frame)
+//	buf.Free()
+func (c *Conn) SendAssembled(ctx context.Context, frame []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.broken.Load() {
+		return ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if err := runWithContext(ctx, c.raw, scopeWrite, func() error {
-		return wire.WriteFrame(c.raw, w)
+		return record.WriteAssembled(c.raw, c.ctx, frame)
 	}); err != nil {
 		c.broken.Store(true)
 		return err
@@ -289,26 +330,77 @@ func (c *Conn) Receive() ([]byte, error) {
 
 // ReceiveContext is Receive honoring ctx cancellation and deadlines. As
 // with SendContext, an interruption mid-frame poisons the connection.
+// The plaintext is copied out of the pooled record buffer; hot paths
+// that can consume a view use ReceiveView instead.
 func (c *Conn) ReceiveContext(ctx context.Context) ([]byte, error) {
+	view, buf, err := c.ReceiveView(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(view))
+	copy(out, view)
+	buf.Free()
+	return out, nil
+}
+
+// ReceiveView reads one record into a pooled buffer and unprotects it
+// in place, returning the plaintext view together with the pooled
+// buffer backing it. The caller owns the buffer and must Free it
+// exactly once, after which the view is dead; bytes retained longer
+// must be copied first.
+func (c *Conn) ReceiveView(ctx context.Context) ([]byte, *record.Buf, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
 	if c.broken.Load() {
-		return nil, ErrBroken
+		return nil, nil, ErrBroken
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err // nothing read yet; the stream is still intact
+		return nil, nil, err // nothing read yet; the stream is still intact
 	}
-	var w []byte
+	var view []byte
+	var buf *record.Buf
 	err := runWithContext(ctx, c.raw, scopeRead, func() error {
 		var err error
-		w, err = wire.ReadFrame(c.raw)
+		view, buf, err = record.Read(c.raw, c.ctx, 0, c.recvHint)
 		return err
 	})
 	if err != nil {
 		c.broken.Store(true)
-		return nil, err
+		return nil, nil, err
 	}
-	return c.ctx.Unwrap(w)
+	return view, buf, nil
+}
+
+// SetReceiveSizeHint tunes the pooled buffer the next records are read
+// into (0 restores the default). Streams set it to the chunk-record
+// size so chunk reads never grow through the size classes.
+func (c *Conn) SetReceiveSizeHint(n int) {
+	c.recvMu.Lock()
+	c.recvHint = n
+	c.recvMu.Unlock()
+}
+
+// CloseOnDone arms a connection-lifetime cancellation watcher: when ctx
+// ends, pending and future I/O on the connection fails promptly and the
+// connection is marked broken. It replaces per-operation context
+// watchers on serve loops — one goroutine per connection instead of a
+// goroutine, two channels, and a timer dance per record. The returned
+// stop function releases the watcher (idempotent).
+func (c *Conn) CloseOnDone(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.broken.Store(true)
+			c.raw.SetDeadline(aLongTimeAgo)
+		case <-done:
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Close closes the underlying connection.

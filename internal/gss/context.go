@@ -2,6 +2,7 @@ package gss
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -90,36 +91,100 @@ func (c *Context) Expired() bool { return c.now().After(c.expiry) }
 // DelegationRequested reports whether the initiator set FlagDelegate.
 func (c *Context) DelegationRequested() bool { return c.flags&FlagDelegate != 0 }
 
+// Wrap-token layout: seq (8) || ciphertext length (4) || ciphertext.
+const (
+	// WrapPrefix is the header WrapInto prepends before the ciphertext.
+	WrapPrefix = 12
+	// WrapOverhead is the total expansion of WrapInto over the plaintext
+	// (header plus AEAD tag).
+	WrapOverhead = WrapPrefix + gridcrypto.SealOverhead
+)
+
+// wrapAAD binds every wrap token to its purpose.
+var wrapAAD = []byte("gsi3 wrap")
+
 // Wrap protects a message (confidentiality + integrity + ordering) for
-// the peer.
+// the peer. Thin shim over WrapInto with a fresh exact-size buffer.
 func (c *Context) Wrap(plaintext []byte) ([]byte, error) {
+	return c.WrapInto(make([]byte, 0, len(plaintext)+WrapOverhead), plaintext)
+}
+
+// WrapInto is Wrap appending the token to dst: header, then ciphertext,
+// sealed straight into dst's spare capacity — no intermediate buffer.
+// For a fully in-place wrap, assemble the plaintext at offset WrapPrefix
+// of a buffer with SealOverhead spare tail capacity and pass the buffer's
+// origin as dst:
+//
+//	token, err := ctx.WrapInto(buf[:0], buf[WrapPrefix:WrapPrefix+n])
+//
+// (dst's free space and plaintext must otherwise not overlap, per
+// crypto/cipher.)
+func (c *Context) WrapInto(dst, plaintext []byte) ([]byte, error) {
 	if c.Expired() {
 		return nil, ErrContextExpired
 	}
-	seq, ct, err := c.sealer.Seal(plaintext, []byte("gsi3 wrap"))
+	off := len(dst)
+	var hdr [WrapPrefix]byte
+	dst = append(dst, hdr[:]...)
+	seq, out, err := c.sealer.SealInto(dst, plaintext, wrapAAD)
 	if err != nil {
 		return nil, err
 	}
-	return wire.NewEncoder().U64(seq).Bytes(ct).Finish(), nil
+	binary.BigEndian.PutUint64(out[off:], seq)
+	binary.BigEndian.PutUint32(out[off+8:], uint32(len(out)-off-WrapPrefix))
+	return out, nil
 }
 
-// Unwrap reverses the peer's Wrap.
+// Unwrap reverses the peer's Wrap into a fresh buffer, leaving the token
+// intact. Thin shim kept for callers that need the token afterwards.
 func (c *Context) Unwrap(wrapped []byte) ([]byte, error) {
-	if c.Expired() {
-		return nil, ErrContextExpired
+	seq, ct, err := c.parseWrapToken(wrapped)
+	if err != nil {
+		return nil, err
 	}
-	d := wire.NewDecoder(wrapped)
-	seq := d.U64()
-	ct := d.Bytes()
-	if err := d.Done(); err != nil {
-		return nil, fmt.Errorf("gss: bad wrap token: %w", err)
-	}
-	pt, err := c.opener.Open(seq, ct, []byte("gsi3 wrap"))
+	pt, err := c.opener.Open(seq, ct, wrapAAD)
 	if err != nil {
 		return nil, fmt.Errorf("gss: unwrap: %w", err)
 	}
 	return pt, nil
 }
+
+// UnwrapInPlace reverses the peer's Wrap decrypting into the token's own
+// storage: the returned plaintext is a view into wrapped (valid only as
+// long as the caller keeps that buffer), and the token is consumed — on
+// failure its contents are undefined.
+func (c *Context) UnwrapInPlace(wrapped []byte) ([]byte, error) {
+	seq, ct, err := c.parseWrapToken(wrapped)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.opener.OpenInPlace(seq, ct, wrapAAD)
+	if err != nil {
+		return nil, fmt.Errorf("gss: unwrap: %w", err)
+	}
+	return pt, nil
+}
+
+func (c *Context) parseWrapToken(wrapped []byte) (seq uint64, ct []byte, err error) {
+	if c.Expired() {
+		return 0, nil, ErrContextExpired
+	}
+	if len(wrapped) < WrapPrefix {
+		return 0, nil, fmt.Errorf("gss: bad wrap token: %w", wire.ErrTruncated)
+	}
+	seq = binary.BigEndian.Uint64(wrapped)
+	n := binary.BigEndian.Uint32(wrapped[8:])
+	if int(n) != len(wrapped)-WrapPrefix {
+		return 0, nil, fmt.Errorf("gss: bad wrap token: ciphertext length %d in a %d-byte token", n, len(wrapped))
+	}
+	return seq, wrapped[WrapPrefix:], nil
+}
+
+// WrapPrefix and WrapOverhead as methods satisfy the record layer's
+// Protector interface (internal/record), which keeps no compile-time
+// dependency on this package.
+func (c *Context) WrapPrefix() int   { return WrapPrefix }
+func (c *Context) WrapOverhead() int { return WrapOverhead }
 
 // ResumeNonceSize is the length both resumption nonces must have.
 const ResumeNonceSize = 32

@@ -400,3 +400,72 @@ func BenchmarkWrapUnwrap1K(b *testing.B) {
 		}
 	}
 }
+
+// WrapInto with the documented in-place layout must interoperate with
+// both Unwrap shims, reuse the caller's buffer, and stay compatible with
+// tokens produced by the plain Wrap shim.
+func TestWrapIntoUnwrapInPlace(t *testing.T) {
+	tb := newTestbed(t)
+	ictx, actx, err := Establish(
+		Config{Credential: tb.alice, TrustStore: tb.ts},
+		Config{Credential: tb.bob, TrustStore: tb.ts},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("zero copy record payload")
+
+	// In-place wrap: plaintext assembled at WrapPrefix, sealed in situ.
+	buf := make([]byte, WrapPrefix+len(msg), WrapPrefix+len(msg)+WrapOverhead)
+	copy(buf[WrapPrefix:], msg)
+	token, err := ictx.WrapInto(buf[:0], buf[WrapPrefix:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &token[0] != &buf[0] {
+		t.Fatal("WrapInto reallocated despite sufficient capacity")
+	}
+	if len(token) != len(msg)+WrapOverhead {
+		t.Fatalf("token length %d, want %d", len(token), len(msg)+WrapOverhead)
+	}
+
+	// In-place unwrap: plaintext is a view into the token.
+	pt, err := actx.UnwrapInPlace(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != string(msg) {
+		t.Fatalf("round trip: %q", pt)
+	}
+	if &pt[0] != &token[WrapPrefix] {
+		t.Fatal("UnwrapInPlace copied instead of decrypting in place")
+	}
+
+	// Shim interop both ways.
+	w, err := ictx.Wrap(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := actx.UnwrapInPlace(w)
+	if err != nil || string(pt2) != string(msg) {
+		t.Fatalf("shim Wrap -> UnwrapInPlace: %q, %v", pt2, err)
+	}
+	tok3, err := actx.WrapInto(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt3, err := ictx.Unwrap(tok3)
+	if err != nil || string(pt3) != string(msg) {
+		t.Fatalf("WrapInto -> shim Unwrap: %q, %v", pt3, err)
+	}
+
+	// A tampered length field is rejected before any crypto.
+	bad, err := ictx.Wrap(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[8]++
+	if _, err := actx.UnwrapInPlace(bad); err == nil {
+		t.Fatal("tampered wrap-token length accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -10,6 +11,29 @@ import (
 	"sync"
 	"time"
 )
+
+// maxHTTPBody caps how much of an HTTP body is read (matches the wire
+// frame cap so both carriages bound messages identically).
+const maxHTTPBody = 1 << 24
+
+// readBody reads an HTTP body into a buffer sized from Content-Length
+// when the peer declared one, avoiding ReadAll's repeated grow-and-copy
+// on large envelopes (streamed GT3 chunks make these common). An
+// undeclared or lying length degrades to the incremental path, never to
+// an oversized trust-the-header allocation.
+func readBody(r io.Reader, contentLength int64) ([]byte, error) {
+	if contentLength > 0 && contentLength <= maxHTTPBody {
+		buf := make([]byte, contentLength)
+		// A body shorter than its declared length is a transport
+		// failure (peer died mid-response) and must surface as one, not
+		// as a truncated envelope for upper layers to misclassify.
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(io.LimitReader(r, maxHTTPBody))
+}
 
 // Handler processes one envelope and returns the reply.
 type Handler func(*Envelope) (*Envelope, error)
@@ -90,7 +114,7 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<24))
+	data, err := readBody(r.Body, r.ContentLength)
 	if err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
@@ -139,7 +163,9 @@ func (c *Client) CallContext(ctx context.Context, env *Envelope) (*Envelope, err
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(string(data)))
+	// bytes.NewReader — a string conversion here would copy the whole
+	// marshaled envelope once more per call.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +178,7 @@ func (c *Client) CallContext(ctx context.Context, env *Envelope) (*Envelope, err
 		return nil, fmt.Errorf("soap: POST: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	body, err := readBody(resp.Body, resp.ContentLength)
 	if err != nil {
 		return nil, err
 	}

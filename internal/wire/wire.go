@@ -25,6 +25,21 @@ type Encoder struct {
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// Reset points the encoder at buf (length preserved, appended to), so a
+// message can be assembled directly into a caller-owned — typically
+// pooled — buffer instead of an encoder-grown one. Returns e for
+// chaining:
+//
+//	var e wire.Encoder
+//	frame := e.Reset(buf[:headroom]).Str(op).Bytes(body).Finish()
+func (e *Encoder) Reset(buf []byte) *Encoder {
+	e.buf = buf
+	return e
+}
+
+// Len returns the bytes accumulated so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) *Encoder { e.buf = append(e.buf, v); return e }
 
@@ -164,6 +179,20 @@ func (d *Decoder) Bool() bool {
 
 // Bytes reads a length-prefixed byte string (copied out of the input).
 func (d *Decoder) Bytes() []byte {
+	v := d.View()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// View reads a length-prefixed byte string as a zero-copy view into the
+// decoder's input. The view is only valid while the input buffer is —
+// callers that retain the bytes past the buffer's lifetime (e.g. past a
+// pooled buffer's Free) must copy.
+func (d *Decoder) View() []byte {
 	n := d.U32()
 	if d.err != nil {
 		return nil
@@ -175,10 +204,9 @@ func (d *Decoder) Bytes() []byte {
 	if !d.need(int(n)) {
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.b[d.off:d.off+int(n)])
+	v := d.b[d.off : d.off+int(n) : d.off+int(n)]
 	d.off += int(n)
-	return out
+	return v
 }
 
 // Str reads a length-prefixed string.
@@ -223,19 +251,48 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// frameReadChunk bounds how much ReadFrame allocates ahead of the bytes
+// actually arriving. A hostile length prefix announcing a jumbo frame
+// that never materialises therefore costs the reader at most one chunk,
+// not MaxField, of memory (pre-authentication allocation DoS).
+const frameReadChunk = 64 << 10
+
+// ReadFrame reads one length-prefixed frame from r. The payload buffer
+// grows incrementally as bytes arrive — doubling from frameReadChunk up
+// to the announced length — so the announced length is never trusted
+// with an up-front allocation.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxField {
 		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds cap", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	if n <= frameReadChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	payload := make([]byte, frameReadChunk)
+	filled := 0
+	for filled < n {
+		if filled == len(payload) {
+			grown := 2 * len(payload)
+			if grown > n {
+				grown = n
+			}
+			next := make([]byte, grown)
+			copy(next, payload)
+			payload = next
+		}
+		if _, err := io.ReadFull(r, payload[filled:]); err != nil {
+			return nil, err
+		}
+		filled = len(payload)
 	}
 	return payload, nil
 }

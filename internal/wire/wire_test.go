@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -128,6 +129,76 @@ func TestTruncatedFrame(t *testing.T) {
 	short := buf.Bytes()[:buf.Len()-3]
 	if _, err := ReadFrame(bytes.NewReader(short)); err == nil {
 		t.Fatal("truncated frame accepted")
+	}
+}
+
+// A hostile length prefix announcing a 16 MiB frame that never arrives
+// must not cost the reader 16 MiB up front: ReadFrame grows its buffer
+// incrementally as bytes arrive (pre-authentication allocation DoS).
+func TestTruncatedJumboFrameAllocationBounded(t *testing.T) {
+	// Header announces MaxField bytes; only 10 bytes follow.
+	input := append([]byte{0x01, 0x00, 0x00, 0x00}, make([]byte, 10)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 16; i++ {
+		if _, err := ReadFrame(bytes.NewReader(input)); err == nil {
+			t.Fatal("truncated jumbo frame accepted")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// 16 truncated 16 MiB announcements must together cost far less than
+	// one announced frame; the pre-fix code allocated 256 MiB here.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 4<<20 {
+		t.Fatalf("truncated jumbo frames allocated %d bytes (announced length trusted up front)", grew)
+	}
+}
+
+// Large frames still round-trip through the incremental reader.
+func TestLargeFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, 3*frameReadChunk+17)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large frame corrupted by incremental read")
+	}
+}
+
+// Reset assembles into a caller-owned buffer without reallocating when
+// capacity suffices, and View decodes without copying.
+func TestResetAndView(t *testing.T) {
+	buf := make([]byte, 4, 64)
+	var e Encoder
+	out := e.Reset(buf).Str("op").Bytes([]byte("body")).Finish()
+	if &out[0] != &buf[:5][0] {
+		t.Fatal("Reset encoder reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(out[:4], make([]byte, 4)) {
+		t.Fatal("Reset clobbered the reserved prefix")
+	}
+	d := NewDecoder(out[4:])
+	if op := d.View(); string(op) != "op" {
+		t.Fatalf("op view = %q", op)
+	}
+	body := d.View()
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "body" {
+		t.Fatalf("body view = %q", body)
+	}
+	if &body[0] != &out[4+4+2+4] {
+		t.Fatal("View copied instead of aliasing the input")
 	}
 }
 

@@ -154,17 +154,21 @@ func (c *Conversation) Call(env *soap.Envelope) (*soap.Envelope, error) {
 }
 
 // CallContext is Call honoring ctx when the conversation was established
-// over a context-aware transport; otherwise ctx only gates entry.
+// over a context-aware transport; otherwise ctx only gates entry. The
+// request body is sealed with one exact-size allocation (WrapInto) and
+// the reply body decrypted in place — the old path round-tripped both
+// through intermediate buffers.
 func (c *Conversation) CallContext(ctx context.Context, env *soap.Envelope) (*soap.Envelope, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	wrapped, err := c.ctx.Wrap(env.Body)
+	wrapped, err := c.ctx.WrapInto(make([]byte, 0, len(env.Body)+gss.WrapOverhead), env.Body)
 	if err != nil {
 		return nil, err
 	}
 	secured := *env
 	secured.Body = wrapped
+	secured.Headers = append([]soap.HeaderBlock(nil), env.Headers...) // the copy must not mutate env's backing array
 	secured.SetHeader(SCTHeader, []byte(c.ContextID))
 	var reply *soap.Envelope
 	if c.ctxTransport != nil {
@@ -178,7 +182,9 @@ func (c *Conversation) CallContext(ctx context.Context, env *soap.Envelope) (*so
 	if reply.Fault != nil {
 		return reply, reply.Fault
 	}
-	plain, err := c.ctx.Unwrap(reply.Body)
+	// The reply envelope was freshly unmarshaled; its body buffer is
+	// ours to decrypt in place.
+	plain, err := c.ctx.UnwrapInPlace(reply.Body)
 	if err != nil {
 		return nil, fmt.Errorf("wssec: unwrapping reply: %w", err)
 	}
@@ -322,7 +328,9 @@ func (m *ConversationManager) Secure(handler func(peer gss.Peer, env *soap.Envel
 		if !ok {
 			return nil, fmt.Errorf("wssec: unknown security context %q", sct.Content)
 		}
-		plain, err := sess.ctx.Unwrap(env.Body)
+		// The inbound envelope was freshly unmarshaled: decrypt its body
+		// in place instead of into a second buffer.
+		plain, err := sess.ctx.UnwrapInPlace(env.Body)
 		if err != nil {
 			return nil, fmt.Errorf("wssec: unwrap: %w", err)
 		}
@@ -332,7 +340,7 @@ func (m *ConversationManager) Secure(handler func(peer gss.Peer, env *soap.Envel
 		if err != nil {
 			return nil, err
 		}
-		wrapped, err := sess.ctx.Wrap(reply.Body)
+		wrapped, err := sess.ctx.WrapInto(make([]byte, 0, len(reply.Body)+gss.WrapOverhead), reply.Body)
 		if err != nil {
 			return nil, err
 		}

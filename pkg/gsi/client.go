@@ -116,24 +116,26 @@ func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (
 	}
 	cred := c.credential()
 	if s.pool != nil {
-		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, cred), c.dialFunc(endpoint, s, cred))
+		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, cred),
+			dialRequest{client: c, endpoint: endpoint, s: s, cred: cred})
 		if err != nil {
 			return nil, opErr(op, err)
 		}
 		return sess, nil
 	}
-	sess, err := c.dialFunc(endpoint, s, cred)(ctx)
+	sess, err := c.dialSession(ctx, endpoint, s, cred)
 	if err != nil {
 		return nil, opErr(op, err)
 	}
 	return sess, nil
 }
 
-// dialFunc packages one dial attempt for direct use or pool checkout.
-// A pooling client threads the pool's secure-conversation resumption
-// cache into the transport so even fresh GT3 dials skip the WS-Trust
-// bootstrap when an earlier conversation with the peer is still warm.
-func (c *Client) dialFunc(endpoint string, s settings, cred *Credential) func(context.Context) (Session, error) {
+// dialSession performs one dial attempt (directly or from a pool
+// checkout miss). A pooling client threads the pool's
+// secure-conversation resumption cache into the transport so even
+// fresh GT3 dials skip the WS-Trust bootstrap when an earlier
+// conversation with the peer is still warm.
+func (c *Client) dialSession(ctx context.Context, endpoint string, s settings, cred *Credential) (Session, error) {
 	cfg := DialConfig{
 		Context:    s.contextConfig(c.env, cred),
 		Protection: s.protection,
@@ -147,9 +149,7 @@ func (c *Client) dialFunc(endpoint string, s settings, cred *Credential) func(co
 		cfg.resumption = s.pool.resume
 		cfg.resumeKey = poolKeyOf(c.env, endpoint, s, cred).resumeScope()
 	}
-	return func(ctx context.Context) (Session, error) {
-		return s.transport.Dial(ctx, endpoint, cfg)
-	}
+	return s.transport.Dial(ctx, endpoint, cfg)
 }
 
 // Exchange performs one secured request/response with the peer at
@@ -176,7 +176,7 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 		return nil, opErr(opName, err)
 	}
 	if s.pool == nil {
-		sess, err := c.dialFunc(endpoint, s, c.credential())(ctx)
+		sess, err := c.dialSession(ctx, endpoint, s, c.credential())
 		if err != nil {
 			return nil, opErr(opName, err)
 		}
@@ -196,7 +196,7 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 	for i := 0; i < attempts; i++ {
 		cred := c.credential()
 		key := poolKeyOf(c.env, endpoint, s, cred)
-		sess, err := s.pool.checkout(ctx, key, c.dialFunc(endpoint, s, cred))
+		sess, err := s.pool.checkout(ctx, key, dialRequest{client: c, endpoint: endpoint, s: s, cred: cred})
 		if err != nil {
 			return nil, opErr(opName, err)
 		}
@@ -368,7 +368,8 @@ func (c *Client) Invoke(ctx context.Context, endpoint, handle, op string, body [
 	return out, trace, nil
 }
 
-// compile-time interface checks for the session implementations.
+// compile-time interface checks for the session and stream
+// implementations.
 var (
 	_ Session = (*gt2Session)(nil)
 	_ Session = (*gt3Session)(nil)
@@ -378,4 +379,11 @@ var (
 	_ sessionHealth = (*gt2Session)(nil)
 	_ sessionHealth = (*gt3Session)(nil)
 	_ sessionProber = (*gt2Session)(nil)
+
+	_ Stream = (*gt2Stream)(nil)
+	_ Stream = (*gt3Stream)(nil)
+	_ Stream = (*serverGT2Stream)(nil)
+	_ Stream = (*serverGT3Stream)(nil)
+	_ Stream = (*pooledStream)(nil)
+	_ Stream = (*ownedStream)(nil)
 )

@@ -59,6 +59,9 @@ type settings struct {
 	poolIdleTTL    time.Duration // 0 = DefaultIdleTTL
 	poolMaxPerHost int           // 0 = DefaultMaxConcurrentPerHost, < 0 = unlimited
 
+	// streamHandler receives streams opened by peers (Server option).
+	streamHandler StreamHandler
+
 	// Credential lifecycle. credman makes a Client's credential dynamic;
 	// the renew* knobs tune a CredentialManager under construction.
 	credman       *CredentialManager
@@ -231,6 +234,23 @@ func WithMaxConcurrentPerHost(n int) Option {
 		}
 		s.poolMaxPerHost = n
 		s.poolEnable = true
+		return nil
+	}
+}
+
+// WithStreamHandler installs the server-side receiver for streams
+// peers open with Session.OpenStream: bulk transfers cross as chunk
+// records through the pooled record layer instead of one monolithic
+// message, so their size is unbounded. The stream's op is authorized
+// once — through the authorization pipeline when one is configured —
+// before the handler sees the stream. Endpoints without a stream
+// handler refuse stream opens.
+func WithStreamHandler(h StreamHandler) Option {
+	return func(s *settings) error {
+		if h == nil {
+			return errors.New("gsi: nil stream handler")
+		}
+		s.streamHandler = h
 		return nil
 	}
 }
@@ -443,8 +463,19 @@ func (s settings) poolUsable() error {
 	return nil
 }
 
-// apply folds opts over base, returning the resolved settings.
+// apply folds opts over base, returning the resolved settings. The
+// no-option case stays allocation-free: taking &s for the option
+// callbacks forces the copy to the heap, so that path lives in
+// applyOpts and per-call-option-free hot paths (every pooled Exchange)
+// never pay it.
 func (s settings) apply(opts []Option) (settings, error) {
+	if len(opts) == 0 {
+		return s, nil
+	}
+	return s.applyOpts(opts)
+}
+
+func (s settings) applyOpts(opts []Option) (settings, error) {
 	for _, opt := range opts {
 		if err := opt(&s); err != nil {
 			return s, err

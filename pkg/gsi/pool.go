@@ -283,11 +283,25 @@ type sessionProber interface {
 	Probe(ctx context.Context) error
 }
 
+// dialRequest packages one potential dial for a pool checkout as plain
+// values: unlike a closure it costs no allocation on the idle-hit path,
+// which is what keeps the steady-state Exchange near zero allocs/op.
+type dialRequest struct {
+	client   *Client
+	endpoint string
+	s        settings
+	cred     *Credential
+}
+
+func (d dialRequest) dial(ctx context.Context) (Session, error) {
+	return d.client.dialSession(ctx, d.endpoint, d.s, d.cred)
+}
+
 // checkout returns a live session for key, in preference order: a
 // parked idle session (probed first when it has been idle a while), a
 // fresh dial when under the per-host cap, or — at the cap — whatever a
 // returning caller frees, waiting no longer than ctx allows.
-func (p *SessionPool) checkout(ctx context.Context, key poolKey, dial func(context.Context) (Session, error)) (*pooledSession, error) {
+func (p *SessionPool) checkout(ctx context.Context, key poolKey, dial dialRequest) (*pooledSession, error) {
 	const op = "gsi.SessionPool.Checkout"
 	if err := ctx.Err(); err != nil {
 		// The pool was never consulted: a dead context at entry is the
@@ -337,7 +351,7 @@ func (p *SessionPool) checkout(ctx context.Context, key poolKey, dial func(conte
 		if p.maxPerHost <= 0 || hp.total() < p.maxPerHost {
 			hp.active++
 			p.mu.Unlock()
-			sess, err := dial(ctx)
+			sess, err := dial.dial(ctx)
 			if err != nil {
 				p.discard(key, nil)
 				return nil, err
@@ -571,6 +585,43 @@ func (ps *pooledSession) Exchange(ctx context.Context, op string, body []byte) (
 		}
 	}
 	return out, err
+}
+
+// OpenStream opens a stream on the pooled session. The stream borrows
+// the checkout: return the session (Close) only after the stream
+// closes, and a stream that ends with the session unhealthy poisons it
+// so the pool discards instead of parking.
+func (ps *pooledSession) OpenStream(ctx context.Context, op string) (Stream, error) {
+	if ps.released.Load() {
+		return nil, &Error{Op: "gsi.Session.OpenStream", Err: errors.New("gsi: session already returned to pool")}
+	}
+	st, err := ps.sess.OpenStream(ctx, op)
+	if err != nil {
+		if sessionPoisoned(err) && !sessionHealthy(ps.sess) {
+			ps.poisoned.Store(true)
+		}
+		return nil, err
+	}
+	return &pooledStream{Stream: st, ps: ps}, nil
+}
+
+// pooledStream watches a stream's end for session health so a pooled
+// session never parks with a desynchronized record stream.
+type pooledStream struct {
+	Stream
+	ps     *pooledSession
+	closed atomic.Bool
+}
+
+func (p *pooledStream) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.Stream.Close()
+	if !sessionHealthy(p.ps.sess) {
+		p.ps.poisoned.Store(true)
+	}
+	return err
 }
 
 func (ps *pooledSession) Peer() Peer { return ps.sess.Peer() }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gsi
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package gsi
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation-exactness assertions are skipped under it.
+const raceEnabled = true

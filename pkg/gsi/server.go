@@ -89,10 +89,11 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 		pipeline = newPipeline(s.env, resolved)
 	}
 	ep, err := resolved.transport.Serve(ctx, addr, ServeConfig{
-		Context:     resolved.contextConfig(s.env, s.cred),
-		Handler:     h,
-		Environment: s.env,
-		Pipeline:    pipeline,
+		Context:       resolved.contextConfig(s.env, s.cred),
+		Handler:       h,
+		StreamHandler: resolved.streamHandler,
+		Environment:   s.env,
+		Pipeline:      pipeline,
 	})
 	if err != nil {
 		return nil, opErr(op, err)

@@ -1,15 +1,18 @@
 package gsi
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
 
 	"repro/internal/gsitransport"
 	"repro/internal/ogsa"
+	"repro/internal/record"
 	"repro/internal/soap"
 	"repro/internal/wire"
 	"repro/internal/wssec"
@@ -29,6 +32,10 @@ type Handler func(ctx context.Context, peer Peer, op string, body []byte) ([]byt
 type Session interface {
 	// Exchange sends op+body and returns the peer's reply.
 	Exchange(ctx context.Context, op string, body []byte) ([]byte, error)
+	// OpenStream opens a chunked byte stream for op (authorized once,
+	// server-side, before any data flows). The stream owns the session
+	// until its Close; see the Stream type for the protocol.
+	OpenStream(ctx context.Context, op string) (Stream, error)
 	// Peer is the authenticated remote party (zero-valued on
 	// ProtectionSigned GT3 sessions, which authenticate requests, not
 	// the response channel).
@@ -86,6 +93,9 @@ type ServeConfig struct {
 	Context ContextConfig
 	// Handler receives authenticated, authorized exchanges.
 	Handler Handler
+	// StreamHandler receives opened streams (Session.OpenStream on the
+	// client side); nil refuses stream opens.
+	StreamHandler StreamHandler
 	// Environment supplies the authorizer and audit plumbing (GT3).
 	Environment *Environment
 	// Pipeline is the chain-aware authorization pipeline; when set it
@@ -108,6 +118,18 @@ const reservedOpPrefix = "gsi.__"
 // round trip proving peer, context, and record stream are all alive)
 // without touching the authorizer or the application handler.
 const gt2PingOp = reservedOpPrefix + "ping"
+
+// streamOpenOp opens a chunked stream on a session. Its body names the
+// application op the stream is for; the server authorizes that op —
+// once, through the PR-4 pipeline when configured — before any chunk
+// flows. The GT3 form suffixes the op: "gsi.__stream.open:<op>".
+const streamOpenOp = reservedOpPrefix + "stream.open"
+
+// gt2PingOpBytes/pongBytes keep the ping fast path allocation-free.
+var (
+	gt2PingOpBytes = []byte(gt2PingOp)
+	pongBytes      = []byte("pong")
+)
 
 // --- GT2: the raw-socket transport -------------------------------------
 
@@ -192,24 +214,52 @@ type gt2Session struct {
 	mu   sync.Mutex // serializes request/response pairs on the record stream
 }
 
+// roundTrip performs one request/reply pair on the record layer: the
+// request is assembled directly into a pooled frame buffer (sealed in
+// place, one write), the reply is read into a pooled buffer and opened
+// in place. On success the reply payload is returned as a view backed
+// by buf — the caller must Free it. Callers hold s.mu.
+func (s *gt2Session) roundTrip(ctx context.Context, op string, body []byte) (payload []byte, buf *record.Buf, err error) {
+	reqBuf := record.Get(gsitransport.SendOverhead + 8 + len(op) + len(body))
+	var e wire.Encoder
+	frame := e.Reset(reqBuf.B[:gsitransport.Headroom]).Str(op).Bytes(body).Finish()
+	err = s.conn.SendAssembled(ctx, frame)
+	reqBuf.Free()
+	if err != nil {
+		return nil, nil, err
+	}
+	reply, rbuf, err := s.conn.ReceiveView(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := wire.NewDecoder(reply)
+	status := d.U8()
+	payload = d.View()
+	if err := d.Done(); err != nil {
+		rbuf.Free()
+		return nil, nil, err
+	}
+	if status != gt2StatusOK {
+		err = gt2StatusErr(status, string(payload))
+		rbuf.Free()
+		return nil, nil, err
+	}
+	return payload, rbuf, nil
+}
+
 func (s *gt2Session) Exchange(ctx context.Context, op string, body []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.conn.SendContext(ctx, gt2EncodeRequest(op, body)); err != nil {
-		return nil, opErr("gsi.Session.Exchange", err)
-	}
-	reply, err := s.conn.ReceiveContext(ctx)
+	payload, buf, err := s.roundTrip(ctx, op, body)
 	if err != nil {
 		return nil, opErr("gsi.Session.Exchange", err)
 	}
-	status, payload, err := gt2DecodeReply(reply)
-	if err != nil {
-		return nil, opErr("gsi.Session.Exchange", err)
-	}
-	if status != gt2StatusOK {
-		return nil, gt2StatusErr(status, string(payload))
-	}
-	return payload, nil
+	// The payload view dies with the pooled buffer; the caller owns the
+	// result, so this copy is the one unavoidable allocation.
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	buf.Free()
+	return out, nil
 }
 
 func (s *gt2Session) Peer() Peer { return s.conn.Peer() }
@@ -222,9 +272,18 @@ func (s *gt2Session) Healthy() bool { return s.conn.Healthy() }
 
 // Probe is the active liveness check: one ping exchange through the
 // secured stream, answered by the server loop below the application.
+// It rides the pooled record path end to end and — unlike Exchange —
+// discards the payload view instead of copying it, so an idle-pool
+// probe allocates nothing.
 func (s *gt2Session) Probe(ctx context.Context) error {
-	_, err := s.Exchange(ctx, gt2PingOp, nil)
-	return err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, buf, err := s.roundTrip(ctx, gt2PingOp, nil)
+	if err != nil {
+		return err
+	}
+	buf.Free()
+	return nil
 }
 
 func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (Endpoint, error) {
@@ -250,26 +309,79 @@ func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (
 	return ep, nil
 }
 
+// sendGT2Reply assembles a status/payload reply directly in a pooled
+// frame buffer and sends it sealed in place.
+func sendGT2Reply(ctx context.Context, conn *gsitransport.Conn, status byte, payload []byte) error {
+	buf := record.Get(gsitransport.SendOverhead + 5 + len(payload))
+	var e wire.Encoder
+	frame := e.Reset(buf.B[:gsitransport.Headroom]).U8(status).Bytes(payload).Finish()
+	err := conn.SendAssembled(ctx, frame)
+	buf.Free()
+	return err
+}
+
+// maxInternedOps bounds the per-connection op-name intern table so a
+// hostile peer cycling op names cannot grow it without limit.
+const maxInternedOps = 1024
+
 // serveGT2Conn answers exchanges on one accepted connection until the
-// peer hangs up or the serve context ends.
+// peer hangs up or the serve context ends. The serve context is watched
+// once per connection (CloseOnDone) rather than once per record, and
+// the request path runs on pooled record views: the only steady-state
+// allocations are the ones the application handler itself makes.
+//
+// The body slice a Handler receives is a view into a pooled record
+// buffer, valid only for the duration of the call — handlers that
+// retain it must copy (returning it, as an echo handler does, is safe:
+// the reply is sealed before the buffer is reused).
 func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig) {
 	defer conn.Close()
+	stop := conn.CloseOnDone(ctx)
+	defer stop()
 	peer := conn.Peer()
 	authorizer := authorizerOf(cfg.Environment)
+	// Op names are interned per connection so the string conversion is
+	// paid once per distinct op, not once per exchange.
+	interned := make(map[string]string)
+	bg := context.Background() // cancellation arrives via CloseOnDone
 	for {
-		req, err := conn.ReceiveContext(ctx)
+		req, rbuf, err := conn.ReceiveView(bg)
 		if err != nil {
 			return
 		}
-		op, body, err := gt2DecodeRequest(req)
-		if err != nil {
+		d := wire.NewDecoder(req)
+		opView := d.View()
+		body := d.View()
+		if err := d.Done(); err != nil {
+			rbuf.Free()
 			return
 		}
-		var reply []byte
-		if op == gt2PingOp {
-			reply = gt2EncodeReply(gt2StatusOK, []byte("pong"))
-		} else if strings.HasPrefix(op, reservedOpPrefix) {
-			reply = gt2EncodeReply(gt2StatusNotFound, []byte("gsi: reserved op "+op))
+		// Infrastructure fast path: the liveness ping answers below the
+		// authorizer and allocates nothing.
+		if bytes.Equal(opView, gt2PingOpBytes) {
+			rbuf.Free()
+			if err := sendGT2Reply(bg, conn, gt2StatusOK, pongBytes); err != nil {
+				return
+			}
+			continue
+		}
+		op, ok := interned[string(opView)] // no-alloc map probe
+		if !ok {
+			op = string(opView)
+			if len(interned) < maxInternedOps {
+				interned[op] = op
+			}
+		}
+		if op == streamOpenOp {
+			if !serveGT2Stream(ctx, conn, cfg, peer, authorizer, string(body), rbuf) {
+				return
+			}
+			continue
+		}
+		var status byte = gt2StatusOK
+		var payload []byte
+		if strings.HasPrefix(op, reservedOpPrefix) {
+			status, payload = gt2StatusNotFound, []byte("gsi: reserved op "+op)
 		} else {
 			// Authorization: the chain-aware pipeline when configured
 			// (CAS assertion, VO ∩ local policy, gridmap — with the
@@ -283,17 +395,75 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig)
 				authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
 			}
 			if authErr != nil {
-				reply = gt2EncodeReply(gt2Status(authErr), []byte(authErr.Error()))
+				status, payload = gt2Status(authErr), []byte(authErr.Error())
 			} else if out, err := cfg.Handler(ctx, exPeer, op, body); err != nil {
-				reply = gt2EncodeReply(gt2Status(err), []byte(err.Error()))
+				status, payload = gt2Status(err), []byte(err.Error())
 			} else {
-				reply = gt2EncodeReply(gt2StatusOK, out)
+				payload = out
 			}
 		}
-		if err := conn.SendContext(ctx, reply); err != nil {
+		// The reply is sealed from payload before the request buffer is
+		// released: a handler echoing its body view stays valid.
+		err = sendGT2Reply(bg, conn, status, payload)
+		rbuf.Free()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// serveGT2Stream handles one stream open on a GT2 connection: authorize
+// the named op (once, through the pipeline when configured), hand the
+// stream to the StreamHandler, and resynchronize the record stream when
+// the handler returns. Reports whether the connection is still usable.
+func serveGT2Stream(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, peer Peer, authorizer Engine, op string, rbuf *record.Buf) bool {
+	rbuf.Free()
+	if cfg.StreamHandler == nil {
+		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte("gsi: endpoint does not accept streams")) == nil
+	}
+	if op == "" || strings.HasPrefix(op, reservedOpPrefix) {
+		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte("gsi: invalid stream op "+op)) == nil
+	}
+	exPeer := peer
+	var authErr error
+	if cfg.Pipeline != nil {
+		exPeer, authErr = authorizePipelined(ctx, cfg.Pipeline, peer, op)
+	} else {
+		authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
+	}
+	if authErr != nil {
+		return sendGT2Reply(context.Background(), conn, gt2Status(authErr), []byte(authErr.Error())) == nil
+	}
+	if err := sendGT2Reply(context.Background(), conn, gt2StatusOK, nil); err != nil {
+		return false
+	}
+	// The stream's record I/O runs under Background like the exchange
+	// loop's: cancellation arrives through the connection-lifetime
+	// CloseOnDone watcher, not a per-record watcher goroutine.
+	st := gsitransport.NewStream(context.Background(), conn)
+	serr := cfg.StreamHandler(ctx, exPeer, op, &serverGT2Stream{st: st, peer: exPeer})
+	// Terminate the server half: the handler's error travels as the
+	// stream's terminal record.
+	if serr != nil {
+		if err := st.CloseWithError(serr.Error()); err != nil {
+			st.Release()
+			return false
+		}
+	} else if err := st.CloseWrite(); err != nil {
+		st.Release()
+		return false
+	}
+	// Resynchronize: consume the client half to its FIN if the handler
+	// did not. A client-side abort is a clean termination too.
+	if err := st.Drain(); err != nil {
+		var peerErr *record.PeerError
+		if !errors.As(err, &peerErr) {
+			st.Release()
+			return false
+		}
+	}
+	st.Release()
+	return true
 }
 
 type gt2Endpoint struct {
@@ -397,17 +567,27 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 		RejectLimited: cfg.Context.RejectLimited,
 		Now:           cfg.Context.Now,
 	}
-	if cfg.Pipeline != nil {
-		// A typed-nil *AuthorizationPipeline must not become a non-nil
-		// interface in the container, hence the guard.
-		containerCfg.ChainAuthorizer = cfg.Pipeline
+	serveCtx, cancel := context.WithCancel(ctx)
+	svc := &handlerService{ctx: serveCtx, h: cfg.Handler, sh: cfg.StreamHandler}
+	if cfg.Pipeline != nil || cfg.StreamHandler != nil {
+		// The chain gate carries the pipeline (typed-nil guard included:
+		// a nil *AuthorizationPipeline must not become a non-nil
+		// interface) and admits chunk calls on streams their peer opened.
+		svc.reg = newGT3StreamRegistry()
+		containerCfg.ChainAuthorizer = &gt3AuthGate{
+			pipeline: cfg.Pipeline,
+			engine:   authorizerOf(cfg.Environment),
+			env:      cfg.Environment,
+			reg:      svc.reg,
+		}
+		containerCfg.Authorizer = nil // the gate reproduces the engine path
 	}
 	container, err := ogsa.NewContainer(containerCfg)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	serveCtx, cancel := context.WithCancel(ctx)
-	container.Publish(exchangeHandle, &handlerService{ctx: serveCtx, h: cfg.Handler})
+	container.Publish(exchangeHandle, svc)
 	srv, err := soap.NewServer(addr, container.Dispatcher())
 	if err != nil {
 		cancel()
@@ -422,19 +602,105 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 type handlerService struct {
 	ctx context.Context
 	h   Handler
+	sh  StreamHandler
+	reg *gt3StreamRegistry // nil when the endpoint takes no streams and has no pipeline
 }
 
 func (s *handlerService) Invoke(call *ogsa.Call) ([]byte, error) {
 	if strings.HasPrefix(call.Op, reservedOpPrefix) {
-		return nil, fmt.Errorf("gsi: reserved op %s not found", call.Op)
+		return s.invokeReserved(call)
 	}
-	peer := Peer{
+	return s.h(s.ctx, callerPeer(call), call.Op, call.Body)
+}
+
+func callerPeer(call *ogsa.Call) Peer {
+	return Peer{
 		Anonymous:    call.Caller.Anonymous,
 		Identity:     call.Caller.Name,
 		Subject:      call.Caller.Name,
 		LocalAccount: call.Caller.LocalAccount,
 	}
-	return s.h(s.ctx, peer, call.Op, call.Body)
+}
+
+// invokeReserved serves the transport-owned op namespace: the GT3
+// stream protocol. The authorization gate has already admitted the
+// call (open as the carried op; chunks by stream possession).
+func (s *handlerService) invokeReserved(call *ogsa.Call) ([]byte, error) {
+	switch {
+	case s.sh != nil && strings.HasPrefix(call.Op, gt3StreamOpenPrefix):
+		if !call.Conversation {
+			return nil, errors.New("gsi: streams require a secure conversation")
+		}
+		op, err := decodeStreamOp(strings.TrimPrefix(call.Op, gt3StreamOpenPrefix))
+		if err != nil {
+			return nil, err
+		}
+		return s.openStream(call, op)
+	case s.reg != nil && strings.HasPrefix(call.Op, gt3StreamWritePrefix):
+		st := s.reg.get(strings.TrimPrefix(call.Op, gt3StreamWritePrefix))
+		if st == nil {
+			return nil, errors.New("gsi: unknown stream")
+		}
+		if err := st.acceptIn(call.Body); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case s.reg != nil && strings.HasPrefix(call.Op, gt3StreamReadPrefix):
+		id := strings.TrimPrefix(call.Op, gt3StreamReadPrefix)
+		st := s.reg.get(id)
+		if st == nil {
+			return nil, errors.New("gsi: unknown stream")
+		}
+		rec, terminal, err := st.nextOut()
+		if err != nil {
+			return nil, err
+		}
+		if terminal {
+			s.reg.remove(id)
+		}
+		return rec, nil
+	}
+	return nil, fmt.Errorf("gsi: reserved op %s not found", call.Op)
+}
+
+// openStream creates the server-side stream state and runs the
+// StreamHandler in its own goroutine; the handler's outcome travels to
+// the client as the stream's terminal record.
+func (s *handlerService) openStream(call *ogsa.Call, op string) ([]byte, error) {
+	idBytes, err := newStreamID()
+	if err != nil {
+		return nil, err
+	}
+	peer := callerPeer(call)
+	inR, inW := io.Pipe()
+	st := &gt3ServerStream{
+		id:      idBytes,
+		peer:    peer,
+		peerKey: peerKey(peer),
+		account: call.Caller.LocalAccount,
+		inR:     inR,
+		inW:     inW,
+		out:     make(chan []byte, 1),
+		dead:    make(chan struct{}),
+		ctx:     s.ctx,
+	}
+	st.touch()
+	if err := s.reg.add(st); err != nil {
+		return nil, err
+	}
+	handlerStream := &serverGT3Stream{s: st}
+	go func() {
+		herr := s.sh(s.ctx, peer, op, handlerStream)
+		// Stop absorbing input and terminate the out half with the
+		// handler's verdict.
+		inR.CloseWithError(io.ErrClosedPipe)
+		if herr != nil {
+			handlerStream.closeWithError(herr.Error())
+		} else {
+			handlerStream.CloseWrite()
+		}
+	}()
+	return []byte(st.id), nil
 }
 
 type gt3Endpoint struct {
