@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record gate-allocs fmt
+.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-telemetry gate-allocs fmt
 
-## ci: the tier-1 gate — format check, vet, build, test, race, fuzz
-## smoke, the authorization-decision benchmark pair (which also asserts
-## cached decisions stay cached), and the record-layer allocs/op
-## regression gate.
+## ci: the tier-1 gate — format check, vet, build, test, race (which
+## includes the hot-reload-under-traffic test), fuzz smoke, the
+## authorization-decision benchmark pair (which also asserts cached
+## decisions stay cached), and the allocs/op regression gates for the
+## record layer and the observability plane.
 ci: fmt-check vet build test race fuzz-smoke bench-authz gate-allocs
 
 fmt-check:
@@ -81,12 +82,25 @@ bench-record:
 	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > BENCH_record.json
 	@cat BENCH_record.json
 
+## bench-telemetry: record the observability plane's data points into
+## BENCH_telemetry.json — the instrumented pooled exchange (allocs/op
+## gate ≤ 2, same as the uninstrumented baseline: metrics must be free
+## on the hot path) and the registry's counter/histogram micro
+## benchmarks (0 allocs/op each).
+bench-telemetry:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeInstrumented$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0' > BENCH_telemetry.json
+	@cat BENCH_telemetry.json
+
 ## gate-allocs: the fast CI regression gate — steady-state pooled
-## Exchange must stay ≤ 2 allocs/op and the idle probe at 0.
+## Exchange must stay ≤ 2 allocs/op with and without metrics attached,
+## the idle probe at 0, and the telemetry hot paths at 0.
 gate-allocs:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$' -benchmem ./pkg/gsi ; } \
-	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > /dev/null
+	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$|^BenchmarkExchangeInstrumented$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0' > /dev/null
 
 ## fmt: rewrite files in place.
 fmt:

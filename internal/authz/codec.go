@@ -1,0 +1,116 @@
+package authz
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// JSON policy-file codec: the hand-editable on-disk form of a Policy,
+// consumed by the hot-reload path. Effects and the combining algorithm
+// travel as strings so a typo fails decoding loudly instead of decaying
+// into a numeric effect the fail-closed evaluator would silently deny
+// (or worse, permit). The wire form deliberately mirrors Rule field for
+// field; times use RFC 3339.
+
+type policyFile struct {
+	Combining string     `json:"combining"`
+	Rules     []ruleFile `json:"rules"`
+}
+
+type ruleFile struct {
+	ID        string    `json:"id,omitempty"`
+	Effect    string    `json:"effect"`
+	Subjects  []string  `json:"subjects,omitempty"`
+	Groups    []string  `json:"groups,omitempty"`
+	Roles     []string  `json:"roles,omitempty"`
+	Resources []string  `json:"resources,omitempty"`
+	Actions   []string  `json:"actions,omitempty"`
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+}
+
+var combiningNames = map[Combining]string{
+	DenyOverrides:   "deny-overrides",
+	PermitOverrides: "permit-overrides",
+	FirstApplicable: "first-applicable",
+}
+
+// EncodePolicyJSON renders the policy's rules and combining algorithm
+// as indented JSON suitable for a watched policy file.
+func (p *Policy) EncodePolicyJSON() ([]byte, error) {
+	p.mu.RLock()
+	rules := append([]Rule(nil), p.rules...)
+	combining := p.combining
+	p.mu.RUnlock()
+	name, ok := combiningNames[combining]
+	if !ok {
+		return nil, fmt.Errorf("authz: unknown combining algorithm %d", combining)
+	}
+	pf := policyFile{Combining: name, Rules: make([]ruleFile, 0, len(rules))}
+	for _, r := range rules {
+		effect := "permit"
+		if r.Effect == EffectDeny {
+			effect = "deny"
+		} else if r.Effect != EffectPermit {
+			return nil, fmt.Errorf("authz: rule %q has invalid effect %d", r.ID, r.Effect)
+		}
+		pf.Rules = append(pf.Rules, ruleFile{
+			ID:        r.ID,
+			Effect:    effect,
+			Subjects:  r.Subjects,
+			Groups:    r.Groups,
+			Roles:     r.Roles,
+			Resources: r.Resources,
+			Actions:   r.Actions,
+			NotBefore: r.NotBefore,
+			NotAfter:  r.NotAfter,
+		})
+	}
+	return json.MarshalIndent(pf, "", "  ")
+}
+
+// DecodePolicyJSON parses a policy file, returning the rules and the
+// combining algorithm. Unknown fields, effects, and combining names are
+// errors: a policy file that crossed a trust boundary must fail loudly.
+func DecodePolicyJSON(data []byte) ([]Rule, Combining, error) {
+	var pf policyFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, 0, fmt.Errorf("authz: policy file: %w", err)
+	}
+	var combining Combining
+	switch pf.Combining {
+	case "deny-overrides", "": // closed-world default
+		combining = DenyOverrides
+	case "permit-overrides":
+		combining = PermitOverrides
+	case "first-applicable":
+		combining = FirstApplicable
+	default:
+		return nil, 0, fmt.Errorf("authz: policy file: unknown combining algorithm %q", pf.Combining)
+	}
+	rules := make([]Rule, 0, len(pf.Rules))
+	for i, rf := range pf.Rules {
+		var effect Effect
+		switch rf.Effect {
+		case "permit":
+			effect = EffectPermit
+		case "deny":
+			effect = EffectDeny
+		default:
+			return nil, 0, fmt.Errorf("authz: policy file: rule %d (%q) has effect %q (want permit or deny)", i, rf.ID, rf.Effect)
+		}
+		rules = append(rules, Rule{
+			ID:        rf.ID,
+			Effect:    effect,
+			Subjects:  rf.Subjects,
+			Groups:    rf.Groups,
+			Roles:     rf.Roles,
+			Resources: rf.Resources,
+			Actions:   rf.Actions,
+			NotBefore: rf.NotBefore,
+			NotAfter:  rf.NotAfter,
+		})
+	}
+	return rules, combining, nil
+}

@@ -1,0 +1,113 @@
+package authz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gridcert"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := NewPolicy(PermitOverrides).Add(
+		Rule{
+			ID:        "allow-alice",
+			Effect:    EffectPermit,
+			Subjects:  []string{"/O=Grid/CN=Alice"},
+			Resources: []string{"gram:*"},
+			Actions:   []string{"job-submit"},
+			NotAfter:  time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC),
+		},
+		Rule{ID: "deny-all", Effect: EffectDeny, Resources: []string{"*"}},
+	)
+	data, err := p.EncodePolicyJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, combining, err := DecodePolicyJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combining != PermitOverrides {
+		t.Fatalf("combining = %v", combining)
+	}
+	if len(rules) != 2 || rules[0].ID != "allow-alice" || rules[0].Effect != EffectPermit ||
+		rules[1].Effect != EffectDeny || !rules[0].NotAfter.Equal(p.Rules()[0].NotAfter) {
+		t.Fatalf("round trip mangled rules: %+v", rules)
+	}
+}
+
+func TestDecodePolicyJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad effect":    `{"combining":"deny-overrides","rules":[{"id":"r","effect":"allow"}]}`,
+		"bad combining": `{"combining":"coin-flip","rules":[]}`,
+		"not json":      `{{{{`,
+	}
+	for name, in := range cases {
+		if _, _, err := DecodePolicyJSON([]byte(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Empty combining defaults closed-world.
+	if _, c, err := DecodePolicyJSON([]byte(`{"rules":[]}`)); err != nil || c != DenyOverrides {
+		t.Fatalf("default combining = %v, %v", c, err)
+	}
+}
+
+func TestPolicyReplace(t *testing.T) {
+	p := NewPolicy(DenyOverrides).Add(Rule{ID: "old", Effect: EffectPermit})
+	gen := p.Generation()
+	if err := p.Replace([]Rule{
+		{ID: "a", Effect: EffectPermit, Actions: []string{"read"}},
+		{ID: "b", Effect: EffectDeny},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != gen+1 {
+		t.Fatalf("generation moved %d times, want 1", p.Generation()-gen)
+	}
+	if rules := p.Rules(); len(rules) != 2 || rules[0].ID != "a" {
+		t.Fatalf("rules after replace: %+v", rules)
+	}
+	// An invalid batch leaves the live rules untouched.
+	if err := p.Replace([]Rule{{ID: "zero-effect"}}); err == nil {
+		t.Fatal("Replace with invalid effect succeeded")
+	}
+	if rules := p.Rules(); len(rules) != 2 || rules[0].ID != "a" {
+		t.Fatalf("failed replace mutated rules: %+v", rules)
+	}
+	// Empty is legal (closed world).
+	if err := p.Replace(nil); err != nil || p.Len() != 0 {
+		t.Fatalf("empty replace: %v, len %d", err, p.Len())
+	}
+}
+
+func TestGridMapReplace(t *testing.T) {
+	live := NewGridMap()
+	live.Add(gridcert.MustParseName("/O=Grid/CN=Old"), "old")
+	gen := live.Generation()
+
+	parsed, err := ParseGridMap("\"/O=Grid/CN=Alice\" alice\n\"/O=Grid/CN=Bob\" bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Replace(parsed)
+	if live.Generation() != gen+1 {
+		t.Fatalf("generation moved %d times, want 1", live.Generation()-gen)
+	}
+	if _, ok := live.Lookup(gridcert.MustParseName("/O=Grid/CN=Old")); ok {
+		t.Fatal("old entry survived replacement")
+	}
+	if acct, ok := live.Lookup(gridcert.MustParseName("/O=Grid/CN=Alice")); !ok || acct != "alice" {
+		t.Fatalf("lookup alice = %q, %v", acct, ok)
+	}
+	// The replacement copied, not aliased: mutating the source does not
+	// leak into the live map.
+	parsed.Add(gridcert.MustParseName("/O=Grid/CN=Eve"), "eve")
+	if _, ok := live.Lookup(gridcert.MustParseName("/O=Grid/CN=Eve")); ok {
+		t.Fatal("replacement aliased the source map")
+	}
+	if !strings.Contains(live.Serialize(), "bob") {
+		t.Fatal("serialize after replace lost entries")
+	}
+}

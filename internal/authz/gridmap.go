@@ -60,6 +60,24 @@ func validAccount(account string) bool {
 	return true
 }
 
+// Replace swaps this map's entire entry set for other's in one
+// transaction, bumping the generation once. Reload paths parse a fresh
+// mapfile into a throwaway GridMap and Replace into the live one, so
+// decision caches keyed on the generation invalidate a single time and
+// no reader ever observes a half-applied mapfile.
+func (g *GridMap) Replace(other *GridMap) {
+	other.mu.RLock()
+	next := make(map[string]string, len(other.entries))
+	for dn, acct := range other.entries {
+		next[dn] = acct
+	}
+	other.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries = next
+	g.gen++
+}
+
 // Remove deletes a mapping.
 func (g *GridMap) Remove(dn gridcert.Name) {
 	g.mu.Lock()

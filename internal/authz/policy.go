@@ -227,6 +227,37 @@ func (p *Policy) AddChecked(rules ...Rule) error {
 	return nil
 }
 
+// Replace swaps the entire rule set in one transaction, bumping the
+// generation once. The batch is validated first (same rule as
+// AddChecked): one bad effect rejects the whole replacement and the
+// live rules stay untouched — a reload must never half-apply. An empty
+// batch is legal here, unlike for trust roots: "no rules" is a
+// meaningful closed-world policy (default-deny engines deny all),
+// not a fail-open state.
+func (p *Policy) Replace(rules []Rule) error {
+	for _, r := range rules {
+		if !r.Effect.Valid() {
+			return fmt.Errorf("authz: rule %q has invalid effect %d (want EffectPermit or EffectDeny)", r.ID, r.Effect)
+		}
+	}
+	next := append([]Rule(nil), rules...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = next
+	p.gen++
+	return nil
+}
+
+// Combining reports the policy's combining algorithm. It is fixed at
+// construction: Replace swaps rules, never the algorithm, so a reloaded
+// policy file declaring a different mode is rejected by the reloader
+// rather than silently reinterpreting every rule.
+func (p *Policy) Combining() Combining {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.combining
+}
+
 // Remove deletes every rule with the given ID, reporting whether any
 // was removed. Removal bumps the policy generation, so decision caches
 // keyed on it re-evaluate on their very next lookup.

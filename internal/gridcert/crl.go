@@ -112,3 +112,41 @@ func (crl *CRL) Contains(serial uint64) bool {
 	i := sort.Search(len(crl.Serials), func(i int) bool { return crl.Serials[i] >= serial })
 	return i < len(crl.Serials) && crl.Serials[i] == serial
 }
+
+// maxCRLSet bounds how many CRLs one set file may carry.
+const maxCRLSet = 1 << 12
+
+// EncodeCRLSet serialises a list of CRLs into one blob — the on-disk
+// form of a watched CRL file (one entry per issuing CA).
+func EncodeCRLSet(crls []*CRL) []byte {
+	e := &encoder{}
+	e.u32(uint32(len(crls)))
+	for _, crl := range crls {
+		e.bytes(crl.Encode())
+	}
+	return e.buf
+}
+
+// DecodeCRLSet reverses EncodeCRLSet. Signatures are not yet verified;
+// installation through TrustStore.AddCRL does that. An empty set is
+// legal — "no revocations" is a meaningful state for a CRL file.
+func DecodeCRLSet(b []byte) ([]*CRL, error) {
+	d := &decoder{b: b}
+	cnt := d.count("CRL set", d.u32(), maxCRLSet)
+	crls := make([]*CRL, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		raw := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		crl, err := DecodeCRL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("gridcert: CRL set entry %d: %w", i, err)
+		}
+		crls = append(crls, crl)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return crls, nil
+}

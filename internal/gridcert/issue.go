@@ -173,6 +173,45 @@ func EncodeChain(chain []*Certificate) []byte {
 	return e.buf
 }
 
+// EncodeCredential serialises a credential — chain plus private key —
+// for handoff to another process (gsictl's credential files). The key
+// material is in the clear: callers own file permissions (0600) and
+// transport.
+func EncodeCredential(c *Credential) ([]byte, error) {
+	key, err := c.Key.Encode()
+	if err != nil {
+		return nil, err
+	}
+	e := &encoder{}
+	e.bytes(EncodeChain(c.Chain))
+	e.bytes(key)
+	return e.buf, nil
+}
+
+// DecodeCredential reverses EncodeCredential, re-running the
+// key-matches-leaf check so a file assembled from mismatched halves is
+// rejected at load.
+func DecodeCredential(b []byte) (*Credential, error) {
+	d := &decoder{b: b}
+	rawChain := d.bytes()
+	rawKey := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	chain, err := DecodeChain(rawChain)
+	if err != nil {
+		return nil, err
+	}
+	key, err := gridcrypto.DecodeKeyPair(rawKey)
+	if err != nil {
+		return nil, err
+	}
+	return NewCredential(chain, key)
+}
+
 const maxChainLen = 64
 
 // DecodeChain reverses EncodeChain.

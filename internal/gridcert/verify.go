@@ -101,6 +101,50 @@ func (ts *TrustStore) Len() int {
 	return len(ts.roots)
 }
 
+// ReplaceRoots swaps the entire trusted-root set in one transaction:
+// every candidate is validated first (same rules as AddRoot), and only
+// if all pass is the set swapped and the generation bumped — once, so
+// chain caches invalidate a single time per reload rather than per
+// root. An empty roots slice is rejected: a reload must never drop a
+// live store to "trust nobody", which would fail every verification
+// and is indistinguishable from a truncated trust file. CRLs whose
+// issuer vanished from the new set are pruned (their anchor is gone;
+// keeping them would resurrect stale revocations if the root returns
+// with a new key).
+func (ts *TrustStore) ReplaceRoots(roots []*Certificate) error {
+	if len(roots) == 0 {
+		return errors.New("gridcert: refusing to replace trust roots with an empty set")
+	}
+	next := make(map[string]*Certificate, len(roots))
+	for _, root := range roots {
+		if root.Type != TypeCA {
+			return fmt.Errorf("gridcert: trust root %q is not a CA certificate", root.Subject)
+		}
+		if !root.SelfSigned() {
+			return fmt.Errorf("gridcert: trust root %q is not self-signed", root.Subject)
+		}
+		if err := root.CheckSignatureFrom(root); err != nil {
+			return fmt.Errorf("gridcert: trust root self-signature invalid: %w", err)
+		}
+		next[root.Subject.String()] = root
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.roots = next
+	for issuer := range ts.crls {
+		if _, ok := next[issuer]; !ok {
+			delete(ts.crls, issuer)
+		}
+	}
+	ts.gen++
+	return nil
+}
+
+// ErrCRLStale marks an AddCRL whose candidate is not newer than the
+// installed list. Reload paths treat it as "already current" rather
+// than a failure: re-reading an unchanged CRL file is routine.
+var ErrCRLStale = errors.New("gridcert: CRL not newer than installed")
+
 // AddCRL installs a certificate revocation list after verifying its
 // signature against the trusted root for its issuer.
 func (ts *TrustStore) AddCRL(crl *CRL) error {
@@ -115,10 +159,32 @@ func (ts *TrustStore) AddCRL(crl *CRL) error {
 	}
 	prev, ok := ts.crls[crl.Issuer.String()]
 	if ok && prev.Number >= crl.Number {
-		return fmt.Errorf("gridcert: CRL number %d not newer than installed %d", crl.Number, prev.Number)
+		return fmt.Errorf("%w: number %d, installed %d", ErrCRLStale, crl.Number, prev.Number)
 	}
 	ts.crls[crl.Issuer.String()] = crl
 	ts.gen++
+	return nil
+}
+
+// CheckCRL validates a CRL against the installed trust state without
+// applying it: the issuer must be a trusted root and the signature must
+// verify; a candidate not newer than the installed list returns
+// ErrCRLStale. Reload paths vet a whole CRL set with this before
+// installing any of it, so one bad CRL rejects the file outright
+// instead of half-applying.
+func (ts *TrustStore) CheckCRL(crl *CRL) error {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	root, ok := ts.roots[crl.Issuer.String()]
+	if !ok {
+		return fmt.Errorf("gridcert: CRL issuer %q is not a trusted root", crl.Issuer)
+	}
+	if err := crl.CheckSignatureFrom(root); err != nil {
+		return err
+	}
+	if prev, ok := ts.crls[crl.Issuer.String()]; ok && prev.Number >= crl.Number {
+		return fmt.Errorf("%w: number %d, installed %d", ErrCRLStale, crl.Number, prev.Number)
+	}
 	return nil
 }
 

@@ -191,6 +191,67 @@ func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
 	}
 }
 
+// Encode serializes the key pair, private half included: one algorithm
+// byte followed by the private scalar (Ed25519 seed, or the P-256 D
+// scalar left-padded to 32 bytes) — the public half is recomputed on
+// decode, so a corrupted file cannot present key A's public half over
+// key B's private one. This is credential material: callers own keeping
+// the bytes out of logs and world-readable files (gsictl writes them
+// 0600).
+func (k *KeyPair) Encode() ([]byte, error) {
+	switch k.pub.Alg {
+	case AlgEd25519:
+		priv := k.priv.(ed25519.PrivateKey)
+		return append([]byte{byte(AlgEd25519)}, priv.Seed()...), nil
+	case AlgECDSAP256:
+		priv := k.priv.(*ecdsa.PrivateKey)
+		out := make([]byte, 33)
+		out[0] = byte(AlgECDSAP256)
+		priv.D.FillBytes(out[1:])
+		return out, nil
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+}
+
+// DecodeKeyPair reverses KeyPair.Encode, rederiving the public half
+// from the private scalar.
+func DecodeKeyPair(b []byte) (*KeyPair, error) {
+	if len(b) < 1 {
+		return nil, errors.New("gridcrypto: empty key pair encoding")
+	}
+	switch Algorithm(b[0]) {
+	case AlgEd25519:
+		if len(b) != 1+ed25519.SeedSize {
+			return nil, fmt.Errorf("gridcrypto: ed25519 key pair encoding is %d bytes, want %d", len(b), 1+ed25519.SeedSize)
+		}
+		priv := ed25519.NewKeyFromSeed(b[1:])
+		pub := priv.Public().(ed25519.PublicKey)
+		return &KeyPair{
+			pub:  PublicKey{Alg: AlgEd25519, Raw: append([]byte(nil), pub...)},
+			priv: priv,
+		}, nil
+	case AlgECDSAP256:
+		if len(b) != 33 {
+			return nil, fmt.Errorf("gridcrypto: P-256 key pair encoding is %d bytes, want 33", len(b))
+		}
+		d := new(big.Int).SetBytes(b[1:])
+		curve := elliptic.P256()
+		if d.Sign() <= 0 || d.Cmp(curve.Params().N) >= 0 {
+			return nil, errors.New("gridcrypto: P-256 private scalar out of range")
+		}
+		priv := &ecdsa.PrivateKey{D: d}
+		priv.Curve = curve
+		priv.X, priv.Y = curve.ScalarBaseMult(b[1:])
+		return &KeyPair{
+			pub:  PublicKey{Alg: AlgECDSAP256, Raw: marshalP256(&priv.PublicKey)},
+			priv: priv,
+		}, nil
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+}
+
 // marshalP256 encodes a P-256 public key as an uncompressed point.
 func marshalP256(pub *ecdsa.PublicKey) []byte {
 	// Uncompressed point encoding: 0x04 || X || Y, 32 bytes each.

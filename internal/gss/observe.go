@@ -1,0 +1,55 @@
+package gss
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Latency observers: both transports establish contexts through this
+// package's tokens (GT2 frames them over TCP, GT3 carries them in SOAP
+// envelopes), so the handshake/resume latency hooks live here and the
+// transport layers report into them. The default is nil — observation
+// costs two atomic loads and nothing else until telemetry installs a
+// sink. The slots are atomic pointers so installation is race-free
+// against in-flight handshakes.
+var (
+	handshakeObs atomic.Pointer[func(time.Duration)]
+	resumeObs    atomic.Pointer[func(time.Duration)]
+)
+
+// SetHandshakeObserver installs fn as the sink for full-establishment
+// durations (the public-key handshake: GT2 token framing or the GT3
+// WS-Trust bootstrap). Pass nil to remove. fn must be safe for
+// concurrent use and must not block.
+func SetHandshakeObserver(fn func(time.Duration)) {
+	if fn == nil {
+		handshakeObs.Store(nil)
+		return
+	}
+	handshakeObs.Store(&fn)
+}
+
+// SetResumeObserver installs fn as the sink for resumption durations
+// (the one-round-trip symmetric re-derivation). Pass nil to remove.
+func SetResumeObserver(fn func(time.Duration)) {
+	if fn == nil {
+		resumeObs.Store(nil)
+		return
+	}
+	resumeObs.Store(&fn)
+}
+
+// ObserveHandshake reports one full establishment to the installed
+// observer, if any.
+func ObserveHandshake(d time.Duration) {
+	if fn := handshakeObs.Load(); fn != nil {
+		(*fn)(d)
+	}
+}
+
+// ObserveResume reports one resumption to the installed observer.
+func ObserveResume(d time.Duration) {
+	if fn := resumeObs.Load(); fn != nil {
+		(*fn)(d)
+	}
+}

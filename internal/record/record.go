@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // FramePrefix is the length prefix every record carries on the wire.
@@ -66,6 +67,42 @@ var classSizes = [...]int{
 
 var pools [len(classSizes)]sync.Pool
 
+// Pool-pressure accounting, process-wide: a Get that finds its class
+// pool empty allocates (a miss), a request beyond the largest class
+// allocates unpooled (oversize). The counters are plain atomics so the
+// hot path cost is one uncontended add per operation; telemetry
+// exports them as scrape-time samples.
+var (
+	poolGets     atomic.Uint64
+	poolMisses   atomic.Uint64
+	poolOversize atomic.Uint64
+	poolFrees    atomic.Uint64
+)
+
+// Stats is a snapshot of the buffer-pool pressure counters.
+type Stats struct {
+	// Gets counts every Get call, pooled or not.
+	Gets uint64
+	// Misses counts Gets that found their size-class pool empty and
+	// allocated a fresh buffer.
+	Misses uint64
+	// Oversize counts Gets beyond the largest size class (unpooled
+	// allocations that never return to a pool).
+	Oversize uint64
+	// Frees counts buffers returned to their pool.
+	Frees uint64
+}
+
+// PoolStats snapshots the pool-pressure counters.
+func PoolStats() Stats {
+	return Stats{
+		Gets:     poolGets.Load(),
+		Misses:   poolMisses.Load(),
+		Oversize: poolOversize.Load(),
+		Frees:    poolFrees.Load(),
+	}
+}
+
 // Buf is a pooled byte buffer. B always spans the full backing capacity;
 // callers slice it as needed and must not grow it past cap.
 type Buf struct {
@@ -76,14 +113,17 @@ type Buf struct {
 // Get returns a buffer with at least n usable bytes. Buffers come from
 // per-size-class pools; callers must release them with Free exactly once.
 func Get(n int) *Buf {
+	poolGets.Add(1)
 	for i, size := range classSizes {
 		if n <= size {
 			if b, ok := pools[i].Get().(*Buf); ok {
 				return b
 			}
+			poolMisses.Add(1)
 			return &Buf{B: make([]byte, size), class: int8(i)}
 		}
 	}
+	poolOversize.Add(1)
 	return &Buf{B: make([]byte, n), class: -1}
 }
 
@@ -94,6 +134,7 @@ func (b *Buf) Free() {
 	if b == nil || b.class < 0 {
 		return
 	}
+	poolFrees.Add(1)
 	pools[b.class].Put(b)
 }
 

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact exposition output: family
+// grouping, HELP/TYPE headers, sorted series, histogram buckets with
+// cumulative counts and merged labels.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := NewCounter("gsi_test_ops_total", "Operations performed.")
+	c.Add(41)
+	c.Inc()
+
+	g := NewGauge(`gsi_test_idle{id="a"}`, "Idle things.")
+	g.Set(7)
+	g.Dec()
+
+	g2 := NewGauge(`gsi_test_idle{id="b"}`, "Idle things.")
+	g2.Set(3)
+
+	h := NewHistogram(`gsi_test_seconds{kind="x"}`, "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	f := NewGaugeFunc("gsi_test_ratio", "A sampled ratio.", func() float64 { return 0.5 })
+	cf := NewCounterFunc("gsi_test_sampled_total", "A sampled counter.", func() uint64 { return 9 })
+
+	r.MustRegister(c, g, g2, h, f, cf)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP gsi_test_idle Idle things.
+# TYPE gsi_test_idle gauge
+gsi_test_idle{id="a"} 6
+gsi_test_idle{id="b"} 3
+# HELP gsi_test_ops_total Operations performed.
+# TYPE gsi_test_ops_total counter
+gsi_test_ops_total 42
+# HELP gsi_test_ratio A sampled ratio.
+# TYPE gsi_test_ratio gauge
+gsi_test_ratio 0.5
+# HELP gsi_test_sampled_total A sampled counter.
+# TYPE gsi_test_sampled_total counter
+gsi_test_sampled_total 9
+# HELP gsi_test_seconds Latency.
+# TYPE gsi_test_seconds histogram
+gsi_test_seconds_bucket{kind="x",le="0.01"} 2
+gsi_test_seconds_bucket{kind="x",le="0.1"} 3
+gsi_test_seconds_bucket{kind="x",le="+Inf"} 4
+gsi_test_seconds_sum{kind="x"} 5.06
+gsi_test_seconds_count{kind="x"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsZeroAlloc gates the hot-path instruments at zero
+// allocations per operation — the invariant that lets the record layer
+// and exchange path carry them without moving the 2-allocs/op gate.
+func TestMetricsZeroAlloc(t *testing.T) {
+	c := NewCounter("gsi_test_zero_total", "")
+	g := NewGauge("gsi_test_zero", "")
+	h := NewHistogram("gsi_test_zero_seconds", "", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(-2) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(3 * time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.ObserveDuration allocates %v/op, want 0", n)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := NewHistogram("gsi_test_hist_seconds", "", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	if got := h.Sum(); got < 0.099 || got > 0.101 {
+		t.Errorf("Sum = %v, want ~0.1", got)
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("gsi_test_dup_total", "")
+	if err := r.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	// Same object again: idempotent.
+	if err := r.Register(c); err != nil {
+		t.Errorf("re-registering the same object: %v", err)
+	}
+	// Different object, same series: conflict.
+	if err := r.Register(NewCounter("gsi_test_dup_total", "")); err == nil {
+		t.Error("registering a second metric under one series name should fail")
+	}
+	// The same object may live in several registries (shared process-wide
+	// internals).
+	r2 := NewRegistry()
+	if err := r2.Register(c); err != nil {
+		t.Errorf("registering in a second registry: %v", err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	for _, bad := range []string{
+		"", "9leading", "has space", "bad-dash",
+		`x{}`, `x{k}`, `x{k=v}`, `x{k="v`, `x{k="a"b"}`,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			NewCounter(bad, "")
+		}()
+	}
+	for _, good := range []string{
+		"x", "x_total", "ns:sub_total", `x{k="v"}`, `x{a="1",b="two words"}`,
+	} {
+		NewCounter(good, "") // must not panic
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	got := EscapeLabelValue("a\\b\"c\nd")
+	want := `a\\b\"c\nd`
+	if got != want {
+		t.Errorf("EscapeLabelValue = %q, want %q", got, want)
+	}
+}
+
+// The benchmark pair below rides the same cmd/bench2json -gate-allocs
+// mechanism as the record-layer gates: make gate-allocs pins both at 0
+// allocs/op.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter("gsi_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("gsi_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}

@@ -70,6 +70,7 @@ type Conversation struct {
 // transport; only the carriage differs (SOAP request/response instead of
 // raw frames), which is the paper's §5.1 point.
 func EstablishConversation(cfg gss.Config, transport Transport) (*Conversation, error) {
+	start := time.Now()
 	init, err := gss.NewInitiator(cfg)
 	if err != nil {
 		return nil, err
@@ -116,6 +117,7 @@ func EstablishConversation(cfg gss.Config, transport Transport) (*Conversation, 
 	}
 	conv.ContextID = string(sct.Content)
 	conv.ctx = ctx
+	gss.ObserveHandshake(time.Since(start))
 	return conv, nil
 }
 
@@ -193,15 +195,32 @@ func (c *Conversation) CallContext(ctx context.Context, env *soap.Envelope) (*so
 	return &out, nil
 }
 
+// DefaultMaxSessions bounds a manager's live-session table when no
+// explicit cap is set. The minute-throttled expiry sweep alone is not a
+// bound: long-lived contexts accumulating faster than they lapse would
+// grow the table without limit.
+const DefaultMaxSessions = 4096
+
 // ConversationManager is the service side: it answers the RST/RSTR
 // actions and unwraps secured application messages.
 type ConversationManager struct {
 	cfg gss.Config
 
-	mu         sync.Mutex
-	pending    map[string]*gss.Acceptor
-	sessions   map[string]*serverSession
-	lastExpire time.Time
+	mu          sync.Mutex
+	pending     map[string]*pendingAccept
+	sessions    map[string]*serverSession
+	lastExpire  time.Time
+	maxSessions int
+	evicted     uint64
+}
+
+// pendingAccept is a half-established acceptor between RST and RSTR;
+// started stamps the RST arrival so the server-side handshake histogram
+// covers the full two-round-trip establishment, matching what the
+// client observes.
+type pendingAccept struct {
+	acc     *gss.Acceptor
+	started time.Time
 }
 
 type serverSession struct {
@@ -217,10 +236,55 @@ type serverSession struct {
 // NewConversationManager creates a manager for a service credential.
 func NewConversationManager(cfg gss.Config) *ConversationManager {
 	return &ConversationManager{
-		cfg:      cfg,
-		pending:  make(map[string]*gss.Acceptor),
-		sessions: make(map[string]*serverSession),
+		cfg:         cfg,
+		pending:     make(map[string]*pendingAccept),
+		sessions:    make(map[string]*serverSession),
+		maxSessions: DefaultMaxSessions,
 	}
+}
+
+// SetMaxSessions changes the live-session cap (n <= 0 restores the
+// default). Shrinking does not evict immediately; the next store does.
+func (m *ConversationManager) SetMaxSessions(n int) {
+	if n <= 0 {
+		n = DefaultMaxSessions
+	}
+	m.mu.Lock()
+	m.maxSessions = n
+	m.mu.Unlock()
+}
+
+// Evicted reports how many live sessions were dropped to honor the cap
+// (expiry-sweep removals are not counted).
+func (m *ConversationManager) Evicted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// storeSession inserts a session, evicting to stay under the cap. The
+// victim is the session closest to its expiry — the one the sweep would
+// reclaim first anyway — found by an O(n) scan, acceptable because
+// eviction only runs with the table full. Lapsed sessions are swept
+// first so a full-but-stale table never costs a live conversation.
+func (m *ConversationManager) storeSession(id string, s *serverSession) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sessions) >= m.maxSessions {
+		m.expireLocked()
+	}
+	for len(m.sessions) >= m.maxSessions {
+		victim := ""
+		var soonest time.Time
+		for vid, vs := range m.sessions {
+			if exp := vs.ctx.Expiry(); victim == "" || exp.Before(soonest) {
+				victim, soonest = vid, exp
+			}
+		}
+		delete(m.sessions, victim)
+		m.evicted++
+	}
+	m.sessions[id] = s
 }
 
 // Register installs the WS-SecureConversation actions on a dispatcher,
@@ -247,7 +311,7 @@ func (m *ConversationManager) handleRST(env *soap.Envelope) (*soap.Envelope, err
 	}
 	id := fmt.Sprintf("sct-%x", idBytes)
 	m.mu.Lock()
-	m.pending[id] = acc
+	m.pending[id] = &pendingAccept{acc: acc, started: time.Now()}
 	m.mu.Unlock()
 	reply := env.Reply(t2)
 	reply.SetHeader(SCTHeader, []byte(id))
@@ -261,19 +325,18 @@ func (m *ConversationManager) handleRSTR(env *soap.Envelope) (*soap.Envelope, er
 	}
 	id := string(sct.Content)
 	m.mu.Lock()
-	acc, ok := m.pending[id]
+	p, ok := m.pending[id]
 	delete(m.pending, id)
 	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("wssec: unknown pending context %q", id)
 	}
-	ctx, err := acc.Complete(env.Body)
+	ctx, err := p.acc.Complete(env.Body)
 	if err != nil {
 		return nil, fmt.Errorf("wssec: completing context: %w", err)
 	}
-	m.mu.Lock()
-	m.sessions[id] = &serverSession{ctx: ctx, peer: ctx.Peer()}
-	m.mu.Unlock()
+	gss.ObserveHandshake(time.Since(p.started))
+	m.storeSession(id, &serverSession{ctx: ctx, peer: ctx.Peer()})
 	return env.Reply([]byte("established")), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/gridcrypto"
 	"repro/internal/gss"
@@ -41,6 +42,7 @@ func (c *Conversation) ResumeContext(ctx context.Context, transport ContextTrans
 	if c.ctx.Expired() {
 		return nil, gss.ErrContextExpired
 	}
+	start := time.Now()
 	clientNonce, err := gridcrypto.RandomBytes(gss.ResumeNonceSize)
 	if err != nil {
 		return nil, err
@@ -84,6 +86,7 @@ func (c *Conversation) ResumeContext(ctx context.Context, transport ContextTrans
 	}
 	child.ContextID = string(sct.Content)
 	child.ctx = derived
+	gss.ObserveResume(time.Since(start))
 	return child, nil
 }
 
@@ -147,9 +150,7 @@ func (m *ConversationManager) handleResume(env *soap.Envelope) (*soap.Envelope, 
 		return nil, err
 	}
 	id := fmt.Sprintf("sct-%x", idBytes)
-	m.mu.Lock()
-	m.sessions[id] = &serverSession{ctx: derived, peer: sess.peer, usedNonces: sess.usedNonces}
-	m.mu.Unlock()
+	m.storeSession(id, &serverSession{ctx: derived, peer: sess.peer, usedNonces: sess.usedNonces})
 	m.maybeExpire()
 	reply := env.Reply(serverNonce)
 	reply.SetHeader(SCTHeader, []byte(id))

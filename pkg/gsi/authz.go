@@ -432,11 +432,15 @@ type decisionCache struct {
 	misses atomic.Uint64
 }
 
-// DecisionCacheStats reports decision-cache effectiveness.
+// DecisionCacheStats reports decision-cache effectiveness. MaxShard is
+// the fullest shard's entry count — shard pressure: Len near
+// shards×capacity with MaxShard at capacity means evictions are
+// displacing live decisions.
 type DecisionCacheStats struct {
-	Hits   uint64
-	Misses uint64
-	Len    int
+	Hits     uint64
+	Misses   uint64
+	Len      int
+	MaxShard int
 }
 
 func newDecisionCache(ttl time.Duration) *decisionCache {
@@ -518,8 +522,12 @@ func (c *decisionCache) stats() DecisionCacheStats {
 	st := DecisionCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 	for i := range c.shards {
 		c.shards[i].mu.RLock()
-		st.Len += len(c.shards[i].m)
+		n := len(c.shards[i].m)
 		c.shards[i].mu.RUnlock()
+		st.Len += n
+		if n > st.MaxShard {
+			st.MaxShard = n
+		}
 	}
 	return st
 }

@@ -53,6 +53,15 @@ func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, erro
 	if base.pool != nil && base.credman != nil {
 		base.credman.bindPool(base.pool)
 	}
+	if base.metrics != nil {
+		id := cred
+		if id == nil && base.credman != nil {
+			id = base.credman.Current()
+		}
+		if err := registerClientMetrics(base.metrics, metricID(id), base.pool, base.credman); err != nil {
+			return nil, opErr("gsi.NewClient", err)
+		}
+	}
 	return &Client{env: e, cred: cred, base: base}, nil
 }
 

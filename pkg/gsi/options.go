@@ -85,6 +85,17 @@ type settings struct {
 	authzTTL      time.Duration
 	authzTTLSet   bool
 	authzAudit    AuditSink
+
+	// Observability & control plane (PR 6). metrics is the registry
+	// instruments land in; metricsAddr optionally exposes it (plus
+	// /healthz) over plaintext HTTP for Prometheus scrapes. reloadCfg
+	// watches trust/policy files; adminEnable publishes the gsi.__admin
+	// port type on GT3 endpoints, acting on adminPool when set.
+	metrics     *MetricsRegistry
+	metricsAddr string
+	reloadCfg   *ReloadConfig
+	adminEnable bool
+	adminPool   *SessionPool
 }
 
 // Option configures a Client or Server handle, or a single
@@ -425,6 +436,93 @@ func WithAuditSink(sink AuditSink) Option {
 		}
 		s.authzAudit = sink
 		s.authzRev++
+		return nil
+	}
+}
+
+// WithMetrics lands the handle's instruments in reg: session-pool
+// occupancy and hit rates, decision-cache effectiveness, credential
+// renewal outcomes, handshake/resume latency histograms, record-pool
+// pressure, and transport throughput. Registering also installs the
+// process-wide instruments (latency histograms, record pool,
+// throughput) into reg; several handles may share one registry — their
+// per-handle series are disambiguated by an id label carrying the
+// credential's grid identity. Scrape with Registry.WritePrometheus, the
+// plaintext listener of WithMetricsListener, or the gsi.__admin
+// Metrics op.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(s *settings) error {
+		if reg == nil {
+			return errors.New("gsi: nil metrics registry")
+		}
+		s.metrics = reg
+		return nil
+	}
+}
+
+// WithMetricsListener serves the WithMetrics registry over plaintext
+// HTTP on addr while the endpoint is open: GET /metrics returns the
+// Prometheus text exposition, GET /healthz reports 200 while every
+// watched reload source is healthy (503 otherwise). Plaintext is
+// deliberate — Prometheus scrapes are infrastructure-local and carry
+// no secrets; bind to loopback or a management network, never the
+// service interface. Server option; requires WithMetrics.
+func WithMetricsListener(addr string) Option {
+	return func(s *settings) error {
+		if addr == "" {
+			return errors.New("gsi: empty metrics listener address")
+		}
+		s.metricsAddr = addr
+		return nil
+	}
+}
+
+// WithReload hot-reloads trust and policy configuration from the files
+// named in cfg while the endpoint is open: each watched file is polled
+// for changes, re-parsed fully, and applied atomically through the
+// generation counters the decision cache already honors — so a changed
+// gridmap or withdrawn trust root takes effect on the very next
+// request, without a restart. Application is fail-closed: a corrupt or
+// truncated file keeps the previous configuration live and bumps the
+// reload-failure counter; trust can never drop to empty because a file
+// vanished mid-write. Server option.
+func WithReload(cfg ReloadConfig) Option {
+	return func(s *settings) error {
+		if cfg.TrustRoots == "" && cfg.CRLs == "" && cfg.GridMap == "" && cfg.Policy == "" {
+			return errors.New("gsi: reload config names no files to watch")
+		}
+		c := cfg
+		s.reloadCfg = &c
+		return nil
+	}
+}
+
+// WithAdmin publishes the administrative port type on the endpoint's
+// container under the reserved handle gsi.__admin: stats snapshots,
+// metrics scrape, credential retirement, session drain, and forced
+// reload, each an op authorized through the server's authorization
+// pipeline (resource "ogsa:gsi.__admin", action = op) over an
+// established secure conversation. It therefore requires TransportGT3
+// and an authorization pipeline — an unauthorized control plane is
+// refused outright. Server option.
+func WithAdmin() Option {
+	return func(s *settings) error {
+		s.adminEnable = true
+		return nil
+	}
+}
+
+// WithAdminPool names the session pool the admin surface's Retire and
+// Drain ops act on — pools belong to clients, so a server exposing
+// pool control is handed the process's shared pool explicitly. Its
+// stats also join the Stats op and the metrics registry. Server
+// option; implies nothing without WithAdmin or WithMetrics.
+func WithAdminPool(p *SessionPool) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return errors.New("gsi: nil admin pool")
+		}
+		s.adminPool = p
 		return nil
 	}
 }

@@ -19,6 +19,7 @@ import (
 // (Alice, group "researchers", role "operator"), an outsider (Bob),
 // a local policy, and a gridmap.
 type authzBed struct {
+	ca      *gsi.CA
 	env     *gsi.Environment
 	host    *gsi.Credential
 	alice   *gsi.Credential // end-entity
@@ -89,6 +90,7 @@ func newAuthzBed(t testing.TB) *authzBed {
 	gm := gsi.NewGridMap()
 	gm.Add(alice.Identity(), "alice")
 	return &authzBed{
+		ca:  authority,
 		env: env, host: host, alice: alice, aliceVO: aliceVO, bob: bob,
 		vo: vo, local: local, gridmap: gm, audit: secsvc.NewAuditLog(),
 	}

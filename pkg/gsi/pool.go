@@ -2,6 +2,7 @@ package gsi
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -495,6 +496,125 @@ func (p *SessionPool) RetireCredential(old *Credential) {
 	p.resume.InvalidateMatching(func(key string) bool {
 		return strings.HasSuffix(key, suffix)
 	})
+}
+
+// ResumptionStats is a snapshot of the pool's GT3 secure-conversation
+// resumption cache (hits = conversations minted by cheap resumption,
+// misses = full WS-Trust bootstraps).
+type ResumptionStats = wssec.ResumptionStats
+
+// ResumptionStats snapshots the pool's secure-conversation cache
+// counters.
+func (p *SessionPool) ResumptionStats() ResumptionStats {
+	return p.resume.Stats()
+}
+
+// DrainIdle closes every parked idle session across all keys, counting
+// each as an eviction, and reports how many were closed. Checked-out
+// sessions are untouched; returning ones may park again. This is the
+// admin surface's blunt instrument — after a trust or policy change an
+// operator may want every future call to pay a fresh handshake under
+// the new state.
+func (p *SessionPool) DrainIdle() int {
+	var toClose []Session
+	p.mu.Lock()
+	for key, hp := range p.hosts {
+		for _, it := range hp.idle {
+			toClose = append(toClose, it.sess)
+			hp.signal()
+		}
+		hp.idle = nil
+		p.reapLocked(key, hp)
+	}
+	p.mu.Unlock()
+	for _, sess := range toClose {
+		p.evictions.Add(1)
+		sess.Close()
+	}
+	return len(toClose)
+}
+
+// RetireFingerprint is RetireCredential for callers that hold only the
+// credential's leaf fingerprint (hex, a unique prefix suffices) — the
+// admin surface, where the rotated-away credential object is long gone.
+// It drains the matching credential's idle sessions, marks the
+// fingerprint retired so checked-out sessions are discarded as they
+// return, and invalidates its secure-conversation resumption trees.
+// An ambiguous prefix (matching several pooled credentials) is an
+// error; a prefix matching nothing is an error unless it is a full
+// 64-hex-digit fingerprint, which is retired preemptively. Lacking the
+// credential's NotAfter, the retired mark is kept for 24h — beyond any
+// context lifetime the pool could still be holding.
+func (p *SessionPool) RetireFingerprint(prefix string) (drained int, err error) {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" || len(prefix) > 64 {
+		return 0, errors.New("gsi: fingerprint must be 1-64 hex digits")
+	}
+	for _, r := range prefix {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return 0, fmt.Errorf("gsi: fingerprint %q is not hex", prefix)
+		}
+	}
+	var fp [32]byte
+	found := false
+	p.mu.Lock()
+	for key := range p.hosts {
+		if key.anonymous || !strings.HasPrefix(fmt.Sprintf("%x", key.credential), prefix) {
+			continue
+		}
+		if found && key.credential != fp {
+			p.mu.Unlock()
+			return 0, fmt.Errorf("gsi: fingerprint prefix %q is ambiguous", prefix)
+		}
+		fp = key.credential
+		found = true
+	}
+	p.mu.Unlock()
+	if !found {
+		if len(prefix) != 64 {
+			return 0, fmt.Errorf("gsi: no pooled credential matches fingerprint %q", prefix)
+		}
+		raw, decodeErr := hex.DecodeString(prefix)
+		if decodeErr != nil {
+			return 0, fmt.Errorf("gsi: fingerprint %q is not hex", prefix)
+		}
+		copy(fp[:], raw)
+	}
+	var toClose []Session
+	p.mu.Lock()
+	if !p.closed {
+		if p.retired == nil {
+			p.retired = make(map[[32]byte]time.Time)
+		}
+		now := time.Now()
+		for oldFP, notAfter := range p.retired {
+			if now.After(notAfter) {
+				delete(p.retired, oldFP)
+			}
+		}
+		p.retired[fp] = now.Add(24 * time.Hour)
+	}
+	for key, hp := range p.hosts {
+		if key.credential != fp {
+			continue
+		}
+		for _, it := range hp.idle {
+			toClose = append(toClose, it.sess)
+			hp.signal()
+		}
+		hp.idle = nil
+		p.reapLocked(key, hp)
+	}
+	p.mu.Unlock()
+	for _, sess := range toClose {
+		p.retiredSess.Add(1)
+		sess.Close()
+	}
+	suffix := fmt.Sprintf("%x", fp)
+	p.resume.InvalidateMatching(func(key string) bool {
+		return strings.HasSuffix(key, suffix)
+	})
+	return len(toClose), nil
 }
 
 // credentialRetired reports whether key's credential has been rotated

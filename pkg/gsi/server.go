@@ -3,6 +3,11 @@ package gsi
 import (
 	"context"
 	"errors"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/ogsa"
 )
 
 // Server is the acceptor handle of the redesigned API: a service
@@ -19,6 +24,25 @@ type Server struct {
 	env  *Environment
 	cred *Credential
 	base settings
+
+	// Control-plane state (PR 6). src lives for the Server's lifetime
+	// so metric closures registered into an external registry never
+	// dangle; ctrl is the running reloader + metrics listener,
+	// refcounted across live endpoints so the goroutine and socket
+	// close with the last endpoint's Close.
+	mu          sync.Mutex
+	src         *serverMetricSources
+	metricsDone map[*MetricsRegistry]bool
+	ctrl        *serverControl
+}
+
+// serverControl is the running control plane behind a server's
+// endpoints: one reload watcher and one plaintext metrics listener,
+// shared by however many endpoints the server currently serves.
+type serverControl struct {
+	refs     int
+	reloader *Reloader
+	httpSrv  *http.Server
 }
 
 // NewServer builds a Server handle. A credential is mandatory: GSI
@@ -88,15 +112,207 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 		// pipeline as-is.
 		pipeline = newPipeline(s.env, resolved)
 	}
-	ep, err := resolved.transport.Serve(ctx, addr, ServeConfig{
+	scfg := ServeConfig{
 		Context:       resolved.contextConfig(s.env, s.cred),
 		Handler:       h,
 		StreamHandler: resolved.streamHandler,
 		Environment:   s.env,
 		Pipeline:      pipeline,
-	})
+	}
+	wantCtrl := resolved.metrics != nil || resolved.reloadCfg != nil ||
+		resolved.metricsAddr != "" || resolved.adminEnable
+	if wantCtrl {
+		if resolved.adminEnable {
+			if _, ok := resolved.transport.(gt3Transport); !ok {
+				return nil, opErr(op, errors.New("gsi: the admin surface requires the GT3 transport (a hosting container to publish gsi.__admin on)"))
+			}
+		}
+		if err := s.acquireControl(resolved, pipeline); err != nil {
+			return nil, opErr(op, err)
+		}
+		scfg.ConfigureContainer = s.containerHook(resolved, pipeline)
+	}
+	ep, err := resolved.transport.Serve(ctx, addr, scfg)
 	if err != nil {
+		if wantCtrl {
+			s.releaseControl()
+		}
 		return nil, opErr(op, err)
 	}
+	if wantCtrl {
+		ep = &controlledEndpoint{Endpoint: ep, s: s}
+	}
 	return ep, nil
+}
+
+// sources returns the server's metric-source registry, creating it on
+// first use. Never nil after a control-plane Serve; callers from the
+// admin path tolerate nil (a server that never served with control
+// options).
+func (s *Server) sources() *serverMetricSources {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.src == nil {
+		s.src = &serverMetricSources{}
+	}
+	return s.src
+}
+
+// Reloader returns the live reload watcher started by WithReload, or
+// nil while no control-plane endpoint is serving. It lets an operator
+// (or a test) force a reload and read per-source health without going
+// through the gsi.__admin port type.
+func (s *Server) Reloader() *Reloader { return s.currentReloader() }
+
+// currentReloader returns the live reload watcher, nil when no
+// control plane with WithReload is running.
+func (s *Server) currentReloader() *Reloader {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctrl == nil {
+		return nil
+	}
+	return s.ctrl.reloader
+}
+
+// acquireControl brings the control plane up (first endpoint) or joins
+// the running one, and lands the server's metric series in the
+// registry — once per registry, since re-registering fresh closures
+// under the same names is a registration conflict by design.
+//
+// The control plane is per-server, first-Serve-wins: the reload
+// configuration and listener address of the first control-plane Serve
+// stay in force until the last such endpoint closes, at which point a
+// later Serve may bring it up with new settings.
+func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeline) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.src == nil {
+		s.src = &serverMetricSources{}
+	}
+	if resolved.metrics != nil && !s.metricsDone[resolved.metrics] {
+		if err := registerServerMetrics(resolved.metrics, metricID(s.cred), pipeline, s.src); err != nil {
+			return err
+		}
+		if s.metricsDone == nil {
+			s.metricsDone = make(map[*MetricsRegistry]bool)
+		}
+		s.metricsDone[resolved.metrics] = true
+	}
+	if s.ctrl == nil {
+		ctrl := &serverControl{}
+		if resolved.reloadCfg != nil {
+			r, err := newReloader(*resolved.reloadCfg, s.env, pipeline)
+			if err != nil {
+				return err
+			}
+			ctrl.reloader = r
+		}
+		if resolved.metricsAddr != "" {
+			if resolved.metrics == nil {
+				return errors.New("gsi: a metrics listener requires a registry (WithMetrics)")
+			}
+			lis, err := net.Listen("tcp", resolved.metricsAddr)
+			if err != nil {
+				return err
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", resolved.metrics)
+			mux.HandleFunc("/healthz", s.serveHealthz)
+			ctrl.httpSrv = &http.Server{Addr: lis.Addr().String(), Handler: mux}
+			go ctrl.httpSrv.Serve(lis)
+		}
+		if ctrl.reloader != nil {
+			s.src.setReloader(ctrl.reloader)
+			ctrl.reloader.start()
+		}
+		s.ctrl = ctrl
+	}
+	s.ctrl.refs++
+	return nil
+}
+
+// releaseControl drops one endpoint's hold on the control plane,
+// tearing it down with the last.
+func (s *Server) releaseControl() {
+	s.mu.Lock()
+	ctrl := s.ctrl
+	if ctrl == nil {
+		s.mu.Unlock()
+		return
+	}
+	ctrl.refs--
+	if ctrl.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.ctrl = nil
+	s.mu.Unlock()
+	if ctrl.reloader != nil {
+		ctrl.reloader.close()
+	}
+	if ctrl.httpSrv != nil {
+		ctrl.httpSrv.Close()
+	}
+}
+
+// serveHealthz answers the plaintext listener's health probe: 200 while
+// every watched configuration file last applied cleanly, 503 naming the
+// unhealthy sources otherwise — so a scrape target going "unhealthy"
+// after a bad config push is visible to orchestration, not only in the
+// reload_failures counter.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if r := s.currentReloader(); r != nil {
+		var sick []string
+		for _, src := range r.Status() {
+			if !src.Healthy {
+				sick = append(sick, src.Name+": "+src.Error)
+			}
+		}
+		if len(sick) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, line := range sick {
+				w.Write([]byte(line + "\n"))
+			}
+			return
+		}
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// containerHook is the GT3 container hook of a control-plane endpoint:
+// it folds the endpoint's conversation table into the server's gauges
+// and, when WithAdmin is on, publishes the admin port type — refused by
+// EnableAdmin if the container cannot authorize it.
+func (s *Server) containerHook(resolved settings, pipeline *AuthorizationPipeline) func(*ogsa.Container) error {
+	return func(c *ogsa.Container) error {
+		s.sources().addConvMgr(c.ConversationManager())
+		if !resolved.adminEnable {
+			return nil
+		}
+		backend := &adminBackend{
+			server:   s,
+			pipeline: pipeline,
+			reg:      resolved.metrics,
+			pool:     resolved.adminPool,
+		}
+		_, err := c.EnableAdmin(ogsa.AdminConfig{Backend: backend})
+		return err
+	}
+}
+
+// controlledEndpoint ties the control plane's lifetime to the
+// endpoint's: Close releases the server's reload watcher and metrics
+// listener along with the transport endpoint (idempotently — Endpoint
+// Close may be called more than once).
+type controlledEndpoint struct {
+	Endpoint
+	s    *Server
+	once sync.Once
+}
+
+func (e *controlledEndpoint) Close() error {
+	err := e.Endpoint.Close()
+	e.once.Do(e.s.releaseControl)
+	return err
 }

@@ -103,6 +103,14 @@ type ServeConfig struct {
 	// on both transports and wins over the environment's plain
 	// authorizer.
 	Pipeline *AuthorizationPipeline
+
+	// ConfigureContainer, when set, observes the GT3 hosting container
+	// after the exchange service is published and before the listener
+	// opens — the facade's control plane uses it to register the
+	// conversation table with its metrics and to publish the admin port
+	// type. An error aborts Serve. GT2 has no container; transports
+	// without one ignore the hook.
+	ConfigureContainer func(*ogsa.Container) error
 }
 
 // exchangeHandle is the service handle GT3 exchanges are routed under.
@@ -588,6 +596,12 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 		return nil, err
 	}
 	container.Publish(exchangeHandle, svc)
+	if cfg.ConfigureContainer != nil {
+		if err := cfg.ConfigureContainer(container); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	srv, err := soap.NewServer(addr, container.Dispatcher())
 	if err != nil {
 		cancel()
