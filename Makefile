@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-telemetry gate-allocs fmt
+.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry gate-allocs fmt
 
-## ci: the tier-1 gate — format check, vet, build, test, race (which
-## includes the hot-reload-under-traffic test), fuzz smoke, the
+## ci: the tier-1 gate — format check, vet, build, test (plus the
+## GOMAXPROCS matrix over the striped data plane: the same tests must
+## pass single-core and multicore), race (which includes the
+## hot-reload-under-traffic test), fuzz smoke, the
 ## authorization-decision benchmark pair (which also asserts cached
 ## decisions stay cached), and the allocs/op regression gates for the
 ## record layer and the observability plane.
-ci: fmt-check vet build test race fuzz-smoke bench-authz gate-allocs
+ci: fmt-check vet build test test-multicore race fuzz-smoke bench-authz gate-allocs
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -23,6 +25,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+## test-multicore: the GOMAXPROCS∈{1,4} matrix over the pipelined and
+## striped data plane — scheduling-order bugs in the worker pipelines
+## and stripe rendezvous hide at one setting or the other.
+test-multicore:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'Striped|Stripe|Pipeline|Bulk|ReadAll' . ./internal/record ./internal/gsitransport ./internal/gridftp
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'Striped|Stripe|Pipeline|Bulk|ReadAll' . ./internal/record ./internal/gsitransport ./internal/gridftp
 
 ## race: the concurrency gate — the session pool and transports must be
 ## clean under the race detector.
@@ -41,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGridMapRoundTrip$$' -fuzztime=5s ./internal/authz
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime=5s ./internal/record
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamReassembly$$' -fuzztime=5s ./internal/record
+	$(GO) test -run '^$$' -fuzz '^FuzzStripeReassembly$$' -fuzztime=5s ./internal/record
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -79,6 +89,21 @@ bench-record:
 	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$' -benchmem ./pkg/gsi ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkWholeMessageTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkStreamTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > BENCH_record.json
+	@cat BENCH_record.json
+
+## bench-stripe: regenerate BENCH_record.json with the multicore rows
+## added — the 4-stripe parallel transfer alongside the single-stream
+## and whole-message paths (same per-process isolation and allocs/op
+## gates as bench-record). On a multicore host the striped row should
+## approach 1/K of the single-stream wall clock; on a single-core host
+## it is strictly coordination overhead (see DESIGN.md's caveat).
+bench-stripe:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkWholeMessageTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkStreamTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkStripedTransfer64M$$' -benchtime=20s -timeout 900s -benchmem . ; } \
 	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0' > BENCH_record.json
 	@cat BENCH_record.json
 

@@ -310,4 +310,27 @@ func main() {
 	}
 	fmt.Printf("11. live policy swap denied the next call (%d reload(s)); registry exposes %d series\n",
 		obsServer.Reloader().Stats().Reloads, series)
+
+	// 12. Striped transfer: OpenStripedStream fans one logical stream
+	// over K parallel data sessions from the pool — GridFTP parallel
+	// striping. Each stripe seals on its own connection (K stripes
+	// drive up to K cores) and every stripe ends with a FIN trailer
+	// carrying the total chunk count, so a stripe that dies mid-flight
+	// is always an error, never a silently truncated file. The same
+	// stream-handler server from step 10 serves it: striping is a
+	// client-negotiated transport detail.
+	sup, err := pooled.OpenStripedStream(ctx, streamEP.Addr(), "upload:/exp/striped",
+		gsi.WithStripes(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	big := make([]byte, 64<<20)
+	if _, err := sup.Write(big); err != nil {
+		log.Fatal(err)
+	}
+	if err := sup.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("12. striped %d MiB upload over 4 parallel stripe sessions (FIN trailers rule out truncation)\n",
+		atomic.LoadInt64(&received)>>20)
 }

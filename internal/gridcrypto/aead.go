@@ -66,6 +66,35 @@ func (s *Sealer) SealInto(dst, plaintext, aad []byte) (seq uint64, ciphertext []
 	return seq, ciphertext, nil
 }
 
+// Reserve claims the next sequence number without sealing anything.
+// It is the pipelined-seal entry point: a submitter reserves sequence
+// numbers in submission order, then worker goroutines seal concurrently
+// with SealAtInto — submission order fixes wire order regardless of
+// which worker finishes first.
+func (s *Sealer) Reserve() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq == ^uint64(0) {
+		return 0, ErrSealOverflow
+	}
+	seq := s.seq
+	s.seq++
+	return seq, nil
+}
+
+// SealAtInto encrypts plaintext under an explicitly reserved sequence
+// number. Unlike SealInto it takes no lock over the cipher: GCM's Seal
+// is safe for concurrent use, and each call derives its nonce from its
+// own seq, so any number of workers may seal reserved records in
+// parallel. The caller must have obtained seq from Reserve (sealing the
+// same seq twice reuses a GCM nonce — catastrophic — so reservations
+// must be used exactly once).
+func (s *Sealer) SealAtInto(seq uint64, dst, plaintext, aad []byte) []byte {
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	return s.aead.Seal(dst, nonce[:], plaintext, aad)
+}
+
 // Opener is the receiving half: it decrypts records sealed by the peer's
 // Sealer, enforcing strictly increasing sequence numbers (anti-replay).
 type Opener struct {
@@ -111,6 +140,37 @@ func (o *Opener) open(dst []byte, seq uint64, ciphertext, aad []byte) ([]byte, e
 		return nil, ErrOpenFailed
 	}
 	o.next++
+	return plaintext, nil
+}
+
+// Advance is the pipelined-open counterpart of Reserve: it accepts the
+// next expected sequence number, in arrival order, and moves the
+// anti-replay cursor past it. Records on an ordered carrier arrive in
+// seal order, so advancing at read time preserves exactly the replay
+// and reorder detection of Open while letting the expensive decrypt
+// (OpenAtInPlace) run on a worker afterwards.
+func (o *Opener) Advance(seq uint64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if seq != o.next {
+		return fmt.Errorf("gridcrypto: record sequence %d, want %d (replay or reorder)", seq, o.next)
+	}
+	o.next++
+	return nil
+}
+
+// OpenAtInPlace decrypts a record whose sequence number was already
+// admitted by Advance. It takes no lock: GCM's Open is safe for
+// concurrent use and the nonce is derived from seq alone, so reserved
+// records decrypt in parallel. The returned plaintext occupies the
+// ciphertext's own storage (see OpenInPlace).
+func (o *Opener) OpenAtInPlace(seq uint64, ciphertext, aad []byte) ([]byte, error) {
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	plaintext, err := o.aead.Open(ciphertext[:0], nonce[:], ciphertext, aad)
+	if err != nil {
+		return nil, ErrOpenFailed
+	}
 	return plaintext, nil
 }
 

@@ -133,17 +133,40 @@ const (
 	opErr  = "ERR"
 )
 
-// encodeCmd frames a command: verb \x00 path \x00 payload.
-func encodeCmd(verb, path string, payload []byte) []byte {
+// encodeCmd frames a command: verb \x00 path \x00 payload. NUL is the
+// frame delimiter, so a verb or path containing one would silently
+// shift the frame — payload bytes would parse as path on the far side
+// (a classic injection: a hostile "file\x00extra" path smuggles bytes
+// into a different field). Both fields are rejected up front.
+func encodeCmd(verb, path string, payload []byte) ([]byte, error) {
+	if strings.IndexByte(verb, 0) >= 0 || strings.IndexByte(path, 0) >= 0 {
+		return nil, errNULInCommand
+	}
 	out := make([]byte, 0, len(verb)+len(path)+len(payload)+2)
 	out = append(out, verb...)
 	out = append(out, 0)
 	out = append(out, path...)
 	out = append(out, 0)
-	return append(out, payload...)
+	return append(out, payload...), nil
 }
 
-// decodeCmd reverses encodeCmd.
+var errNULInCommand = errors.New("gridftp: NUL byte in command verb or path")
+
+// encodeReply frames a server-side reply. Reply verbs are protocol
+// constants and echoed paths were decoded from between NUL delimiters,
+// so they cannot contain NUL; if a future caller violates that, the
+// reply degrades to a bare error frame instead of a shifted one.
+func encodeReply(verb, path string, payload []byte) []byte {
+	out, err := encodeCmd(verb, path, payload)
+	if err != nil {
+		out, _ = encodeCmd(opErr, "", []byte(err.Error()))
+	}
+	return out
+}
+
+// decodeCmd reverses encodeCmd. The verb field is additionally held to
+// the short uppercase-ASCII opcode alphabet so a shifted or hostile
+// frame fails loudly instead of dispatching garbage.
 func decodeCmd(msg []byte) (verb, path string, payload []byte, err error) {
 	i := indexByte(msg, 0)
 	if i < 0 {
@@ -153,7 +176,24 @@ func decodeCmd(msg []byte) (verb, path string, payload []byte, err error) {
 	if j < 0 {
 		return "", "", nil, errors.New("gridftp: malformed command")
 	}
-	return string(msg[:i]), string(msg[i+1 : i+1+j]), msg[i+2+j:], nil
+	verb = string(msg[:i])
+	if !validVerb(verb) {
+		return "", "", nil, fmt.Errorf("gridftp: invalid command verb %q", verb)
+	}
+	return verb, string(msg[i+1 : i+1+j]), msg[i+2+j:], nil
+}
+
+// validVerb accepts 1-8 uppercase ASCII letters — the opcode alphabet.
+func validVerb(v string) bool {
+	if len(v) == 0 || len(v) > 8 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] < 'A' || v[i] > 'Z' {
+			return false
+		}
+	}
+	return true
 }
 
 func indexByte(b []byte, c byte) int {

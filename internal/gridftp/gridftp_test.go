@@ -244,13 +244,54 @@ func TestThirdPartyTransferDeniedWithoutRights(t *testing.T) {
 }
 
 func TestCommandCodec(t *testing.T) {
-	msg := encodeCmd("PUT", "/path/with\x01weird", []byte{0, 1, 2})
+	msg, err := encodeCmd("PUT", "/path/with\x01weird", []byte{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	verb, path, payload, err := decodeCmd(msg)
 	if err != nil || verb != "PUT" || path != "/path/with\x01weird" || !bytes.Equal(payload, []byte{0, 1, 2}) {
 		t.Fatalf("%v %q %q %v", err, verb, path, payload)
 	}
 	if _, _, _, err := decodeCmd([]byte("nonulls")); err == nil {
 		t.Fatal("malformed command accepted")
+	}
+}
+
+// Regression: a hostile path (or verb) carrying a NUL byte used to
+// shift the frame silently — "evil\x00smuggled" encoded as path would
+// decode with "evil" as the path and "smuggled\x00..." flowing into the
+// payload, letting an attacker move bytes between authorization-relevant
+// fields. encodeCmd must reject it outright.
+func TestCommandCodecRejectsNULInjection(t *testing.T) {
+	if _, err := encodeCmd(opPutS, "/evil\x00/smuggled", nil); err == nil {
+		t.Fatal("NUL in path accepted at encode")
+	}
+	if _, err := encodeCmd("PU\x00TS", "/fine", nil); err == nil {
+		t.Fatal("NUL in verb accepted at encode")
+	}
+	// The pre-fix frame an injecting encoder would have produced: the
+	// decoder must refuse to dispatch it as a valid command rather than
+	// silently reinterpreting the smuggled bytes.
+	hostile := []byte("PU\x00TS\x00/evil")
+	if verb, _, _, err := decodeCmd(hostile); err == nil && verb == opPutS {
+		t.Fatalf("shifted frame decoded as %q", verb)
+	}
+	// End-to-end: the client refuses to send the command at all.
+	b := newBed(t, openAll("/O=Grid/CN=Alice"))
+	c, err := Dial(b.srv.Addr(), b.alice, b.trust, b.srv.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("/data\x00/injected", []byte("x")); err == nil {
+		t.Fatal("Put with NUL path accepted")
+	}
+	if _, err := c.Get("/data\x00/injected"); err == nil {
+		t.Fatal("Get with NUL path accepted")
+	}
+	// The refusal is local; the session stays usable.
+	if err := c.Put("/data/clean", []byte("x")); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,7 +1,6 @@
 package gridftp
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -28,6 +27,11 @@ type Server struct {
 	mu      sync.Mutex
 	served  int
 	closing bool
+
+	// xmu guards xfers, the striped transfers still collecting their
+	// data connections (keyed by transfer token).
+	xmu   sync.Mutex
+	xfers map[string]*stripeXfer
 }
 
 // NewServer starts a GridFTP server on addr ("127.0.0.1:0" for tests).
@@ -40,6 +44,7 @@ func NewServer(addr string, store *Store, cred *gridcert.Credential, trust *grid
 		store: store,
 		cred:  cred,
 		trust: trust,
+		xfers: make(map[string]*stripeXfer),
 		listener: gsitransport.NewListener(inner, gss.Config{
 			Credential: cred,
 			TrustStore: trust,
@@ -100,16 +105,20 @@ func (s *Server) serve(conn *gsitransport.Conn) {
 		}
 		verb, path, payload, err := decodeCmd(msg)
 		if err != nil {
-			conn.Send(encodeCmd(opErr, "", []byte(err.Error())))
+			conn.Send(encodeReply(opErr, "", []byte(err.Error())))
 			return
 		}
 		switch verb {
 		case opGetS:
-			if !s.serveGet(ctx, conn, identity, path) {
+			if !s.serveGet(ctx, conn, identity, path, payload) {
 				return
 			}
 		case opPutS:
 			if !s.servePut(ctx, conn, identity, path, payload) {
+				return
+			}
+		case opJoin:
+			if !s.serveJoin(conn, identity, payload) {
 				return
 			}
 		default:
@@ -122,13 +131,17 @@ func (s *Server) serve(conn *gsitransport.Conn) {
 
 // serveGet answers a streamed GET: acknowledge, then send the file as
 // chunk records straight out of the store (the seal is the only pass
-// over the data). Returns false when the connection is unusable.
-func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string) bool {
+// over the data). A stripe-marked payload diverts to the parallel
+// striped path. Returns false when the connection is unusable.
+func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte) bool {
+	if k, ok := decodeStripeGetReq(payload); ok {
+		return s.serveGetStriped(ctx, conn, identity, path, k)
+	}
 	data, err := s.store.Open(identity, path)
 	if err != nil {
-		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
-	if err := conn.Send(encodeCmd(opOK, path, nil)); err != nil {
+	if err := conn.Send(encodeReply(opOK, path, nil)); err != nil {
 		return false
 	}
 	st := gsitransport.NewStream(ctx, conn)
@@ -148,16 +161,19 @@ func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity
 // oversized trust-the-peer allocation). Returns false when the
 // connection is unusable.
 func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte) bool {
+	if k, hint, ok := decodeStripePutReq(payload); ok {
+		return s.servePutStriped(ctx, conn, identity, path, k, hint)
+	}
 	// Fail-closed before the client ships a byte.
 	if err := s.store.authorize(identity, path, "write"); err != nil {
-		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
 	var hint int64
 	if len(payload) == 8 {
 		hint = int64(binary.BigEndian.Uint64(payload))
 	}
 	st := gsitransport.NewStream(ctx, conn)
-	if err := conn.Send(encodeCmd(opOK, path, nil)); err != nil {
+	if err := conn.Send(encodeReply(opOK, path, nil)); err != nil {
 		return false
 	}
 	assembled, err := readAllStream(st, hint)
@@ -166,69 +182,64 @@ func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity
 		if errors.As(err, &peerErr) {
 			// Clean client abort: the terminal record resynchronized the
 			// stream; report and keep serving.
-			return conn.Send(encodeCmd(opErr, path, []byte(peerErr.Msg))) == nil
+			return conn.Send(encodeReply(opErr, path, []byte(peerErr.Msg))) == nil
 		}
 		return false
 	}
 	if err := s.store.PutOwned(identity, path, assembled); err != nil {
-		return conn.Send(encodeCmd(opErr, path, []byte(err.Error()))) == nil
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
-	return conn.Send(encodeCmd(opOK, path, nil)) == nil
+	return conn.Send(encodeReply(opOK, path, nil)) == nil
 }
 
 // maxPutPrealloc caps how much memory a declared size hint may reserve
 // up front; larger (or lying) hints grow incrementally past it.
 const maxPutPrealloc = 256 << 20
 
-// readAllStream assembles a whole inbound stream, reading each chunk
-// straight into the accumulating slice's tail. A trusted-bounded size
-// hint pre-sizes the buffer so well-declared transfers never pay a
-// growth copy; growth otherwise rides append's amortized, non-zeroing
-// reallocation — bytes.Buffer's grow path (fresh make + clear per
-// doubling) measurably throttles multi-MiB uploads.
+// transferCopyBuffer sizes the relay buffer for streamed copies. It
+// matches the stream layer's bulk-write threshold so each relay write
+// takes the pipelined seal path instead of sealing chunk by chunk.
+const transferCopyBuffer = 4 * record.DefaultChunkSize
+
+// readAllStream assembles a whole inbound stream through the stream's
+// pipelined receive path (the open worker overlaps with assembly). A
+// trusted-bounded size hint pre-sizes the buffer so well-declared
+// transfers never pay a growth copy; lying hints degrade to amortized
+// growth, never to an oversized trust-the-peer allocation.
 func readAllStream(st *gsitransport.Stream, hint int64) ([]byte, error) {
 	prealloc := int64(1 << 20)
 	if hint > prealloc {
 		prealloc = min(hint, maxPutPrealloc)
 	}
-	data := make([]byte, 0, prealloc)
-	for {
-		if cap(data)-len(data) < 4096 {
-			data = append(data, 0)[:len(data)]
-		}
-		n, err := st.Read(data[len(data):cap(data)])
-		data = data[:len(data)+n]
-		if err == io.EOF {
-			return data, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
+	return st.ReadAll(int(prealloc))
 }
 
 func (s *Server) execute(identity gridcert.Name, verb, path string, payload []byte) []byte {
 	switch verb {
 	case opDel:
 		if err := s.store.Delete(identity, path); err != nil {
-			return encodeCmd(opErr, path, []byte(err.Error()))
+			return encodeReply(opErr, path, []byte(err.Error()))
 		}
-		return encodeCmd(opOK, path, nil)
+		return encodeReply(opOK, path, nil)
 	case opList:
 		names, err := s.store.List(identity, path)
 		if err != nil {
-			return encodeCmd(opErr, path, []byte(err.Error()))
+			return encodeReply(opErr, path, []byte(err.Error()))
 		}
-		return encodeCmd(opOK, path, []byte(strings.Join(names, "\n")))
+		return encodeReply(opOK, path, []byte(strings.Join(names, "\n")))
 	default:
-		return encodeCmd(opErr, path, []byte("unknown verb "+verb))
+		return encodeReply(opErr, path, []byte("unknown verb "+verb))
 	}
 }
 
-// Client is a GridFTP client session.
+// Client is a GridFTP client session. The dial parameters are retained
+// so striped transfers can open matching data connections.
 type Client struct {
-	conn *gsitransport.Conn
-	cred *gridcert.Credential
+	conn       *gsitransport.Conn
+	cred       *gridcert.Credential
+	trust      *gridcert.TrustStore
+	addr       string
+	expectHost gridcert.Name
 }
 
 // Dial connects and authenticates to a GridFTP server.
@@ -241,14 +252,18 @@ func Dial(addr string, cred *gridcert.Credential, trust *gridcert.TrustStore, ex
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, cred: cred}, nil
+	return &Client{conn: conn, cred: cred, trust: trust, addr: addr, expectHost: expectHost}, nil
 }
 
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(verb, path string, payload []byte) ([]byte, error) {
-	if err := c.conn.Send(encodeCmd(verb, path, payload)); err != nil {
+	msg, err := encodeCmd(verb, path, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.Send(msg); err != nil {
 		return nil, err
 	}
 	return c.readReply()
@@ -307,13 +322,22 @@ func (c *Client) GetTo(path string, w io.Writer) (int64, error) {
 	return n, err
 }
 
-// Get fetches a file into memory.
+// Get fetches a file into memory through the pipelined receive path.
 func (c *Client) Get(path string) ([]byte, error) {
-	var buf bytes.Buffer
-	if _, err := c.GetTo(path, &buf); err != nil {
+	if _, err := c.roundTrip(opGetS, path, nil); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	st := gsitransport.NewStream(context.Background(), c.conn)
+	data, err := st.ReadAll(0)
+	if err != nil {
+		st.Release()
+		var peerErr *record.PeerError
+		if errors.As(err, &peerErr) {
+			return nil, fmt.Errorf("gridftp: server: %s", peerErr.Msg)
+		}
+		return nil, err
+	}
+	return data, nil
 }
 
 // PutWriter is an in-flight streamed PUT: an io.WriteCloser whose Close
@@ -405,8 +429,8 @@ func (c *Client) PutFrom(path string, r io.Reader) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	buf := record.Get(record.DefaultChunkSize)
-	n, err := io.CopyBuffer(w, r, buf.B[:record.DefaultChunkSize])
+	buf := record.Get(transferCopyBuffer)
+	n, err := io.CopyBuffer(w, r, buf.B[:transferCopyBuffer])
 	buf.Free()
 	if err != nil {
 		w.Abort(err.Error())
@@ -500,8 +524,8 @@ func ThirdPartyTransfer(client *gridcert.Credential, trust *gridcert.TrustStore,
 		get.Close()
 		return err
 	}
-	buf := record.Get(record.DefaultChunkSize)
-	_, err = io.CopyBuffer(put, get, buf.B[:record.DefaultChunkSize])
+	buf := record.Get(transferCopyBuffer)
+	_, err = io.CopyBuffer(put, get, buf.B[:transferCopyBuffer])
 	buf.Free()
 	if err != nil {
 		put.Abort(err.Error())

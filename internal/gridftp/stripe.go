@@ -1,0 +1,614 @@
+package gridftp
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gridcert"
+	"repro/internal/gridcrypto"
+	"repro/internal/gsitransport"
+	"repro/internal/gss"
+	"repro/internal/proxy"
+	"repro/internal/record"
+)
+
+// Parallel striped transfers, GridFTP's signature move (paper §3): the
+// control connection negotiates a stripe count in the GETS/PUTS round
+// trip, the client dials that many secured data connections and binds
+// each to the transfer with a JOIN carrying an unguessable token, and
+// the file then crosses all stripes at once as globally sequenced
+// chunks. Each stripe seals/opens on its own connection — K stripes
+// drive up to K cores — and every stripe ends with a FIN trailer
+// carrying the total chunk count, so a stripe that dies mid-flight is
+// always an error, never a silently truncated file.
+
+// opJoin binds a freshly dialed data connection to a pending striped
+// transfer. Payload: 16-byte token + u32 stripe index.
+const opJoin = "JOIN"
+
+// maxTransferStripes caps the stripe count a server grants.
+const maxTransferStripes = 16
+
+// stripeTokenLen is the transfer token size: 128 unguessable bits.
+const stripeTokenLen = 16
+
+// stripeMarker prefixes a GETS/PUTS payload that requests striping
+// (legacy payloads — empty, or the 8-byte PUT size hint — can never
+// collide with the marked lengths).
+const stripeMarker = 'S'
+
+// xferJoinTimeout bounds how long the control goroutine waits for the
+// client's data connections to arrive.
+const xferJoinTimeout = 10 * time.Second
+
+// maxPendingXfers bounds concurrently forming striped transfers.
+const maxPendingXfers = 256
+
+func encodeStripeGetReq(k int) []byte {
+	p := make([]byte, 5)
+	p[0] = stripeMarker
+	binary.BigEndian.PutUint32(p[1:], uint32(k))
+	return p
+}
+
+func decodeStripeGetReq(payload []byte) (k int, ok bool) {
+	if len(payload) != 5 || payload[0] != stripeMarker {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(payload[1:])), true
+}
+
+func encodeStripePutReq(k int, hint uint64) []byte {
+	p := make([]byte, 13)
+	p[0] = stripeMarker
+	binary.BigEndian.PutUint32(p[1:], uint32(k))
+	binary.BigEndian.PutUint64(p[5:], hint)
+	return p
+}
+
+func decodeStripePutReq(payload []byte) (k int, hint uint64, ok bool) {
+	if len(payload) != 13 || payload[0] != stripeMarker {
+		return 0, 0, false
+	}
+	return int(binary.BigEndian.Uint32(payload[1:])), binary.BigEndian.Uint64(payload[5:]), true
+}
+
+func clampStripes(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > maxTransferStripes {
+		return maxTransferStripes
+	}
+	return k
+}
+
+// --- server side ---------------------------------------------------------
+
+// stripeXfer is one striped transfer forming (or running) on a server:
+// data connections collected by JOINs until all granted stripes
+// arrived. ready closes when the group is complete; done closes when
+// the transfer finished and the data connections belong to their serve
+// goroutines again.
+type stripeXfer struct {
+	identity gridcert.Name
+	token    string
+	conns    []*gsitransport.Conn
+	joined   int
+	failed   bool
+	ready    chan struct{}
+	done     chan struct{}
+}
+
+// newXfer registers a pending transfer under a fresh token.
+func (s *Server) newXfer(identity gridcert.Name, granted int) (*stripeXfer, error) {
+	tok, err := gridcrypto.RandomBytes(stripeTokenLen)
+	if err != nil {
+		return nil, err
+	}
+	x := &stripeXfer{
+		identity: identity,
+		token:    string(tok),
+		conns:    make([]*gsitransport.Conn, granted),
+		ready:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.xmu.Lock()
+	defer s.xmu.Unlock()
+	if len(s.xfers) >= maxPendingXfers {
+		return nil, errors.New("gridftp: too many pending striped transfers")
+	}
+	s.xfers[x.token] = x
+	return x, nil
+}
+
+// joinXfer binds one data connection to its pending transfer. The
+// token is the capability; it is additionally bound to the control
+// connection's authenticated identity, so a leaked token is useless
+// without the credential that opened the transfer.
+func (s *Server) joinXfer(token []byte, idx int, identity gridcert.Name, conn *gsitransport.Conn) (*stripeXfer, error) {
+	s.xmu.Lock()
+	defer s.xmu.Unlock()
+	x := s.xfers[string(token)]
+	if x == nil || subtle.ConstantTimeCompare([]byte(x.token), token) != 1 {
+		return nil, errors.New("gridftp: unknown transfer token")
+	}
+	if x.identity.String() != identity.String() {
+		return nil, errors.New("gridftp: transfer token bound to another identity")
+	}
+	if idx < 0 || idx >= len(x.conns) || x.conns[idx] != nil {
+		return nil, errors.New("gridftp: bad stripe index")
+	}
+	x.conns[idx] = conn
+	x.joined++
+	if x.joined == len(x.conns) {
+		close(x.ready)
+		delete(s.xfers, x.token)
+	}
+	return x, nil
+}
+
+// abandonXfer fails a transfer whose stripes never all arrived.
+// Reports false when the group completed concurrently — the transfer
+// then runs and the caller must follow the ready path instead.
+func (s *Server) abandonXfer(x *stripeXfer) bool {
+	s.xmu.Lock()
+	defer s.xmu.Unlock()
+	select {
+	case <-x.ready:
+		return false
+	default:
+	}
+	x.failed = true
+	delete(s.xfers, x.token)
+	return true
+}
+
+// serveJoin handles a JOIN on a data connection: validate the token,
+// bind the connection to its transfer, and park until the transfer
+// releases it. Reports whether the connection is still usable.
+func (s *Server) serveJoin(conn *gsitransport.Conn, identity gridcert.Name, payload []byte) bool {
+	if len(payload) != stripeTokenLen+4 {
+		return conn.Send(encodeReply(opErr, "", []byte("gridftp: malformed JOIN"))) == nil
+	}
+	token := payload[:stripeTokenLen]
+	idx := int(binary.BigEndian.Uint32(payload[stripeTokenLen:]))
+	x, err := s.joinXfer(token, idx, identity, conn)
+	if err != nil {
+		return conn.Send(encodeReply(opErr, "", []byte(err.Error()))) == nil
+	}
+	// From here the connection belongs to the transfer until done: even
+	// on a failed reply it must not be closed out from under it.
+	replyErr := conn.Send(encodeReply(opOK, "", nil))
+	<-x.done
+	return replyErr == nil && !conn.Broken()
+}
+
+// awaitStripes waits for the client's data connections, abandoning the
+// transfer if they never arrive. Reports whether the transfer is ready
+// to run.
+func (s *Server) awaitStripes(x *stripeXfer) bool {
+	select {
+	case <-x.ready:
+		return true
+	case <-time.After(xferJoinTimeout):
+		if s.abandonXfer(x) {
+			close(x.done) // release any stripes that did join
+			return false
+		}
+		<-x.ready // lost the race with the final JOIN
+		return true
+	}
+}
+
+// serveGetStriped answers a striped GET: grant min(k, cap) stripes and
+// a transfer token, wait for the JOINs, and stream the file over all
+// stripes at once. The control connection carries no further reply —
+// the data plane's FIN trailers are the completion signal.
+func (s *Server) serveGetStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int) bool {
+	data, err := s.store.Open(identity, path)
+	if err != nil {
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	granted := clampStripes(k)
+	x, err := s.newXfer(identity, granted)
+	if err != nil {
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	grant := make([]byte, 4+8+stripeTokenLen)
+	binary.BigEndian.PutUint32(grant, uint32(granted))
+	binary.BigEndian.PutUint64(grant[4:], uint64(len(data)))
+	copy(grant[12:], x.token)
+	if err := conn.Send(encodeReply(opOK, path, grant)); err != nil {
+		if s.abandonXfer(x) {
+			close(x.done)
+		} else {
+			s.runGetStripes(ctx, x, data)
+		}
+		return false
+	}
+	if !s.awaitStripes(x) {
+		return conn.Send(encodeReply(opErr, path, []byte("gridftp: stripes never joined"))) == nil
+	}
+	s.runGetStripes(ctx, x, data)
+	return true
+}
+
+func (s *Server) runGetStripes(ctx context.Context, x *stripeXfer, data []byte) {
+	defer close(x.done)
+	w := gsitransport.NewStripedWriter(ctx, x.conns)
+	if _, err := w.Write(data); err != nil {
+		w.CloseWithError(err.Error())
+		return
+	}
+	w.Close()
+}
+
+// servePutStriped answers a striped PUT: authorize before inviting any
+// data, grant stripes and a token, reassemble the inbound stripes, and
+// send the verdict on the control connection.
+func (s *Server) servePutStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int, hint uint64) bool {
+	if err := s.store.authorize(identity, path, "write"); err != nil {
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	granted := clampStripes(k)
+	x, err := s.newXfer(identity, granted)
+	if err != nil {
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	grant := make([]byte, 4+stripeTokenLen)
+	binary.BigEndian.PutUint32(grant, uint32(granted))
+	copy(grant[4:], x.token)
+	if err := conn.Send(encodeReply(opOK, path, grant)); err != nil {
+		if s.abandonXfer(x) {
+			close(x.done)
+		} else {
+			s.runPutStripes(ctx, x, hint)
+		}
+		return false
+	}
+	if !s.awaitStripes(x) {
+		return conn.Send(encodeReply(opErr, path, []byte("gridftp: stripes never joined"))) == nil
+	}
+	assembled, err := s.runPutStripes(ctx, x, hint)
+	if err != nil {
+		var peerErr *record.PeerError
+		if errors.As(err, &peerErr) {
+			return conn.Send(encodeReply(opErr, path, []byte(peerErr.Msg))) == nil
+		}
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	if err := s.store.PutOwned(identity, path, assembled); err != nil {
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	return conn.Send(encodeReply(opOK, path, nil)) == nil
+}
+
+func (s *Server) runPutStripes(ctx context.Context, x *stripeXfer, hint uint64) ([]byte, error) {
+	defer close(x.done)
+	prealloc := uint64(1 << 20)
+	if hint > prealloc {
+		prealloc = min(hint, uint64(maxPutPrealloc))
+	}
+	r := gsitransport.NewStripedReader(ctx, x.conns, 0)
+	data, err := r.ReadAll(int(prealloc))
+	if err != nil {
+		var peerErr *record.PeerError
+		if errors.As(err, &peerErr) {
+			r.Join() // clean abort: every stripe resynchronized
+		} else {
+			r.Abort()
+		}
+		return nil, err
+	}
+	r.Join()
+	return data, nil
+}
+
+// --- client side ---------------------------------------------------------
+
+// dialStripes dials and JOINs granted data connections, aligned by
+// stripe index. On failure every dialed connection is closed and the
+// pending control-connection verdict (the server's join-timeout ERR)
+// is consumed so the session stays synchronized.
+func (c *Client) dialStripes(granted int, token []byte) ([]*gsitransport.Conn, error) {
+	if granted < 1 || granted > maxTransferStripes || len(token) != stripeTokenLen {
+		return nil, errors.New("gridftp: malformed stripe grant")
+	}
+	var conns []*gsitransport.Conn
+	fail := func(err error) ([]*gsitransport.Conn, error) {
+		for _, dc := range conns {
+			dc.Close()
+		}
+		// The server's control goroutine is waiting for the group; its
+		// join timeout will deliver an ERR we must not leave in the
+		// reply stream.
+		c.readReply()
+		return nil, err
+	}
+	for i := 0; i < granted; i++ {
+		dc, err := gsitransport.Dial(c.addr, gss.Config{
+			Credential:   c.cred,
+			TrustStore:   c.trust,
+			ExpectedPeer: c.expectHost,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, dc)
+		payload := make([]byte, stripeTokenLen+4)
+		copy(payload, token)
+		binary.BigEndian.PutUint32(payload[stripeTokenLen:], uint32(i))
+		msg, err := encodeCmd(opJoin, "", payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := dc.Send(msg); err != nil {
+			return fail(err)
+		}
+		reply, err := dc.Receive()
+		if err != nil {
+			return fail(err)
+		}
+		rverb, _, rpayload, err := decodeCmd(reply)
+		if err != nil {
+			return fail(err)
+		}
+		if rverb == opErr {
+			return fail(fmt.Errorf("gridftp: server: %s", rpayload))
+		}
+	}
+	return conns, nil
+}
+
+// StripedGetReader is an in-flight striped GET: an io.ReadCloser
+// delivering the file in order as its stripes arrive.
+type StripedGetReader struct {
+	r     *gsitransport.StripedReader
+	conns []*gsitransport.Conn
+	size  int64
+	err   error
+}
+
+// Size is the transfer size the server announced in its grant.
+func (g *StripedGetReader) Size() int64 { return g.size }
+
+// Read returns file bytes in global order, io.EOF after every stripe's
+// FIN agrees the file is complete.
+func (g *StripedGetReader) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	var peerErr *record.PeerError
+	if errors.As(err, &peerErr) {
+		err = fmt.Errorf("gridftp: server: %s", peerErr.Msg)
+	}
+	if err != nil && err != io.EOF {
+		g.err = err
+	}
+	return n, err
+}
+
+// Close drains any unread remainder, reaps the stripe readers, and
+// closes the data connections (they are transfer-scoped).
+func (g *StripedGetReader) Close() error {
+	var drainErr error
+	if g.err == nil {
+		var scratch [4096]byte
+		for {
+			_, err := g.r.Read(scratch[:])
+			if err == io.EOF {
+				g.r.Join()
+				break
+			}
+			if err != nil {
+				g.err = err
+				drainErr = err
+				break
+			}
+		}
+	}
+	if g.err != nil {
+		g.r.Abort()
+	}
+	for _, dc := range g.conns {
+		dc.Close()
+	}
+	return drainErr
+}
+
+// GetStripedReader starts a striped GET of path over up to stripes
+// data connections (the server may grant fewer).
+func (c *Client) GetStripedReader(path string, stripes int) (*StripedGetReader, error) {
+	grant, err := c.roundTrip(opGetS, path, encodeStripeGetReq(stripes))
+	if err != nil {
+		return nil, err
+	}
+	if len(grant) != 4+8+stripeTokenLen {
+		return nil, errors.New("gridftp: malformed stripe grant")
+	}
+	granted := int(binary.BigEndian.Uint32(grant))
+	size := int64(binary.BigEndian.Uint64(grant[4:12]))
+	conns, err := c.dialStripes(granted, grant[12:])
+	if err != nil {
+		return nil, err
+	}
+	return &StripedGetReader{
+		r:     gsitransport.NewStripedReader(context.Background(), conns, 0),
+		conns: conns,
+		size:  size,
+	}, nil
+}
+
+// GetStriped fetches a file over parallel stripes into memory.
+func (c *Client) GetStriped(path string, stripes int) ([]byte, error) {
+	g, err := c.GetStripedReader(path, stripes)
+	if err != nil {
+		return nil, err
+	}
+	hint := 0
+	if g.size > 0 && g.size <= maxPutPrealloc {
+		hint = int(g.size)
+	}
+	data, err := g.r.ReadAll(hint)
+	if err != nil {
+		g.err = err
+		g.Close()
+		var peerErr *record.PeerError
+		if errors.As(err, &peerErr) {
+			return nil, fmt.Errorf("gridftp: server: %s", peerErr.Msg)
+		}
+		return nil, err
+	}
+	g.Close()
+	return data, nil
+}
+
+// StripedPutWriter is an in-flight striped PUT: an io.WriteCloser
+// whose Close completes the transfer and returns the server's verdict
+// from the control connection.
+type StripedPutWriter struct {
+	c     *Client
+	w     *gsitransport.StripedWriter
+	conns []*gsitransport.Conn
+	done  bool
+}
+
+// Write deals file bytes across the stripes.
+func (w *StripedPutWriter) Write(p []byte) (int, error) { return w.w.Write(p) }
+
+// Close sends the FIN trailer on every stripe and waits for the
+// server's verdict.
+func (w *StripedPutWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	werr := w.w.Close()
+	_, rerr := w.c.readReply()
+	for _, dc := range w.conns {
+		dc.Close()
+	}
+	if rerr != nil {
+		return rerr
+	}
+	return werr
+}
+
+// Abort cancels the transfer: every stripe carries the ERROR record,
+// the server discards the partial file, and the control session stays
+// usable.
+func (w *StripedPutWriter) Abort(reason string) error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.w.CloseWithError(reason)
+	_, rerr := w.c.readReply()
+	for _, dc := range w.conns {
+		dc.Close()
+	}
+	if rerr == nil {
+		return errors.New("gridftp: server confirmed an aborted transfer")
+	}
+	return nil
+}
+
+// PutStripedWriter starts a striped PUT to path over up to stripes
+// data connections. The server authorizes the write before any grant.
+func (c *Client) PutStripedWriter(path string, stripes int, sizeHint int64) (*StripedPutWriter, error) {
+	var hint uint64
+	if sizeHint > 0 {
+		hint = uint64(sizeHint)
+	}
+	grant, err := c.roundTrip(opPutS, path, encodeStripePutReq(stripes, hint))
+	if err != nil {
+		return nil, err
+	}
+	if len(grant) != 4+stripeTokenLen {
+		return nil, errors.New("gridftp: malformed stripe grant")
+	}
+	granted := int(binary.BigEndian.Uint32(grant))
+	conns, err := c.dialStripes(granted, grant[4:])
+	if err != nil {
+		return nil, err
+	}
+	return &StripedPutWriter{
+		c:     c,
+		w:     gsitransport.NewStripedWriter(context.Background(), conns),
+		conns: conns,
+	}, nil
+}
+
+// PutStriped stores a file over parallel stripes.
+func (c *Client) PutStriped(path string, stripes int, data []byte) error {
+	w, err := c.PutStripedWriter(path, stripes, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort(err.Error())
+		return err
+	}
+	return w.Close()
+}
+
+// ThirdPartyTransferStriped is ThirdPartyTransfer over parallel
+// stripes on both legs: the delegated credential opens striped
+// sessions to source and destination, and the file flows stripes-in to
+// stripes-out without ever materializing.
+func ThirdPartyTransferStriped(client *gridcert.Credential, trust *gridcert.TrustStore,
+	srcAddr string, srcHost gridcert.Name,
+	dstAddr string, dstHost gridcert.Name,
+	srcPath, dstPath string, stripes int) error {
+
+	delegatee, req, err := proxy.NewDelegatee(0, false)
+	if err != nil {
+		return err
+	}
+	reply, err := proxy.HandleDelegation(client, req, proxy.Options{})
+	if err != nil {
+		return err
+	}
+	delegated, err := delegatee.Accept(reply)
+	if err != nil {
+		return err
+	}
+
+	srcConn, err := Dial(srcAddr, delegated, trust, srcHost)
+	if err != nil {
+		return fmt.Errorf("gridftp: third-party: source: %w", err)
+	}
+	defer srcConn.Close()
+	dstConn, err := Dial(dstAddr, delegated, trust, dstHost)
+	if err != nil {
+		return fmt.Errorf("gridftp: third-party: destination: %w", err)
+	}
+	defer dstConn.Close()
+
+	get, err := srcConn.GetStripedReader(srcPath, stripes)
+	if err != nil {
+		return err
+	}
+	put, err := dstConn.PutStripedWriter(dstPath, stripes, get.Size())
+	if err != nil {
+		get.Close()
+		return err
+	}
+	buf := record.Get(transferCopyBuffer)
+	_, err = io.CopyBuffer(put, get, buf.B[:transferCopyBuffer])
+	buf.Free()
+	if err != nil {
+		put.Abort(err.Error())
+		get.Close()
+		return err
+	}
+	if err := put.Close(); err != nil {
+		get.Close()
+		return err
+	}
+	return get.Close()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 
+	"repro/internal/gss"
 	"repro/internal/record"
 )
 
@@ -58,11 +59,22 @@ func NewStream(ctx context.Context, c *Conn) *Stream {
 // Conn returns the connection the stream rides on.
 func (s *Stream) Conn() *Conn { return s.c }
 
+// bulkWriteThreshold is the write size past which Write switches to the
+// pipelined seal path: enough chunks that worker fan-out and vectored
+// flushes pay for the pipeline's goroutines.
+const bulkWriteThreshold = 4 * record.DefaultChunkSize
+
 // Write splits p into DATA chunk records of at most DefaultChunkSize
-// and sends each sealed in place from a pooled buffer.
+// and sends each sealed in place from a pooled buffer. Large writes
+// take the pipelined path: chunks seal on worker goroutines in parallel
+// and reach the wire as vectored batches, in exactly the byte order the
+// serial path would have produced.
 func (s *Stream) Write(p []byte) (int, error) {
 	if s.sender.Terminated() {
 		return 0, ErrWriteHalfClosed
+	}
+	if len(p) >= bulkWriteThreshold {
+		return s.writeBulk(p)
 	}
 	written := 0
 	for written < len(p) {
@@ -76,6 +88,39 @@ func (s *Stream) Write(p []byte) (int, error) {
 			return written, err
 		}
 		written += len(piece)
+	}
+	return written, nil
+}
+
+// writeBulk drives p through a seal pipeline: chunk records are
+// assembled (and their chunk sequence numbers stamped) here in order,
+// workers seal them concurrently, and the pipeline's writer flushes
+// consecutive ready frames through one vectored SendSealedBatch each.
+func (s *Stream) writeBulk(p []byte) (int, error) {
+	pl := record.NewPipeline(s.c.Context(), 0, 0, func(frames [][]byte) error {
+		return s.c.SendSealedBatch(s.ctx, frames)
+	})
+	written := 0
+	for written < len(p) {
+		piece := p[written:]
+		if len(piece) > s.chunkSize {
+			piece = piece[:s.chunkSize]
+		}
+		buf := record.Get(Headroom + record.ChunkHeader + len(piece) + SendOverhead)
+		frame, err := s.sender.AppendData(buf.B[:Headroom], piece)
+		if err != nil {
+			buf.Free()
+			pl.Close()
+			return written, err
+		}
+		if err := pl.Submit(buf, len(frame)-Headroom); err != nil {
+			pl.Close()
+			return written, err
+		}
+		written += len(piece)
+	}
+	if err := pl.Close(); err != nil {
+		return written, err
 	}
 	return written, nil
 }
@@ -160,6 +205,135 @@ func (s *Stream) Read(p []byte) (int, error) {
 		default:
 			s.cur = payload
 			s.curBuf = buf
+		}
+	}
+}
+
+// ReadAll consumes the stream to FIN through the pipelined receive
+// path and returns every payload byte, preallocating sizeHint. Frames
+// are read off the wire by a dedicated goroutine and decrypted by open-
+// pipeline workers in parallel; this goroutine reassembles the chunk
+// protocol in arrival order, so the result is byte-identical to a
+// serial Read loop.
+//
+// Prefetch safety: the wire reader may only run ahead on records it can
+// prove are DATA without decrypting them — and it can, by size alone. A
+// full-size DATA chunk's sealed token is longer than any terminal
+// record can be (FIN is empty, ERROR is capped at MaxErrorPayload), so
+// full-size records prefetch freely while anything smaller — a partial
+// tail chunk, FIN, ERROR — makes the reader pause until this goroutine
+// has decoded it and signalled whether the stream continues. Bulk
+// transfers pay one pause at the tail; the reader never steals bytes
+// belonging to the next protocol message after FIN.
+func (s *Stream) ReadAll(sizeHint int) ([]byte, error) {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	data := make([]byte, 0, sizeHint)
+	if len(s.cur) > 0 {
+		data = append(data, s.cur...)
+		s.cur = nil
+		s.curBuf.Free()
+		s.curBuf = nil
+	}
+	if s.rerr != nil {
+		if s.rerr == io.EOF {
+			return data, nil
+		}
+		return data, s.rerr
+	}
+
+	op := record.NewOpenPipeline(s.c.Context(), 0, 0)
+	fullToken := gss.WrapOverhead + record.ChunkHeader + s.chunkSize
+	proceed := make(chan bool, 1)
+	readerDone := make(chan struct{})
+	var readErr error // written before CloseSubmit, read after Next reports closed
+	go func() {
+		defer close(readerDone)
+		for {
+			token, buf, err := s.c.ReceiveSealed(s.ctx)
+			if err != nil {
+				readErr = err
+				break
+			}
+			possiblyTerminal := len(token) != fullToken
+			if err := op.Submit(token, buf); err != nil {
+				break // pipeline poisoned; consumer already has the error
+			}
+			if possiblyTerminal && !<-proceed {
+				break
+			}
+		}
+		op.CloseSubmit()
+	}()
+
+	// teardown reaps the reader after a failure: wake it wherever it is
+	// blocked (record read, window-full Submit, or the proceed gate) and
+	// drain whatever was still in flight.
+	teardown := func() {
+		s.c.abortReads()
+		select {
+		case proceed <- false:
+		default:
+		}
+		for {
+			_, buf, ok, _ := op.Next()
+			if !ok {
+				break
+			}
+			buf.Free()
+		}
+		<-readerDone
+	}
+
+	for {
+		pt, buf, ok, err := op.Next()
+		if err != nil {
+			teardown()
+			s.rerr = err
+			return data, err
+		}
+		if !ok {
+			<-readerDone
+			err := readErr
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			s.rerr = err
+			return data, err
+		}
+		small := len(pt) != record.ChunkHeader+s.chunkSize
+		payload, fin, aerr := s.asm.Accept(pt)
+		switch {
+		case aerr != nil:
+			buf.Free()
+			var peerErr *record.PeerError
+			if errors.As(aerr, &peerErr) && small {
+				// Graceful peer abort: the reader is parked at the proceed
+				// gate and the connection stays synchronized.
+				proceed <- false
+				<-readerDone
+				op.Drain()
+			} else {
+				s.c.broken.Store(true)
+				teardown()
+			}
+			s.rerr = aerr
+			return data, aerr
+		case fin:
+			buf.Free()
+			proceed <- false // FIN is never full-size: the reader is parked
+			<-readerDone
+			op.Drain()
+			s.rerr = io.EOF
+			s.c.SetReceiveSizeHint(0)
+			return data, nil
+		default:
+			data = append(data, payload...)
+			buf.Free()
+			if small {
+				proceed <- true
+			}
 		}
 	}
 }

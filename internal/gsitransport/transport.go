@@ -361,6 +361,82 @@ func (c *Conn) SendAssembled(ctx context.Context, frame []byte) error {
 	return nil
 }
 
+// SendSealedBatch transmits already-sealed record frames — a seal
+// pipeline's output — as one vectored write (net.Buffers → writev), so
+// a batch of records costs one syscall and one TCP push instead of one
+// per record. Frames must be complete wire frames (length prefix +
+// wrap token), in sequence order; the batch either fully enters the
+// stream or the connection is poisoned.
+func (c *Conn) SendSealedBatch(ctx context.Context, frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.broken.Load() {
+		return ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	// net.Buffers.WriteTo consumes its slice; keep the caller's intact.
+	vecs := make(net.Buffers, len(frames))
+	copy(vecs, frames)
+	if err := runWithContext(ctx, c.raw, scopeWrite, func() error {
+		_, err := vecs.WriteTo(c.raw)
+		return err
+	}); err != nil {
+		c.broken.Store(true)
+		return err
+	}
+	recordsSent.Add(uint64(len(frames)))
+	bytesSent.Add(uint64(total - len(frames)*SendOverhead))
+	return nil
+}
+
+// ReceiveSealed reads one record's wrap token off the wire without
+// opening it — the frame half of ReceiveView, for the pipelined
+// receive path where worker goroutines do the cryptographic open. The
+// caller owns the returned Buf.
+func (c *Conn) ReceiveSealed(ctx context.Context) ([]byte, *record.Buf, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if c.broken.Load() {
+		return nil, nil, ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var token []byte
+	var buf *record.Buf
+	err := runWithContext(ctx, c.raw, scopeRead, func() error {
+		var err error
+		token, buf, err = record.ReadSealed(c.raw, 0, c.recvHint)
+		return err
+	})
+	if err != nil {
+		c.broken.Store(true)
+		return nil, nil, err
+	}
+	recordsReceived.Add(1)
+	if n := len(token) - gss.WrapOverhead; n > 0 {
+		bytesReceived.Add(uint64(n))
+	}
+	return token, buf, nil
+}
+
+// abortReads poisons the connection and forces a reader blocked in a
+// record read to fail promptly (the pipelined receive path uses it to
+// reap its reader goroutine after a consumer-side failure).
+func (c *Conn) abortReads() {
+	c.broken.Store(true)
+	c.raw.SetReadDeadline(aLongTimeAgo)
+}
+
 // Receive reads and unprotects one message.
 func (c *Conn) Receive() ([]byte, error) {
 	return c.ReceiveContext(context.Background())

@@ -165,6 +165,61 @@ func (c *Context) UnwrapInPlace(wrapped []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// ReserveWrap claims the next wrap sequence number without sealing.
+// It anchors the pipelined send path: a submitter reserves in
+// submission order, worker goroutines seal concurrently with WrapAtInto,
+// and submission order alone fixes the wire order the peer's in-order
+// opener will verify. Every reservation must be consumed by exactly one
+// WrapAtInto (a reused seq would reuse a GCM nonce).
+func (c *Context) ReserveWrap() (uint64, error) {
+	if c.Expired() {
+		return 0, ErrContextExpired
+	}
+	return c.sealer.Reserve()
+}
+
+// WrapAtInto is WrapInto sealing under a sequence number previously
+// obtained from ReserveWrap. It is safe for any number of goroutines to
+// call concurrently with distinct reservations; dst layout rules match
+// WrapInto.
+func (c *Context) WrapAtInto(seq uint64, dst, plaintext []byte) ([]byte, error) {
+	off := len(dst)
+	var hdr [WrapPrefix]byte
+	dst = append(dst, hdr[:]...)
+	out := c.sealer.SealAtInto(seq, dst, plaintext, wrapAAD)
+	binary.BigEndian.PutUint64(out[off:], seq)
+	binary.BigEndian.PutUint32(out[off+8:], uint32(len(out)-off-WrapPrefix))
+	return out, nil
+}
+
+// ReserveUnwrap validates a wrap token's framing and admits its
+// sequence number through the anti-replay cursor, in arrival order,
+// without decrypting. The returned seq and ciphertext view feed a later
+// (possibly concurrent) UnwrapAtInPlace on a worker goroutine. On an
+// ordered carrier this preserves exactly Unwrap's replay/reorder
+// detection while moving the AEAD work off the reader.
+func (c *Context) ReserveUnwrap(wrapped []byte) (seq uint64, ct []byte, err error) {
+	seq, ct, err = c.parseWrapToken(wrapped)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := c.opener.Advance(seq); err != nil {
+		return 0, nil, fmt.Errorf("gss: unwrap: %w", err)
+	}
+	return seq, ct, nil
+}
+
+// UnwrapAtInPlace decrypts the ciphertext of a token already admitted
+// by ReserveUnwrap, into its own storage. Concurrency-safe across
+// distinct reservations.
+func (c *Context) UnwrapAtInPlace(seq uint64, ct []byte) ([]byte, error) {
+	pt, err := c.opener.OpenAtInPlace(seq, ct, wrapAAD)
+	if err != nil {
+		return nil, fmt.Errorf("gss: unwrap: %w", err)
+	}
+	return pt, nil
+}
+
 func (c *Context) parseWrapToken(wrapped []byte) (seq uint64, ct []byte, err error) {
 	if c.Expired() {
 		return 0, nil, ErrContextExpired

@@ -45,6 +45,20 @@ const MaxChunkPayload = DefaultChunkSize
 // MaxErrorPayload bounds the message an ERROR chunk may carry.
 const MaxErrorPayload = 4 << 10
 
+// truncateOnRune caps b at max bytes without splitting a multi-byte
+// UTF-8 rune: if the cut would land mid-sequence, it backs up to the
+// preceding rune boundary so the receiver always sees valid UTF-8.
+func truncateOnRune(b []byte, max int) []byte {
+	if len(b) <= max {
+		return b
+	}
+	cut := max
+	for cut > 0 && max-cut < 3 && b[cut]&0xC0 == 0x80 {
+		cut--
+	}
+	return b[:cut]
+}
+
 // AppendChunk appends one chunk record (header plus payload) to dst.
 func AppendChunk(dst []byte, typ ChunkType, seq uint64, payload []byte) []byte {
 	var hdr [ChunkHeader]byte
@@ -110,14 +124,19 @@ func (s *ChunkSender) AppendError(dst []byte, msg string) ([]byte, error) {
 		return dst, ErrStreamTerminated
 	}
 	s.done = true
-	if len(msg) > MaxErrorPayload {
-		msg = msg[:MaxErrorPayload]
-	}
-	return AppendChunk(dst, ChunkError, s.seq, []byte(msg)), nil
+	return AppendChunk(dst, ChunkError, s.seq, truncateOnRune([]byte(msg), MaxErrorPayload)), nil
 }
 
 // Terminated reports whether the sender has sent its terminal record.
 func (s *ChunkSender) Terminated() bool { return s.done }
+
+// AppendErrorChunk appends an ERROR record carrying msg (rune-safely
+// truncated to MaxErrorPayload) under an explicit sequence number — the
+// striped sender's stateless sibling of AppendError, where the global
+// sequence counter lives outside any one ChunkSender.
+func AppendErrorChunk(dst []byte, seq uint64, msg string) []byte {
+	return AppendChunk(dst, ChunkError, seq, truncateOnRune([]byte(msg), MaxErrorPayload))
+}
 
 // Assembler validates the receive half of one stream: chunks must
 // arrive with strictly sequential sequence numbers, respect the payload
@@ -148,6 +167,15 @@ func (a *Assembler) Accept(rec []byte) (payload []byte, fin bool, err error) {
 		a.err = err
 		return nil, false, err
 	}
+	// An ERROR record is the peer's abort reason: on out-of-order
+	// carriage (striping, GT3 per-call records) it can legitimately
+	// overtake DATA chunks, so classify it before enforcing ordering —
+	// otherwise the caller sees a bogus sequence-gap error instead of
+	// why the peer actually aborted.
+	if typ == ChunkError {
+		a.err = &PeerError{Msg: string(truncateOnRune(body, MaxErrorPayload))}
+		return nil, false, a.err
+	}
 	if seq != a.next {
 		a.err = fmt.Errorf("record: chunk sequence %d, want %d (lost, replayed, or reordered chunk)", seq, a.next)
 		return nil, false, a.err
@@ -168,12 +196,6 @@ func (a *Assembler) Accept(rec []byte) (payload []byte, fin bool, err error) {
 		a.next++
 		a.fin = true
 		return nil, true, nil
-	case ChunkError:
-		if len(body) > MaxErrorPayload {
-			body = body[:MaxErrorPayload]
-		}
-		a.err = &PeerError{Msg: string(body)}
-		return nil, false, a.err
 	default:
 		a.err = fmt.Errorf("record: unknown chunk type %d", typ)
 		return nil, false, a.err

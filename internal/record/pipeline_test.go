@@ -1,0 +1,221 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// pipeRoundTrip pushes payloads through a seal pipeline into an
+// in-memory wire, then pulls them back through an open pipeline, and
+// returns the reassembled byte stream.
+func pipeRoundTrip(t *testing.T, workers, window int, payloads [][]byte) []byte {
+	t.Helper()
+	p, q := newTestPair(t)
+	var wire bytes.Buffer
+	var wireMu sync.Mutex
+	sink := func(frames [][]byte) error {
+		wireMu.Lock()
+		defer wireMu.Unlock()
+		for _, f := range frames {
+			wire.Write(f)
+		}
+		return nil
+	}
+	pl := NewPipeline(p, workers, window, sink)
+	hr := Headroom(p)
+	for _, pt := range payloads {
+		buf := Get(hr + len(pt) + p.WrapOverhead())
+		copy(buf.B[hr:], pt)
+		if err := pl.Submit(buf, len(pt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	op := NewOpenPipeline(q, workers, window)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for {
+			pt, buf, ok, err := op.Next()
+			if err != nil {
+				done <- err
+				return
+			}
+			if !ok {
+				return
+			}
+			out.Write(pt)
+			buf.Free()
+		}
+	}()
+	for {
+		token, buf, err := ReadSealed(&wire, 0, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Submit(token, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op.CloseSubmit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// The pipeline must reproduce exactly the byte stream the serial path
+// would have: submission order == wire order == delivery order, across
+// worker counts and window sizes.
+func TestPipelineRoundTripOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var payloads [][]byte
+	var want bytes.Buffer
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(8 << 10)
+		pt := make([]byte, n)
+		rng.Read(pt)
+		payloads = append(payloads, pt)
+		want.Write(pt)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, window := range []int{1, 3, 16} {
+			got := pipeRoundTrip(t, workers, window, payloads)
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("workers=%d window=%d: stream corrupted (%d vs %d bytes)",
+					workers, window, len(got), want.Len())
+			}
+		}
+	}
+}
+
+// A sink failure poisons the pipeline: later Submits fail, Close
+// reports the error, and every in-flight buffer is freed (balanced
+// pool accounting).
+func TestPipelineSinkFailurePoisons(t *testing.T) {
+	p := selfPair(t)
+	sinkErr := errors.New("wire down")
+	calls := 0
+	pl := NewPipeline(p, 2, 4, func([][]byte) error {
+		calls++
+		return sinkErr
+	})
+	hr := Headroom(p)
+	var submitErr error
+	for i := 0; i < 64; i++ {
+		buf := Get(hr + 100 + p.WrapOverhead())
+		if err := pl.Submit(buf, 100); err != nil {
+			submitErr = err
+			break
+		}
+	}
+	if err := pl.Close(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Close() = %v", err)
+	}
+	if submitErr != nil && !errors.Is(submitErr, sinkErr) {
+		t.Fatalf("Submit surfaced %v", submitErr)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after failing", calls)
+	}
+}
+
+// A tampered record fails the open pipeline with the AEAD error, not a
+// hang or a reorder.
+func TestOpenPipelineTamperRejected(t *testing.T) {
+	p, q := newTestPair(t)
+	var wire bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := SealAndWrite(&wire, p, []byte(fmt.Sprintf("record %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := wire.Bytes()
+	raw[len(raw)-1] ^= 0x40 // corrupt the last record's tag
+
+	op := NewOpenPipeline(q, 2, 4)
+	var firstErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			_, buf, ok, err := op.Next()
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			buf.Free()
+		}
+	}()
+	r := bytes.NewReader(raw)
+	for {
+		token, buf, err := ReadSealed(r, 0, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Submit(token, buf); err != nil {
+			break
+		}
+	}
+	op.CloseSubmit()
+	<-done
+	if firstErr == nil {
+		t.Fatal("tampered record crossed the open pipeline")
+	}
+}
+
+// Interleaved pipelined records decrypt on the peer's *serial* path
+// too: the pipeline changes scheduling, never the wire format.
+func TestPipelineWireCompatibleWithSerialRead(t *testing.T) {
+	p, q := newTestPair(t)
+	var wire bytes.Buffer
+	var mu sync.Mutex
+	pl := NewPipeline(p, 4, 8, func(frames [][]byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, f := range frames {
+			wire.Write(f)
+		}
+		return nil
+	})
+	hr := Headroom(p)
+	for i := 0; i < 50; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 1000+i)
+		buf := Get(hr + len(msg) + p.WrapOverhead())
+		copy(buf.B[hr:], msg)
+		if err := pl.Submit(buf, len(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pt, buf, err := Read(&wire, q, 0, 0)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if len(pt) != 1000+i || pt[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		buf.Free()
+	}
+}

@@ -216,6 +216,25 @@ func SealAndWrite(w io.Writer, p Protector, plaintext []byte) error {
 // actually arrive (the buffer grows through the size classes
 // incrementally).
 func Read(r io.Reader, p Protector, maxFrame, sizeHint int) ([]byte, *Buf, error) {
+	token, buf, err := ReadSealed(r, maxFrame, sizeHint)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, err := p.UnwrapInPlace(token)
+	if err != nil {
+		buf.Free()
+		return nil, nil, err
+	}
+	return pt, buf, nil
+}
+
+// ReadSealed reads one record's protection token without opening it,
+// returning the token view and the pooled Buf that backs it. It is the
+// frame half of Read, split out for the pipelined receive path: the
+// reader goroutine pulls sealed tokens off the wire in order while
+// worker goroutines do the cryptographic open. Caps and growth rules
+// match Read.
+func ReadSealed(r io.Reader, maxFrame, sizeHint int) ([]byte, *Buf, error) {
 	// The header is read into a pooled buffer (a stack array would
 	// escape through the io.Reader interface and cost an allocation per
 	// record), which small records then reuse as their payload buffer.
@@ -256,10 +275,5 @@ func Read(r io.Reader, p Protector, maxFrame, sizeHint int) ([]byte, *Buf, error
 		buf.Free()
 		buf = next
 	}
-	pt, err := p.UnwrapInPlace(buf.B[:n])
-	if err != nil {
-		buf.Free()
-		return nil, nil, err
-	}
-	return pt, buf, nil
+	return buf.B[:n], buf, nil
 }

@@ -2,9 +2,12 @@ package record
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/gridcrypto"
 )
@@ -97,6 +100,38 @@ func (p *testProtector) UnwrapInPlace(token []byte) ([]byte, error) {
 
 func (p *testProtector) WrapPrefix() int   { return 12 }
 func (p *testProtector) WrapOverhead() int { return 12 + gridcrypto.SealOverhead }
+
+// Explicit-sequence half: testProtector is a PipelinedProtector too.
+
+func (p *testProtector) ReserveWrap() (uint64, error) { return p.sealer.Reserve() }
+
+func (p *testProtector) WrapAtInto(seq uint64, dst, plaintext []byte) ([]byte, error) {
+	off := len(dst)
+	var hdr [12]byte
+	dst = append(dst, hdr[:]...)
+	out := p.sealer.SealAtInto(seq, dst, plaintext, testAAD)
+	binary.BigEndian.PutUint64(out[off:], seq)
+	binary.BigEndian.PutUint32(out[off+8:], uint32(len(out)-off-12))
+	return out, nil
+}
+
+func (p *testProtector) ReserveUnwrap(token []byte) (uint64, []byte, error) {
+	if len(token) < 12 {
+		return 0, nil, errors.New("short token")
+	}
+	seq := binary.BigEndian.Uint64(token)
+	if n := binary.BigEndian.Uint32(token[8:]); int(n) != len(token)-12 {
+		return 0, nil, errors.New("bad token length")
+	}
+	if err := p.opener.Advance(seq); err != nil {
+		return 0, nil, err
+	}
+	return seq, token[12:], nil
+}
+
+func (p *testProtector) UnwrapAtInPlace(seq uint64, ct []byte) ([]byte, error) {
+	return p.opener.OpenAtInPlace(seq, ct, testAAD)
+}
 
 func TestPoolClasses(t *testing.T) {
 	for _, n := range []int{0, 1, 511, 512, 513, 4096, 64 << 10, DefaultChunkSize + 41, 1 << 20, 4 << 20} {
@@ -303,6 +338,71 @@ func TestErrorChunkSurfacesAsPeerError(t *testing.T) {
 	var pe *PeerError
 	if !errors.As(err, &pe) || pe.Msg != "disk on fire" {
 		t.Fatalf("error chunk: %v", err)
+	}
+}
+
+// Regression: an ERROR chunk whose sequence number is ahead of the
+// assembler's cursor (as happens when the abort overtakes DATA chunks
+// on out-of-order carriage) must surface the peer's abort reason, not a
+// bogus "lost, replayed, or reordered chunk" sequence error.
+func TestErrorChunkAheadOfSequenceSurfacesPeerError(t *testing.T) {
+	var a Assembler
+	// Sender shipped DATA 0,1,2 then ERROR at seq 3; the receiver sees
+	// the ERROR first.
+	abort := AppendChunk(nil, ChunkError, 3, []byte("quota exceeded"))
+	_, _, err := a.Accept(abort)
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("racing ERROR chunk misclassified: %v", err)
+	}
+	if pe.Msg != "quota exceeded" {
+		t.Fatalf("abort reason corrupted: %q", pe.Msg)
+	}
+	// The stream stays poisoned with the same peer error.
+	if _, _, err := a.Accept(AppendChunk(nil, ChunkData, 0, []byte("x"))); !errors.As(err, &pe) {
+		t.Fatalf("poisoning lost the peer error: %v", err)
+	}
+}
+
+// Regression: AppendError used to truncate the abort message at a raw
+// byte offset, splitting a multi-byte UTF-8 rune so the receiver got an
+// invalid string. The cap must land on a rune boundary, on both the
+// send-side truncation and the assembler's mirror cap.
+func TestErrorMessageTruncatesOnRuneBoundary(t *testing.T) {
+	// "на" etc: 2-byte runes; build a message whose MaxErrorPayload'th
+	// byte lands mid-rune.
+	// 2047 two-byte runes (4094 bytes) + "x" (1) puts the next "д" at
+	// bytes 4095-4096: the MaxErrorPayload cut at 4096 lands mid-rune.
+	msg := strings.Repeat("д", MaxErrorPayload/2-1) + "xдд"
+	if n := len(msg); n != MaxErrorPayload+3 {
+		t.Fatalf("test construction: %d bytes", n)
+	}
+	var s ChunkSender
+	rec, err := s.AppendError(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, body, err := ParseChunk(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) > MaxErrorPayload {
+		t.Fatalf("cap not enforced: %d bytes", len(body))
+	}
+	if !utf8.Valid(body) {
+		t.Fatalf("send-side truncation split a rune: % x", body[len(body)-4:])
+	}
+	// Mirror cap on the assembler: a hostile over-long ERROR record is
+	// capped without manufacturing invalid UTF-8 from a valid message.
+	var a Assembler
+	hostile := AppendChunk(nil, ChunkError, 0, []byte(msg))
+	_, _, err = a.Accept(hostile)
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatal(err)
+	}
+	if len(pe.Msg) > MaxErrorPayload || !utf8.ValidString(pe.Msg) {
+		t.Fatalf("assembler cap split a rune: %d bytes", len(pe.Msg))
 	}
 }
 

@@ -2,6 +2,7 @@ package gsi
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/gss"
@@ -61,6 +62,11 @@ type settings struct {
 
 	// streamHandler receives streams opened by peers (Server option).
 	streamHandler StreamHandler
+
+	// stripes is the parallel-stripe count OpenStripedStream fans a
+	// stream over (client option; 0/1 = single stream). Deliberately not
+	// part of the pool key: stripe sessions are ordinary pooled sessions.
+	stripes int
 
 	// Credential lifecycle. credman makes a Client's credential dynamic;
 	// the renew* knobs tune a CredentialManager under construction.
@@ -262,6 +268,22 @@ func WithStreamHandler(h StreamHandler) Option {
 			return errors.New("gsi: nil stream handler")
 		}
 		s.streamHandler = h
+		return nil
+	}
+}
+
+// WithStripes sets the parallel-stripe count for
+// Client.OpenStripedStream: the stream is fanned over k secured
+// sessions (checked out of the pool on a pooling client), each stripe
+// sealing and writing on its own connection so k stripes drive up to k
+// cores. 1 falls back to the single-stream path; requires the GT2
+// transport.
+func WithStripes(k int) Option {
+	return func(s *settings) error {
+		if k < 1 || k > maxStripes {
+			return fmt.Errorf("gsi: stripe count %d outside [1,%d]", k, maxStripes)
+		}
+		s.stripes = k
 		return nil
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/authz"
@@ -82,20 +83,22 @@ func (c *Client) OpenStream(ctx context.Context, endpoint, op string, opts ...Op
 }
 
 // ownedStream couples a stream to the session checkout that carries it.
+// closed is atomic because the docs require Close even after errors, so
+// a reader and a writer goroutine can legitimately race into it.
 type ownedStream struct {
 	Stream
 	sess   Session
-	closed bool
+	closed atomic.Bool
 }
 
+// Close terminates the stream and releases the session. Both halves can
+// fail independently — a stream-side failure must not mask a pool-side
+// release failure (or vice versa), so the errors are joined.
 func (o *ownedStream) Close() error {
-	if o.closed {
+	if o.closed.Swap(true) {
 		return nil
 	}
-	o.closed = true
-	err := o.Stream.Close()
-	o.sess.Close()
-	return err
+	return errors.Join(o.Stream.Close(), o.sess.Close())
 }
 
 // --- GT2: chunk records on the connection's record stream ---------------

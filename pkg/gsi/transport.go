@@ -302,6 +302,9 @@ func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (
 	serveCtx, cancel := context.WithCancel(ctx)
 	listener := gsitransport.NewListener(inner, cfg.Context)
 	ep := &gt2Endpoint{addr: inner.Addr().String(), cancel: cancel, listener: listener}
+	// The stripe-group registry is endpoint-scoped: striped opens on
+	// different connections of this endpoint rendezvous through it.
+	groups := newStripeGroups()
 	go func() {
 		for {
 			conn, err := listener.AcceptContext(serveCtx)
@@ -311,7 +314,7 @@ func (t gt2Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (
 				}
 				continue // a failed handshake must not stop the acceptor
 			}
-			go serveGT2Conn(serveCtx, conn, cfg)
+			go serveGT2Conn(serveCtx, conn, cfg, groups)
 		}
 	}()
 	return ep, nil
@@ -342,7 +345,7 @@ const maxInternedOps = 1024
 // buffer, valid only for the duration of the call — handlers that
 // retain it must copy (returning it, as an echo handler does, is safe:
 // the reply is sealed before the buffer is reused).
-func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig) {
+func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, groups *stripeGroups) {
 	defer conn.Close()
 	stop := conn.CloseOnDone(ctx)
 	defer stop()
@@ -382,6 +385,12 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig)
 		}
 		if op == streamOpenOp {
 			if !serveGT2Stream(ctx, conn, cfg, peer, authorizer, string(body), rbuf) {
+				return
+			}
+			continue
+		}
+		if op == stripedOpenOp {
+			if !serveGT2StripedOpen(ctx, conn, cfg, peer, authorizer, groups, body, rbuf) {
 				return
 			}
 			continue

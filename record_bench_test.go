@@ -294,3 +294,44 @@ func BenchmarkStreamTransfer64M(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStripedTransfer64M: the PR 7 multicore path — the same
+// 64 MiB as a striped gridftp PUT over 4 parallel data connections,
+// each sealing and opening on its own goroutine. On a multicore host
+// the stripes run on separate cores and wall clock drops toward 1/K of
+// the single-stream path; on a single-core host (this CI box has one
+// vCPU) it measures the same per-byte work plus coordination, so treat
+// cross-machine comparisons accordingly (see DESIGN.md).
+func BenchmarkStripedTransfer64M(b *testing.B) {
+	world := newBenchFTPWorld(b)
+	policy := authz.NewPolicy(authz.DenyOverrides).Add(authz.Rule{
+		Effect:   authz.EffectPermit,
+		Subjects: []string{"/O=Grid/CN=Alice"},
+		Actions:  []string{"read", "write", "delete", "list"},
+	})
+	srv, err := gridftp.NewServer("127.0.0.1:0", gridftp.NewStore(policy), world.host, world.trust)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := gridftp.Dial(srv.Addr(), world.alice, world.trust, srv.Identity())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	data := transferPayload()
+	settleHeap()
+	b.SetBytes(transferSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := -1; i < b.N; i++ {
+		if i == 0 {
+			settleHeap()
+			b.ResetTimer()
+		}
+		if err := client.PutStriped("/bench", 4, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
