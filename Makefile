@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry gate-allocs fmt
+.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry bench-trace gate-allocs fmt
 
 ## ci: the tier-1 gate — format check, vet, build, test (plus the
 ## GOMAXPROCS matrix over the striped data plane: the same tests must
@@ -118,14 +118,27 @@ bench-telemetry:
 	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0' > BENCH_telemetry.json
 	@cat BENCH_telemetry.json
 
+## bench-trace: record the tracing plane's data points into
+## BENCH_trace.json — the pooled exchange with tracing compiled in but
+## disabled (allocs/op gate ≤ 2: the nil-tracer checks must be free),
+## the traced exchange (overhead stays visible, not gated), and the
+## span start/end micro benchmark (0 allocs/op from the span pool).
+bench-trace:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeTracingDisabled$$|^BenchmarkExchangeTraced$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkSpanStartEnd$$' -benchmem ./internal/trace ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeTracingDisabled=2,SpanStartEnd=0' > BENCH_trace.json
+	@cat BENCH_trace.json
+
 ## gate-allocs: the fast CI regression gate — steady-state pooled
-## Exchange must stay ≤ 2 allocs/op with and without metrics attached,
-## the idle probe at 0, and the telemetry hot paths at 0.
+## Exchange must stay ≤ 2 allocs/op with metrics attached and with
+## tracing compiled in but disabled, the idle probe at 0, and the
+## telemetry and span-lifecycle hot paths at 0.
 gate-allocs:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$|^BenchmarkExchangeInstrumented$$' -benchmem ./pkg/gsi ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; } \
-	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0' > /dev/null
+	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$|^BenchmarkExchangeInstrumented$$|^BenchmarkExchangeTracingDisabled$$' -benchmem ./pkg/gsi ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkSpanStartEnd$$' -benchmem ./internal/trace ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0,ExchangeTracingDisabled=2,SpanStartEnd=0' > /dev/null
 
 ## fmt: rewrite files in place.
 fmt:

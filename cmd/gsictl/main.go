@@ -15,6 +15,13 @@
 //	gsictl drain  [-dir DIR] [-cred NAME]
 //	gsictl reload [-dir DIR] [-cred NAME]
 //	gsictl retire [-dir DIR] [-cred NAME] FINGERPRINT
+//	gsictl traces [-dir DIR] [-cred NAME] [-n N] [-op OP] [-peer DN] [-errors] [-trace HEXID]
+//	gsictl transfers [-dir DIR] [-cred NAME]
+//
+// traces queries the server's flight recorder: slowest-N spans by
+// default, filterable by op name, peer DN substring, errors-only, or a
+// single full trace by id. transfers lists the bulk transfers in
+// flight right now (op, peer, bytes so far, stripes, elapsed).
 //
 // The serve process runs until SIGINT/SIGTERM, then drains gracefully:
 // the endpoint closes (taking the reload watcher and metrics listener
@@ -30,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -62,7 +70,7 @@ func main() {
 	switch cmd {
 	case "serve":
 		runServe(args)
-	case "stats", "metrics", "drain", "reload", "retire":
+	case "stats", "metrics", "drain", "reload", "retire", "traces", "transfers":
 		runAdminOp(cmd, args)
 	default:
 		usage()
@@ -70,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire|traces|transfers [flags] [args]")
 	os.Exit(2)
 }
 
@@ -142,6 +150,7 @@ func runServe(args []string) {
 		gsi.WithLocalPolicy(pol),
 		gsi.WithGridMap(gm),
 		gsi.WithMetrics(reg),
+		gsi.WithTracing(),
 		gsi.WithAdmin(),
 		gsi.WithAdminPool(pool),
 		gsi.WithReload(gsi.ReloadConfig{
@@ -183,6 +192,7 @@ func runServe(args []string) {
 	}
 	fmt.Printf("  bundle     %s\n", *dir)
 	fmt.Printf("  admin via  gsictl stats -dir %s\n", *dir)
+	fmt.Printf("  tracing    on — gsictl traces -dir %s (flight recorder), gsictl transfers\n", *dir)
 	fmt.Printf("edit %s/policy.json or %s/gridmap and watch them apply live; ^C drains and exits\n", *dir, *dir)
 
 	<-ctx.Done()
@@ -257,6 +267,16 @@ func runAdminOp(cmd string, args []string) {
 	dir := fs.String("dir", defaultDir(), "bundle directory written by gsictl serve")
 	credName := fs.String("cred", "admin", "credential to authenticate with: admin or user")
 	timeout := fs.Duration("timeout", 10*time.Second, "call deadline")
+	var traceN *int
+	var traceOp, tracePeer, traceID *string
+	var traceErrs *bool
+	if cmd == "traces" {
+		traceN = fs.Int("n", 0, "return the slowest N spans (0 = server default)")
+		traceOp = fs.String("op", "", "filter by exact span op name")
+		tracePeer = fs.String("peer", "", "filter by peer DN substring")
+		traceErrs = fs.Bool("errors", false, "errored spans only")
+		traceID = fs.String("trace", "", "select one full trace by hex id (spans in start order)")
+	}
 	fs.Parse(args)
 
 	var op string
@@ -276,6 +296,21 @@ func runAdminOp(cmd string, args []string) {
 		}
 		op = ogsa.AdminOpRetire
 		body = []byte(fs.Arg(0))
+	case "traces":
+		op = ogsa.AdminOpTraces
+		q := struct {
+			N          int    `json:"n,omitempty"`
+			Op         string `json:"op,omitempty"`
+			Peer       string `json:"peer,omitempty"`
+			ErrorsOnly bool   `json:"errors_only,omitempty"`
+			Trace      string `json:"trace,omitempty"`
+		}{*traceN, *traceOp, *tracePeer, *traceErrs, *traceID}
+		var err error
+		if body, err = json.Marshal(q); err != nil {
+			log.Fatal(err)
+		}
+	case "transfers":
+		op = ogsa.AdminOpTransfers
 	}
 
 	roots, err := gridcert.DecodeChain(mustRead(filepath.Join(*dir, "roots")))

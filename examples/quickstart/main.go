@@ -333,4 +333,54 @@ func main() {
 	}
 	fmt.Printf("12. striped %d MiB upload over 4 parallel stripe sessions (FIN trailers rule out truncation)\n",
 		atomic.LoadInt64(&received)>>20)
+
+	// 13. End-to-end tracing: WithTracing on both ends gives every
+	// exchange one causally linked trace whose 25-byte context crosses
+	// the wire (GT2 framing trailer, GT3 SOAP header), so the client's
+	// root span and the server's exchange/authz spans share a trace id.
+	// The bounded flight recorder answers "why was that call slow"
+	// live, slowest-first — `gsictl traces` runs this exact query over
+	// the secure admin channel. Here one deliberately slow call stands
+	// out of a small burst and its trace is followed across both sides.
+	// (Step 11's live swap left `local` deny-all; trace under a fresh permit.)
+	tracePolicy := gsi.NewPolicy(gsi.Rule{
+		ID:        "allow-alice-traced",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{alice.Identity().String()},
+		Resources: []string{"ogsa:gsi.exchange"},
+		Actions:   []string{"*"},
+	})
+	traceServer, err := env.NewServer(gridftp,
+		gsi.WithLocalPolicy(tracePolicy), gsi.WithGridMap(gridmap),
+		gsi.WithTracing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	traceEP, err := traceServer.Serve(ctx, "127.0.0.1:0",
+		func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+			if op == "slow" {
+				time.Sleep(150 * time.Millisecond) // the call an operator would hunt
+			}
+			return body, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer traceEP.Close()
+	traced, err := env.NewClient(aliceProxy, gsi.WithSessionPool(nil), gsi.WithTracing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer traced.Pool().Close()
+	for _, op := range []string{"echo", "echo", "echo", "slow"} {
+		if _, err := traced.Exchange(ctx, traceEP.Addr(), op, []byte("traced")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	slowest := traceServer.Tracer().Recorder().Snapshot(gsi.TraceQuery{Op: "server.exchange", N: 1})[0]
+	tid := slowest.TraceID.String()
+	clientSide := traced.Tracer().Recorder().Snapshot(gsi.TraceQuery{TraceID: tid, N: 20})
+	serverSide := traceServer.Tracer().Recorder().Snapshot(gsi.TraceQuery{TraceID: tid, N: 20})
+	fmt.Printf("13. slowest server span: %s %.0fms peer=%s — trace %s… links %d client + %d server span(s) across the wire\n",
+		slowest.Op, float64(slowest.Duration.Milliseconds()), slowest.Peer, tid[:8], len(clientSide), len(serverSide))
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gss"
 	"repro/internal/proxy"
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // Server is a GridFTP endpoint: a secured listener in front of a Store.
@@ -32,6 +33,10 @@ type Server struct {
 	// data connections (keyed by transfer token).
 	xmu   sync.Mutex
 	xfers map[string]*stripeXfer
+
+	// tracer, when set via SetTracer, spans every transfer and feeds
+	// the active-transfer registry. Nil disables.
+	tracer *trace.Tracer
 }
 
 // NewServer starts a GridFTP server on addr ("127.0.0.1:0" for tests).
@@ -108,17 +113,18 @@ func (s *Server) serve(conn *gsitransport.Conn) {
 			conn.Send(encodeReply(opErr, "", []byte(err.Error())))
 			return
 		}
+		payload, rctx := splitTrace(verb, payload)
 		switch verb {
 		case opGetS:
-			if !s.serveGet(ctx, conn, identity, path, payload) {
+			if !s.serveGet(ctx, conn, identity, path, payload, rctx) {
 				return
 			}
 		case opPutS:
-			if !s.servePut(ctx, conn, identity, path, payload) {
+			if !s.servePut(ctx, conn, identity, path, payload, rctx) {
 				return
 			}
 		case opJoin:
-			if !s.serveJoin(conn, identity, payload) {
+			if !s.serveJoin(conn, identity, payload, rctx) {
 				return
 			}
 		default:
@@ -133,25 +139,38 @@ func (s *Server) serve(conn *gsitransport.Conn) {
 // chunk records straight out of the store (the seal is the only pass
 // over the data). A stripe-marked payload diverts to the parallel
 // striped path. Returns false when the connection is unusable.
-func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte) bool {
+func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte, rctx trace.SpanContext) bool {
 	if k, ok := decodeStripeGetReq(payload); ok {
-		return s.serveGetStriped(ctx, conn, identity, path, k)
+		return s.serveGetStriped(ctx, conn, identity, path, k, rctx)
 	}
+	sp := s.tracer.StartRemote(rctx, "gridftp.server.get")
+	sp.SetPeer(identity.String())
 	data, err := s.store.Open(identity, path)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
+	xfer := s.tracer.Transfers().Begin("get:"+path, identity.String(), 1, sp.Context().TraceID)
+	done := func(err error) bool {
+		sp.SetError(err)
+		sp.End()
+		xfer.End()
+		return err == nil
+	}
 	if err := conn.Send(encodeReply(opOK, path, nil)); err != nil {
-		return false
+		return done(err)
 	}
 	st := gsitransport.NewStream(ctx, conn)
 	if _, err := st.Write(data); err != nil {
 		// Mid-stream store-side failures would abort via CloseWithError;
 		// a transport failure here already broke the connection.
 		st.CloseWithError(err.Error())
-		return false
+		return done(err)
 	}
-	return st.CloseWrite() == nil
+	sp.AddBytes(int64(len(data)))
+	xfer.Add(int64(len(data)))
+	return done(st.CloseWrite())
 }
 
 // servePut answers a streamed PUT: authorize before inviting any data,
@@ -160,24 +179,36 @@ func (s *Server) serveGet(ctx context.Context, conn *gsitransport.Conn, identity
 // (bounded — a lying hint degrades to incremental growth, never to an
 // oversized trust-the-peer allocation). Returns false when the
 // connection is unusable.
-func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte) bool {
+func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, payload []byte, rctx trace.SpanContext) bool {
 	if k, hint, ok := decodeStripePutReq(payload); ok {
-		return s.servePutStriped(ctx, conn, identity, path, k, hint)
+		return s.servePutStriped(ctx, conn, identity, path, k, hint, rctx)
 	}
+	sp := s.tracer.StartRemote(rctx, "gridftp.server.put")
+	sp.SetPeer(identity.String())
 	// Fail-closed before the client ships a byte.
 	if err := s.store.authorize(identity, path, "write"); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
 	var hint int64
 	if len(payload) == 8 {
 		hint = int64(binary.BigEndian.Uint64(payload))
 	}
+	xfer := s.tracer.Transfers().Begin("put:"+path, identity.String(), 1, sp.Context().TraceID)
+	done := func(err error) {
+		sp.SetError(err)
+		sp.End()
+		xfer.End()
+	}
 	st := gsitransport.NewStream(ctx, conn)
 	if err := conn.Send(encodeReply(opOK, path, nil)); err != nil {
+		done(err)
 		return false
 	}
 	assembled, err := readAllStream(st, hint)
 	if err != nil {
+		done(err)
 		var peerErr *record.PeerError
 		if errors.As(err, &peerErr) {
 			// Clean client abort: the terminal record resynchronized the
@@ -186,9 +217,13 @@ func (s *Server) servePut(ctx context.Context, conn *gsitransport.Conn, identity
 		}
 		return false
 	}
+	sp.AddBytes(int64(len(assembled)))
+	xfer.Add(int64(len(assembled)))
 	if err := s.store.PutOwned(identity, path, assembled); err != nil {
+		done(err)
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
+	done(nil)
 	return conn.Send(encodeReply(opOK, path, nil)) == nil
 }
 
@@ -240,6 +275,7 @@ type Client struct {
 	trust      *gridcert.TrustStore
 	addr       string
 	expectHost gridcert.Name
+	tracer     *trace.Tracer // nil disables tracing (SetTracer)
 }
 
 // Dial connects and authenticates to a GridFTP server.
@@ -273,8 +309,10 @@ func (c *Client) roundTrip(verb, path string, payload []byte) ([]byte, error) {
 // the file as its chunks arrive. Close before issuing further commands
 // on the same client.
 type GetReader struct {
-	st  *gsitransport.Stream
-	err error
+	st   *gsitransport.Stream
+	err  error
+	sp   *trace.Span     // nil when untraced
+	xfer *trace.Transfer // nil when untraced
 }
 
 // Read returns file bytes, io.EOF at the end of a complete transfer,
@@ -288,11 +326,24 @@ func (g *GetReader) Read(p []byte) (int, error) {
 	if err != nil && err != io.EOF {
 		g.err = err
 	}
+	if n > 0 {
+		g.sp.AddBytes(int64(n))
+		g.xfer.Add(int64(n))
+	}
 	return n, err
+}
+
+// finishTrace ends the span and transfer registration exactly once.
+func (g *GetReader) finishTrace() {
+	g.sp.SetError(g.err)
+	g.sp.End()
+	g.xfer.End()
+	g.sp, g.xfer = nil, nil
 }
 
 // Close drains any unread remainder so the session is reusable.
 func (g *GetReader) Close() error {
+	defer g.finishTrace()
 	if g.err != nil {
 		g.st.Release()
 		return nil // already failed; connection state is settled
@@ -302,10 +353,18 @@ func (g *GetReader) Close() error {
 
 // GetStream starts a streamed GET of path.
 func (c *Client) GetStream(path string) (*GetReader, error) {
-	if _, err := c.roundTrip(opGetS, path, nil); err != nil {
+	sp := c.tracer.StartRoot("gridftp.get")
+	sp.SetPeer(c.expectHost.String())
+	if _, err := c.roundTrip(opGetS, path, traceSuffix(sp, nil)); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
-	return &GetReader{st: gsitransport.NewStream(context.Background(), c.conn)}, nil
+	return &GetReader{
+		st:   gsitransport.NewStream(context.Background(), c.conn),
+		sp:   sp,
+		xfer: c.tracer.Transfers().Begin("get:"+path, c.expectHost.String(), 1, sp.Context().TraceID),
+	}, nil
 }
 
 // GetTo fetches path, writing the content to w as it arrives, and
@@ -324,19 +383,24 @@ func (c *Client) GetTo(path string, w io.Writer) (int64, error) {
 
 // Get fetches a file into memory through the pipelined receive path.
 func (c *Client) Get(path string) ([]byte, error) {
-	if _, err := c.roundTrip(opGetS, path, nil); err != nil {
+	g, err := c.GetStream(path)
+	if err != nil {
 		return nil, err
 	}
-	st := gsitransport.NewStream(context.Background(), c.conn)
-	data, err := st.ReadAll(0)
+	data, err := g.st.ReadAll(0)
 	if err != nil {
-		st.Release()
+		g.err = err
+		g.st.Release()
+		g.finishTrace()
 		var peerErr *record.PeerError
 		if errors.As(err, &peerErr) {
 			return nil, fmt.Errorf("gridftp: server: %s", peerErr.Msg)
 		}
 		return nil, err
 	}
+	g.sp.AddBytes(int64(len(data)))
+	g.xfer.Add(int64(len(data)))
+	g.finishTrace()
 	return data, nil
 }
 
@@ -348,10 +412,26 @@ type PutWriter struct {
 	c    *Client
 	st   *gsitransport.Stream
 	done bool
+	sp   *trace.Span     // nil when untraced
+	xfer *trace.Transfer // nil when untraced
 }
 
 // Write ships file bytes as chunk records.
-func (w *PutWriter) Write(p []byte) (int, error) { return w.st.Write(p) }
+func (w *PutWriter) Write(p []byte) (int, error) {
+	n, err := w.st.Write(p)
+	if n > 0 {
+		w.sp.AddBytes(int64(n))
+		w.xfer.Add(int64(n))
+	}
+	return n, err
+}
+
+func (w *PutWriter) finishTrace(err error) {
+	w.sp.SetError(err)
+	w.sp.End()
+	w.xfer.End()
+	w.sp, w.xfer = nil, nil
+}
 
 // Close sends FIN and waits for the server's confirmation.
 func (w *PutWriter) Close() error {
@@ -361,9 +441,11 @@ func (w *PutWriter) Close() error {
 	w.done = true
 	defer w.st.Release()
 	if err := w.st.CloseWrite(); err != nil {
+		w.finishTrace(err)
 		return err
 	}
 	_, err := w.c.readReply()
+	w.finishTrace(err)
 	return err
 }
 
@@ -375,6 +457,7 @@ func (w *PutWriter) Abort(reason string) error {
 	}
 	w.done = true
 	defer w.st.Release()
+	w.finishTrace(errors.New(reason))
 	if err := w.st.CloseWithError(reason); err != nil {
 		return err
 	}
@@ -409,10 +492,19 @@ func (c *Client) PutStream(path string, sizeHint int64) (*PutWriter, error) {
 	if sizeHint > 0 {
 		payload = binary.BigEndian.AppendUint64(nil, uint64(sizeHint))
 	}
-	if _, err := c.roundTrip(opPutS, path, payload); err != nil {
+	sp := c.tracer.StartRoot("gridftp.put")
+	sp.SetPeer(c.expectHost.String())
+	if _, err := c.roundTrip(opPutS, path, traceSuffix(sp, payload)); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
-	return &PutWriter{c: c, st: gsitransport.NewStream(context.Background(), c.conn)}, nil
+	return &PutWriter{
+		c:    c,
+		st:   gsitransport.NewStream(context.Background(), c.conn),
+		sp:   sp,
+		xfer: c.tracer.Transfers().Begin("put:"+path, c.expectHost.String(), 1, sp.Context().TraceID),
+	}, nil
 }
 
 // PutFrom stores r's content at path, streaming as it reads, and

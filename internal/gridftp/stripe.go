@@ -15,6 +15,7 @@ import (
 	"repro/internal/gss"
 	"repro/internal/proxy"
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // Parallel striped transfers, GridFTP's signature move (paper §3): the
@@ -172,20 +173,27 @@ func (s *Server) abandonXfer(x *stripeXfer) bool {
 // serveJoin handles a JOIN on a data connection: validate the token,
 // bind the connection to its transfer, and park until the transfer
 // releases it. Reports whether the connection is still usable.
-func (s *Server) serveJoin(conn *gsitransport.Conn, identity gridcert.Name, payload []byte) bool {
+func (s *Server) serveJoin(conn *gsitransport.Conn, identity gridcert.Name, payload []byte, rctx trace.SpanContext) bool {
 	if len(payload) != stripeTokenLen+4 {
 		return conn.Send(encodeReply(opErr, "", []byte("gridftp: malformed JOIN"))) == nil
 	}
+	// The lane span continues the client's per-stripe context: it spans
+	// the stripe's whole tenure in the transfer, join to release.
+	sp := s.tracer.StartRemote(rctx, "gridftp.server.stripe")
+	sp.SetPeer(identity.String())
 	token := payload[:stripeTokenLen]
 	idx := int(binary.BigEndian.Uint32(payload[stripeTokenLen:]))
 	x, err := s.joinXfer(token, idx, identity, conn)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, "", []byte(err.Error()))) == nil
 	}
 	// From here the connection belongs to the transfer until done: even
 	// on a failed reply it must not be closed out from under it.
 	replyErr := conn.Send(encodeReply(opOK, "", nil))
 	<-x.done
+	sp.End()
 	return replyErr == nil && !conn.Broken()
 }
 
@@ -210,16 +218,23 @@ func (s *Server) awaitStripes(x *stripeXfer) bool {
 // a transfer token, wait for the JOINs, and stream the file over all
 // stripes at once. The control connection carries no further reply —
 // the data plane's FIN trailers are the completion signal.
-func (s *Server) serveGetStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int) bool {
+func (s *Server) serveGetStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int, rctx trace.SpanContext) bool {
+	sp := s.tracer.StartRemote(rctx, "gridftp.server.get")
+	sp.SetPeer(identity.String())
 	data, err := s.store.Open(identity, path)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
 	granted := clampStripes(k)
 	x, err := s.newXfer(identity, granted)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
+	xfer := s.tracer.Transfers().Begin("get:"+path, identity.String(), granted, sp.Context().TraceID)
 	grant := make([]byte, 4+8+stripeTokenLen)
 	binary.BigEndian.PutUint32(grant, uint32(granted))
 	binary.BigEndian.PutUint64(grant[4:], uint64(len(data)))
@@ -228,38 +243,63 @@ func (s *Server) serveGetStriped(ctx context.Context, conn *gsitransport.Conn, i
 		if s.abandonXfer(x) {
 			close(x.done)
 		} else {
-			s.runGetStripes(ctx, x, data)
+			s.runGetStripes(ctx, x, data, sp, xfer)
+			return false
 		}
+		sp.SetError(err)
+		sp.End()
+		xfer.End()
 		return false
 	}
 	if !s.awaitStripes(x) {
-		return conn.Send(encodeReply(opErr, path, []byte("gridftp: stripes never joined"))) == nil
+		err := errors.New("gridftp: stripes never joined")
+		sp.SetError(err)
+		sp.End()
+		xfer.End()
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
-	s.runGetStripes(ctx, x, data)
+	s.runGetStripes(ctx, x, data, sp, xfer)
 	return true
 }
 
-func (s *Server) runGetStripes(ctx context.Context, x *stripeXfer, data []byte) {
+func (s *Server) runGetStripes(ctx context.Context, x *stripeXfer, data []byte, sp *trace.Span, xfer *trace.Transfer) {
 	defer close(x.done)
+	defer xfer.End()
+	defer sp.End()
 	w := gsitransport.NewStripedWriter(ctx, x.conns)
 	if _, err := w.Write(data); err != nil {
+		sp.SetError(err)
 		w.CloseWithError(err.Error())
 		return
 	}
+	sp.AddBytes(int64(len(data)))
+	xfer.Add(int64(len(data)))
 	w.Close()
 }
 
 // servePutStriped answers a striped PUT: authorize before inviting any
 // data, grant stripes and a token, reassemble the inbound stripes, and
 // send the verdict on the control connection.
-func (s *Server) servePutStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int, hint uint64) bool {
+func (s *Server) servePutStriped(ctx context.Context, conn *gsitransport.Conn, identity gridcert.Name, path string, k int, hint uint64, rctx trace.SpanContext) bool {
+	sp := s.tracer.StartRemote(rctx, "gridftp.server.put")
+	sp.SetPeer(identity.String())
 	if err := s.store.authorize(identity, path, "write"); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
 	granted := clampStripes(k)
 	x, err := s.newXfer(identity, granted)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
+	}
+	xfer := s.tracer.Transfers().Begin("put:"+path, identity.String(), granted, sp.Context().TraceID)
+	done := func(err error) {
+		sp.SetError(err)
+		sp.End()
+		xfer.End()
 	}
 	grant := make([]byte, 4+stripeTokenLen)
 	binary.BigEndian.PutUint32(grant, uint32(granted))
@@ -270,22 +310,30 @@ func (s *Server) servePutStriped(ctx context.Context, conn *gsitransport.Conn, i
 		} else {
 			s.runPutStripes(ctx, x, hint)
 		}
+		done(err)
 		return false
 	}
 	if !s.awaitStripes(x) {
-		return conn.Send(encodeReply(opErr, path, []byte("gridftp: stripes never joined"))) == nil
+		err := errors.New("gridftp: stripes never joined")
+		done(err)
+		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
 	assembled, err := s.runPutStripes(ctx, x, hint)
 	if err != nil {
+		done(err)
 		var peerErr *record.PeerError
 		if errors.As(err, &peerErr) {
 			return conn.Send(encodeReply(opErr, path, []byte(peerErr.Msg))) == nil
 		}
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
+	sp.AddBytes(int64(len(assembled)))
+	xfer.Add(int64(len(assembled)))
 	if err := s.store.PutOwned(identity, path, assembled); err != nil {
+		done(err)
 		return conn.Send(encodeReply(opErr, path, []byte(err.Error()))) == nil
 	}
+	done(nil)
 	return conn.Send(encodeReply(opOK, path, nil)) == nil
 }
 
@@ -316,22 +364,36 @@ func (s *Server) runPutStripes(ctx context.Context, x *stripeXfer, hint uint64) 
 // stripe index. On failure every dialed connection is closed and the
 // pending control-connection verdict (the server's join-timeout ERR)
 // is consumed so the session stays synchronized.
-func (c *Client) dialStripes(granted int, token []byte) ([]*gsitransport.Conn, error) {
+func (c *Client) dialStripes(granted int, token []byte, sp *trace.Span) ([]*gsitransport.Conn, []*trace.Span, error) {
 	if granted < 1 || granted > maxTransferStripes || len(token) != stripeTokenLen {
-		return nil, errors.New("gridftp: malformed stripe grant")
+		return nil, nil, errors.New("gridftp: malformed stripe grant")
 	}
-	var conns []*gsitransport.Conn
-	fail := func(err error) ([]*gsitransport.Conn, error) {
+	var (
+		conns []*gsitransport.Conn
+		lanes []*trace.Span // per-stripe children of sp; nil entries never occur
+	)
+	fail := func(err error) ([]*gsitransport.Conn, []*trace.Span, error) {
 		for _, dc := range conns {
 			dc.Close()
+		}
+		for _, lane := range lanes {
+			lane.SetError(err)
+			lane.End()
 		}
 		// The server's control goroutine is waiting for the group; its
 		// join timeout will deliver an ERR we must not leave in the
 		// reply stream.
 		c.readReply()
-		return nil, err
+		return nil, nil, err
 	}
 	for i := 0; i < granted; i++ {
+		var lane *trace.Span
+		if sp != nil {
+			// Each JOIN carries its own lane context so the server's
+			// per-stripe spans parent under this lane, not the root.
+			lane = sp.StartChild("gridftp.stripe")
+			lanes = append(lanes, lane)
+		}
 		dc, err := gsitransport.Dial(c.addr, gss.Config{
 			Credential:   c.cred,
 			TrustStore:   c.trust,
@@ -344,7 +406,7 @@ func (c *Client) dialStripes(granted int, token []byte) ([]*gsitransport.Conn, e
 		payload := make([]byte, stripeTokenLen+4)
 		copy(payload, token)
 		binary.BigEndian.PutUint32(payload[stripeTokenLen:], uint32(i))
-		msg, err := encodeCmd(opJoin, "", payload)
+		msg, err := encodeCmd(opJoin, "", traceSuffix(lane, payload))
 		if err != nil {
 			return fail(err)
 		}
@@ -363,7 +425,7 @@ func (c *Client) dialStripes(granted int, token []byte) ([]*gsitransport.Conn, e
 			return fail(fmt.Errorf("gridftp: server: %s", rpayload))
 		}
 	}
-	return conns, nil
+	return conns, lanes, nil
 }
 
 // StripedGetReader is an in-flight striped GET: an io.ReadCloser
@@ -373,6 +435,9 @@ type StripedGetReader struct {
 	conns []*gsitransport.Conn
 	size  int64
 	err   error
+	sp    *trace.Span     // nil when untraced
+	lanes []*trace.Span   // per-stripe children, ended at Close
+	xfer  *trace.Transfer // nil when untraced
 }
 
 // Size is the transfer size the server announced in its grant.
@@ -389,12 +454,28 @@ func (g *StripedGetReader) Read(p []byte) (int, error) {
 	if err != nil && err != io.EOF {
 		g.err = err
 	}
+	if n > 0 {
+		g.sp.AddBytes(int64(n))
+		g.xfer.Add(int64(n))
+	}
 	return n, err
+}
+
+// finishTrace ends lanes, root span, and transfer registration once.
+func (g *StripedGetReader) finishTrace() {
+	for _, lane := range g.lanes {
+		lane.End()
+	}
+	g.sp.SetError(g.err)
+	g.sp.End()
+	g.xfer.End()
+	g.sp, g.lanes, g.xfer = nil, nil, nil
 }
 
 // Close drains any unread remainder, reaps the stripe readers, and
 // closes the data connections (they are transfer-scoped).
 func (g *StripedGetReader) Close() error {
+	defer g.finishTrace()
 	var drainErr error
 	if g.err == nil {
 		var scratch [4096]byte
@@ -423,23 +504,33 @@ func (g *StripedGetReader) Close() error {
 // GetStripedReader starts a striped GET of path over up to stripes
 // data connections (the server may grant fewer).
 func (c *Client) GetStripedReader(path string, stripes int) (*StripedGetReader, error) {
-	grant, err := c.roundTrip(opGetS, path, encodeStripeGetReq(stripes))
-	if err != nil {
+	sp := c.tracer.StartRoot("gridftp.get")
+	sp.SetPeer(c.expectHost.String())
+	fail := func(err error) (*StripedGetReader, error) {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
+	grant, err := c.roundTrip(opGetS, path, traceSuffix(sp, encodeStripeGetReq(stripes)))
+	if err != nil {
+		return fail(err)
+	}
 	if len(grant) != 4+8+stripeTokenLen {
-		return nil, errors.New("gridftp: malformed stripe grant")
+		return fail(errors.New("gridftp: malformed stripe grant"))
 	}
 	granted := int(binary.BigEndian.Uint32(grant))
 	size := int64(binary.BigEndian.Uint64(grant[4:12]))
-	conns, err := c.dialStripes(granted, grant[12:])
+	conns, lanes, err := c.dialStripes(granted, grant[12:], sp)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return &StripedGetReader{
 		r:     gsitransport.NewStripedReader(context.Background(), conns, 0),
 		conns: conns,
 		size:  size,
+		sp:    sp,
+		lanes: lanes,
+		xfer:  c.tracer.Transfers().Begin("get:"+path, c.expectHost.String(), granted, sp.Context().TraceID),
 	}, nil
 }
 
@@ -463,6 +554,8 @@ func (c *Client) GetStriped(path string, stripes int) ([]byte, error) {
 		}
 		return nil, err
 	}
+	g.sp.AddBytes(int64(len(data)))
+	g.xfer.Add(int64(len(data)))
 	g.Close()
 	return data, nil
 }
@@ -475,10 +568,30 @@ type StripedPutWriter struct {
 	w     *gsitransport.StripedWriter
 	conns []*gsitransport.Conn
 	done  bool
+	sp    *trace.Span     // nil when untraced
+	lanes []*trace.Span   // per-stripe children, ended at Close/Abort
+	xfer  *trace.Transfer // nil when untraced
 }
 
 // Write deals file bytes across the stripes.
-func (w *StripedPutWriter) Write(p []byte) (int, error) { return w.w.Write(p) }
+func (w *StripedPutWriter) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	if n > 0 {
+		w.sp.AddBytes(int64(n))
+		w.xfer.Add(int64(n))
+	}
+	return n, err
+}
+
+func (w *StripedPutWriter) finishTrace(err error) {
+	for _, lane := range w.lanes {
+		lane.End()
+	}
+	w.sp.SetError(err)
+	w.sp.End()
+	w.xfer.End()
+	w.sp, w.lanes, w.xfer = nil, nil, nil
+}
 
 // Close sends the FIN trailer on every stripe and waits for the
 // server's verdict.
@@ -493,8 +606,10 @@ func (w *StripedPutWriter) Close() error {
 		dc.Close()
 	}
 	if rerr != nil {
+		w.finishTrace(rerr)
 		return rerr
 	}
+	w.finishTrace(werr)
 	return werr
 }
 
@@ -506,6 +621,7 @@ func (w *StripedPutWriter) Abort(reason string) error {
 		return nil
 	}
 	w.done = true
+	w.finishTrace(errors.New(reason))
 	w.w.CloseWithError(reason)
 	_, rerr := w.c.readReply()
 	for _, dc := range w.conns {
@@ -524,22 +640,32 @@ func (c *Client) PutStripedWriter(path string, stripes int, sizeHint int64) (*St
 	if sizeHint > 0 {
 		hint = uint64(sizeHint)
 	}
-	grant, err := c.roundTrip(opPutS, path, encodeStripePutReq(stripes, hint))
-	if err != nil {
+	sp := c.tracer.StartRoot("gridftp.put")
+	sp.SetPeer(c.expectHost.String())
+	fail := func(err error) (*StripedPutWriter, error) {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
+	}
+	grant, err := c.roundTrip(opPutS, path, traceSuffix(sp, encodeStripePutReq(stripes, hint)))
+	if err != nil {
+		return fail(err)
 	}
 	if len(grant) != 4+stripeTokenLen {
-		return nil, errors.New("gridftp: malformed stripe grant")
+		return fail(errors.New("gridftp: malformed stripe grant"))
 	}
 	granted := int(binary.BigEndian.Uint32(grant))
-	conns, err := c.dialStripes(granted, grant[4:])
+	conns, lanes, err := c.dialStripes(granted, grant[4:], sp)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return &StripedPutWriter{
 		c:     c,
 		w:     gsitransport.NewStripedWriter(context.Background(), conns),
 		conns: conns,
+		sp:    sp,
+		lanes: lanes,
+		xfer:  c.tracer.Transfers().Begin("put:"+path, c.expectHost.String(), granted, sp.Context().TraceID),
 	}, nil
 }
 

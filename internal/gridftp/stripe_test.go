@@ -228,7 +228,7 @@ func TestStripedTokenBoundToIdentity(t *testing.T) {
 	}
 
 	// Alice still completes her transfer normally.
-	conns, err := c.dialStripes(2, token)
+	conns, _, err := c.dialStripes(2, token, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

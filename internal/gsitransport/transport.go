@@ -162,6 +162,13 @@ type Conn struct {
 	// Accounting for experiment E6.
 	handshakeMsgs  int
 	handshakeBytes int
+
+	// Handshake timing, stashed for the tracing layer: a connection's
+	// establishment happens before any exchange names a trace, so the
+	// facade emits the handshake span retroactively — under the first
+	// traced operation on the connection — from these.
+	hsStart time.Time
+	hsDur   time.Duration
 }
 
 // HandshakeStats reports the message and byte cost of establishment.
@@ -210,7 +217,8 @@ func ClientContext(ctx context.Context, raw net.Conn, cfg gss.Config) (*Conn, er
 	if err != nil {
 		return nil, err
 	}
-	gss.ObserveHandshake(time.Since(start))
+	c.hsStart, c.hsDur = start, time.Since(start)
+	gss.ObserveHandshake(c.hsDur)
 	return c, nil
 }
 
@@ -253,8 +261,15 @@ func ServerContext(ctx context.Context, raw net.Conn, cfg gss.Config) (*Conn, er
 	if err != nil {
 		return nil, err
 	}
-	gss.ObserveHandshake(time.Since(start))
+	c.hsStart, c.hsDur = start, time.Since(start)
+	gss.ObserveHandshake(c.hsDur)
 	return c, nil
+}
+
+// HandshakeTiming returns when establishment began and how long it
+// took — the tracing layer's source for retroactive handshake spans.
+func (c *Conn) HandshakeTiming() (start time.Time, d time.Duration) {
+	return c.hsStart, c.hsDur
 }
 
 func (c *Conn) writeToken(tok []byte) error {

@@ -42,6 +42,14 @@ const (
 	// configuration file (trust roots, CRLs, gridmap, policy),
 	// regardless of mtime. Body: empty.
 	AdminOpReload = "Reload"
+	// AdminOpTraces queries the flight recorder: recent spans filtered
+	// and ranked server-side (slowest-N, by-op, by-peer-DN,
+	// errors-only, or one full trace). Body: a JSON query object
+	// (empty body = defaults).
+	AdminOpTraces = "Traces"
+	// AdminOpTransfers lists the in-flight bulk transfers (op, peer DN,
+	// bytes moved so far, stripe count, start time). Body: empty.
+	AdminOpTransfers = "Transfers"
 )
 
 // AdminBackend is what the admin port type fronts. pkg/gsi implements
@@ -60,6 +68,10 @@ type AdminBackend interface {
 	// AdminReload forces a configuration reload and reports per-source
 	// outcomes; a source failing keeps its previous state live.
 	AdminReload() ([]byte, error)
+	// AdminTraces answers a flight-recorder query (JSON in, JSON out).
+	AdminTraces(query []byte) ([]byte, error)
+	// AdminTransfers lists active bulk transfers as JSON.
+	AdminTransfers() ([]byte, error)
 }
 
 // AdminConfig assembles an AdminService.
@@ -152,6 +164,12 @@ func (s *AdminService) Invoke(call *Call) ([]byte, error) {
 	case AdminOpReload:
 		s.audit("admin-reload", subject, "")
 		return s.cfg.Backend.AdminReload()
+	case AdminOpTraces:
+		s.audit("admin-traces", subject, "")
+		return s.cfg.Backend.AdminTraces(call.Body)
+	case AdminOpTransfers:
+		s.audit("admin-transfers", subject, "")
+		return s.cfg.Backend.AdminTransfers()
 	default:
 		return nil, fmt.Errorf("ogsa: admin port type has no op %q", call.Op)
 	}

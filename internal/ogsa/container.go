@@ -12,6 +12,7 @@ import (
 	"repro/internal/gridcert"
 	"repro/internal/gss"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/wssec"
 	"repro/internal/xmlsec"
 )
@@ -253,10 +254,24 @@ func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, pe
 	}
 	handle, op := rest[:slash], rest[slash+1:]
 
+	// The trace header (when present and well-formed) joins this call
+	// to the caller's trace: the context rides the authorization
+	// context and the Call so downstream spans parent under it. The
+	// header is unauthenticated metadata — it influences telemetry
+	// only, never routing or authorization decisions.
+	authCtx := context.Background()
+	var tc trace.SpanContext
+	if h, ok := env.Header(trace.SOAPHeader); ok {
+		if sc, valid := trace.DecodeSpanContext(h.Content); valid {
+			tc = sc
+			authCtx = trace.ContextWithRemote(authCtx, sc)
+		}
+	}
+
 	// Authorization (Figure 3 step 5). The chain-aware hook sees the
 	// full peer and wins over the plain engine when both are set.
 	if c.cfg.ChainAuthorizer != nil {
-		account, err := c.cfg.ChainAuthorizer.AuthorizeChain(context.Background(), peer, "ogsa:"+handle, op)
+		account, err := c.cfg.ChainAuthorizer.AuthorizeChain(authCtx, peer, "ogsa:"+handle, op)
 		if err != nil {
 			c.audit("authz-deny", caller.Name.String(), handle+"/"+op)
 			return nil, fmt.Errorf("ogsa: %q denied %s on %s: %w", caller.Name, op, handle, err)
@@ -303,7 +318,7 @@ func (c *Container) route(env *soap.Envelope, prefix string, caller Identity, pe
 	if b, ok := svc.(interface{ Destroyed() bool }); ok && b.Destroyed() {
 		return nil, ErrServiceDestroyed
 	}
-	reply, err := svc.Invoke(&Call{Service: handle, Op: op, Body: env.Body, Caller: caller, Conversation: conversation})
+	reply, err := svc.Invoke(&Call{Service: handle, Op: op, Body: env.Body, Caller: caller, Conversation: conversation, Trace: tc})
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/gridcert"
+	"repro/internal/trace"
 )
 
 // Identity is the authenticated caller presented to services.
@@ -45,6 +46,11 @@ type Call struct {
 	// stateless per-message signature. Services that hand out live
 	// key material — the delegation port type — require it.
 	Conversation bool
+	// Trace is the caller's trace context, lifted off the envelope's
+	// trace header by the router (zero when the call is untraced).
+	// Services that start spans parent them under it so client and
+	// server spans share one trace id.
+	Trace trace.SpanContext
 }
 
 // Service is a Grid service: a named set of operations plus the standard

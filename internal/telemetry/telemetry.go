@@ -288,8 +288,11 @@ func validFamily(s string) bool {
 	return true
 }
 
-// validLabels accepts a literal {key="value",...} block. Values may not
-// contain unescaped quotes or newlines — callers bake escaped values in.
+// validLabels accepts a literal {key="value",...} block. Values follow
+// the exposition escaping rules — \\, \", and \n are the only escapes,
+// raw quotes and newlines are refused — and a DN value may legitimately
+// contain commas, so pairs cannot be split on raw commas: this is a
+// quote-aware scan, not a strings.Split.
 func validLabels(s string) bool {
 	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
 		return false
@@ -298,19 +301,58 @@ func validLabels(s string) bool {
 	if body == "" {
 		return false
 	}
-	for _, pair := range strings.Split(body, ",") {
-		k, v, ok := strings.Cut(pair, "=")
-		if !ok || !validFamily(k) {
+	i := 0
+	for {
+		// Key up to '='.
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 || !validFamily(body[i:i+eq]) {
 			return false
 		}
-		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+		i += eq + 1
+		// Quoted value with escape-aware traversal.
+		if i >= len(body) || body[i] != '"' {
 			return false
 		}
-		if strings.ContainsAny(v[1:len(v)-1], "\"\n") {
+		i++
+		closed := false
+		for i < len(body) {
+			switch body[i] {
+			case '\\':
+				if i+1 >= len(body) {
+					return false
+				}
+				switch body[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+				default:
+					return false
+				}
+			case '"':
+				closed = true
+				i++
+			case '\n':
+				return false
+			default:
+				i++
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
 			return false
+		}
+		if i == len(body) {
+			return true
+		}
+		if body[i] != ',' {
+			return false
+		}
+		i++
+		if i == len(body) {
+			return false // trailing comma
 		}
 	}
-	return true
 }
 
 // EscapeLabelValue escapes a string for use inside a label value

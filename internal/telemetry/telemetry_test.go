@@ -152,6 +152,72 @@ func TestEscapeLabelValue(t *testing.T) {
 	}
 }
 
+// TestHostileDNLabels pins the escape-aware label grammar on
+// DN-derived values: commas are ordinary characters inside a quoted
+// value (every DN has them), and escaped backslashes, quotes, and
+// newlines from EscapeLabelValue must be accepted — while their raw
+// forms stay refused. The PR 4 gridmap work can surface all three.
+func TestHostileDNLabels(t *testing.T) {
+	hostile := []string{
+		`/O=Grid,/OU=a"b,/CN=quote`,     // raw quote in the DN
+		`/O=Grid,/OU=back\slash,/CN=bs`, // raw backslash
+		"/O=Grid,/CN=new\nline",         // raw newline
+		`/O=Grid,/CN=plain comma DN`,    // commas only
+	}
+	for _, dn := range hostile {
+		name := `gsi_test_dn_total{id="` + EscapeLabelValue(dn) + `"}`
+		c := NewCounter(name, "Per-identity ops.") // must not panic
+		c.Inc()
+		r := NewRegistry()
+		r.MustRegister(c)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("DN %q: %v", dn, err)
+		}
+		got := b.String()
+		wantSeries := name + " 1\n"
+		if !strings.Contains(got, wantSeries) {
+			t.Errorf("DN %q: exposition missing %q:\n%s", dn, wantSeries, got)
+		}
+		// One sample line per series: the raw newline must have been
+		// escaped away, not split the line.
+		if lines := strings.Count(got, "\n"); lines != 3 {
+			t.Errorf("DN %q: exposition has %d lines, want 3 (HELP, TYPE, sample):\n%s", dn, lines, got)
+		}
+	}
+	// Raw (unescaped) hostile bytes in the label block stay refused.
+	for _, bad := range []string{
+		`x{id="raw"quote"}`,
+		"x{id=\"raw\nnewline\"}",
+		`x{id="trailing\"}`,
+		`x{id="bad\escape"}`,
+		`x{id="v",}`,
+		`x{id="v"extra}`,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("label block %q: expected panic", bad)
+				}
+			}()
+			NewCounter(bad, "")
+		}()
+	}
+	// A full DN from the gridmap path renders as one parseable series
+	// even when several identities share the family.
+	a := NewCounter(`gsi_peer_ops_total{id="`+EscapeLabelValue(`/O=Grid/CN=A\lice "The" 1st`)+`"}`, "h")
+	b2 := NewCounter(`gsi_peer_ops_total{id="`+EscapeLabelValue("/O=Grid/CN=Bob,OU=x")+`"}`, "h")
+	r := NewRegistry()
+	r.MustRegister(a, b2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(sb.String(), "gsi_peer_ops_total{"); c != 2 {
+		t.Fatalf("want 2 series under the family, got %d:\n%s", c, sb.String())
+	}
+}
+
 // The benchmark pair below rides the same cmd/bench2json -gate-allocs
 // mechanism as the record-layer gates: make gate-allocs pins both at 0
 // allocs/op.

@@ -1,0 +1,228 @@
+// The push exporter: for scrapeless deployments (batch workers behind
+// NAT, short-lived submit hosts) that cannot expose a /metrics
+// listener, spans and the metrics exposition are periodically POSTed
+// to a collector URL. The queue is bounded (oldest spans drop first —
+// a slow collector must not grow the process), delivery retries with
+// exponential backoff, and a final flush runs at Close.
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ExporterConfig parameterizes a push exporter.
+type ExporterConfig struct {
+	// URL receives POSTed batches (JSON body, see Batch).
+	URL string
+	// Interval between pushes. 0 selects 10s.
+	Interval time.Duration
+	// MaxQueue bounds buffered spans between pushes; oldest drop
+	// first. 0 selects 8192.
+	MaxQueue int
+	// MaxRetries bounds redelivery attempts per batch (exponential
+	// backoff starting at Interval/8). 0 selects 3.
+	MaxRetries int
+	// Client is the HTTP client. Nil selects one with a 10s timeout.
+	Client *http.Client
+	// Metrics, when set, is invoked per push to render the Prometheus
+	// exposition included in the batch.
+	Metrics func() string
+}
+
+// Batch is the POSTed JSON shape.
+type Batch struct {
+	// Spans holds the sampled spans finished since the last push.
+	Spans []SpanRecord `json:"spans"`
+	// Metrics is the Prometheus text exposition, when configured.
+	Metrics string `json:"metrics,omitempty"`
+	// Dropped counts spans lost to queue overflow since the last
+	// successful push.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Exporter pushes span batches to a collector.
+type Exporter struct {
+	cfg    ExporterConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	queue   []SpanRecord
+	dropped uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	pushed  uint64 // batches delivered (test surface)
+	pushMu  sync.Mutex
+	lastErr error
+}
+
+// NewExporter creates and starts an exporter. Close releases it.
+func NewExporter(cfg ExporterConfig) (*Exporter, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("trace: exporter needs a URL")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8192
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	e := &Exporter{
+		cfg:    cfg,
+		client: client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go e.run()
+	return e, nil
+}
+
+// Enqueue buffers one span for the next push. Bounded: beyond
+// MaxQueue the oldest span drops and the drop is counted.
+func (e *Exporter) Enqueue(rec SpanRecord) {
+	e.mu.Lock()
+	if len(e.queue) >= e.cfg.MaxQueue {
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		e.dropped++
+	}
+	e.queue = append(e.queue, rec)
+	e.mu.Unlock()
+}
+
+// Close stops the loop after one final flush.
+func (e *Exporter) Close() error {
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.done
+	return nil
+}
+
+// Stats reports delivered batch count and the last delivery error.
+func (e *Exporter) Stats() (pushed uint64, lastErr error) {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	return e.pushed, e.lastErr
+}
+
+func (e *Exporter) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.push()
+		case <-e.stop:
+			e.push() // final flush
+			return
+		}
+	}
+}
+
+// push drains the queue and delivers one batch, retrying with backoff.
+// An undeliverable batch is requeued (subject to the bound) so a
+// collector outage shorter than the queue horizon loses nothing.
+func (e *Exporter) push() {
+	e.mu.Lock()
+	spans := e.queue
+	dropped := e.dropped
+	e.queue = nil
+	e.dropped = 0
+	e.mu.Unlock()
+	if len(spans) == 0 && dropped == 0 && e.cfg.Metrics == nil {
+		return
+	}
+	batch := Batch{Spans: spans, Dropped: dropped}
+	if e.cfg.Metrics != nil {
+		batch.Metrics = e.cfg.Metrics()
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		e.record(err)
+		return
+	}
+	backoff := e.cfg.Interval / 8
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err = e.deliver(body)
+		if err == nil {
+			e.record(nil)
+			return
+		}
+		if attempt+1 >= e.cfg.MaxRetries {
+			break
+		}
+		select {
+		case <-time.After(backoff):
+			backoff *= 2
+		case <-e.stop:
+			// Shutting down: one last immediate attempt happens via the
+			// final flush; don't spin here.
+			e.requeue(spans)
+			e.record(err)
+			return
+		}
+	}
+	e.requeue(spans)
+	e.record(err)
+}
+
+// requeue returns undelivered spans to the front of the queue.
+func (e *Exporter) requeue(spans []SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	e.mu.Lock()
+	merged := append(spans, e.queue...)
+	if over := len(merged) - e.cfg.MaxQueue; over > 0 {
+		merged = merged[over:]
+		e.dropped += uint64(over)
+	}
+	e.queue = merged
+	e.mu.Unlock()
+}
+
+func (e *Exporter) record(err error) {
+	e.pushMu.Lock()
+	if err == nil {
+		e.pushed++
+	}
+	e.lastErr = err
+	e.pushMu.Unlock()
+}
+
+func (e *Exporter) deliver(body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.Interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("trace: collector returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// The flight recorder: a fixed-size ring of finished spans, newest
+// overwriting oldest, queryable by the admin plane. Copy-in and
+// copy-out are by value under a mutex — the ring never aliases caller
+// memory, and a snapshot never exposes ring slots.
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightRecorder holds the most recent sampled spans.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	count int
+}
+
+// NewFlightRecorder creates a recorder holding up to capacity spans.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &FlightRecorder{ring: make([]SpanRecord, capacity)}
+}
+
+// add copies one record into the ring.
+func (r *FlightRecorder) add(rec SpanRecord) {
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of spans currently held.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Query selects spans from the recorder. Zero-value queries match
+// everything.
+type Query struct {
+	// N caps the result count (slowest-N, or earliest-N when TraceID
+	// is set). 0 selects DefaultQueryN.
+	N int
+	// Op filters to spans of one op kind.
+	Op string
+	// Peer filters to spans whose peer DN contains the substring.
+	Peer string
+	// ErrorsOnly keeps only failed spans.
+	ErrorsOnly bool
+	// TraceID (lowercase hex) follows one trace; results sort by start
+	// time instead of duration so the tree reads causally.
+	TraceID string
+}
+
+// DefaultQueryN bounds a query that does not name its own limit.
+const DefaultQueryN = 50
+
+// Snapshot returns matching spans: sorted slowest-first (or by start
+// time when following one trace), at most q.N results.
+func (r *FlightRecorder) Snapshot(q Query) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	n := q.N
+	if n <= 0 {
+		n = DefaultQueryN
+	}
+	var wantTrace TraceID
+	byTrace := false
+	if q.TraceID != "" {
+		b, err := hex.DecodeString(q.TraceID)
+		if err != nil || len(b) != len(wantTrace) {
+			return nil
+		}
+		copy(wantTrace[:], b)
+		byTrace = true
+	}
+	r.mu.Lock()
+	out := make([]SpanRecord, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		// Oldest first: the slot after next (when full) or slot 0.
+		idx := i
+		if r.count == len(r.ring) {
+			idx = (r.next + i) % len(r.ring)
+		}
+		rec := r.ring[idx]
+		if byTrace && rec.TraceID != wantTrace {
+			continue
+		}
+		if q.Op != "" && rec.Op != q.Op {
+			continue
+		}
+		if q.Peer != "" && !strings.Contains(rec.Peer, q.Peer) {
+			continue
+		}
+		if q.ErrorsOnly && rec.Err == "" {
+			continue
+		}
+		out = append(out, rec)
+	}
+	r.mu.Unlock()
+	if byTrace {
+		sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	} else {
+		sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MarshalJSON renders a record as the admin plane's JSON shape: hex
+// ids, RFC3339 start, microsecond duration.
+func (rec SpanRecord) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(`{"trace":"`)
+	b.WriteString(rec.TraceID.String())
+	b.WriteString(`","span":"`)
+	b.WriteString(rec.SpanID.String())
+	b.WriteString(`"`)
+	if rec.Parent != (SpanID{}) {
+		b.WriteString(`,"parent":"`)
+		b.WriteString(rec.Parent.String())
+		b.WriteString(`"`)
+	}
+	fmt.Fprintf(&b, `,"op":%q`, rec.Op)
+	if rec.Peer != "" {
+		fmt.Fprintf(&b, `,"peer":%q`, rec.Peer)
+	}
+	fmt.Fprintf(&b, `,"start":%q,"dur_us":%d`,
+		rec.Start.UTC().Format(time.RFC3339Nano), rec.Duration.Microseconds())
+	if rec.Bytes > 0 {
+		fmt.Fprintf(&b, `,"bytes":%d`, rec.Bytes)
+	}
+	if rec.Err != "" {
+		fmt.Fprintf(&b, `,"err":%q`, rec.Err)
+	}
+	if rec.Remote {
+		b.WriteString(`,"remote":true`)
+	}
+	b.WriteString("}")
+	return []byte(b.String()), nil
+}

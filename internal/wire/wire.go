@@ -88,6 +88,13 @@ func (e *Encoder) Bytes(b []byte) *Encoder {
 // Str appends a length-prefixed string.
 func (e *Encoder) Str(s string) *Encoder { return e.Bytes([]byte(s)) }
 
+// Raw appends b verbatim — no length prefix. For fixed-size trailers
+// (the GT2 trace-context field) that a Decoder recovers with Tail.
+func (e *Encoder) Raw(b []byte) *Encoder {
+	e.buf = append(e.buf, b...)
+	return e
+}
+
 // Finish returns the accumulated message.
 func (e *Encoder) Finish() []byte { return e.buf }
 
@@ -223,6 +230,22 @@ func (d *Decoder) Count(what string, max int) int {
 		return 0
 	}
 	return int(n)
+}
+
+// Tail consumes and returns a zero-copy view of exactly n trailing
+// bytes — but only when exactly n bytes remain. Any other remainder
+// (including none) leaves the decoder untouched and returns nil. This
+// is how optional fixed-size trailers (the trace-context field on GT2
+// exchange requests) ride behind an existing message layout without a
+// version bump: absent on old senders, structurally unambiguous when
+// present.
+func (d *Decoder) Tail(n int) []byte {
+	if d.err != nil || n <= 0 || len(d.b)-d.off != n {
+		return nil
+	}
+	v := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v
 }
 
 // Done reports an error unless the input was fully consumed.

@@ -233,3 +233,51 @@ func TestPropertyFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTail(t *testing.T) {
+	trailer := []byte{1, 2, 3, 4, 5}
+	msg := NewEncoder().Str("op").Bytes([]byte("body")).Finish()
+	withTail := append(append([]byte(nil), msg...), trailer...)
+
+	// Present: exactly n bytes remain after the fixed layout.
+	d := NewDecoder(withTail)
+	d.View()
+	d.View()
+	got := d.Tail(5)
+	if string(got) != string(trailer) {
+		t.Fatalf("Tail = %v, want %v", got, trailer)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Absent: Tail is nil and Done still passes.
+	d = NewDecoder(msg)
+	d.View()
+	d.View()
+	if d.Tail(5) != nil {
+		t.Fatal("Tail invented a trailer")
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong remainder size: untouched, Done reports the trailing bytes.
+	d = NewDecoder(withTail[:len(withTail)-1])
+	d.View()
+	d.View()
+	if d.Tail(5) != nil {
+		t.Fatal("Tail accepted a short remainder")
+	}
+	if d.Done() == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	// Errored decoder: inert.
+	d = NewDecoder([]byte{0xff})
+	d.U32()
+	d.U32()
+	if d.Tail(1) != nil {
+		t.Fatal("Tail ran on an errored decoder")
+	}
+}

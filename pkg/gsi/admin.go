@@ -22,6 +22,7 @@ type adminBackend struct {
 	pipeline *AuthorizationPipeline // nil when the endpoint authenticates only
 	reg      *MetricsRegistry       // nil without WithMetrics
 	pool     *SessionPool           // nil without WithAdminPool
+	tracer   *Tracer                // nil without WithTracing
 }
 
 // adminStats is the Stats op's JSON shape — a point-in-time snapshot of
@@ -130,6 +131,43 @@ func (b *adminBackend) AdminDrain() ([]byte, error) {
 		return nil, errors.New("gsi: no session pool attached to the admin surface (WithAdminPool)")
 	}
 	return []byte(fmt.Sprintf(`{"drained":%d}`, b.pool.DrainIdle())), nil
+}
+
+// adminTraceQuery is the Traces op's JSON request shape, mirrored by
+// gsictl traces. An empty body selects the slowest DefaultQueryN spans.
+type adminTraceQuery struct {
+	N          int    `json:"n,omitempty"`
+	Op         string `json:"op,omitempty"`
+	Peer       string `json:"peer,omitempty"`
+	ErrorsOnly bool   `json:"errors_only,omitempty"`
+	Trace      string `json:"trace,omitempty"`
+}
+
+func (b *adminBackend) AdminTraces(query []byte) ([]byte, error) {
+	if b.tracer == nil {
+		return nil, errors.New("gsi: no tracer configured (WithTracing)")
+	}
+	var q adminTraceQuery
+	if len(bytes.TrimSpace(query)) > 0 {
+		if err := json.Unmarshal(query, &q); err != nil {
+			return nil, fmt.Errorf("gsi: bad trace query: %w", err)
+		}
+	}
+	spans := b.tracer.Recorder().Snapshot(TraceQuery{
+		N:          q.N,
+		Op:         q.Op,
+		Peer:       q.Peer,
+		ErrorsOnly: q.ErrorsOnly,
+		TraceID:    q.Trace,
+	})
+	return json.MarshalIndent(spans, "", "  ")
+}
+
+func (b *adminBackend) AdminTransfers() ([]byte, error) {
+	if b.tracer == nil {
+		return nil, errors.New("gsi: no tracer configured (WithTracing)")
+	}
+	return json.MarshalIndent(b.tracer.Transfers().Snapshot(), "", "  ")
 }
 
 func (b *adminBackend) AdminReload() ([]byte, error) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gram"
 	"repro/internal/gss"
 	"repro/internal/proxy"
+	"repro/internal/trace"
 )
 
 // Client is the initiator handle of the redesigned API: one grid party
@@ -61,6 +62,9 @@ func (e *Environment) NewClient(cred *Credential, opts ...Option) (*Client, erro
 		if err := registerClientMetrics(base.metrics, metricID(id), base.pool, base.credman); err != nil {
 			return nil, opErr("gsi.NewClient", err)
 		}
+	}
+	if err := base.buildTracer(); err != nil {
+		return nil, opErr("gsi.NewClient", err)
 	}
 	return &Client{env: e, cred: cred, base: base}, nil
 }
@@ -124,17 +128,54 @@ func (c *Client) Connect(ctx context.Context, endpoint string, opts ...Option) (
 		return nil, opErr(op, err)
 	}
 	cred := c.credential()
+	// Tracing: a Connect inside a traced operation (OpenStream's dial,
+	// a stream's parent span in ctx) lands as a retroactive child on
+	// that span; a standalone traced Connect gets its own root span.
+	parent := trace.SpanFromContext(ctx)
+	var sp *trace.Span
+	if s.tracer != nil && parent == nil {
+		sp = s.tracer.StartRoot("client.connect")
+		parent = sp
+	}
+	start := time.Time{}
+	if parent != nil {
+		start = time.Now()
+	}
 	if s.pool != nil {
 		sess, err := s.pool.checkout(ctx, poolKeyOf(c.env, endpoint, s, cred),
 			dialRequest{client: c, endpoint: endpoint, s: s, cred: cred})
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, opErr(op, err)
+		}
+		if parent != nil && !sess.reused {
+			if sp == nil {
+				parent.AddTimed("client.connect", start, time.Since(start), "")
+			}
+			clientHandshakeSpan(parent, sess)
+		}
+		if sp != nil {
+			sp.SetPeer(sess.Peer().Identity.String())
+			sp.End()
 		}
 		return sess, nil
 	}
 	sess, err := c.dialSession(ctx, endpoint, s, cred)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, opErr(op, err)
+	}
+	if parent != nil {
+		if sp == nil {
+			parent.AddTimed("client.connect", start, time.Since(start), "")
+		}
+		clientHandshakeSpan(parent, sess)
+	}
+	if sp != nil {
+		sp.SetPeer(sess.Peer().Identity.String())
+		sp.End()
 	}
 	return sess, nil
 }
@@ -184,13 +225,39 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 	if err := s.poolUsable(); err != nil {
 		return nil, opErr(opName, err)
 	}
+	// Tracing: the root span covers the whole operation — dial (or pool
+	// checkout), any retries, and the exchange itself — and rides ctx so
+	// the transport appends its context to the outgoing frame. The
+	// disabled path pays nil checks only: no context wrap, no clock
+	// reads, no allocations.
+	var sp *trace.Span
+	if s.tracer != nil {
+		sp = s.tracer.StartRoot("client.exchange")
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
 	if s.pool == nil {
+		dialStart := time.Time{}
+		if sp != nil {
+			dialStart = time.Now()
+		}
 		sess, err := c.dialSession(ctx, endpoint, s, c.credential())
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, opErr(opName, err)
+		}
+		if sp != nil {
+			sp.AddTimed("client.connect", dialStart, time.Since(dialStart), "")
+			clientHandshakeSpan(sp, sess)
+			sp.SetPeer(sess.Peer().Identity.String())
 		}
 		defer sess.Close()
 		out, err := sess.Exchange(ctx, op, body)
+		if sp != nil {
+			sp.AddBytes(int64(len(body) + len(out)))
+			sp.SetError(err)
+			sp.End()
+		}
 		if err != nil {
 			return nil, opErr(opName, err)
 		}
@@ -205,14 +272,31 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 	for i := 0; i < attempts; i++ {
 		cred := c.credential()
 		key := poolKeyOf(c.env, endpoint, s, cred)
+		checkoutStart := time.Time{}
+		if sp != nil {
+			checkoutStart = time.Now()
+		}
 		sess, err := s.pool.checkout(ctx, key, dialRequest{client: c, endpoint: endpoint, s: s, cred: cred})
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, opErr(opName, err)
+		}
+		if sp != nil {
+			if !sess.reused {
+				sp.AddTimed("client.connect", checkoutStart, time.Since(checkoutStart), "")
+				clientHandshakeSpan(sp, sess)
+			}
+			sp.SetPeer(sess.Peer().Identity.String())
 		}
 		out, err := sess.Exchange(ctx, op, body)
 		retriable := err != nil && sess.reused && sess.poisoned.Load() && ctx.Err() == nil
 		sess.Close()
 		if err == nil {
+			if sp != nil {
+				sp.AddBytes(int64(len(body) + len(out)))
+				sp.End()
+			}
 			return out, nil
 		}
 		lastErr = err
@@ -220,6 +304,8 @@ func (c *Client) Exchange(ctx context.Context, endpoint, op string, body []byte,
 			break
 		}
 	}
+	sp.SetError(lastErr)
+	sp.End()
 	return nil, opErr(opName, lastErr)
 }
 
@@ -370,11 +456,11 @@ func (c *Client) Invoke(ctx context.Context, endpoint, handle, op string, body [
 		Trust:           c.env.trust,
 		PreferStateless: s.protection == ProtectionSigned,
 	}
-	out, trace, err := r.InvokeContext(ctx, HTTPTransport(endpoint), handle, op, body)
+	out, phases, err := r.InvokeContext(ctx, HTTPTransport(endpoint), handle, op, body)
 	if err != nil {
-		return nil, trace, opErr(opName, err)
+		return nil, phases, opErr(opName, err)
 	}
-	return out, trace, nil
+	return out, phases, nil
 }
 
 // compile-time interface checks for the session and stream

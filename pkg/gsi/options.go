@@ -102,6 +102,15 @@ type settings struct {
 	reloadCfg   *ReloadConfig
 	adminEnable bool
 	adminPool   *SessionPool
+
+	// End-to-end tracing (PR 8). traceEnable is set by any trace
+	// option; NewClient/NewServer then materialize tracer (per-op
+	// histograms land in metrics when both are set). traceExport
+	// attaches a push exporter to the tracer at materialization.
+	traceEnable  bool
+	traceSampler TraceSampler
+	traceExport  *TraceExporterConfig
+	tracer       *Tracer
 }
 
 // Option configures a Client or Server handle, or a single

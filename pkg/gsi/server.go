@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/ogsa"
 )
@@ -70,6 +71,9 @@ func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, erro
 	if base.authzEnabled && base.authzPipeline == nil {
 		base.authzPipeline = newPipeline(e, base)
 	}
+	if err := base.buildTracer(); err != nil {
+		return nil, opErr("gsi.NewServer", err)
+	}
 	return &Server{env: e, cred: cred, base: base}, nil
 }
 
@@ -112,12 +116,18 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 		// pipeline as-is.
 		pipeline = newPipeline(s.env, resolved)
 	}
+	// Per-call trace options materialize an endpoint-private tracer;
+	// otherwise the handle's (possibly nil) tracer serves.
+	if err := resolved.buildTracer(); err != nil {
+		return nil, opErr(op, err)
+	}
 	scfg := ServeConfig{
 		Context:       resolved.contextConfig(s.env, s.cred),
 		Handler:       h,
 		StreamHandler: resolved.streamHandler,
 		Environment:   s.env,
 		Pipeline:      pipeline,
+		Tracer:        resolved.tracer,
 	}
 	wantCtrl := resolved.metrics != nil || resolved.reloadCfg != nil ||
 		resolved.metricsAddr != "" || resolved.adminEnable
@@ -219,7 +229,18 @@ func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeli
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", resolved.metrics)
 			mux.HandleFunc("/healthz", s.serveHealthz)
-			ctrl.httpSrv = &http.Server{Addr: lis.Addr().String(), Handler: mux}
+			// The plaintext listener faces whatever can reach the scrape
+			// port: bound header/body reading and slow-client writes so a
+			// stuck or hostile scraper cannot pin accept loops open.
+			ctrl.httpSrv = &http.Server{
+				Addr:              lis.Addr().String(),
+				Handler:           mux,
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       10 * time.Second,
+				WriteTimeout:      30 * time.Second,
+				IdleTimeout:       2 * time.Minute,
+				MaxHeaderBytes:    1 << 16,
+			}
 			go ctrl.httpSrv.Serve(lis)
 		}
 		if ctrl.reloader != nil {
@@ -295,6 +316,7 @@ func (s *Server) containerHook(resolved settings, pipeline *AuthorizationPipelin
 			pipeline: pipeline,
 			reg:      resolved.metrics,
 			pool:     resolved.adminPool,
+			tracer:   resolved.tracer,
 		}
 		_, err := c.EnableAdmin(ogsa.AdminConfig{Backend: backend})
 		return err

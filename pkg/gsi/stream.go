@@ -16,6 +16,7 @@ import (
 	"repro/internal/gsitransport"
 	"repro/internal/record"
 	"repro/internal/soap"
+	"repro/internal/trace"
 )
 
 // newStreamID mints the unguessable id a GT3 stream is addressed by.
@@ -70,16 +71,36 @@ var errStreamsUnsupported = errors.New("gsi: session does not support streams")
 // release to the stream's Close.
 func (c *Client) OpenStream(ctx context.Context, endpoint, op string, opts ...Option) (Stream, error) {
 	const opName = "gsi.Client.OpenStream"
+	// The root span covers dial, open, every chunk, and Close; its
+	// context crosses on the open round trip so the server's stream
+	// span joins the same trace.
+	var sp *trace.Span
+	if tr := c.base.tracer; tr != nil {
+		sp = tr.StartRoot("client.stream")
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
 	sess, err := c.Connect(ctx, endpoint, opts...)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, opErr(opName, err)
 	}
 	st, err := sess.OpenStream(ctx, op)
 	if err != nil {
 		sess.Close()
+		sp.SetError(err)
+		sp.End()
 		return nil, opErr(opName, err)
 	}
-	return &ownedStream{Stream: st, sess: sess}, nil
+	var out Stream = &ownedStream{Stream: st, sess: sess}
+	if sp != nil {
+		dn := peerDNOf(st.Peer())
+		sp.SetPeer(dn)
+		ts := newTracedStream(out, sp, "client")
+		ts.xfer = c.base.tracer.Transfers().Begin("stream:"+op, dn, 1, sp.Context().TraceID)
+		out = ts
+	}
+	return out, nil
 }
 
 // ownedStream couples a stream to the session checkout that carries it.
@@ -229,7 +250,9 @@ const (
 )
 
 func (s *gt3Session) call(ctx context.Context, op string, body []byte) ([]byte, error) {
-	reply, err := s.conv.CallContext(ctx, soap.NewEnvelope("ogsa-sc/"+exchangeHandle+"/"+op, body))
+	env := soap.NewEnvelope("ogsa-sc/"+exchangeHandle+"/"+op, body)
+	setTraceHeader(ctx, env)
+	reply, err := s.conv.CallContext(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -616,6 +639,7 @@ type gt3AuthGate struct {
 	engine   Engine
 	env      *Environment
 	reg      *gt3StreamRegistry
+	tracer   *Tracer
 }
 
 func (g *gt3AuthGate) AuthorizeChain(ctx context.Context, peer Peer, resource, action string) (string, error) {
@@ -645,8 +669,17 @@ func (g *gt3AuthGate) AuthorizeChain(ctx context.Context, peer Peer, resource, a
 }
 
 // authorize reproduces the container's pre-gate behavior for ordinary
-// calls.
-func (g *gt3AuthGate) authorize(ctx context.Context, peer Peer, resource, action string) (string, error) {
+// calls. When the router lifted a trace context off the envelope, the
+// decision is recorded as a server.authz span in the caller's trace.
+func (g *gt3AuthGate) authorize(ctx context.Context, peer Peer, resource, action string) (account string, err error) {
+	if g.tracer != nil {
+		asp := g.tracer.StartRemote(trace.RemoteFromContext(ctx), "server.authz")
+		asp.SetPeer(peerKey(peer))
+		defer func() {
+			asp.SetError(err)
+			asp.End()
+		}()
+	}
 	if g.pipeline != nil {
 		return g.pipeline.AuthorizeChain(ctx, peer, resource, action)
 	}

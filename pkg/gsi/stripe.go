@@ -13,6 +13,7 @@ import (
 	"repro/internal/gridcrypto"
 	"repro/internal/gsitransport"
 	"repro/internal/record"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -74,6 +75,16 @@ func (c *Client) OpenStripedStream(ctx context.Context, endpoint, op string, opt
 		return nil, opErr(opName, err)
 	}
 	k := s.stripes
+	// One root span covers the whole transfer; each stripe gets a lane
+	// child whose context crosses on that stripe's open, so the server's
+	// per-lane spans join the same trace.
+	var (
+		sp    *trace.Span
+		lanes []*trace.Span
+	)
+	if tr := c.base.tracer; tr != nil {
+		sp = tr.StartRoot("client.stream")
+	}
 	var (
 		owners  []Session     // checkouts to release at Close
 		members []*gt2Session // sessions locked and bound into the group
@@ -89,24 +100,40 @@ func (c *Client) OpenStripedStream(ctx context.Context, endpoint, op string, opt
 		for _, o := range owners {
 			o.Close()
 		}
+		for _, lane := range lanes {
+			lane.End()
+		}
+		sp.End()
 	}
 	for i := 0; i < k; i++ {
-		sess, err := c.Connect(ctx, endpoint, opts...)
+		lctx := ctx
+		var lane *trace.Span
+		if sp != nil {
+			lane = sp.StartChild("client.stripe")
+			lanes = append(lanes, lane)
+			lctx = trace.ContextWithSpan(ctx, lane)
+		}
+		sess, err := c.Connect(lctx, endpoint, opts...)
 		if err != nil {
+			sp.SetError(err)
 			cleanup()
 			return nil, opErr(opName, err)
 		}
 		owners = append(owners, sess)
 		g := gt2SessionOf(sess)
 		if g == nil {
+			err := fmt.Errorf("%w: striping requires GT2 sessions", errStreamsUnsupported)
+			sp.SetError(err)
 			cleanup()
-			return nil, opErr(opName, fmt.Errorf("%w: striping requires GT2 sessions", errStreamsUnsupported))
+			return nil, opErr(opName, err)
 		}
+		lane.SetPeer(peerDNOf(g.conn.Peer()))
 		body := wire.NewEncoder().Str(op).Bytes(group).U32(uint32(i)).U32(uint32(k)).Finish()
 		g.mu.Lock()
-		payload, buf, err := g.roundTrip(ctx, stripedOpenOp, body)
+		payload, buf, err := g.roundTrip(lctx, stripedOpenOp, body)
 		if err != nil {
 			g.mu.Unlock()
+			sp.SetError(err)
 			cleanup()
 			return nil, opErr(opName, err)
 		}
@@ -118,13 +145,22 @@ func (c *Client) OpenStripedStream(ctx context.Context, endpoint, op string, opt
 	for i, m := range members {
 		conns[i] = m.conn
 	}
-	return &gt2StripedStream{
+	var out Stream = &gt2StripedStream{
 		members: members,
 		owners:  owners,
 		w:       gsitransport.NewStripedWriter(ctx, conns),
 		r:       gsitransport.NewStripedReader(ctx, conns, 0),
 		peer:    members[0].conn.Peer(),
-	}, nil
+	}
+	if sp != nil {
+		dn := peerDNOf(members[0].conn.Peer())
+		sp.SetPeer(dn)
+		ts := newTracedStream(out, sp, "client")
+		ts.lanes = lanes
+		ts.xfer = c.base.tracer.Transfers().Begin("sopen:"+op, dn, k, sp.Context().TraceID)
+		out = ts
+	}
+	return out, nil
 }
 
 // gt2SessionOf unwraps a facade Session to the GT2 session holding the
@@ -343,7 +379,7 @@ func (g *stripeGroups) abandon(key stripeGroupKey, grp *stripeGroup) bool {
 // repeats cheap), join the group, and either run the group's transfer
 // (last arrival) or park until it finishes. Reports whether the
 // connection is still usable for further exchanges.
-func serveGT2StripedOpen(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, peer Peer, authorizer Engine, groups *stripeGroups, body []byte, rbuf *record.Buf) bool {
+func serveGT2StripedOpen(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, peer Peer, authorizer Engine, groups *stripeGroups, body []byte, rbuf *record.Buf, sp *trace.Span) bool {
 	bg := context.Background()
 	d := wire.NewDecoder(body)
 	op := d.Str()
@@ -352,15 +388,23 @@ func serveGT2StripedOpen(ctx context.Context, conn *gsitransport.Conn, cfg Serve
 	count := int(d.U32())
 	derr := d.Done()
 	rbuf.Free()
+	refuse := func(err error) {
+		sp.SetError(err)
+		sp.End()
+	}
 	if cfg.StreamHandler == nil {
+		refuse(errors.New("no stream handler"))
 		return sendGT2Reply(bg, conn, gt2StatusNotFound, []byte("gsi: endpoint does not accept streams")) == nil
 	}
 	if derr != nil || len(groupID) != 16 || count < 1 || count > maxStripes || idx < 0 || idx >= count {
+		refuse(errors.New("malformed striped open"))
 		return sendGT2Reply(bg, conn, gt2StatusNotFound, []byte("gsi: malformed striped open")) == nil
 	}
 	if op == "" || strings.HasPrefix(op, reservedOpPrefix) {
+		refuse(errors.New("invalid stream op"))
 		return sendGT2Reply(bg, conn, gt2StatusNotFound, []byte("gsi: invalid stream op "+op)) == nil
 	}
+	asp := sp.StartChild("server.authz")
 	exPeer := peer
 	var authErr error
 	if cfg.Pipeline != nil {
@@ -368,19 +412,24 @@ func serveGT2StripedOpen(ctx context.Context, conn *gsitransport.Conn, cfg Serve
 	} else {
 		authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
 	}
+	asp.SetError(authErr)
+	asp.End()
 	if authErr != nil {
+		refuse(authErr)
 		return sendGT2Reply(bg, conn, gt2Status(authErr), []byte(authErr.Error())) == nil
 	}
 	key := stripeGroupKey{peer: peerKey(peer), id: groupID}
 	grp, runner, jerr := groups.join(key, idx, count, conn, exPeer, op)
 	if jerr != nil {
+		refuse(jerr)
 		return sendGT2Reply(bg, conn, gt2StatusError, []byte(jerr.Error())) == nil
 	}
 	// From here the connection belongs to the group until done: even on
 	// a failed reply it must not be closed out from under the transfer.
 	replyErr := sendGT2Reply(bg, conn, gt2StatusOK, nil)
 	if runner {
-		runStripeGroup(ctx, cfg, grp)
+		runStripeGroup(ctx, cfg, grp, sp)
+		sp.End()
 		return replyErr == nil && !conn.Broken()
 	}
 	select {
@@ -389,23 +438,40 @@ func serveGT2StripedOpen(ctx context.Context, conn *gsitransport.Conn, cfg Serve
 		if groups.abandon(key, grp) {
 			// The group never completed; this stripe was never handed to a
 			// transfer, so the connection can simply die.
+			refuse(errors.New("stripe group incomplete"))
 			return false
 		}
 		// Lost the race with the completing join: fall through and wait.
 	}
 	<-grp.done
+	sp.End()
 	return replyErr == nil && !conn.Broken()
 }
 
 // runStripeGroup executes one striped stream on the completing
 // arrival's goroutine: handler, terminal records on every stripe, then
-// the client half consumed so all K connections resynchronize.
-func runStripeGroup(ctx context.Context, cfg ServeConfig, grp *stripeGroup) {
+// the client half consumed so all K connections resynchronize. The
+// runner's lane span (when traced) parents a server.stream span
+// covering the handler's whole transfer.
+func runStripeGroup(ctx context.Context, cfg ServeConfig, grp *stripeGroup, sp *trace.Span) {
 	defer close(grp.done)
 	bg := context.Background() // conn-lifetime CloseOnDone carries cancellation
 	w := gsitransport.NewStripedWriter(bg, grp.conns)
 	r := gsitransport.NewStripedReader(bg, grp.conns, 0)
-	herr := cfg.StreamHandler(ctx, grp.peer, grp.op, &serverStripedStream{w: w, r: r, peer: grp.peer})
+	var hstream Stream = &serverStripedStream{w: w, r: r, peer: grp.peer}
+	var ts *tracedStream
+	if sp != nil && cfg.Tracer != nil {
+		gsp := sp.StartChild("server.stream")
+		dn := peerDNOf(grp.peer)
+		gsp.SetPeer(dn)
+		ts = newTracedStream(hstream, gsp, "server")
+		ts.xfer = cfg.Tracer.Transfers().Begin("sopen:"+grp.op, dn, grp.count, gsp.Context().TraceID)
+		hstream = ts
+	}
+	herr := cfg.StreamHandler(ctx, grp.peer, grp.op, hstream)
+	if ts != nil {
+		ts.finish(herr)
+	}
 	var closeErr error
 	if herr != nil {
 		closeErr = w.CloseWithError(herr.Error())

@@ -1,0 +1,254 @@
+package gsi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/trace"
+)
+
+// setTraceHeader attaches the ctx span's wire context to env as a
+// SOAP header — deliberately outside the signed header set, so
+// tracing never perturbs WS-Security signatures. No-op when the
+// operation is untraced.
+func setTraceHeader(ctx context.Context, env *soap.Envelope) {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		env.SetHeader(trace.SOAPHeader, sp.Context().Encode(make([]byte, 0, trace.EncodedLen)))
+	}
+}
+
+// Tracer is the facade's end-to-end tracer: spans for every traced
+// exchange, stream, and striped transfer, per-op latency histograms in
+// the metrics registry, and a bounded flight recorder queryable live
+// via Tracer().Recorder(), the gsi.__admin Traces op, or gsictl
+// traces. A nil *Tracer is valid and inert.
+type Tracer = trace.Tracer
+
+// TraceSampler decides per root span whether a new trace is recorded
+// (latency histograms observe regardless).
+type TraceSampler = trace.Sampler
+
+// SpanRecord is one finished span as the flight recorder holds it.
+type SpanRecord = trace.SpanRecord
+
+// TraceQuery selects spans from the flight recorder (slowest-N,
+// by-op, by-peer-DN, errors-only, or one full trace by id).
+type TraceQuery = trace.Query
+
+// TransferInfo is one active bulk transfer as the admin plane lists it.
+type TransferInfo = trace.TransferInfo
+
+// SampleAlways records every trace (the default sampler).
+func SampleAlways() TraceSampler { return trace.AlwaysSample() }
+
+// SampleNever records no traces; histograms still observe.
+func SampleNever() TraceSampler { return trace.NeverSample() }
+
+// SampleRatio records approximately ratio of traces (0..1).
+func SampleRatio(ratio float64) TraceSampler { return trace.RatioSampler(ratio) }
+
+// TraceExporterConfig parameterizes the push exporter of
+// WithTraceExporter: finished spans and the Prometheus exposition are
+// periodically POSTed as a JSON batch to URL, with bounded queueing
+// and retry with exponential backoff. For scrapeless deployments —
+// batch workers behind NAT, short-lived submit hosts — that cannot
+// expose a /metrics listener.
+type TraceExporterConfig struct {
+	// URL receives the POSTed batches.
+	URL string
+	// Interval between pushes (0 = 10s).
+	Interval time.Duration
+	// MaxQueue bounds spans buffered between pushes; oldest drop first
+	// (0 = 8192).
+	MaxQueue int
+	// MaxRetries bounds redelivery attempts per batch (0 = 3).
+	MaxRetries int
+	// Client is the HTTP client used for delivery (nil = 10s timeout).
+	Client *http.Client
+}
+
+// WithTracing enables end-to-end tracing on a Client or Server: every
+// exchange, stream open, and striped transfer produces a causally
+// linked trace whose context crosses the wire on both transports, so
+// the client's spans and the server's spans share one trace id.
+// Tracing is materialized by NewClient/NewServer; with WithMetrics
+// also set, per-op latency histograms (gsi_op_seconds) land in the
+// same registry. Disabled tracing costs nothing on the hot path.
+func WithTracing() Option {
+	return func(s *settings) error {
+		s.traceEnable = true
+		return nil
+	}
+}
+
+// WithTraceSampler sets the recording sampler (implies WithTracing).
+// Sampling gates the flight recorder and exporter only — per-op
+// latency histograms observe every operation regardless.
+func WithTraceSampler(sm TraceSampler) Option {
+	return func(s *settings) error {
+		if sm == nil {
+			return errors.New("gsi: nil trace sampler")
+		}
+		s.traceSampler = sm
+		s.traceEnable = true
+		return nil
+	}
+}
+
+// WithTraceExporter attaches a batching push exporter to the handle's
+// tracer (implies WithTracing). The exporter runs until the tracer is
+// closed (Tracer().Close()).
+func WithTraceExporter(cfg TraceExporterConfig) Option {
+	return func(s *settings) error {
+		if cfg.URL == "" {
+			return errors.New("gsi: trace exporter needs a URL")
+		}
+		c := cfg
+		s.traceExport = &c
+		s.traceEnable = true
+		return nil
+	}
+}
+
+// buildTracer materializes the handle's tracer from resolved
+// settings. Idempotent: an already-materialized (or adopted) tracer
+// is kept.
+func (s *settings) buildTracer() error {
+	if !s.traceEnable || s.tracer != nil {
+		return nil
+	}
+	t := trace.New(trace.Config{Registry: s.metrics, Sampler: s.traceSampler})
+	if s.traceExport != nil {
+		ecfg := trace.ExporterConfig{
+			URL:        s.traceExport.URL,
+			Interval:   s.traceExport.Interval,
+			MaxQueue:   s.traceExport.MaxQueue,
+			MaxRetries: s.traceExport.MaxRetries,
+			Client:     s.traceExport.Client,
+		}
+		if reg := s.metrics; reg != nil {
+			ecfg.Metrics = func() string {
+				var b strings.Builder
+				if err := reg.WritePrometheus(&b); err != nil {
+					return ""
+				}
+				return b.String()
+			}
+		}
+		exp, err := trace.NewExporter(ecfg)
+		if err != nil {
+			return err
+		}
+		t.AttachExporter(exp)
+	}
+	s.tracer = t
+	return nil
+}
+
+// Tracer returns the client's tracer (nil unless WithTracing was set
+// at NewClient).
+func (c *Client) Tracer() *Tracer { return c.base.tracer }
+
+// peerDNOf renders the peer's grid identity for span records and the
+// transfer registry.
+func peerDNOf(p Peer) string { return p.Identity.String() }
+
+// clientHandshakeSpan records the transport handshake as a
+// retroactive child of sp when the session exposes precise timing
+// (GT2 sessions carry it on the secured connection).
+func clientHandshakeSpan(sp *trace.Span, sess Session) {
+	if sp == nil {
+		return
+	}
+	if g := gt2SessionOf(sess); g != nil {
+		start, d := g.conn.HandshakeTiming()
+		if d > 0 {
+			sp.AddTimed("client.handshake", start, d, "")
+		}
+	}
+}
+
+// Tracer returns the server's tracer (nil unless WithTracing was set
+// at NewServer).
+func (s *Server) Tracer() *Tracer { return s.base.tracer }
+
+// tracedStream wraps a Stream with span accounting: bytes and
+// cumulative open/seal pipeline time accumulate per direction, and
+// Close ends the owning span after emitting the pipeline child spans.
+// Lane spans (striped transfers) and an active-transfer registration
+// may ride along; both are released exactly once at Close.
+type tracedStream struct {
+	Stream
+	sp    *trace.Span
+	lanes []*trace.Span
+	xfer  *trace.Transfer
+	side  string // "client" or "server": prefixes the pipeline span ops
+
+	opened  time.Time
+	readNS  atomic.Int64
+	writeNS atomic.Int64
+	readB   atomic.Int64
+	writeB  atomic.Int64
+	closed  atomic.Bool
+}
+
+// newTracedStream wraps st; sp must be non-nil (callers skip wrapping
+// when tracing is off).
+func newTracedStream(st Stream, sp *trace.Span, side string) *tracedStream {
+	return &tracedStream{Stream: st, sp: sp, side: side, opened: time.Now()}
+}
+
+func (t *tracedStream) Read(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.Stream.Read(p)
+	t.readNS.Add(int64(time.Since(start)))
+	if n > 0 {
+		t.readB.Add(int64(n))
+		t.xfer.Add(int64(n))
+	}
+	return n, err
+}
+
+func (t *tracedStream) Write(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.Stream.Write(p)
+	t.writeNS.Add(int64(time.Since(start)))
+	if n > 0 {
+		t.writeB.Add(int64(n))
+		t.xfer.Add(int64(n))
+	}
+	return n, err
+}
+
+// finish emits the pipeline child spans and ends the owning span (and
+// lane spans, oldest id first) exactly once.
+func (t *tracedStream) finish(err error) {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Reads cross the open (unseal) pipeline; writes the seal pipeline.
+	if ns := t.readNS.Load(); ns > 0 || t.readB.Load() > 0 {
+		t.sp.AddTimed(t.side+".open.pipeline", t.opened, time.Duration(ns), "")
+	}
+	if ns := t.writeNS.Load(); ns > 0 || t.writeB.Load() > 0 {
+		t.sp.AddTimed(t.side+".seal.pipeline", t.opened, time.Duration(ns), "")
+	}
+	for _, lane := range t.lanes {
+		lane.End()
+	}
+	t.sp.AddBytes(t.readB.Load() + t.writeB.Load())
+	t.sp.SetError(err)
+	t.sp.End()
+	t.xfer.End()
+}
+
+func (t *tracedStream) Close() error {
+	err := t.Stream.Close()
+	t.finish(err)
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ogsa"
 	"repro/internal/record"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/wssec"
 	"repro/internal/xmlsec"
@@ -111,6 +112,12 @@ type ServeConfig struct {
 	// type. An error aborts Serve. GT2 has no container; transports
 	// without one ignore the hook.
 	ConfigureContainer func(*ogsa.Container) error
+
+	// Tracer, when set, records server-side spans for every exchange,
+	// stream, and stripe lane, continuing the trace context received
+	// over the wire (the GT2 trailing field, the GT3 SOAP header) so
+	// client and server spans share one trace id. Nil disables tracing.
+	Tracer *Tracer
 }
 
 // exchangeHandle is the service handle GT3 exchanges are routed under.
@@ -228,9 +235,22 @@ type gt2Session struct {
 // in place. On success the reply payload is returned as a view backed
 // by buf — the caller must Free it. Callers hold s.mu.
 func (s *gt2Session) roundTrip(ctx context.Context, op string, body []byte) (payload []byte, buf *record.Buf, err error) {
-	reqBuf := record.Get(gsitransport.SendOverhead + 8 + len(op) + len(body))
+	// A traced operation appends its span context as a fixed-size
+	// trailer behind the (op, body) layout; untraced requests are
+	// byte-identical to the pre-trace wire format.
+	sp := trace.SpanFromContext(ctx)
+	extra := 0
+	if sp != nil {
+		extra = trace.EncodedLen
+	}
+	reqBuf := record.Get(gsitransport.SendOverhead + 8 + len(op) + len(body) + extra)
 	var e wire.Encoder
-	frame := e.Reset(reqBuf.B[:gsitransport.Headroom]).Str(op).Bytes(body).Finish()
+	e.Reset(reqBuf.B[:gsitransport.Headroom]).Str(op).Bytes(body)
+	if sp != nil {
+		var tmp [trace.EncodedLen]byte
+		e.Raw(sp.Context().Encode(tmp[:0]))
+	}
+	frame := e.Finish()
 	err = s.conn.SendAssembled(ctx, frame)
 	reqBuf.Free()
 	if err != nil {
@@ -351,6 +371,24 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig,
 	defer stop()
 	peer := conn.Peer()
 	authorizer := authorizerOf(cfg.Environment)
+	tracer := cfg.Tracer
+	var peerDN string
+	if tracer != nil {
+		peerDN = peer.Identity.String()
+	}
+	// handshakeSpan emits the connection's handshake timing once, as a
+	// retroactive child of the first traced span on the connection —
+	// the handshake happened before any trace context arrived, so it
+	// joins the trace after the fact.
+	hsEmitted := false
+	handshakeSpan := func(sp *trace.Span) {
+		if hsEmitted || sp == nil {
+			return
+		}
+		hsEmitted = true
+		start, d := conn.HandshakeTiming()
+		sp.AddTimed("server.handshake", start, d, peerDN)
+	}
 	// Op names are interned per connection so the string conversion is
 	// paid once per distinct op, not once per exchange.
 	interned := make(map[string]string)
@@ -363,6 +401,13 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig,
 		d := wire.NewDecoder(req)
 		opView := d.View()
 		body := d.View()
+		// The optional trace-context trailer is consumed regardless of
+		// whether this endpoint traces — a traced client talking to an
+		// untraced server must still frame-decode cleanly.
+		var remote trace.SpanContext
+		if tail := d.Tail(trace.EncodedLen); tail != nil {
+			remote, _ = trace.DecodeSpanContext(tail)
+		}
 		if err := d.Done(); err != nil {
 			rbuf.Free()
 			return
@@ -384,13 +429,25 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig,
 			}
 		}
 		if op == streamOpenOp {
-			if !serveGT2Stream(ctx, conn, cfg, peer, authorizer, string(body), rbuf) {
+			var sp *trace.Span
+			if tracer != nil {
+				sp = tracer.StartRemote(remote, "server.stream")
+				sp.SetPeer(peerDN)
+				handshakeSpan(sp)
+			}
+			if !serveGT2Stream(ctx, conn, cfg, peer, authorizer, string(body), rbuf, sp) {
 				return
 			}
 			continue
 		}
 		if op == stripedOpenOp {
-			if !serveGT2StripedOpen(ctx, conn, cfg, peer, authorizer, groups, body, rbuf) {
+			var sp *trace.Span
+			if tracer != nil {
+				sp = tracer.StartRemote(remote, "server.stripe")
+				sp.SetPeer(peerDN)
+				handshakeSpan(sp)
+			}
+			if !serveGT2StripedOpen(ctx, conn, cfg, peer, authorizer, groups, body, rbuf, sp) {
 				return
 			}
 			continue
@@ -400,23 +457,42 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig,
 		if strings.HasPrefix(op, reservedOpPrefix) {
 			status, payload = gt2StatusNotFound, []byte("gsi: reserved op "+op)
 		} else {
+			// The server span continues the client's trace when a context
+			// arrived; otherwise it roots a server-local trace.
+			var sp *trace.Span
+			hctx := ctx
+			if tracer != nil {
+				sp = tracer.StartRemote(remote, "server.exchange")
+				sp.SetPeer(peerDN)
+				handshakeSpan(sp)
+				hctx = trace.ContextWithSpan(ctx, sp)
+			}
 			// Authorization: the chain-aware pipeline when configured
 			// (CAS assertion, VO ∩ local policy, gridmap — with the
 			// mapped account surfaced on the handler's Peer), else the
 			// environment's plain engine.
 			exPeer := peer
 			var authErr error
+			asp := sp.StartChild("server.authz")
 			if cfg.Pipeline != nil {
-				exPeer, authErr = authorizePipelined(ctx, cfg.Pipeline, peer, op)
+				exPeer, authErr = authorizePipelined(hctx, cfg.Pipeline, peer, op)
 			} else {
 				authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
 			}
+			asp.SetError(authErr)
+			asp.End()
 			if authErr != nil {
 				status, payload = gt2Status(authErr), []byte(authErr.Error())
-			} else if out, err := cfg.Handler(ctx, exPeer, op, body); err != nil {
+				sp.SetError(authErr)
+			} else if out, err := cfg.Handler(hctx, exPeer, op, body); err != nil {
 				status, payload = gt2Status(err), []byte(err.Error())
+				sp.SetError(err)
 			} else {
 				payload = out
+			}
+			if sp != nil {
+				sp.AddBytes(int64(len(body)))
+				sp.End()
 			}
 		}
 		// The reply is sealed from payload before the request buffer is
@@ -433,32 +509,59 @@ func serveGT2Conn(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig,
 // the named op (once, through the pipeline when configured), hand the
 // stream to the StreamHandler, and resynchronize the record stream when
 // the handler returns. Reports whether the connection is still usable.
-func serveGT2Stream(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, peer Peer, authorizer Engine, op string, rbuf *record.Buf) bool {
+func serveGT2Stream(ctx context.Context, conn *gsitransport.Conn, cfg ServeConfig, peer Peer, authorizer Engine, op string, rbuf *record.Buf, sp *trace.Span) bool {
 	rbuf.Free()
 	if cfg.StreamHandler == nil {
-		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte("gsi: endpoint does not accept streams")) == nil
+		err := errors.New("gsi: endpoint does not accept streams")
+		sp.SetError(err)
+		sp.End()
+		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte(err.Error())) == nil
 	}
 	if op == "" || strings.HasPrefix(op, reservedOpPrefix) {
-		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte("gsi: invalid stream op "+op)) == nil
+		err := errors.New("gsi: invalid stream op " + op)
+		sp.SetError(err)
+		sp.End()
+		return sendGT2Reply(context.Background(), conn, gt2StatusNotFound, []byte(err.Error())) == nil
 	}
 	exPeer := peer
 	var authErr error
+	asp := sp.StartChild("server.authz")
 	if cfg.Pipeline != nil {
 		exPeer, authErr = authorizePipelined(ctx, cfg.Pipeline, peer, op)
 	} else {
 		authErr = authorizeExchange(authorizer, cfg.Environment, peer, op)
 	}
+	asp.SetError(authErr)
+	asp.End()
 	if authErr != nil {
+		sp.SetError(authErr)
+		sp.End()
 		return sendGT2Reply(context.Background(), conn, gt2Status(authErr), []byte(authErr.Error())) == nil
 	}
 	if err := sendGT2Reply(context.Background(), conn, gt2StatusOK, nil); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return false
 	}
 	// The stream's record I/O runs under Background like the exchange
 	// loop's: cancellation arrives through the connection-lifetime
 	// CloseOnDone watcher, not a per-record watcher goroutine.
 	st := gsitransport.NewStream(context.Background(), conn)
-	serr := cfg.StreamHandler(ctx, exPeer, op, &serverGT2Stream{st: st, peer: exPeer})
+	var hstream Stream = &serverGT2Stream{st: st, peer: exPeer}
+	var ts *tracedStream
+	if sp != nil {
+		// The traced wrapper accounts bytes and cumulative seal/open
+		// pipeline time; it ends sp (emitting the pipeline child spans)
+		// when the handler is done, registering the stream as an active
+		// transfer meanwhile.
+		ts = newTracedStream(hstream, sp, "server")
+		ts.xfer = cfg.Tracer.Transfers().Begin("stream:"+op, peerDNOf(exPeer), 1, sp.Context().TraceID)
+		hstream = ts
+	}
+	serr := cfg.StreamHandler(ctx, exPeer, op, hstream)
+	if ts != nil {
+		ts.finish(serr)
+	}
 	// Terminate the server half: the handler's error travels as the
 	// stream's terminal record.
 	if serr != nil {
@@ -535,7 +638,9 @@ type gt3Session struct {
 }
 
 func (s *gt3Session) Exchange(ctx context.Context, op string, body []byte) ([]byte, error) {
-	reply, err := s.conv.CallContext(ctx, soap.NewEnvelope("ogsa-sc/"+exchangeHandle+"/"+op, body))
+	env := soap.NewEnvelope("ogsa-sc/"+exchangeHandle+"/"+op, body)
+	setTraceHeader(ctx, env)
+	reply, err := s.conv.CallContext(ctx, env)
 	if err != nil {
 		return nil, opErr("gsi.Session.Exchange", err)
 	}
@@ -585,7 +690,7 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 		Now:           cfg.Context.Now,
 	}
 	serveCtx, cancel := context.WithCancel(ctx)
-	svc := &handlerService{ctx: serveCtx, h: cfg.Handler, sh: cfg.StreamHandler}
+	svc := &handlerService{ctx: serveCtx, h: cfg.Handler, sh: cfg.StreamHandler, tracer: cfg.Tracer}
 	if cfg.Pipeline != nil || cfg.StreamHandler != nil {
 		// The chain gate carries the pipeline (typed-nil guard included:
 		// a nil *AuthorizationPipeline must not become a non-nil
@@ -596,6 +701,7 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 			engine:   authorizerOf(cfg.Environment),
 			env:      cfg.Environment,
 			reg:      svc.reg,
+			tracer:   cfg.Tracer,
 		}
 		containerCfg.Authorizer = nil // the gate reproduces the engine path
 	}
@@ -623,17 +729,30 @@ func (gt3Transport) Serve(ctx context.Context, addr string, cfg ServeConfig) (En
 // per-exchange context is the serve context: SOAP's request path carries
 // no caller deadline, so cancellation here means endpoint shutdown.
 type handlerService struct {
-	ctx context.Context
-	h   Handler
-	sh  StreamHandler
-	reg *gt3StreamRegistry // nil when the endpoint takes no streams and has no pipeline
+	ctx    context.Context
+	h      Handler
+	sh     StreamHandler
+	reg    *gt3StreamRegistry // nil when the endpoint takes no streams and has no pipeline
+	tracer *Tracer
 }
 
 func (s *handlerService) Invoke(call *ogsa.Call) ([]byte, error) {
 	if strings.HasPrefix(call.Op, reservedOpPrefix) {
 		return s.invokeReserved(call)
 	}
-	return s.h(s.ctx, callerPeer(call), call.Op, call.Body)
+	if s.tracer == nil {
+		return s.h(s.ctx, callerPeer(call), call.Op, call.Body)
+	}
+	// The server span continues the trace context the OGSA router
+	// lifted off the envelope's trace header into the call.
+	peer := callerPeer(call)
+	sp := s.tracer.StartRemote(call.Trace, "server.exchange")
+	sp.SetPeer(peerDNOf(peer))
+	out, err := s.h(trace.ContextWithSpan(s.ctx, sp), peer, call.Op, call.Body)
+	sp.AddBytes(int64(len(call.Body)))
+	sp.SetError(err)
+	sp.End()
+	return out, err
 }
 
 func callerPeer(call *ogsa.Call) Peer {
@@ -712,8 +831,20 @@ func (s *handlerService) openStream(call *ogsa.Call, op string) ([]byte, error) 
 		return nil, err
 	}
 	handlerStream := &serverGT3Stream{s: st}
+	var hstream Stream = handlerStream
+	var ts *tracedStream
+	if s.tracer != nil {
+		// Continue the opener's trace: the span covers the handler's
+		// whole run over the stream, chunks included.
+		sp := s.tracer.StartRemote(call.Trace, "server.stream")
+		dn := peerDNOf(peer)
+		sp.SetPeer(dn)
+		ts = newTracedStream(hstream, sp, "server")
+		ts.xfer = s.tracer.Transfers().Begin("stream:"+op, dn, 1, sp.Context().TraceID)
+		hstream = ts
+	}
 	go func() {
-		herr := s.sh(s.ctx, peer, op, handlerStream)
+		herr := s.sh(s.ctx, peer, op, hstream)
 		// Stop absorbing input and terminate the out half with the
 		// handler's verdict.
 		inR.CloseWithError(io.ErrClosedPipe)
@@ -721,6 +852,9 @@ func (s *handlerService) openStream(call *ogsa.Call, op string) ([]byte, error) 
 			handlerStream.closeWithError(herr.Error())
 		} else {
 			handlerStream.CloseWrite()
+		}
+		if ts != nil {
+			ts.finish(herr)
 		}
 	}()
 	return []byte(st.id), nil
