@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry bench-trace gate-allocs fmt
+.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry bench-trace bench-scale gate-allocs fmt
 
 ## ci: the tier-1 gate — format check, vet, build, test (plus the
 ## GOMAXPROCS matrix over the striped data plane: the same tests must
@@ -51,6 +51,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime=5s ./internal/record
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamReassembly$$' -fuzztime=5s ./internal/record
 	$(GO) test -run '^$$' -fuzz '^FuzzStripeReassembly$$' -fuzztime=5s ./internal/record
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime=5s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzPolicyBundleDecode$$' -fuzztime=5s ./internal/cas
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -71,12 +73,25 @@ bench-credman:
 		| $(GO) run ./cmd/bench2json > BENCH_credman.json
 	@cat BENCH_credman.json
 
-## bench-authz: record the authorization-decision pair (full pipeline
-## evaluation vs. decision-cache hit) into BENCH_authz.json.
+## bench-authz: record the authorization-decision rows (full pipeline
+## evaluation, decision-cache hit, and the cache hit over WAL-backed
+## durable state) into BENCH_authz.json.
 bench-authz:
 	$(GO) test -run '^$$' -bench 'AuthorizeCold|AuthorizeCached' -benchmem . \
 		| $(GO) run ./cmd/bench2json > BENCH_authz.json
 	@cat BENCH_authz.json
+
+## bench-scale: the PR 9 deployment-scale scenario — two resource-server
+## OS processes, each with WAL-backed durable trust state and a CAS
+## bundle replica, decide ~1M distinct subject DNs across 10k concurrent
+## sessions while the parent kills the primary bundle publisher mid-run
+## (the standby must deliver a membership update that landed after the
+## primary died). The benchmark fails unless fail-open decisions are
+## exactly zero; results land in BENCH_scale.json.
+bench-scale:
+	GSI_SCALE_FULL=1 $(GO) test -run '^$$' -bench '^BenchmarkScaleFederatedSessions$$' -benchtime 1x -timeout 900s . \
+		| $(GO) run ./cmd/bench2json > BENCH_scale.json
+	@cat BENCH_scale.json
 
 ## bench-record: record the record-layer data points into
 ## BENCH_record.json — steady-state pooled exchange (allocs/op gate
@@ -131,14 +146,16 @@ bench-trace:
 
 ## gate-allocs: the fast CI regression gate — steady-state pooled
 ## Exchange must stay ≤ 2 allocs/op with metrics attached and with
-## tracing compiled in but disabled, the idle probe at 0, and the
-## telemetry and span-lifecycle hot paths at 0.
+## tracing compiled in but disabled, the idle probe at 0, the telemetry
+## and span-lifecycle hot paths at 0, and a cached authorization
+## decision over WAL-backed durable state at 0 (durability is paid at
+## mutation time, never on the decision hot path).
 gate-allocs:
-	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$' -benchmem . ; \
+	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$|^BenchmarkAuthorizeCachedDurable$$' -benchmem . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$|^BenchmarkExchangeInstrumented$$|^BenchmarkExchangeTracingDisabled$$' -benchmem ./pkg/gsi ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkSpanStartEnd$$' -benchmem ./internal/trace ; } \
-	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0,ExchangeTracingDisabled=2,SpanStartEnd=0' > /dev/null
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0,ExchangeTracingDisabled=2,SpanStartEnd=0,AuthorizeCachedDurable=0' > /dev/null
 
 ## fmt: rewrite files in place.
 fmt:

@@ -16,6 +16,64 @@ import (
 	"repro/pkg/gsi"
 )
 
+// newBenchDurableWorld is the durable-trust-plane variant: the policy
+// and gridmap live in a WAL-backed DurableState (every mutation
+// journaled with fsync-before-apply), with decision audit off so the
+// cached path has no sink to feed — the PR 9 deployment shape for
+// load-bearing servers.
+func newBenchDurableWorld(b *testing.B) (*gsi.AuthorizationPipeline, gsi.Peer) {
+	b.Helper()
+	authority, err := gsi.NewCA("/O=Grid/CN=Bench CA", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := gsi.NewEnvironment(gsi.WithRoots(authority.Certificate()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alice, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := env.NewAuthorizationPipeline(
+		gsi.WithDurableState(b.TempDir()),
+		gsi.WithoutDecisionAudit(),
+		gsi.WithDecisionCache(time.Hour),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := pl.DurableState()
+	for i := 0; i < 64; i++ {
+		if err := ds.Policy().AddChecked(gsi.Rule{
+			ID:        "filler",
+			Effect:    gsi.EffectPermit,
+			Subjects:  []string{"/O=Grid/CN=Somebody Else"},
+			Resources: []string{"data:/other/*"},
+			Actions:   []string{"write"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ds.Policy().AddChecked(gsi.Rule{
+		ID:        "local-read",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"data:/*"},
+		Actions:   []string{"read"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.GridMap().AddChecked(alice.Identity(), "alice"); err != nil {
+		b.Fatal(err)
+	}
+	info, err := env.Trust().Verify(alice.Chain, gsi.VerifyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl, gsi.Peer{Identity: info.Identity, Subject: info.Subject, Chain: alice.Chain, Info: info}
+}
+
 // newBenchAuthzWorld builds the decision workload: a member carrying a
 // CAS assertion, a 65-rule local policy (64 non-matching fillers ahead
 // of the matching rule — a realistically long scan), and a gridmap.
@@ -118,6 +176,29 @@ func BenchmarkAuthorizeCold(b *testing.B) {
 // cache (warmed by one cold evaluation).
 func BenchmarkAuthorizeCached(b *testing.B) {
 	pl, peer := newBenchAuthzWorld(b, time.Hour)
+	ctx := context.Background()
+	if d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read"); err != nil || d.Decision != gsi.Permit {
+		b.Fatalf("warmup: %+v %v", d, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read")
+		if err != nil || d.Decision != gsi.Permit {
+			b.Fatalf("%+v %v", d, err)
+		}
+		if !d.Cached {
+			b.Fatal("decision fell out of the cache")
+		}
+	}
+}
+
+// BenchmarkAuthorizeCachedDurable: the cached decision over WAL-backed
+// policy and gridmap. Durability must cost nothing on the hot path —
+// the journal is paid at mutation time, not decision time — so `make
+// gate-allocs` pins this at 0 allocs/op, same as the in-memory cache.
+func BenchmarkAuthorizeCachedDurable(b *testing.B) {
+	pl, peer := newBenchDurableWorld(b)
 	ctx := context.Background()
 	if d, err := pl.Authorize(ctx, peer, "data:/climate/run1", "read"); err != nil || d.Decision != gsi.Permit {
 		b.Fatalf("warmup: %+v %v", d, err)

@@ -17,11 +17,17 @@
 //	gsictl retire [-dir DIR] [-cred NAME] FINGERPRINT
 //	gsictl traces [-dir DIR] [-cred NAME] [-n N] [-op OP] [-peer DN] [-errors] [-trace HEXID]
 //	gsictl transfers [-dir DIR] [-cred NAME]
+//	gsictl cas-status [-dir DIR] [-cred NAME]
+//	gsictl cas-sync [-dir DIR] [-cred NAME]
 //
 // traces queries the server's flight recorder: slowest-N spans by
 // default, filterable by op name, peer DN substring, errors-only, or a
 // single full trace by id. transfers lists the bulk transfers in
 // flight right now (op, peer, bytes so far, stripes, elapsed).
+// cas-status reports the CAS policy-bundle replica (applied version,
+// generation, pull history); cas-sync forces an immediate bundle pull
+// from the configured upstreams. Both require a server started with
+// WithCASUpstream.
 //
 // The serve process runs until SIGINT/SIGTERM, then drains gracefully:
 // the endpoint closes (taking the reload watcher and metrics listener
@@ -70,7 +76,8 @@ func main() {
 	switch cmd {
 	case "serve":
 		runServe(args)
-	case "stats", "metrics", "drain", "reload", "retire", "traces", "transfers":
+	case "stats", "metrics", "drain", "reload", "retire", "traces", "transfers",
+		"cas-status", "cas-sync":
 		runAdminOp(cmd, args)
 	default:
 		usage()
@@ -78,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire|traces|transfers [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire|traces|transfers|cas-status|cas-sync [flags] [args]")
 	os.Exit(2)
 }
 
@@ -311,6 +318,10 @@ func runAdminOp(cmd string, args []string) {
 		}
 	case "transfers":
 		op = ogsa.AdminOpTransfers
+	case "cas-status":
+		op = ogsa.AdminOpCASStatus
+	case "cas-sync":
+		op = ogsa.AdminOpCASSync
 	}
 
 	roots, err := gridcert.DecodeChain(mustRead(filepath.Join(*dir, "roots")))

@@ -2,6 +2,7 @@ package authz
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -20,6 +21,7 @@ type GridMap struct {
 	mu      sync.RWMutex
 	entries map[string]string // DN string -> local account
 	gen     uint64
+	store   Store // nil = in-memory (the zero-dependency default)
 }
 
 // NewGridMap creates an empty map.
@@ -27,25 +29,52 @@ func NewGridMap() *GridMap {
 	return &GridMap{entries: make(map[string]string)}
 }
 
+// Bind routes every subsequent mutation through store: each
+// Add/Replace/Remove is journaled before it is applied, and a journal
+// error refuses the mutation. Bind once, before the map goes live;
+// replay restored state first, then bind.
+func (g *GridMap) Bind(store Store) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.store = store
+}
+
 // Add maps a grid identity to a local account. The account must be a
 // single token — non-empty, no whitespace or control characters —
 // because Serialize writes it raw: an embedded newline would forge a
 // whole extra mapfile line, and an embedded space would silently
-// truncate on reparse. Violations panic (configuration error).
+// truncate on reparse. Violations panic (configuration error), as does
+// a journal failure on a bound map; durable callers use AddChecked.
 func (g *GridMap) Add(dn gridcert.Name, account string) {
+	if err := g.AddChecked(dn, account); err != nil {
+		panic(err)
+	}
+}
+
+// AddChecked is Add returning validation and journal failures instead
+// of panicking — the mutation entry point for durable deployments,
+// where a full disk must refuse the mapping rather than crash the
+// process.
+func (g *GridMap) AddChecked(dn gridcert.Name, account string) error {
 	// The empty DN is the identity an anonymous peer presents, and its
 	// rendering ("/") does not survive a Serialize/Parse round trip —
 	// reject it at the mutation API just as the parser does.
 	if dn.Empty() {
-		panic("authz: gridmap entry for the empty DN")
+		return errors.New("authz: gridmap entry for the empty DN")
 	}
 	if !validAccount(account) {
-		panic(fmt.Sprintf("authz: gridmap account %q must be one token without whitespace or control characters", account))
+		return fmt.Errorf("authz: gridmap account %q must be one token without whitespace or control characters", account)
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.store != nil {
+		if err := g.store.Journal(Mutation{Kind: MutGridMapAdd, Gen: g.gen + 1, DN: dn.String(), Account: account}); err != nil {
+			return fmt.Errorf("authz: gridmap mutation not journaled: %w", err)
+		}
+	}
 	g.entries[dn.String()] = account
 	g.gen++
+	return nil
 }
 
 func validAccount(account string) bool {
@@ -64,8 +93,10 @@ func validAccount(account string) bool {
 // transaction, bumping the generation once. Reload paths parse a fresh
 // mapfile into a throwaway GridMap and Replace into the live one, so
 // decision caches keyed on the generation invalidate a single time and
-// no reader ever observes a half-applied mapfile.
-func (g *GridMap) Replace(other *GridMap) {
+// no reader ever observes a half-applied mapfile. On a bound map the
+// swap is journaled first; a journal error refuses it and the old
+// entry set stays live.
+func (g *GridMap) Replace(other *GridMap) error {
 	other.mu.RLock()
 	next := make(map[string]string, len(other.entries))
 	for dn, acct := range other.entries {
@@ -74,16 +105,75 @@ func (g *GridMap) Replace(other *GridMap) {
 	other.mu.RUnlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.store != nil {
+		if err := g.store.Journal(Mutation{Kind: MutGridMapReplace, Gen: g.gen + 1, Entries: next}); err != nil {
+			return fmt.Errorf("authz: gridmap mutation not journaled: %w", err)
+		}
+	}
 	g.entries = next
 	g.gen++
+	return nil
 }
 
-// Remove deletes a mapping.
+// Remove deletes a mapping, panicking on a journal failure; durable
+// callers use RemoveChecked.
 func (g *GridMap) Remove(dn gridcert.Name) {
+	if err := g.RemoveChecked(dn); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveChecked deletes a mapping, journaling first on a bound map.
+// Removing an absent DN is a no-op that does not bump the generation
+// or touch the journal.
+func (g *GridMap) RemoveChecked(dn gridcert.Name) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.entries, dn.String())
+	key := dn.String()
+	if _, ok := g.entries[key]; !ok {
+		return nil
+	}
+	if g.store != nil {
+		if err := g.store.Journal(Mutation{Kind: MutGridMapRemove, Gen: g.gen + 1, DN: key}); err != nil {
+			return fmt.Errorf("authz: gridmap mutation not journaled: %w", err)
+		}
+	}
+	delete(g.entries, key)
 	g.gen++
+	return nil
+}
+
+// applyReplayed applies one journaled mutation without re-journaling,
+// restoring the journaled generation. Validation matches the mutating
+// APIs': replay is not a trust bypass.
+func (g *GridMap) applyReplayed(m Mutation) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch m.Kind {
+	case MutGridMapAdd:
+		if m.DN == "" {
+			return errors.New("authz: replayed gridmap entry for the empty DN")
+		}
+		if !validAccount(m.Account) {
+			return fmt.Errorf("authz: replayed gridmap account %q invalid", m.Account)
+		}
+		g.entries[m.DN] = m.Account
+	case MutGridMapReplace:
+		next := make(map[string]string, len(m.Entries))
+		for dn, acct := range m.Entries {
+			if dn == "" || !validAccount(acct) {
+				return fmt.Errorf("authz: replayed gridmap entry %q -> %q invalid", dn, acct)
+			}
+			next[dn] = acct
+		}
+		g.entries = next
+	case MutGridMapRemove:
+		delete(g.entries, m.DN)
+	default:
+		return fmt.Errorf("authz: mutation kind %d is not a gridmap mutation", m.Kind)
+	}
+	g.gen = m.Gen
+	return nil
 }
 
 // Generation reports the map revision: it increments on every mutation.

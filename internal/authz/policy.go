@@ -194,6 +194,17 @@ type Policy struct {
 	rules     []Rule
 	combining Combining
 	gen       uint64
+	store     Store // nil = in-memory (the zero-dependency default)
+}
+
+// Bind routes every subsequent mutation through store: each
+// Add/AddChecked/Replace/Remove is journaled before it is applied, and
+// a journal error refuses the mutation. Bind once, before the policy
+// goes live; replay restored state first, then bind.
+func (p *Policy) Bind(store Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store = store
 }
 
 // NewPolicy creates a policy with the given combining algorithm.
@@ -222,6 +233,11 @@ func (p *Policy) AddChecked(rules ...Rule) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.store != nil {
+		if err := p.store.Journal(Mutation{Kind: MutPolicyAdd, Gen: p.gen + 1, Rules: rules}); err != nil {
+			return fmt.Errorf("authz: policy mutation not journaled: %w", err)
+		}
+	}
 	p.rules = append(p.rules, rules...)
 	p.gen++
 	return nil
@@ -243,6 +259,11 @@ func (p *Policy) Replace(rules []Rule) error {
 	next := append([]Rule(nil), rules...)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.store != nil {
+		if err := p.store.Journal(Mutation{Kind: MutPolicyReplace, Gen: p.gen + 1, Rules: next}); err != nil {
+			return fmt.Errorf("authz: policy replacement not journaled: %w", err)
+		}
+	}
 	p.rules = next
 	p.gen++
 	return nil
@@ -260,24 +281,76 @@ func (p *Policy) Combining() Combining {
 
 // Remove deletes every rule with the given ID, reporting whether any
 // was removed. Removal bumps the policy generation, so decision caches
-// keyed on it re-evaluate on their very next lookup.
+// keyed on it re-evaluate on their very next lookup. On a bound policy
+// a journal failure panics; durable callers use RemoveChecked.
 func (p *Policy) Remove(id string) bool {
+	removed, err := p.RemoveChecked(id)
+	if err != nil {
+		panic(err)
+	}
+	return removed
+}
+
+// RemoveChecked is Remove surfacing the journal outcome: on a bound
+// policy a journal error refuses the removal (the rule stays live —
+// fail closed means the log never lags the memory image).
+func (p *Policy) RemoveChecked(id string) (bool, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	kept := p.rules[:0]
 	removed := false
 	for _, r := range p.rules {
 		if r.ID == id {
 			removed = true
-			continue
+			break
 		}
-		kept = append(kept, r)
+	}
+	if !removed {
+		return false, nil
+	}
+	if p.store != nil {
+		if err := p.store.Journal(Mutation{Kind: MutPolicyRemove, Gen: p.gen + 1, RuleID: id}); err != nil {
+			return false, fmt.Errorf("authz: policy removal not journaled: %w", err)
+		}
+	}
+	kept := p.rules[:0]
+	for _, r := range p.rules {
+		if r.ID != id {
+			kept = append(kept, r)
+		}
 	}
 	p.rules = kept
-	if removed {
-		p.gen++
+	p.gen++
+	return true, nil
+}
+
+// applyReplayed applies a journaled policy mutation without journaling,
+// restoring the recorded generation (replay path).
+func (p *Policy) applyReplayed(m Mutation) error {
+	for _, r := range m.Rules {
+		if !r.Effect.Valid() {
+			return fmt.Errorf("authz: journaled rule %q has invalid effect %d", r.ID, r.Effect)
+		}
 	}
-	return removed
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch m.Kind {
+	case MutPolicyAdd:
+		p.rules = append(p.rules, m.Rules...)
+	case MutPolicyReplace:
+		p.rules = append([]Rule(nil), m.Rules...)
+	case MutPolicyRemove:
+		kept := p.rules[:0]
+		for _, r := range p.rules {
+			if r.ID != m.RuleID {
+				kept = append(kept, r)
+			}
+		}
+		p.rules = kept
+	default:
+		return fmt.Errorf("authz: mutation kind %d is not a policy mutation", m.Kind)
+	}
+	p.gen = m.Gen
+	return nil
 }
 
 // Generation reports the policy revision: it increments on every

@@ -1,0 +1,168 @@
+package authz
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Store is the persistence hook behind Policy and GridMap: every
+// mutation is journaled through it BEFORE it is applied, so durable
+// deployments recover the exact rule set, entry set, and — critically —
+// generation counters after a restart, and the sharded decision caches
+// keyed on those generations re-warm instead of stampeding. The nil
+// store is the zero-dependency in-memory default (mutations apply
+// directly). A journal error refuses the mutation: fail closed, the
+// in-memory state never runs ahead of the log.
+type Store interface {
+	// Journal persists one mutation. It is called with the mutated
+	// object's lock held, so journal order equals application order.
+	Journal(m Mutation) error
+}
+
+// MutationKind discriminates journaled mutations.
+type MutationKind uint8
+
+const (
+	// MutPolicyAdd appends Rules to the policy.
+	MutPolicyAdd MutationKind = 1
+	// MutPolicyReplace swaps the entire rule set for Rules.
+	MutPolicyReplace MutationKind = 2
+	// MutPolicyRemove deletes every rule with RuleID.
+	MutPolicyRemove MutationKind = 3
+	// MutGridMapAdd maps DN to Account.
+	MutGridMapAdd MutationKind = 4
+	// MutGridMapReplace swaps the entire entry set for Entries.
+	MutGridMapReplace MutationKind = 5
+	// MutGridMapRemove deletes DN's mapping.
+	MutGridMapRemove MutationKind = 6
+)
+
+// Mutation is one journaled Policy or GridMap change, carrying the
+// post-mutation generation so replay restores identical counters.
+type Mutation struct {
+	Kind MutationKind
+	// Gen is the generation the object reports once the mutation is
+	// applied.
+	Gen uint64
+
+	// Rules rides on MutPolicyAdd / MutPolicyReplace.
+	Rules []Rule
+	// RuleID rides on MutPolicyRemove.
+	RuleID string
+	// DN and Account ride on the gridmap point mutations.
+	DN      string
+	Account string
+	// Entries rides on MutGridMapReplace.
+	Entries map[string]string
+}
+
+const mutationCodecVersion = 1
+
+// maxJournaledRules bounds rules per journaled batch (same cap as CAS
+// assertions: the journal crosses a durability boundary, not a trust
+// boundary, but a corrupt length field must not size an allocation).
+const maxJournaledRules = 65536
+
+// maxJournaledEntries bounds gridmap entries per journaled replace.
+const maxJournaledEntries = 1 << 22
+
+// Encode serialises the mutation for a WAL payload.
+func (m Mutation) Encode() []byte {
+	e := wire.NewEncoder()
+	e.U8(mutationCodecVersion)
+	e.U8(uint8(m.Kind))
+	e.U64(m.Gen)
+	switch m.Kind {
+	case MutPolicyAdd, MutPolicyReplace:
+		e.U32(uint32(len(m.Rules)))
+		for _, r := range m.Rules {
+			WireEncodeRule(e, r)
+		}
+	case MutPolicyRemove:
+		e.Str(m.RuleID)
+	case MutGridMapAdd:
+		e.Str(m.DN)
+		e.Str(m.Account)
+	case MutGridMapRemove:
+		e.Str(m.DN)
+	case MutGridMapReplace:
+		dns := make([]string, 0, len(m.Entries))
+		for dn := range m.Entries {
+			dns = append(dns, dn)
+		}
+		sort.Strings(dns)
+		e.U32(uint32(len(dns)))
+		for _, dn := range dns {
+			e.Str(dn)
+			e.Str(m.Entries[dn])
+		}
+	}
+	return e.Finish()
+}
+
+// DecodeMutation parses a journaled mutation payload.
+func DecodeMutation(b []byte) (Mutation, error) {
+	d := wire.NewDecoder(b)
+	var m Mutation
+	if v := d.U8(); d.Err() == nil && v != mutationCodecVersion {
+		return m, fmt.Errorf("authz: unknown mutation codec version %d", v)
+	}
+	m.Kind = MutationKind(d.U8())
+	m.Gen = d.U64()
+	switch m.Kind {
+	case MutPolicyAdd, MutPolicyReplace:
+		n := d.Count("journaled rule", maxJournaledRules)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			m.Rules = append(m.Rules, WireDecodeRule(d))
+		}
+	case MutPolicyRemove:
+		m.RuleID = d.Str()
+	case MutGridMapAdd:
+		m.DN = d.Str()
+		m.Account = d.Str()
+	case MutGridMapRemove:
+		m.DN = d.Str()
+	case MutGridMapReplace:
+		n := d.Count("journaled gridmap entry", maxJournaledEntries)
+		if d.Err() == nil {
+			m.Entries = make(map[string]string, n)
+			for i := 0; i < n && d.Err() == nil; i++ {
+				dn := d.Str()
+				m.Entries[dn] = d.Str()
+			}
+		}
+	default:
+		if d.Err() == nil {
+			return m, fmt.Errorf("authz: unknown mutation kind %d", m.Kind)
+		}
+	}
+	if err := d.Done(); err != nil {
+		return Mutation{}, err
+	}
+	return m, nil
+}
+
+// ApplyMutation applies one replayed mutation to the policy/gridmap
+// pair without re-journaling, restoring the journaled generation.
+// Either target may be nil when the journal is known to concern only
+// the other; a mutation for a nil target is corruption, not a no-op.
+// Validation is the same as the mutating APIs': a journal record that
+// would not have been accepted live must not be accepted on replay.
+func ApplyMutation(m Mutation, p *Policy, g *GridMap) error {
+	switch m.Kind {
+	case MutPolicyAdd, MutPolicyReplace, MutPolicyRemove:
+		if p == nil {
+			return fmt.Errorf("authz: journaled policy mutation with no policy to apply it to")
+		}
+		return p.applyReplayed(m)
+	case MutGridMapAdd, MutGridMapReplace, MutGridMapRemove:
+		if g == nil {
+			return fmt.Errorf("authz: journaled gridmap mutation with no gridmap to apply it to")
+		}
+		return g.applyReplayed(m)
+	default:
+		return fmt.Errorf("authz: unknown mutation kind %d", m.Kind)
+	}
+}

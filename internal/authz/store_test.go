@@ -1,0 +1,345 @@
+package authz
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gridcert"
+)
+
+// recordingStore journals into memory; failAfter (when >0) makes the
+// n+1'th Journal call fail, for refusal-path tests.
+type recordingStore struct {
+	journal   []Mutation
+	failAfter int
+	err       error
+}
+
+func (s *recordingStore) Journal(m Mutation) error {
+	if s.err != nil && len(s.journal) >= s.failAfter {
+		return s.err
+	}
+	s.journal = append(s.journal, m)
+	return nil
+}
+
+func mustName(t *testing.T, s string) gridcert.Name {
+	t.Helper()
+	n, err := gridcert.ParseName(s)
+	if err != nil {
+		t.Fatalf("ParseName(%q): %v", s, err)
+	}
+	return n
+}
+
+func TestPolicyJournalThenApply(t *testing.T) {
+	st := &recordingStore{}
+	p := NewPolicy(DenyOverrides)
+	p.Bind(st)
+
+	p.Add(Rule{ID: "r1", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	if err := p.Replace([]Rule{
+		{ID: "r2", Effect: EffectDeny, Resources: []string{"*"}, Actions: []string{"*"}},
+		{ID: "r3", Effect: EffectPermit, Resources: []string{"jobs"}, Actions: []string{"submit"}},
+	}); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if removed, err := p.RemoveChecked("r2"); err != nil || !removed {
+		t.Fatalf("RemoveChecked: removed=%v err=%v", removed, err)
+	}
+	// Removing an absent rule must not journal or bump the generation.
+	if removed, err := p.RemoveChecked("ghost"); err != nil || removed {
+		t.Fatalf("RemoveChecked(ghost): removed=%v err=%v", removed, err)
+	}
+
+	if len(st.journal) != 3 {
+		t.Fatalf("journal has %d mutations, want 3", len(st.journal))
+	}
+	wantKinds := []MutationKind{MutPolicyAdd, MutPolicyReplace, MutPolicyRemove}
+	for i, m := range st.journal {
+		if m.Kind != wantKinds[i] {
+			t.Fatalf("journal[%d].Kind = %d, want %d", i, m.Kind, wantKinds[i])
+		}
+		if m.Gen != uint64(i+1) {
+			t.Fatalf("journal[%d].Gen = %d, want %d", i, m.Gen, i+1)
+		}
+	}
+	if p.Generation() != 3 {
+		t.Fatalf("Generation = %d, want 3", p.Generation())
+	}
+}
+
+func TestPolicyJournalErrorRefusesMutation(t *testing.T) {
+	boom := errors.New("disk full")
+	st := &recordingStore{failAfter: 1, err: boom}
+	p := NewPolicy(DenyOverrides)
+	p.Add(Rule{ID: "keep", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	p.Bind(st)
+
+	p.Add(Rule{ID: "ok", Effect: EffectPermit}) // journal slot 1: succeeds
+	if err := p.AddChecked(Rule{ID: "lost", Effect: EffectPermit}); !errors.Is(err, boom) {
+		t.Fatalf("AddChecked after journal failure: err=%v, want %v", err, boom)
+	}
+	if err := p.Replace(nil); !errors.Is(err, boom) {
+		t.Fatalf("Replace after journal failure: err=%v, want %v", err, boom)
+	}
+	if _, err := p.RemoveChecked("keep"); !errors.Is(err, boom) {
+		t.Fatalf("RemoveChecked after journal failure: err=%v, want %v", err, boom)
+	}
+	// State untouched by the refused mutations.
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (refused mutations must not apply)", p.Len())
+	}
+	if p.Generation() != 2 {
+		t.Fatalf("Generation = %d, want 2", p.Generation())
+	}
+}
+
+func TestGridMapJournalThenApply(t *testing.T) {
+	st := &recordingStore{}
+	g := NewGridMap()
+	g.Bind(st)
+
+	alice := mustName(t, "/O=Grid/CN=Alice")
+	bob := mustName(t, "/O=Grid/CN=Bob")
+	g.Add(alice, "alice")
+	g.Add(bob, "bob")
+	fresh := NewGridMap()
+	fresh.Add(alice, "alice2")
+	if err := g.Replace(fresh); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if err := g.RemoveChecked(alice); err != nil {
+		t.Fatalf("RemoveChecked: %v", err)
+	}
+	// Absent DN: no journal entry, no generation bump.
+	if err := g.RemoveChecked(bob); err != nil {
+		t.Fatalf("RemoveChecked(absent): %v", err)
+	}
+
+	wantKinds := []MutationKind{MutGridMapAdd, MutGridMapAdd, MutGridMapReplace, MutGridMapRemove}
+	if len(st.journal) != len(wantKinds) {
+		t.Fatalf("journal has %d mutations, want %d", len(st.journal), len(wantKinds))
+	}
+	for i, m := range st.journal {
+		if m.Kind != wantKinds[i] || m.Gen != uint64(i+1) {
+			t.Fatalf("journal[%d] = kind %d gen %d, want kind %d gen %d", i, m.Kind, m.Gen, wantKinds[i], i+1)
+		}
+	}
+	if g.Generation() != 4 || g.Len() != 0 {
+		t.Fatalf("Generation=%d Len=%d, want 4 and 0", g.Generation(), g.Len())
+	}
+}
+
+func TestGridMapJournalErrorRefusesMutation(t *testing.T) {
+	boom := errors.New("disk full")
+	st := &recordingStore{failAfter: 0, err: boom}
+	g := NewGridMap()
+	alice := mustName(t, "/O=Grid/CN=Alice")
+	g.Add(alice, "alice")
+	g.Bind(st)
+
+	if err := g.AddChecked(mustName(t, "/O=Grid/CN=Bob"), "bob"); !errors.Is(err, boom) {
+		t.Fatalf("AddChecked: err=%v, want %v", err, boom)
+	}
+	if err := g.Replace(NewGridMap()); !errors.Is(err, boom) {
+		t.Fatalf("Replace: err=%v, want %v", err, boom)
+	}
+	if err := g.RemoveChecked(alice); !errors.Is(err, boom) {
+		t.Fatalf("RemoveChecked: err=%v, want %v", err, boom)
+	}
+	if g.Len() != 1 || g.Generation() != 1 {
+		t.Fatalf("Len=%d Gen=%d, want 1 and 1 (refused mutations must not apply)", g.Len(), g.Generation())
+	}
+	if acct, ok := g.Lookup(alice); !ok || acct != "alice" {
+		t.Fatalf("Lookup(alice) = %q,%v after refused remove", acct, ok)
+	}
+}
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	when := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []Mutation{
+		{Kind: MutPolicyAdd, Gen: 7, Rules: []Rule{{
+			ID: "r1", Effect: EffectPermit,
+			Subjects: []string{"/O=Grid/CN=Alice"}, Groups: []string{"vo"},
+			Roles: []string{"admin"}, Resources: []string{"jobs"}, Actions: []string{"submit"},
+			NotBefore: when, NotAfter: when.Add(time.Hour),
+		}}},
+		{Kind: MutPolicyReplace, Gen: 8, Rules: nil},
+		{Kind: MutPolicyRemove, Gen: 9, RuleID: "r1"},
+		{Kind: MutGridMapAdd, Gen: 10, DN: "/O=Grid/CN=Alice", Account: "alice"},
+		{Kind: MutGridMapReplace, Gen: 11, Entries: map[string]string{"/O=Grid/CN=A": "a", "/O=Grid/CN=B": "b"}},
+		{Kind: MutGridMapRemove, Gen: 12, DN: "/O=Grid/CN=Alice"},
+	}
+	for _, want := range cases {
+		got, err := DecodeMutation(want.Encode())
+		if err != nil {
+			t.Fatalf("kind %d: DecodeMutation: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Gen != want.Gen || got.RuleID != want.RuleID ||
+			got.DN != want.DN || got.Account != want.Account {
+			t.Fatalf("kind %d: round trip mismatch: %+v != %+v", want.Kind, got, want)
+		}
+		if len(got.Rules) != len(want.Rules) || len(got.Entries) != len(want.Entries) {
+			t.Fatalf("kind %d: payload length mismatch", want.Kind)
+		}
+		for i := range want.Rules {
+			if got.Rules[i].ID != want.Rules[i].ID ||
+				!got.Rules[i].NotBefore.Equal(want.Rules[i].NotBefore) {
+				t.Fatalf("kind %d: rule %d mismatch", want.Kind, i)
+			}
+		}
+		for k, v := range want.Entries {
+			if got.Entries[k] != v {
+				t.Fatalf("kind %d: entry %q mismatch", want.Kind, k)
+			}
+		}
+	}
+}
+
+func TestDecodeMutationRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMutation(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := DecodeMutation([]byte{mutationCodecVersion, 99, 0, 0, 0, 0, 0, 0, 0, 1}); err == nil {
+		t.Fatal("unknown mutation kind accepted")
+	}
+	m := Mutation{Kind: MutPolicyRemove, Gen: 1, RuleID: "x"}
+	b := m.Encode()
+	if _, err := DecodeMutation(append(b, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeMutation(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestApplyMutationReplaysStateAndGeneration(t *testing.T) {
+	// Drive a live, journaled pair; then replay the journal into a fresh
+	// pair and demand identical state AND identical generations — the
+	// property the decision cache's re-warm depends on.
+	st := &recordingStore{}
+	p := NewPolicy(DenyOverrides)
+	g := NewGridMap()
+	p.Bind(st)
+	g.Bind(st)
+
+	p.Add(Rule{ID: "r1", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	p.Add(Rule{ID: "r2", Effect: EffectDeny, Resources: []string{"secrets"}, Actions: []string{"*"}})
+	p.Remove("r1")
+	alice := mustName(t, "/O=Grid/CN=Alice")
+	g.Add(alice, "alice")
+	g.Add(mustName(t, "/O=Grid/CN=Bob"), "bob")
+	g.Remove(alice)
+
+	p2 := NewPolicy(DenyOverrides)
+	g2 := NewGridMap()
+	for _, m := range st.journal {
+		decoded, err := DecodeMutation(m.Encode())
+		if err != nil {
+			t.Fatalf("DecodeMutation: %v", err)
+		}
+		if err := ApplyMutation(decoded, p2, g2); err != nil {
+			t.Fatalf("ApplyMutation(kind %d): %v", decoded.Kind, err)
+		}
+	}
+	if p2.Generation() != p.Generation() {
+		t.Fatalf("replayed policy generation %d != live %d", p2.Generation(), p.Generation())
+	}
+	if g2.Generation() != g.Generation() {
+		t.Fatalf("replayed gridmap generation %d != live %d", g2.Generation(), g.Generation())
+	}
+	if p2.Len() != 1 || p2.Rules()[0].ID != "r2" {
+		t.Fatalf("replayed policy rules wrong: %+v", p2.Rules())
+	}
+	if g2.Serialize() != g.Serialize() {
+		t.Fatalf("replayed gridmap differs:\n%s\nvs\n%s", g2.Serialize(), g.Serialize())
+	}
+}
+
+func TestApplyMutationNilTargetIsError(t *testing.T) {
+	if err := ApplyMutation(Mutation{Kind: MutPolicyAdd, Gen: 1}, nil, NewGridMap()); err == nil {
+		t.Fatal("policy mutation with nil policy accepted")
+	}
+	if err := ApplyMutation(Mutation{Kind: MutGridMapAdd, Gen: 1, DN: "/CN=x", Account: "x"}, NewPolicy(DenyOverrides), nil); err == nil {
+		t.Fatal("gridmap mutation with nil gridmap accepted")
+	}
+}
+
+func TestApplyMutationValidatesLikeLiveAPI(t *testing.T) {
+	p := NewPolicy(DenyOverrides)
+	g := NewGridMap()
+	if err := ApplyMutation(Mutation{Kind: MutPolicyAdd, Gen: 1, Rules: []Rule{{ID: "bad", Effect: Effect(99)}}}, p, g); err == nil {
+		t.Fatal("replayed rule with invalid effect accepted")
+	}
+	if err := ApplyMutation(Mutation{Kind: MutGridMapAdd, Gen: 1, DN: "", Account: "x"}, p, g); err == nil {
+		t.Fatal("replayed empty DN accepted")
+	}
+	if err := ApplyMutation(Mutation{Kind: MutGridMapAdd, Gen: 1, DN: "/CN=x", Account: "two words"}, p, g); err == nil {
+		t.Fatal("replayed invalid account accepted")
+	}
+	if err := ApplyMutation(Mutation{Kind: MutGridMapReplace, Gen: 1, Entries: map[string]string{"/CN=x": "bad acct"}}, p, g); err == nil {
+		t.Fatal("replayed invalid replace entry accepted")
+	}
+	if p.Generation() != 0 || g.Generation() != 0 {
+		t.Fatal("rejected replays must not advance generations")
+	}
+}
+
+func TestStateSnapshotRoundTrip(t *testing.T) {
+	p := NewPolicy(PermitOverrides)
+	p.Add(Rule{ID: "r1", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	p.Add(Rule{ID: "r2", Effect: EffectDeny, Resources: []string{"secrets"}, Actions: []string{"read"}})
+	g := NewGridMap()
+	g.Add(mustName(t, "/O=Grid/CN=Alice"), "alice")
+	g.Add(mustName(t, "/O=Grid/CN=Bob"), "bob")
+
+	p2 := NewPolicy(DenyOverrides)
+	if err := p2.RestoreState(p.EncodeState()); err != nil {
+		t.Fatalf("policy RestoreState: %v", err)
+	}
+	if p2.Generation() != p.Generation() || p2.Combining() != PermitOverrides || p2.Len() != 2 {
+		t.Fatalf("policy snapshot round trip: gen=%d combining=%d len=%d", p2.Generation(), p2.Combining(), p2.Len())
+	}
+	g2 := NewGridMap()
+	if err := g2.RestoreState(g.EncodeState()); err != nil {
+		t.Fatalf("gridmap RestoreState: %v", err)
+	}
+	if g2.Generation() != g.Generation() || g2.Serialize() != g.Serialize() {
+		t.Fatalf("gridmap snapshot round trip: gen=%d", g2.Generation())
+	}
+}
+
+func TestRestoreStateFailsClosed(t *testing.T) {
+	p := NewPolicy(DenyOverrides)
+	p.Add(Rule{ID: "keep", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	wantGen := p.Generation()
+
+	bad := NewPolicy(DenyOverrides)
+	bad.Add(Rule{ID: "evil", Effect: EffectPermit, Resources: []string{"*"}, Actions: []string{"*"}})
+	snap := bad.EncodeState()
+	// Corrupt the combining byte (offset 1, after the version byte).
+	snap[1] = 99
+	if err := p.RestoreState(snap); err == nil {
+		t.Fatal("snapshot with unknown combining mode accepted")
+	}
+	if err := p.RestoreState(snap[:len(snap)-2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if p.Len() != 1 || p.Rules()[0].ID != "keep" || p.Generation() != wantGen {
+		t.Fatal("failed restore mutated the live policy")
+	}
+
+	g := NewGridMap()
+	g.Add(mustName(t, "/O=Grid/CN=Alice"), "alice")
+	gb := NewGridMap()
+	gb.Add(mustName(t, "/O=Grid/CN=Bob"), "bob")
+	gsnap := gb.EncodeState()
+	if err := g.RestoreState(gsnap[:len(gsnap)-1]); err == nil {
+		t.Fatal("truncated gridmap snapshot accepted")
+	}
+	if g.Len() != 1 {
+		t.Fatal("failed restore mutated the live gridmap")
+	}
+}

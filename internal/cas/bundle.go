@@ -1,0 +1,250 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/wire"
+)
+
+// Policy bundles federate the VO outward: the community server exports
+// its entire policy state — membership, roles, rules — as one signed,
+// versioned document, and resource servers pull it to keep a local
+// replica. The replica then answers VO-layer questions for requesters
+// that did not present a CAS assertion, with the same intersection
+// semantics: the resource stays the ultimate authority, the bundle only
+// supplies the VO's half of the decision.
+
+const bundleMagic = "cas-bundle-v1"
+
+// Bundle is one signed export of a VO's policy state.
+type Bundle struct {
+	// VO is the issuing community's identity (the CAS server's DN).
+	VO gridcert.Name
+	// Version is the server's bundle version at export. Replicas apply
+	// bundles in version order and never move backwards.
+	Version uint64
+	// IssuedAt stamps the export.
+	IssuedAt time.Time
+	// Members maps member DN -> VO groups; Roles maps member DN -> roles.
+	Members map[string][]string
+	Roles   map[string][]string
+	// Rules is the full VO policy.
+	Rules []authz.Rule
+
+	Signature []byte
+}
+
+func (b *Bundle) tbs() []byte {
+	e := wire.NewEncoder()
+	e.Str(bundleMagic)
+	e.Str(b.VO.String())
+	e.U64(b.Version)
+	e.I64(b.IssuedAt.Unix())
+	encodeStringListMap(e, b.Members)
+	encodeStringListMap(e, b.Roles)
+	e.U32(uint32(len(b.Rules)))
+	for _, r := range b.Rules {
+		authz.WireEncodeRule(e, r)
+	}
+	return e.Finish()
+}
+
+// Encode serialises the bundle with its signature.
+func (b *Bundle) Encode() []byte {
+	return wire.NewEncoder().Bytes(b.tbs()).Bytes(b.Signature).Finish()
+}
+
+// DecodeBundle parses an encoded bundle (signature not verified).
+func DecodeBundle(data []byte) (*Bundle, error) {
+	d := wire.NewDecoder(data)
+	tbs := d.Bytes()
+	sig := d.Bytes()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	td := wire.NewDecoder(tbs)
+	if magic := td.Str(); td.Err() == nil && magic != bundleMagic {
+		return nil, fmt.Errorf("cas: bad bundle magic %q", magic)
+	}
+	b := &Bundle{}
+	voStr := td.Str()
+	b.Version = td.U64()
+	b.IssuedAt = time.Unix(td.I64(), 0).UTC()
+	var err error
+	if b.Members, err = decodeStringListMap(td, "bundle member"); err != nil {
+		return nil, err
+	}
+	if b.Roles, err = decodeStringListMap(td, "bundle role holder"); err != nil {
+		return nil, err
+	}
+	n := td.Count("bundle rule", maxAssertionRules)
+	for i := 0; i < n && td.Err() == nil; i++ {
+		b.Rules = append(b.Rules, authz.WireDecodeRule(td))
+	}
+	if err := td.Done(); err != nil {
+		return nil, err
+	}
+	if b.VO, err = gridcert.ParseName(voStr); err != nil {
+		return nil, err
+	}
+	b.Signature = sig
+	return b, nil
+}
+
+// Verify checks the bundle's signature against the CAS certificate.
+func (b *Bundle) Verify(casCert *gridcert.Certificate) error {
+	if !casCert.Subject.Equal(b.VO) {
+		return fmt.Errorf("cas: bundle VO %q does not match CAS certificate %q", b.VO, casCert.Subject)
+	}
+	if err := casCert.PublicKey.Verify(b.tbs(), b.Signature); err != nil {
+		return fmt.Errorf("cas: bundle signature: %w", err)
+	}
+	return nil
+}
+
+// ExportBundle snapshots the server's state as a signed bundle.
+func (s *Server) ExportBundle() (*Bundle, error) {
+	s.mu.RLock()
+	members := make(map[string][]string, len(s.members))
+	for k, v := range s.members {
+		members[k] = append([]string(nil), v...)
+	}
+	roles := make(map[string][]string, len(s.roles))
+	for k, v := range s.roles {
+		roles[k] = append([]string(nil), v...)
+	}
+	version := s.version
+	s.mu.RUnlock()
+	b := &Bundle{
+		VO:       s.VO(),
+		Version:  version,
+		IssuedAt: s.now().UTC(),
+		Members:  members,
+		Roles:    roles,
+		Rules:    s.policy.Rules(),
+	}
+	sig, err := s.cred.Key.Sign(b.tbs())
+	if err != nil {
+		return nil, err
+	}
+	b.Signature = sig
+	return b, nil
+}
+
+// ErrStaleBundle reports an Apply with a version below the replica's.
+var ErrStaleBundle = errors.New("cas: bundle version is stale")
+
+// Replica is a resource server's local copy of one VO's bundle. Apply
+// is fail-closed and generation-counted: a bundle that does not verify,
+// carries an older version, or contains an invalid rule leaves the
+// previous bundle live and the generation unchanged, so decision caches
+// keyed on the generation stay warm across rejected syncs.
+type Replica struct {
+	cert *gridcert.Certificate
+
+	mu      sync.RWMutex
+	version uint64
+	gen     uint64
+	members map[string][]string
+	roles   map[string][]string
+	policy  *authz.Policy
+}
+
+// NewReplica creates an empty replica trusting casCert as the VO's
+// signing certificate. Until the first successful Apply the replica
+// holds version 0 and vouches for nobody.
+func NewReplica(casCert *gridcert.Certificate) *Replica {
+	return &Replica{
+		cert:    casCert,
+		members: map[string][]string{},
+		roles:   map[string][]string{},
+		policy:  authz.NewPolicy(authz.DenyOverrides),
+	}
+}
+
+// VO returns the community identity the replica mirrors.
+func (r *Replica) VO() gridcert.Name { return r.cert.Subject }
+
+// Apply installs a bundle. Equal version is an up-to-date no-op; lower
+// is ErrStaleBundle; a bad signature or invalid rule is an error. In
+// every failure case the previous bundle stays live.
+func (r *Replica) Apply(b *Bundle) error {
+	if err := b.Verify(r.cert); err != nil {
+		return err
+	}
+	next := authz.NewPolicy(authz.DenyOverrides)
+	if err := next.AddChecked(b.Rules...); err != nil {
+		return fmt.Errorf("cas: bundle rejected: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b.Version == r.version {
+		return nil
+	}
+	if b.Version < r.version {
+		return fmt.Errorf("%w: have %d, got %d", ErrStaleBundle, r.version, b.Version)
+	}
+	r.members = b.Members
+	r.roles = b.Roles
+	r.policy = next
+	r.version = b.Version
+	r.gen++
+	return nil
+}
+
+// Version reports the applied bundle version (0 = none yet).
+func (r *Replica) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Generation counts successful Applies. Decisions computed against the
+// replica are only valid for the generation they were computed under.
+func (r *Replica) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Members reports the replica's membership count.
+func (r *Replica) Members() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup reports whether dn is a VO member, and if so its groups and
+// roles from the applied bundle.
+func (r *Replica) Lookup(dn gridcert.Name) (groups, roles []string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.members[dn.String()]
+	if !ok {
+		return nil, nil, false
+	}
+	return g, r.roles[dn.String()], true
+}
+
+// Evaluate answers the VO's half of a decision from the replica: the
+// request is scored against the bundle's rules with the subject's
+// bundle groups and roles attached. The caller intersects the result
+// with local policy, exactly as it would an assertion's.
+func (r *Replica) Evaluate(req authz.Request) authz.Decision {
+	r.mu.RLock()
+	groups, ok := r.members[req.Subject.String()]
+	roles := r.roles[req.Subject.String()]
+	policy := r.policy
+	r.mu.RUnlock()
+	if !ok {
+		return authz.Deny
+	}
+	req.Groups = groups
+	req.Roles = roles
+	return policy.Evaluate(req)
+}

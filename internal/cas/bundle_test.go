@@ -1,0 +1,266 @@
+package cas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/ogsa"
+)
+
+func newSyncCall(op string, bed *voBed, conversation, anonymous bool) *ogsa.Call {
+	c := &ogsa.Call{Service: SyncHandle, Op: op, Conversation: conversation}
+	if anonymous {
+		c.Caller = ogsa.Identity{Anonymous: true}
+	} else {
+		c.Caller = ogsa.Identity{Name: bed.alice.Identity()}
+	}
+	return c
+}
+
+func TestBundleExportApplyRoundTrip(t *testing.T) {
+	bed := newVOBed(t)
+	bed.server.AssignRole(bed.alice.Identity(), "operator")
+
+	b, err := bed.server.ExportBundle()
+	if err != nil {
+		t.Fatalf("ExportBundle: %v", err)
+	}
+	if b.Version != bed.server.Version() {
+		t.Fatalf("bundle version %d != server version %d", b.Version, bed.server.Version())
+	}
+
+	decoded, err := DecodeBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	r := NewReplica(bed.server.Certificate())
+	if err := r.Apply(decoded); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if r.Version() != b.Version || r.Generation() != 1 {
+		t.Fatalf("replica version=%d gen=%d, want %d and 1", r.Version(), r.Generation(), b.Version)
+	}
+	groups, roles, ok := r.Lookup(bed.alice.Identity())
+	if !ok || len(groups) != 1 || groups[0] != "researchers" || len(roles) != 1 || roles[0] != "operator" {
+		t.Fatalf("Lookup(alice) = %v,%v,%v", groups, roles, ok)
+	}
+	if _, _, ok := r.Lookup(bed.bob.Identity()); ok {
+		t.Fatal("bob is not a member")
+	}
+
+	// The replica answers the VO's half of a decision.
+	req := authz.Request{Subject: bed.alice.Identity(), Resource: "data:/climate/ocean", Action: "read"}
+	if d := r.Evaluate(req); d != authz.Permit {
+		t.Fatalf("replica Evaluate = %v, want permit", d)
+	}
+	req.Action = "write"
+	if d := r.Evaluate(req); d == authz.Permit {
+		t.Fatal("replica granted an action the VO policy does not")
+	}
+	if d := r.Evaluate(authz.Request{Subject: bed.bob.Identity(), Resource: "data:/climate/ocean", Action: "read"}); d != authz.Deny {
+		t.Fatal("non-member must be denied at the replica")
+	}
+}
+
+func TestReplicaApplyFailsClosed(t *testing.T) {
+	bed := newVOBed(t)
+	r := NewReplica(bed.server.Certificate())
+	good, err := bed.server.ExportBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(good); err != nil {
+		t.Fatal(err)
+	}
+	wantVer, wantGen := r.Version(), r.Generation()
+
+	// Tampered payload: signature breaks.
+	tampered, err := bed.server.ExportBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered.Members["/O=Grid/CN=Mallory"] = []string{"researchers"}
+	if err := r.Apply(tampered); err == nil {
+		t.Fatal("tampered bundle accepted")
+	}
+
+	// Stale version: a rolled-back bundle must not regress the replica.
+	bed.server.AddMember(bed.bob.Identity(), "researchers")
+	fresh, err := bed.server.ExportBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(good); !errors.Is(err, ErrStaleBundle) {
+		t.Fatalf("stale bundle: err=%v, want ErrStaleBundle", err)
+	}
+
+	// Equal version: up-to-date no-op, no generation churn.
+	genBefore := r.Generation()
+	if err := r.Apply(fresh); err != nil {
+		t.Fatalf("re-apply of current bundle: %v", err)
+	}
+	if r.Generation() != genBefore {
+		t.Fatal("up-to-date apply churned the generation")
+	}
+
+	// Wrong signer: a bundle from another VO's key.
+	other := newVOBed(t)
+	forged, err := other.server.ExportBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(forged); err == nil {
+		t.Fatal("bundle signed by a different VO accepted")
+	}
+	_ = wantVer
+	_ = wantGen
+	if _, _, ok := r.Lookup(bed.alice.Identity()); !ok {
+		t.Fatal("failed applies corrupted the live replica")
+	}
+}
+
+func TestCASJournalAndReplay(t *testing.T) {
+	bed := newVOBed(t) // two mutations already applied, unjournaled
+	var journal [][]byte
+	bed.server.SetJournal(func(p []byte) error {
+		journal = append(journal, append([]byte(nil), p...))
+		return nil
+	})
+	bed.server.AddMember(bed.bob.Identity(), "students")
+	bed.server.AssignRole(bed.bob.Identity(), "reader")
+	bed.server.AddPolicy(authz.Rule{
+		ID: "vo-students", Effect: authz.EffectPermit,
+		Groups: []string{"students"}, Resources: []string{"data:/climate/public/*"}, Actions: []string{"read"},
+	})
+	bed.server.RemoveMember(bed.alice.Identity())
+	if len(journal) != 4 {
+		t.Fatalf("journaled %d mutations, want 4", len(journal))
+	}
+
+	// Replay into a fresh server with the same credential: identical
+	// version, membership, and policy.
+	restored := NewServer(bed.server.cred)
+	// Pre-journal state arrives via snapshot.
+	preSnapshot := func() []byte {
+		s := NewServer(bed.server.cred)
+		s.AddMember(bed.alice.Identity(), "researchers")
+		s.AddPolicy(authz.Rule{
+			ID: "vo-read", Effect: authz.EffectPermit,
+			Groups: []string{"researchers"}, Resources: []string{"data:/climate/*"}, Actions: []string{"read"},
+		})
+		return s.EncodeState()
+	}()
+	if err := restored.RestoreState(preSnapshot); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	for i, p := range journal {
+		if err := restored.ApplyReplayed(p); err != nil {
+			t.Fatalf("ApplyReplayed(%d): %v", i, err)
+		}
+	}
+	if restored.Version() != bed.server.Version() {
+		t.Fatalf("restored version %d != live %d", restored.Version(), bed.server.Version())
+	}
+	if _, ok := restored.IsMember(bed.alice.Identity()); ok {
+		t.Fatal("removed member survived replay")
+	}
+	g, ok := restored.IsMember(bed.bob.Identity())
+	if !ok || len(g) != 1 || g[0] != "students" {
+		t.Fatalf("IsMember(bob) = %v,%v", g, ok)
+	}
+	if roles := restored.Roles(bed.bob.Identity()); len(roles) != 1 || roles[0] != "reader" {
+		t.Fatalf("Roles(bob) = %v", roles)
+	}
+	if restored.PolicySize() != bed.server.PolicySize() {
+		t.Fatalf("restored policy size %d != live %d", restored.PolicySize(), bed.server.PolicySize())
+	}
+}
+
+func TestCASJournalErrorRefusesMutation(t *testing.T) {
+	bed := newVOBed(t)
+	boom := errors.New("disk full")
+	bed.server.SetJournal(func([]byte) error { return boom })
+	verBefore := bed.server.Version()
+
+	if err := bed.server.AddMemberChecked(bed.bob.Identity(), "students"); !errors.Is(err, boom) {
+		t.Fatalf("AddMemberChecked: err=%v", err)
+	}
+	if err := bed.server.AssignRoleChecked(bed.bob.Identity(), "reader"); !errors.Is(err, boom) {
+		t.Fatalf("AssignRoleChecked: err=%v", err)
+	}
+	if err := bed.server.RemoveMemberChecked(bed.alice.Identity()); !errors.Is(err, boom) {
+		t.Fatalf("RemoveMemberChecked: err=%v", err)
+	}
+	if err := bed.server.AddPolicyChecked(authz.Rule{ID: "x", Effect: authz.EffectPermit}); !errors.Is(err, boom) {
+		t.Fatalf("AddPolicyChecked: err=%v", err)
+	}
+	if bed.server.Version() != verBefore {
+		t.Fatal("refused mutations advanced the version")
+	}
+	if _, ok := bed.server.IsMember(bed.bob.Identity()); ok {
+		t.Fatal("refused AddMember applied")
+	}
+	if _, ok := bed.server.IsMember(bed.alice.Identity()); !ok {
+		t.Fatal("refused RemoveMember applied")
+	}
+}
+
+func TestCASStateSnapshotRoundTrip(t *testing.T) {
+	bed := newVOBed(t)
+	bed.server.AssignRole(bed.alice.Identity(), "operator")
+	snap := bed.server.EncodeState()
+
+	restored := NewServer(bed.server.cred)
+	if err := restored.RestoreState(snap); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if restored.Version() != bed.server.Version() || restored.PolicySize() != bed.server.PolicySize() {
+		t.Fatal("snapshot round trip lost state")
+	}
+	// Truncated snapshot fails closed.
+	fresh := NewServer(bed.server.cred)
+	fresh.AddMember(bed.bob.Identity(), "keep")
+	if err := fresh.RestoreState(snap[:len(snap)-2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, ok := fresh.IsMember(bed.bob.Identity()); !ok {
+		t.Fatal("failed restore mutated the live server")
+	}
+}
+
+func TestSyncServiceOps(t *testing.T) {
+	bed := newVOBed(t)
+	svc := NewSyncService(bed.server, nil)
+
+	// Conversation + authenticated caller: both ops answer.
+	body, err := svc.Invoke(newSyncCall(SyncOpVersion, bed, true, false))
+	if err != nil {
+		t.Fatalf("Version: %v", err)
+	}
+	if string(body) != "2" {
+		t.Fatalf("Version body = %q, want 2", body)
+	}
+	body, err = svc.Invoke(newSyncCall(SyncOpBundle, bed, true, false))
+	if err != nil {
+		t.Fatalf("Bundle: %v", err)
+	}
+	b, err := DecodeBundle(body)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if err := b.Verify(bed.server.Certificate()); err != nil {
+		t.Fatalf("served bundle does not verify: %v", err)
+	}
+
+	// Channel rules: no conversation, anonymous → refused.
+	if _, err := svc.Invoke(newSyncCall(SyncOpBundle, bed, false, false)); err == nil {
+		t.Fatal("per-message caller served a bundle")
+	}
+	if _, err := svc.Invoke(newSyncCall(SyncOpBundle, bed, true, true)); err == nil {
+		t.Fatal("anonymous caller served a bundle")
+	}
+}

@@ -55,79 +55,24 @@ type Assertion struct {
 
 const maxAssertionRules = 4096
 
+// The rule and string-list codec is authz.WireEncodeRule and friends —
+// shared with journaled mutations and durable snapshots, so the
+// assertion wire format and the persistence format cannot drift.
+
 func (a *Assertion) tbs() []byte {
 	e := wire.NewEncoder()
 	e.Str("cas-assertion-v2")
 	e.Str(a.VO.String())
 	e.Str(a.Subject.String())
-	encodeStrings(e, a.Groups)
-	encodeStrings(e, a.Roles)
+	authz.WireEncodeStrings(e, a.Groups)
+	authz.WireEncodeStrings(e, a.Roles)
 	e.I64(a.IssuedAt.Unix())
 	e.I64(a.ExpiresAt.Unix())
 	e.U32(uint32(len(a.Rules)))
 	for _, r := range a.Rules {
-		encodeRule(e, r)
+		authz.WireEncodeRule(e, r)
 	}
 	return e.Finish()
-}
-
-func encodeRule(e *wire.Encoder, r authz.Rule) {
-	e.Str(r.ID)
-	e.U8(uint8(r.Effect))
-	encodeStrings(e, r.Subjects)
-	encodeStrings(e, r.Groups)
-	encodeStrings(e, r.Roles)
-	encodeStrings(e, r.Resources)
-	encodeStrings(e, r.Actions)
-	e.I64(unixOrZero(r.NotBefore))
-	e.I64(unixOrZero(r.NotAfter))
-}
-
-func decodeRule(d *wire.Decoder) authz.Rule {
-	var r authz.Rule
-	r.ID = d.Str()
-	r.Effect = authz.Effect(d.U8())
-	r.Subjects = decodeStrings(d)
-	r.Groups = decodeStrings(d)
-	r.Roles = decodeStrings(d)
-	r.Resources = decodeStrings(d)
-	r.Actions = decodeStrings(d)
-	r.NotBefore = timeOrZero(d.I64())
-	r.NotAfter = timeOrZero(d.I64())
-	return r
-}
-
-func encodeStrings(e *wire.Encoder, ss []string) {
-	e.U32(uint32(len(ss)))
-	for _, s := range ss {
-		e.Str(s)
-	}
-}
-
-func decodeStrings(d *wire.Decoder) []string {
-	n := d.Count("string list", 4096)
-	if n == 0 {
-		return nil
-	}
-	out := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, d.Str())
-	}
-	return out
-}
-
-func unixOrZero(t time.Time) int64 {
-	if t.IsZero() {
-		return 0
-	}
-	return t.Unix()
-}
-
-func timeOrZero(v int64) time.Time {
-	if v == 0 {
-		return time.Time{}
-	}
-	return time.Unix(v, 0).UTC()
 }
 
 // Encode serialises the assertion with its signature.
@@ -150,13 +95,13 @@ func DecodeAssertion(b []byte) (*Assertion, error) {
 	a := &Assertion{}
 	voStr := td.Str()
 	subjStr := td.Str()
-	a.Groups = decodeStrings(td)
-	a.Roles = decodeStrings(td)
+	a.Groups = authz.WireDecodeStrings(td)
+	a.Roles = authz.WireDecodeStrings(td)
 	a.IssuedAt = time.Unix(td.I64(), 0).UTC()
 	a.ExpiresAt = time.Unix(td.I64(), 0).UTC()
 	n := td.Count("assertion rule", maxAssertionRules)
 	for i := 0; i < n && td.Err() == nil; i++ {
-		a.Rules = append(a.Rules, decodeRule(td))
+		a.Rules = append(a.Rules, authz.WireDecodeRule(td))
 	}
 	if err := td.Done(); err != nil {
 		return nil, err
@@ -195,6 +140,10 @@ type Server struct {
 	members map[string][]string // member DN -> groups within the VO
 	roles   map[string][]string // member DN -> roles within the VO
 	policy  *authz.Policy
+	// version is the bundle version: bumped by every mutation, journaled
+	// with it, exported in signed bundles. See state.go.
+	version uint64
+	journal func(payload []byte) error
 	// AssertionLifetime bounds issued assertions (default 1h).
 	AssertionLifetime time.Duration
 	now               func() time.Time
@@ -222,27 +171,28 @@ func (s *Server) VO() gridcert.Name { return s.cred.Leaf().Subject }
 // trust for this VO.
 func (s *Server) Certificate() *gridcert.Certificate { return s.cred.Leaf() }
 
-// AddMember enrolls a user into the VO with the given groups.
+// AddMember enrolls a user into the VO with the given groups, panicking
+// on a journal failure; durable deployments use AddMemberChecked.
 func (s *Server) AddMember(dn gridcert.Name, groups ...string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.members[dn.String()] = append([]string(nil), groups...)
+	if err := s.AddMemberChecked(dn, groups...); err != nil {
+		panic(err)
+	}
 }
 
-// RemoveMember expels a user.
+// RemoveMember expels a user; see AddMember for the journal contract.
 func (s *Server) RemoveMember(dn gridcert.Name) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.members, dn.String())
-	delete(s.roles, dn.String())
+	if err := s.RemoveMemberChecked(dn); err != nil {
+		panic(err)
+	}
 }
 
 // AssignRole grants VO roles to a member; issued assertions carry them
-// so resources can write role-based local policy.
+// so resources can write role-based local policy. See AddMember for the
+// journal contract.
 func (s *Server) AssignRole(dn gridcert.Name, roles ...string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.roles[dn.String()] = append(s.roles[dn.String()], roles...)
+	if err := s.AssignRoleChecked(dn, roles...); err != nil {
+		panic(err)
+	}
 }
 
 // Roles reports the member's VO roles.
@@ -260,9 +210,12 @@ func (s *Server) IsMember(dn gridcert.Name) ([]string, bool) {
 	return g, ok
 }
 
-// AddPolicy appends VO policy rules.
+// AddPolicy appends VO policy rules; see AddMember for the journal
+// contract.
 func (s *Server) AddPolicy(rules ...authz.Rule) {
-	s.policy.Add(rules...)
+	if err := s.AddPolicyChecked(rules...); err != nil {
+		panic(err)
+	}
 }
 
 // PolicySize returns the number of VO policy rules.

@@ -1,0 +1,287 @@
+package cas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/wire"
+)
+
+// Durable CAS state: every Server mutation — membership, role
+// assignment, VO policy — is journaled BEFORE it applies, carrying the
+// post-mutation bundle version so a restarted community server resumes
+// the exact version counter and replicas never see it move backwards.
+
+// casMutationKind discriminates journaled CAS mutations.
+type casMutationKind uint8
+
+const (
+	casMutMemberAdd    casMutationKind = 1
+	casMutMemberRemove casMutationKind = 2
+	casMutRoleAssign   casMutationKind = 3
+	casMutPolicyAdd    casMutationKind = 4
+)
+
+const casMutationCodecVersion = 1
+
+// maxBundleMembers bounds decoded membership tables. A 10k-member VO
+// bundle is the design point; the cap is headroom above it, well under
+// what a 16 MiB wire frame can carry.
+const maxBundleMembers = 1 << 20
+
+// SetJournal installs the persistence hook: each mutation's encoded
+// record is handed to fn under the server's lock, so journal order
+// equals application order. A journal error refuses the mutation.
+func (s *Server) SetJournal(fn func(payload []byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = fn
+}
+
+// Version reports the bundle version: a monotonic counter bumped by
+// every membership, role, or policy mutation. Exported bundles carry
+// it; replicas refuse to move backwards.
+func (s *Server) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+func encodeCASMutation(kind casMutationKind, version uint64, fill func(e *wire.Encoder)) []byte {
+	e := wire.NewEncoder()
+	e.U8(casMutationCodecVersion)
+	e.U8(uint8(kind))
+	e.U64(version)
+	fill(e)
+	return e.Finish()
+}
+
+// journalLocked journals one mutation record; the caller holds s.mu.
+func (s *Server) journalLocked(kind casMutationKind, fill func(e *wire.Encoder)) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal(encodeCASMutation(kind, s.version+1, fill)); err != nil {
+		return fmt.Errorf("cas: mutation not journaled: %w", err)
+	}
+	return nil
+}
+
+// AddMemberChecked is AddMember returning journal failures instead of
+// panicking.
+func (s *Server) AddMemberChecked(dn gridcert.Name, groups ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journalLocked(casMutMemberAdd, func(e *wire.Encoder) {
+		e.Str(dn.String())
+		authz.WireEncodeStrings(e, groups)
+	}); err != nil {
+		return err
+	}
+	s.members[dn.String()] = append([]string(nil), groups...)
+	s.version++
+	return nil
+}
+
+// RemoveMemberChecked is RemoveMember returning journal failures.
+func (s *Server) RemoveMemberChecked(dn gridcert.Name) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := dn.String()
+	_, isMember := s.members[key]
+	_, hasRoles := s.roles[key]
+	if !isMember && !hasRoles {
+		return nil
+	}
+	if err := s.journalLocked(casMutMemberRemove, func(e *wire.Encoder) {
+		e.Str(key)
+	}); err != nil {
+		return err
+	}
+	delete(s.members, key)
+	delete(s.roles, key)
+	s.version++
+	return nil
+}
+
+// AssignRoleChecked is AssignRole returning journal failures.
+func (s *Server) AssignRoleChecked(dn gridcert.Name, roles ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journalLocked(casMutRoleAssign, func(e *wire.Encoder) {
+		e.Str(dn.String())
+		authz.WireEncodeStrings(e, roles)
+	}); err != nil {
+		return err
+	}
+	s.roles[dn.String()] = append(s.roles[dn.String()], roles...)
+	s.version++
+	return nil
+}
+
+// AddPolicyChecked is AddPolicy returning validation and journal
+// failures. The VO policy's own generation advances inside s.policy;
+// the bundle version advances here, under the same lock that ordered
+// the journal record.
+func (s *Server) AddPolicyChecked(rules ...authz.Rule) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journalLocked(casMutPolicyAdd, func(e *wire.Encoder) {
+		e.U32(uint32(len(rules)))
+		for _, r := range rules {
+			authz.WireEncodeRule(e, r)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := s.policy.AddChecked(rules...); err != nil {
+		return err
+	}
+	s.version++
+	return nil
+}
+
+// ApplyReplayed applies one journaled mutation record without
+// re-journaling, restoring the journaled version counter. Validation
+// matches the mutating APIs': a record that would have been refused
+// live is refused on replay.
+func (s *Server) ApplyReplayed(payload []byte) error {
+	d := wire.NewDecoder(payload)
+	if v := d.U8(); d.Err() == nil && v != casMutationCodecVersion {
+		return fmt.Errorf("cas: unknown mutation codec version %d", v)
+	}
+	kind := casMutationKind(d.U8())
+	version := d.U64()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch kind {
+	case casMutMemberAdd:
+		dn := d.Str()
+		groups := authz.WireDecodeStrings(d)
+		if err := d.Done(); err != nil {
+			return err
+		}
+		if dn == "" {
+			return fmt.Errorf("cas: replayed member with empty DN")
+		}
+		s.members[dn] = groups
+	case casMutMemberRemove:
+		dn := d.Str()
+		if err := d.Done(); err != nil {
+			return err
+		}
+		delete(s.members, dn)
+		delete(s.roles, dn)
+	case casMutRoleAssign:
+		dn := d.Str()
+		roles := authz.WireDecodeStrings(d)
+		if err := d.Done(); err != nil {
+			return err
+		}
+		if dn == "" {
+			return fmt.Errorf("cas: replayed role assignment with empty DN")
+		}
+		s.roles[dn] = append(s.roles[dn], roles...)
+	case casMutPolicyAdd:
+		n := d.Count("replayed rule", maxAssertionRules)
+		rules := make([]authz.Rule, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			rules = append(rules, authz.WireDecodeRule(d))
+		}
+		if err := d.Done(); err != nil {
+			return err
+		}
+		if err := s.policy.AddChecked(rules...); err != nil {
+			return err
+		}
+	default:
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("cas: unknown mutation kind %d", kind)
+	}
+	s.version = version
+	return nil
+}
+
+const casStateVersion = 1
+
+// EncodeState snapshots the server — version, membership, roles, and
+// VO policy — for a durable-store snapshot. RestoreState reverses it.
+func (s *Server) EncodeState() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := wire.NewEncoder()
+	e.U8(casStateVersion)
+	e.U64(s.version)
+	encodeStringListMap(e, s.members)
+	encodeStringListMap(e, s.roles)
+	e.Bytes(s.policy.EncodeState())
+	return e.Finish()
+}
+
+// RestoreState replaces the server's state with a snapshot's, without
+// journaling. Fail closed: a malformed snapshot leaves the server
+// untouched.
+func (s *Server) RestoreState(b []byte) error {
+	d := wire.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != casStateVersion {
+		return fmt.Errorf("cas: unknown state version %d", v)
+	}
+	version := d.U64()
+	members, err := decodeStringListMap(d, "snapshot member")
+	if err != nil {
+		return err
+	}
+	roles, err := decodeStringListMap(d, "snapshot role holder")
+	if err != nil {
+		return err
+	}
+	policyState := d.Bytes()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.policy.RestoreState(policyState); err != nil {
+		return err
+	}
+	s.members = members
+	s.roles = roles
+	s.version = version
+	return nil
+}
+
+func encodeStringListMap(e *wire.Encoder, m map[string][]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Str(k)
+		authz.WireEncodeStrings(e, m[k])
+	}
+}
+
+func decodeStringListMap(d *wire.Decoder, what string) (map[string][]string, error) {
+	n := d.Count(what, maxBundleMembers)
+	m := make(map[string][]string, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		v := authz.WireDecodeStrings(d)
+		if d.Err() == nil {
+			if k == "" {
+				return nil, fmt.Errorf("cas: %s with empty DN", what)
+			}
+			m[k] = v
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

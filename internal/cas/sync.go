@@ -1,0 +1,82 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/ogsa"
+)
+
+// SyncHandle is the reserved service handle the community server
+// publishes its bundle feed under. Like gsi.__admin it lives in the
+// gsi.__ namespace: infrastructure of the trust plane, never an
+// application service. Authorization for it rides the container's
+// normal route step (resource "ogsa:gsi.__cas.sync", op as the action),
+// so a VO can restrict which resource servers may pull its policy.
+const SyncHandle = "gsi.__cas.sync"
+
+// Sync port type operations.
+const (
+	// SyncOpBundle returns the current signed policy bundle, encoded.
+	// Body: empty.
+	SyncOpBundle = "Bundle"
+	// SyncOpVersion returns the current bundle version in decimal.
+	// Body: empty.
+	SyncOpVersion = "Version"
+)
+
+// SyncService serves a CAS server's signed bundles to pulling replicas.
+// Bundles carry their own signature, so the transport adds
+// authenticity only in depth — but the service still requires an
+// authenticated caller on a secure conversation: which resource servers
+// may read the VO's full membership roll is itself policy.
+type SyncService struct {
+	*ogsa.Base
+	server *Server
+	audit  ogsa.AuditSink
+}
+
+// NewSyncService fronts server's bundle feed.
+func NewSyncService(server *Server, audit ogsa.AuditSink) *SyncService {
+	return &SyncService{Base: ogsa.NewBase(), server: server, audit: audit}
+}
+
+var _ ogsa.Service = (*SyncService)(nil)
+
+func (s *SyncService) record(event, subject, detail string) {
+	if s.audit != nil {
+		s.audit.Record(event, subject, detail)
+	}
+}
+
+// Invoke implements ogsa.Service. Authorization already happened in the
+// container's route step; the channel rules mirror the admin surface's.
+func (s *SyncService) Invoke(call *ogsa.Call) ([]byte, error) {
+	if reply, handled, err := s.HandleStandardOp(call); handled {
+		return reply, err
+	}
+	if !call.Conversation {
+		s.record("cas-sync-refused", call.Caller.Name.String(), "no secure conversation")
+		return nil, errors.New("cas: sync operations require an established secure conversation")
+	}
+	if call.Caller.Anonymous {
+		s.record("cas-sync-refused", "", "anonymous caller")
+		return nil, errors.New("cas: sync operations require an authenticated caller")
+	}
+	subject := call.Caller.Name.String()
+	switch call.Op {
+	case SyncOpBundle:
+		b, err := s.server.ExportBundle()
+		if err != nil {
+			s.record("cas-sync-error", subject, err.Error())
+			return nil, err
+		}
+		s.record("cas-sync-bundle", subject, fmt.Sprintf("version %d", b.Version))
+		return b.Encode(), nil
+	case SyncOpVersion:
+		return []byte(strconv.FormatUint(s.server.Version(), 10)), nil
+	default:
+		return nil, fmt.Errorf("cas: sync port type has no op %q", call.Op)
+	}
+}

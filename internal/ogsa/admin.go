@@ -50,6 +50,14 @@ const (
 	// AdminOpTransfers lists the in-flight bulk transfers (op, peer DN,
 	// bytes moved so far, stripe count, start time). Body: empty.
 	AdminOpTransfers = "Transfers"
+	// AdminOpCASStatus reports the CAS bundle replication state: applied
+	// bundle version and generation, configured upstreams, and pull
+	// history. Body: empty.
+	AdminOpCASStatus = "CASStatus"
+	// AdminOpCASSync forces an immediate bundle pull from the configured
+	// upstreams and reports how it went (a failed pull is reported, not
+	// an op error — the previous bundle stays live). Body: empty.
+	AdminOpCASSync = "CASSync"
 )
 
 // AdminBackend is what the admin port type fronts. pkg/gsi implements
@@ -72,6 +80,10 @@ type AdminBackend interface {
 	AdminTraces(query []byte) ([]byte, error)
 	// AdminTransfers lists active bulk transfers as JSON.
 	AdminTransfers() ([]byte, error)
+	// AdminCASStatus reports the CAS replication state as JSON.
+	AdminCASStatus() ([]byte, error)
+	// AdminCASSync forces a bundle pull and reports the outcome as JSON.
+	AdminCASSync() ([]byte, error)
 }
 
 // AdminConfig assembles an AdminService.
@@ -170,6 +182,12 @@ func (s *AdminService) Invoke(call *Call) ([]byte, error) {
 	case AdminOpTransfers:
 		s.audit("admin-transfers", subject, "")
 		return s.cfg.Backend.AdminTransfers()
+	case AdminOpCASStatus:
+		s.audit("admin-cas-status", subject, "")
+		return s.cfg.Backend.AdminCASStatus()
+	case AdminOpCASSync:
+		s.audit("admin-cas-sync", subject, "")
+		return s.cfg.Backend.AdminCASSync()
 	default:
 		return nil, fmt.Errorf("ogsa: admin port type has no op %q", call.Op)
 	}

@@ -1,0 +1,282 @@
+// The load harness: osim's simulated host scaled up to the paper's
+// deployment shape — many distinct grid subjects funneled through
+// unprivileged per-session processes. Each session is a real osim
+// process booted under its own account (so the §5.2 privilege
+// accounting covers the load too: a correct run performs zero
+// privileged operations), and every authorization decision the caller
+// makes on the session's behalf is checked against the expected
+// outcome. A permit where policy says deny is a *fail-open* — the one
+// number a trust plane must keep at zero through restarts and
+// failovers.
+package osim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SubjectDN renders the i-th synthetic grid identity of the scale
+// corpus. The fixed-width counter keeps the DNs distinct, sortable,
+// and cheap to regenerate on both sides of a federation.
+func SubjectDN(i int) string { return fmt.Sprintf("/O=Scale/CN=u%07d", i) }
+
+// LoadPhase is one pass of the load: a contiguous slice of the subject
+// corpus plus the policy expectation in force while the phase runs.
+// Phases exist so the expectation can change between them — e.g. a CAS
+// failover plus a membership update lands between phase 1 and phase 2,
+// and phase 2 expects the new members to be permitted.
+type LoadPhase struct {
+	// Offset is the first subject index of the phase's slice.
+	Offset int
+	// Subjects is the slice width; ops wrap around within it.
+	Subjects int
+	// Expect reports whether policy should permit the subject.
+	Expect func(subject int) bool
+}
+
+// LoadConfig parameterizes RunLoad.
+type LoadConfig struct {
+	// Sessions is the number of concurrent sessions. Every session is
+	// live for the whole run — phase boundaries are barriers, not
+	// restarts — so Sessions is the true concurrency.
+	Sessions int
+	// OpsPerSession is the decisions each session makes per phase.
+	OpsPerSession int
+	// Phases is the phase sequence (at least one).
+	Phases []LoadPhase
+	// Decide performs one authorization decision for subject's DN and
+	// reports the observed outcome. An error counts as a deny with an
+	// infrastructure failure (tracked separately in the report).
+	Decide func(session, subject int, dn string) (permit bool, err error)
+	// BetweenPhases, when set, runs exactly once after every session
+	// finishes phase i and before any starts phase i+1 — the hook where
+	// a harness injects a failover or a policy change. An error aborts
+	// the run.
+	BetweenPhases func(next int) error
+}
+
+// PhaseStats is one phase's outcome tally.
+type PhaseStats struct {
+	Decisions  int           `json:"decisions"`
+	Permits    int           `json:"permits"`
+	Denies     int           `json:"denies"`
+	FailOpen   int           `json:"fail_open"`
+	FailClosed int           `json:"fail_closed"`
+	Errors     int           `json:"errors"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+}
+
+// LoadReport aggregates a RunLoad run.
+type LoadReport struct {
+	Sessions         int `json:"sessions"`
+	Decisions        int `json:"decisions"`
+	DistinctSubjects int `json:"distinct_subjects"`
+	Permits          int `json:"permits"`
+	Denies           int `json:"denies"`
+	// FailOpen counts permits where the expectation said deny — the
+	// invariant number: any value but zero is a broken trust plane.
+	FailOpen int `json:"fail_open"`
+	// FailClosed counts denies where the expectation said permit
+	// (availability loss, not a breach; still zero in a clean run).
+	FailClosed int           `json:"fail_closed"`
+	Errors     int           `json:"errors"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Phases     []PhaseStats  `json:"phases"`
+	// PrivilegedOps is the osim privilege counter after the run: the
+	// sessions are unprivileged processes, so a correct harness run
+	// contributes zero.
+	PrivilegedOps int `json:"privileged_ops"`
+}
+
+// RunLoad drives the configured load against sys: it boots one
+// unprivileged process per session, runs every phase with all sessions
+// concurrent, scores each decision against the phase's expectation,
+// and exits the session processes when done. Subject indices are
+// spread so that a phase whose slice width equals Sessions ×
+// OpsPerSession touches every subject exactly once.
+func RunLoad(sys *System, cfg LoadConfig) (LoadReport, error) {
+	if sys == nil {
+		return LoadReport{}, errors.New("osim: RunLoad needs a system")
+	}
+	if cfg.Sessions <= 0 || cfg.OpsPerSession <= 0 {
+		return LoadReport{}, errors.New("osim: RunLoad needs sessions and ops per session")
+	}
+	if len(cfg.Phases) == 0 {
+		return LoadReport{}, errors.New("osim: RunLoad needs at least one phase")
+	}
+	if cfg.Decide == nil {
+		return LoadReport{}, errors.New("osim: RunLoad needs a Decide func")
+	}
+	for i, ph := range cfg.Phases {
+		if ph.Subjects <= 0 {
+			return LoadReport{}, fmt.Errorf("osim: phase %d has no subjects", i)
+		}
+		if ph.Expect == nil {
+			return LoadReport{}, fmt.Errorf("osim: phase %d has no expectation", i)
+		}
+	}
+
+	procs := make([]*Process, cfg.Sessions)
+	for s := range procs {
+		account := fmt.Sprintf("sess%05d", s)
+		if _, err := sys.CreateAccount(account); err != nil {
+			return LoadReport{}, err
+		}
+		p, err := sys.Boot(fmt.Sprintf("session-%05d", s), account, false)
+		if err != nil {
+			return LoadReport{}, err
+		}
+		procs[s] = p
+	}
+
+	report := LoadReport{Sessions: cfg.Sessions, Phases: make([]PhaseStats, len(cfg.Phases))}
+	distinct := make(map[int]struct{})
+	var (
+		mu       sync.Mutex
+		abortErr error
+	)
+	// Per-phase barrier: every session signals arrival at phase pi on
+	// arrive[pi], then parks on releases[pi] until the coordinator has
+	// run BetweenPhases. A run-level error releases everyone via the
+	// abort channel; an aborting session signals its remaining arrivals
+	// first so the coordinator can never hang on a barrier.
+	phases := len(cfg.Phases)
+	arrive := make([]sync.WaitGroup, phases)
+	releases := make([]chan struct{}, phases)
+	for i := range releases {
+		arrive[i].Add(cfg.Sessions)
+		releases[i] = make(chan struct{})
+	}
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(err error) {
+		mu.Lock()
+		if abortErr == nil {
+			abortErr = err
+		}
+		mu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	var wg sync.WaitGroup // sessions exiting
+	start := time.Now()
+
+	session := func(s int, proc *Process) {
+		defer wg.Done()
+		defer proc.Exit()
+		next := 0 // first phase this session has not yet arrived at
+		defer func() {
+			for i := next; i < phases; i++ {
+				arrive[i].Done()
+			}
+		}()
+		local := make([]PhaseStats, phases)
+		defer func() {
+			mu.Lock()
+			for i := range local {
+				report.Phases[i].Decisions += local[i].Decisions
+				report.Phases[i].Permits += local[i].Permits
+				report.Phases[i].Denies += local[i].Denies
+				report.Phases[i].FailOpen += local[i].FailOpen
+				report.Phases[i].FailClosed += local[i].FailClosed
+				report.Phases[i].Errors += local[i].Errors
+			}
+			mu.Unlock()
+		}()
+		for pi, ph := range cfg.Phases {
+			arrive[pi].Done()
+			next = pi + 1
+			select {
+			case <-releases[pi]:
+			case <-abort:
+				return
+			}
+			for k := 0; k < cfg.OpsPerSession; k++ {
+				subject := ph.Offset + (s*cfg.OpsPerSession+k)%ph.Subjects
+				permit, err := cfg.Decide(s, subject, SubjectDN(subject))
+				st := &local[pi]
+				st.Decisions++
+				if err != nil {
+					st.Errors++
+				}
+				if permit {
+					st.Permits++
+				} else {
+					st.Denies++
+				}
+				expected := ph.Expect(subject)
+				if permit && !expected {
+					st.FailOpen++
+				}
+				if !permit && expected {
+					st.FailClosed++
+				}
+				// An authorized session does its unit of work as an
+				// unprivileged process; the system's privilege counter
+				// must not move.
+				if permit {
+					if err := proc.Work(1); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}
+	}
+	wg.Add(cfg.Sessions)
+	for s, p := range procs {
+		go session(s, p)
+	}
+
+	phaseStarts := make([]time.Time, phases)
+	for pi := range cfg.Phases {
+		arrive[pi].Wait()
+		if pi > 0 && !phaseStarts[pi-1].IsZero() {
+			report.Phases[pi-1].Elapsed = time.Since(phaseStarts[pi-1])
+		}
+		mu.Lock()
+		aborted := abortErr != nil
+		mu.Unlock()
+		if aborted {
+			break
+		}
+		if pi > 0 && cfg.BetweenPhases != nil {
+			if err := cfg.BetweenPhases(pi); err != nil {
+				fail(err)
+			}
+		}
+		phaseStarts[pi] = time.Now()
+		close(releases[pi])
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if !phaseStarts[phases-1].IsZero() {
+		report.Phases[phases-1].Elapsed = time.Since(phaseStarts[phases-1])
+	}
+
+	if abortErr != nil {
+		return report, abortErr
+	}
+	for _, ph := range cfg.Phases {
+		width := ph.Subjects
+		if n := cfg.Sessions * cfg.OpsPerSession; n < width {
+			width = n
+		}
+		for i := 0; i < width; i++ {
+			distinct[ph.Offset+i] = struct{}{}
+		}
+	}
+	report.DistinctSubjects = len(distinct)
+	for _, st := range report.Phases {
+		report.Decisions += st.Decisions
+		report.Permits += st.Permits
+		report.Denies += st.Denies
+		report.FailOpen += st.FailOpen
+		report.FailClosed += st.FailClosed
+		report.Errors += st.Errors
+	}
+	report.PrivilegedOps = sys.Audit().PrivilegedOps
+	return report, nil
+}

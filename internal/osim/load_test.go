@@ -1,0 +1,126 @@
+package osim
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubjectDN(t *testing.T) {
+	if got := SubjectDN(42); got != "/O=Scale/CN=u0000042" {
+		t.Fatalf("SubjectDN(42) = %q", got)
+	}
+	if SubjectDN(1) == SubjectDN(10) {
+		t.Fatal("subject DNs collide")
+	}
+}
+
+// TestRunLoad drives a two-phase load where phase 2's expectation
+// differs (a "membership update" lands between phases) and the decider
+// deliberately fails open for one subject in phase 2.
+func TestRunLoad(t *testing.T) {
+	sys := NewSystem()
+	var phase2 atomic.Bool
+	member := func(subject int) bool { return subject%10 == 0 }
+	late := func(subject int) bool { return subject%10 == 5 }
+	cfg := LoadConfig{
+		Sessions:      8,
+		OpsPerSession: 25,
+		Phases: []LoadPhase{
+			{Offset: 0, Subjects: 200, Expect: member},
+			{Offset: 200, Subjects: 200, Expect: func(s int) bool { return member(s) || late(s) }},
+		},
+		Decide: func(session, subject int, dn string) (bool, error) {
+			if !strings.HasPrefix(dn, "/O=Scale/CN=u") {
+				t.Errorf("bad DN %q", dn)
+			}
+			if subject == 203 { // the planted fail-open
+				return true, nil
+			}
+			if late(subject) {
+				return phase2.Load(), nil // permitted only once the update landed
+			}
+			return member(subject), nil
+		},
+		BetweenPhases: func(next int) error {
+			if next != 1 {
+				return errors.New("unexpected phase")
+			}
+			phase2.Store(true)
+			return nil
+		},
+	}
+	rep, err := RunLoad(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 8 || len(rep.Phases) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	wantDecisions := 2 * 8 * 25
+	if rep.Decisions != wantDecisions {
+		t.Fatalf("decisions = %d, want %d", rep.Decisions, wantDecisions)
+	}
+	if rep.DistinctSubjects != 400 {
+		t.Fatalf("distinct subjects = %d, want 400", rep.DistinctSubjects)
+	}
+	// Subject 203 is hit by exactly one (session, op) pair per phase-2
+	// wraparound; with 200 ops over a 200-subject slice it is hit once.
+	if rep.FailOpen != 1 {
+		t.Fatalf("fail-open = %d, want exactly the planted 1", rep.FailOpen)
+	}
+	if rep.Phases[0].FailOpen != 0 || rep.Phases[1].FailOpen != 1 {
+		t.Fatalf("fail-open landed in the wrong phase: %+v", rep.Phases)
+	}
+	if rep.FailClosed != 0 {
+		t.Fatalf("fail-closed = %d, want 0", rep.FailClosed)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Permits == 0 || rep.Permits+rep.Denies != rep.Decisions {
+		t.Fatalf("tally mismatch: %+v", rep)
+	}
+	// The sessions ran unprivileged: the §5.2 counter must not move.
+	if rep.PrivilegedOps != 0 {
+		t.Fatalf("privileged ops = %d, want 0", rep.PrivilegedOps)
+	}
+	if rep.Phases[0].Elapsed <= 0 || rep.Phases[1].Elapsed <= 0 {
+		t.Fatalf("phase elapsed not recorded: %+v", rep.Phases)
+	}
+}
+
+func TestRunLoadAborts(t *testing.T) {
+	sys := NewSystem()
+	boom := errors.New("failover broke")
+	_, err := RunLoad(sys, LoadConfig{
+		Sessions:      4,
+		OpsPerSession: 5,
+		Phases: []LoadPhase{
+			{Subjects: 10, Expect: func(int) bool { return true }},
+			{Subjects: 10, Expect: func(int) bool { return true }},
+		},
+		Decide:        func(_, _ int, _ string) (bool, error) { return true, nil },
+		BetweenPhases: func(int) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the BetweenPhases error", err)
+	}
+}
+
+func TestRunLoadValidates(t *testing.T) {
+	sys := NewSystem()
+	if _, err := RunLoad(nil, LoadConfig{}); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := RunLoad(sys, LoadConfig{Sessions: 1, OpsPerSession: 1}); err == nil {
+		t.Fatal("no phases accepted")
+	}
+	if _, err := RunLoad(sys, LoadConfig{
+		Sessions: 1, OpsPerSession: 1,
+		Phases: []LoadPhase{{Subjects: 1, Expect: func(int) bool { return true }}},
+	}); err == nil {
+		t.Fatal("nil Decide accepted")
+	}
+}

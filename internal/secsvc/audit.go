@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ogsa"
+	"repro/internal/wire"
 )
 
 // AuditEvent is one securely logged event.
@@ -18,6 +19,11 @@ type AuditEvent struct {
 	Event   string
 	Subject string
 	Detail  string
+	// Trace is the distributed trace id active when the event was
+	// recorded (empty when tracing is off). It is part of the hash
+	// chain: an auditor correlating a decision with its trace can trust
+	// the linkage as much as the decision itself.
+	Trace string
 	// Hash chains the event to its predecessor: SHA-256 over the previous
 	// hash and this event's fields. Truncating or rewriting the log
 	// breaks the chain.
@@ -30,9 +36,12 @@ type AuditEvent struct {
 type AuditLog struct {
 	*ogsa.Base
 
-	mu     sync.RWMutex
-	events []AuditEvent
-	last   [32]byte
+	mu         sync.RWMutex
+	events     []AuditEvent
+	last       [32]byte
+	journal    func(AuditEvent) error
+	journalErr error
+	dropped    uint64
 }
 
 // NewAuditLog creates an empty log.
@@ -42,8 +51,42 @@ func NewAuditLog() *AuditLog {
 
 var _ ogsa.AuditSink = (*AuditLog)(nil)
 
+// SetJournal installs a persistence hook called with every event after
+// it is chained, still under the log's lock, so journal order equals
+// chain order. Record cannot return an error (the AuditSink contract),
+// so a journal failure keeps the event in the in-memory chain and is
+// surfaced through JournalError / DroppedJournal instead of being
+// swallowed.
+func (l *AuditLog) SetJournal(fn func(AuditEvent) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = fn
+}
+
+// JournalError reports the most recent journal failure, nil if every
+// event reached the journal.
+func (l *AuditLog) JournalError() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.journalErr
+}
+
+// DroppedJournal counts events that were chained in memory but failed
+// to journal.
+func (l *AuditLog) DroppedJournal() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.dropped
+}
+
 // Record implements ogsa.AuditSink.
 func (l *AuditLog) Record(event, subject, detail string) {
+	l.RecordTrace(event, subject, detail, "")
+}
+
+// RecordTrace is Record carrying the active trace id, hash-chained with
+// the rest of the event.
+func (l *AuditLog) RecordTrace(event, subject, detail, trace string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := AuditEvent{
@@ -52,16 +95,23 @@ func (l *AuditLog) Record(event, subject, detail string) {
 		Event:   event,
 		Subject: subject,
 		Detail:  detail,
+		Trace:   trace,
 	}
 	e.Hash = hashEvent(l.last, e)
 	l.events = append(l.events, e)
 	l.last = e.Hash
+	if l.journal != nil {
+		if err := l.journal(e); err != nil {
+			l.journalErr = err
+			l.dropped++
+		}
+	}
 }
 
 func hashEvent(prev [32]byte, e AuditEvent) [32]byte {
 	h := sha256.New()
 	h.Write(prev[:])
-	fmt.Fprintf(h, "%d|%d|%s|%s|%s", e.Seq, e.Time.UnixNano(), e.Event, e.Subject, e.Detail)
+	fmt.Fprintf(h, "%d|%d|%s|%s|%s|%s", e.Seq, e.Time.UnixNano(), e.Event, e.Subject, e.Detail, e.Trace)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
@@ -94,6 +144,69 @@ func (l *AuditLog) VerifyChain() int {
 		prev = e.Hash
 	}
 	return -1
+}
+
+// Restore replaces the log's contents with replayed events, verifying
+// the full hash chain first. Fail closed: a replayed log whose chain
+// does not verify — tampered payloads, reordered or missing records —
+// leaves the current log untouched and reports the first bad index.
+func (l *AuditLog) Restore(events []AuditEvent) error {
+	var prev [32]byte
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("secsvc: replayed audit event %d carries seq %d", i, e.Seq)
+		}
+		if hashEvent(prev, e) != e.Hash {
+			return fmt.Errorf("secsvc: replayed audit chain corrupt at %d", i)
+		}
+		prev = e.Hash
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append([]AuditEvent(nil), events...)
+	l.last = prev
+	return nil
+}
+
+const auditEventCodecVersion = 1
+
+// EncodeAuditEvent serialises one event for a WAL payload.
+func EncodeAuditEvent(e AuditEvent) []byte {
+	enc := wire.NewEncoder()
+	enc.U8(auditEventCodecVersion)
+	enc.U64(e.Seq)
+	enc.I64(e.Time.UnixNano())
+	enc.Str(e.Event)
+	enc.Str(e.Subject)
+	enc.Str(e.Detail)
+	enc.Str(e.Trace)
+	enc.Bytes(e.Hash[:])
+	return enc.Finish()
+}
+
+// DecodeAuditEvent parses a journaled event. The hash is carried, not
+// recomputed — Restore verifies the whole chain.
+func DecodeAuditEvent(b []byte) (AuditEvent, error) {
+	d := wire.NewDecoder(b)
+	var e AuditEvent
+	if v := d.U8(); d.Err() == nil && v != auditEventCodecVersion {
+		return e, fmt.Errorf("secsvc: unknown audit event codec version %d", v)
+	}
+	e.Seq = d.U64()
+	e.Time = time.Unix(0, d.I64()).UTC()
+	e.Event = d.Str()
+	e.Subject = d.Str()
+	e.Detail = d.Str()
+	e.Trace = d.Str()
+	hash := d.Bytes()
+	if err := d.Done(); err != nil {
+		return AuditEvent{}, err
+	}
+	if len(hash) != len(e.Hash) {
+		return AuditEvent{}, fmt.Errorf("secsvc: audit event hash is %d bytes, want %d", len(hash), len(e.Hash))
+	}
+	copy(e.Hash[:], hash)
+	return e, nil
 }
 
 // Tamper is a test hook that corrupts an event in place.

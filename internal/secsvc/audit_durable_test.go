@@ -1,0 +1,125 @@
+package secsvc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuditJournalAndRestore(t *testing.T) {
+	var journaled []AuditEvent
+	l := NewAuditLog()
+	l.SetJournal(func(e AuditEvent) error {
+		journaled = append(journaled, e)
+		return nil
+	})
+	l.Record("context-established", "/O=Grid/CN=Alice", "ok")
+	l.RecordTrace("authz", "/O=Grid/CN=Alice", "permit jobs:submit", "0123456789abcdef0123456789abcdef")
+	l.Record("context-closed", "/O=Grid/CN=Alice", "")
+
+	if len(journaled) != 3 {
+		t.Fatalf("journaled %d events, want 3", len(journaled))
+	}
+	if journaled[1].Trace == "" {
+		t.Fatal("trace id did not reach the journal")
+	}
+
+	// Round-trip every event through the wire codec, then restore into a
+	// fresh log: chain must verify and the trace must survive.
+	replayed := make([]AuditEvent, 0, len(journaled))
+	for _, e := range journaled {
+		got, err := DecodeAuditEvent(EncodeAuditEvent(e))
+		if err != nil {
+			t.Fatalf("DecodeAuditEvent: %v", err)
+		}
+		replayed = append(replayed, got)
+	}
+	l2 := NewAuditLog()
+	if err := l2.Restore(replayed); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if l2.VerifyChain() != -1 {
+		t.Fatal("restored chain does not verify")
+	}
+	if ev := l2.Events(); ev[1].Trace != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("restored trace = %q", ev[1].Trace)
+	}
+	// The restored log continues the chain seamlessly.
+	l2.Record("post-restart", "/O=Grid/CN=Bob", "")
+	if l2.VerifyChain() != -1 {
+		t.Fatal("chain broken after post-restore append")
+	}
+	if l2.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l2.Len())
+	}
+}
+
+func TestAuditRestoreFailsClosed(t *testing.T) {
+	l := NewAuditLog()
+	l.Record("a", "s", "d")
+	l.Record("b", "s", "d")
+	good := l.Events()
+
+	l2 := NewAuditLog()
+	l2.Record("keep", "s", "d")
+
+	tampered := append([]AuditEvent(nil), good...)
+	tampered[0].Detail = "rewritten"
+	if err := l2.Restore(tampered); err == nil {
+		t.Fatal("tampered chain accepted")
+	}
+	reordered := []AuditEvent{good[1], good[0]}
+	if err := l2.Restore(reordered); err == nil {
+		t.Fatal("reordered chain accepted")
+	}
+	truncatedFront := good[1:]
+	if err := l2.Restore(truncatedFront); err == nil {
+		t.Fatal("chain missing its first record accepted")
+	}
+	if l2.Len() != 1 || l2.VerifyChain() != -1 {
+		t.Fatal("failed restore mutated the live log")
+	}
+}
+
+func TestAuditTraceIsHashed(t *testing.T) {
+	l := NewAuditLog()
+	l.RecordTrace("authz", "s", "d", "aaaa")
+	ev := l.Events()
+	ev[0].Trace = "bbbb"
+	l2 := NewAuditLog()
+	if err := l2.Restore(ev); err == nil {
+		t.Fatal("trace rewrite not caught by the chain")
+	}
+}
+
+func TestAuditJournalErrorSurfaced(t *testing.T) {
+	boom := errors.New("disk full")
+	l := NewAuditLog()
+	l.SetJournal(func(AuditEvent) error { return boom })
+	l.Record("a", "s", "d")
+	l.Record("b", "s", "d")
+	// Events stay in the in-memory chain; the failure is not silent.
+	if l.Len() != 2 || l.VerifyChain() != -1 {
+		t.Fatal("journal failure corrupted the in-memory chain")
+	}
+	if !errors.Is(l.JournalError(), boom) {
+		t.Fatalf("JournalError = %v, want %v", l.JournalError(), boom)
+	}
+	if l.DroppedJournal() != 2 {
+		t.Fatalf("DroppedJournal = %d, want 2", l.DroppedJournal())
+	}
+}
+
+func TestDecodeAuditEventRejectsGarbage(t *testing.T) {
+	if _, err := DecodeAuditEvent(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	l := NewAuditLog()
+	l.Record("a", "s", "d")
+	b := EncodeAuditEvent(l.Events()[0])
+	if _, err := DecodeAuditEvent(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := DecodeAuditEvent(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

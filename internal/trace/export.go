@@ -28,6 +28,11 @@ type ExporterConfig struct {
 	// MaxRetries bounds redelivery attempts per batch (exponential
 	// backoff starting at Interval/8). 0 selects 3.
 	MaxRetries int
+	// MaxBacklog bounds how many undeliverable marshaled batches are
+	// retained across pushes during a collector outage; beyond it the
+	// oldest batch rotates out and its spans count as dropped. 0
+	// selects 16.
+	MaxBacklog int
 	// Client is the HTTP client. Nil selects one with a 10s timeout.
 	Client *http.Client
 	// Metrics, when set, is invoked per push to render the Prometheus
@@ -41,8 +46,9 @@ type Batch struct {
 	Spans []SpanRecord `json:"spans"`
 	// Metrics is the Prometheus text exposition, when configured.
 	Metrics string `json:"metrics,omitempty"`
-	// Dropped counts spans lost to queue overflow since the last
-	// successful push.
+	// Dropped counts spans lost since the previous batch was built — to
+	// queue overflow between pushes or to backlog rotation during a
+	// collector outage.
 	Dropped uint64 `json:"dropped,omitempty"`
 }
 
@@ -53,7 +59,12 @@ type Exporter struct {
 
 	mu      sync.Mutex
 	queue   []SpanRecord
-	dropped uint64
+	dropped uint64 // drops to report in the next batch body
+	// backlog retains batches that exhausted their retries, already
+	// marshaled, for redelivery oldest-first on later pushes. Bounded by
+	// MaxBacklog; rotation counts the evicted batch's spans as dropped.
+	backlog      []backlogBatch
+	droppedTotal uint64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -78,6 +89,9 @@ func NewExporter(cfg ExporterConfig) (*Exporter, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
 	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 16
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
@@ -100,9 +114,19 @@ func (e *Exporter) Enqueue(rec SpanRecord) {
 		copy(e.queue, e.queue[1:])
 		e.queue = e.queue[:len(e.queue)-1]
 		e.dropped++
+		e.droppedTotal++
 	}
 	e.queue = append(e.queue, rec)
 	e.mu.Unlock()
+}
+
+// Dropped reports the total spans lost since the exporter started —
+// to queue overflow between pushes and to backlog rotation during
+// collector outages. Feeds the trace_export_dropped_total metric.
+func (e *Exporter) Dropped() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.droppedTotal
 }
 
 // Close stops the loop after one final flush.
@@ -134,10 +158,23 @@ func (e *Exporter) run() {
 	}
 }
 
-// push drains the queue and delivers one batch, retrying with backoff.
-// An undeliverable batch is requeued (subject to the bound) so a
-// collector outage shorter than the queue horizon loses nothing.
+// backlogBatch is one marshaled batch awaiting redelivery; the span
+// count is kept so rotating it out can account for its spans.
+type backlogBatch struct {
+	body  []byte
+	spans int
+}
+
+// push delivers the retained backlog oldest-first, then drains the
+// span queue into one fresh marshaled batch and delivers that too — so
+// a collector outage shorter than the backlog horizon loses nothing
+// and batches arrive in order. Batches are marshaled exactly once:
+// redelivery resends the original bytes. When the backlog's head still
+// fails, the fresh batch joins the backlog without another delivery
+// attempt (the collector is down; retrying twice per tick doubles
+// nothing but latency).
 func (e *Exporter) push() {
+	collectorUp := e.drainBacklog()
 	e.mu.Lock()
 	spans := e.queue
 	dropped := e.dropped
@@ -156,47 +193,77 @@ func (e *Exporter) push() {
 		e.record(err)
 		return
 	}
+	e.appendBacklog(backlogBatch{body: body, spans: len(spans)})
+	if collectorUp {
+		e.drainBacklog()
+	}
+}
+
+// appendBacklog admits one batch, rotating the oldest out when the
+// retention bound is reached. Rotated spans are counted dropped — in
+// the total and in the next batch body, so the collector learns of the
+// loss when delivery resumes.
+func (e *Exporter) appendBacklog(b backlogBatch) {
+	e.mu.Lock()
+	e.backlog = append(e.backlog, b)
+	for len(e.backlog) > e.cfg.MaxBacklog {
+		evicted := e.backlog[0]
+		e.backlog = e.backlog[1:]
+		e.dropped += uint64(evicted.spans)
+		e.droppedTotal += uint64(evicted.spans)
+	}
+	e.mu.Unlock()
+}
+
+// drainBacklog delivers retained batches oldest-first, stopping at the
+// first batch that exhausts its retries (the collector is still down;
+// later batches keep their order for the next push). Reports whether
+// the backlog emptied.
+func (e *Exporter) drainBacklog() bool {
+	for {
+		e.mu.Lock()
+		if len(e.backlog) == 0 {
+			e.mu.Unlock()
+			return true
+		}
+		head := e.backlog[0]
+		e.mu.Unlock()
+		if err := e.deliverWithRetry(head.body); err != nil {
+			e.record(err)
+			return false
+		}
+		e.mu.Lock()
+		// Only this loop pops, and only the run goroutine calls it, so
+		// the head is still the batch just delivered.
+		e.backlog = e.backlog[1:]
+		e.mu.Unlock()
+		e.record(nil)
+	}
+}
+
+// deliverWithRetry attempts one batch with exponential backoff, giving
+// up early on shutdown (the final flush makes one more pass).
+func (e *Exporter) deliverWithRetry(body []byte) error {
 	backoff := e.cfg.Interval / 8
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	var err error
 	for attempt := 0; ; attempt++ {
 		err = e.deliver(body)
 		if err == nil {
-			e.record(nil)
-			return
+			return nil
 		}
 		if attempt+1 >= e.cfg.MaxRetries {
-			break
+			return err
 		}
 		select {
 		case <-time.After(backoff):
 			backoff *= 2
 		case <-e.stop:
-			// Shutting down: one last immediate attempt happens via the
-			// final flush; don't spin here.
-			e.requeue(spans)
-			e.record(err)
-			return
+			return err
 		}
 	}
-	e.requeue(spans)
-	e.record(err)
-}
-
-// requeue returns undelivered spans to the front of the queue.
-func (e *Exporter) requeue(spans []SpanRecord) {
-	if len(spans) == 0 {
-		return
-	}
-	e.mu.Lock()
-	merged := append(spans, e.queue...)
-	if over := len(merged) - e.cfg.MaxQueue; over > 0 {
-		merged = merged[over:]
-		e.dropped += uint64(over)
-	}
-	e.queue = merged
-	e.mu.Unlock()
 }
 
 func (e *Exporter) record(err error) {

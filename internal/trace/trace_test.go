@@ -287,6 +287,89 @@ func TestExporterQueueBound(t *testing.T) {
 	<-exp.done
 }
 
+// TestExporterBacklogRotation drives the exporter against a collector
+// that stays down for several pushes, then recovers: batches that
+// exhausted their retries must be retained (marshaled once) up to
+// MaxBacklog, the oldest must rotate out with its spans counted
+// dropped, and recovery must deliver the survivors oldest-first with
+// the drop reported in-band.
+func TestExporterBacklogRotation(t *testing.T) {
+	var mu sync.Mutex
+	var batches []Batch
+	down := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		var b Batch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			t.Errorf("bad batch: %v", err)
+		}
+		batches = append(batches, b)
+	}))
+	defer srv.Close()
+
+	exp, err := NewExporter(ExporterConfig{
+		URL:        srv.URL,
+		Interval:   time.Hour, // pushes are driven by hand below
+		MaxRetries: 1,
+		MaxBacklog: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three failed pushes of one span each against a MaxBacklog of 2:
+	// the first batch must rotate out.
+	for _, op := range []string{"span0", "span1", "span2"} {
+		exp.Enqueue(SpanRecord{Op: op})
+		exp.push()
+	}
+	exp.mu.Lock()
+	retained := len(exp.backlog)
+	exp.mu.Unlock()
+	if retained != 2 {
+		t.Fatalf("backlog holds %d batches, want 2", retained)
+	}
+	if got := exp.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d after rotation, want 1", got)
+	}
+
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	exp.Enqueue(SpanRecord{Op: "span3"})
+	exp.push()
+	exp.stopOnce.Do(func() { close(exp.stop) })
+	<-exp.done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 3 {
+		t.Fatalf("delivered %d batches after recovery, want 3 (two retained + one fresh)", len(batches))
+	}
+	// Oldest-first: the survivors are the spans from failed pushes 1 and
+	// 2 (push 0 rotated out), then the fresh one.
+	for i, want := range []string{"span1", "span2", "span3"} {
+		if len(batches[i].Spans) != 1 || batches[i].Spans[0].Op != want {
+			t.Fatalf("batch %d spans = %+v, want one span with op %q", i, batches[i].Spans, want)
+		}
+	}
+	// The rotated span is reported in-band exactly once.
+	var reported uint64
+	for _, b := range batches {
+		reported += b.Dropped
+	}
+	if reported != 1 {
+		t.Fatalf("batches report %d dropped spans, want 1", reported)
+	}
+	if got := exp.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d after recovery, want 1", got)
+	}
+}
+
 // BenchmarkSpanStartEnd pins the raw span lifecycle — pool get, clock
 // reads, histogram observe, ring copy-in — at 0 allocs/op. This is the
 // cost a traced (sampled) operation pays on top of its own work; the

@@ -2,6 +2,7 @@ package gsi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -168,6 +169,34 @@ func (b *adminBackend) AdminTransfers() ([]byte, error) {
 		return nil, errors.New("gsi: no tracer configured (WithTracing)")
 	}
 	return json.MarshalIndent(b.tracer.Transfers().Snapshot(), "", "  ")
+}
+
+func (b *adminBackend) AdminCASStatus() ([]byte, error) {
+	cs := b.server.currentCASSyncer()
+	if cs == nil {
+		return nil, errors.New("gsi: no CAS upstream configured on this server (WithCASUpstream)")
+	}
+	return cs.statusJSON()
+}
+
+func (b *adminBackend) AdminCASSync() ([]byte, error) {
+	cs := b.server.currentCASSyncer()
+	if cs == nil {
+		return nil, errors.New("gsi: no CAS upstream configured on this server (WithCASUpstream)")
+	}
+	// Like AdminReload: a failed pull is not a failed op. The caller asked
+	// "pull now and tell me how it went"; on failure the previous bundle
+	// stays live and the error is the answer.
+	err := cs.syncOnce(context.Background())
+	report := struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error,omitempty"`
+		CASSyncStatus
+	}{OK: err == nil, CASSyncStatus: cs.status()}
+	if err != nil {
+		report.Error = err.Error()
+	}
+	return json.MarshalIndent(report, "", "  ")
 }
 
 func (b *adminBackend) AdminReload() ([]byte, error) {

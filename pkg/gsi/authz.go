@@ -14,6 +14,7 @@ import (
 	"repro/internal/gridcert"
 	"repro/internal/gss"
 	"repro/internal/ogsa"
+	"repro/internal/trace"
 )
 
 // AuditSink receives security-relevant events. secsvc.AuditLog — the
@@ -75,10 +76,26 @@ type AuthorizationPipeline struct {
 	gridmap *GridMap
 	audit   AuditSink
 	cache   *decisionCache // nil when disabled
+	// replica is the pulled CAS policy bundle (WithCASUpstream): when a
+	// member arrives WITHOUT an assertion, the replica answers the VO's
+	// half of the decision from the last applied bundle. nil = none.
+	replica *cas.Replica
+	// durable is the WAL-backed state the pipeline's policy/gridmap/audit
+	// came from (WithDurableState); nil for in-memory pipelines.
+	durable *DurableState
 
 	mu    sync.RWMutex
 	vos   map[string]*Certificate // trusted CAS signing certs by VO DN
 	voGen uint64
+}
+
+// TraceAuditSink is the optional extension of AuditSink that carries
+// the active trace id into the audit record. secsvc.AuditLog implements
+// it — the id joins the hash chain, so the decision↔trace correlation
+// is as tamper-evident as the decision itself.
+type TraceAuditSink interface {
+	AuditSink
+	RecordTrace(event, subject, detail, traceID string)
 }
 
 // NewAuthorizationPipeline builds a standalone pipeline from the
@@ -98,6 +115,9 @@ func (e *Environment) NewAuthorizationPipeline(opts ...Option) (*AuthorizationPi
 		// and Serve refuse loudly.
 		return nil, opErr("gsi.NewAuthorizationPipeline", errors.New("gsi: WithAuthorizationPipeline is a server option; NewAuthorizationPipeline builds pipelines from assembly options"))
 	}
+	if err := s.materializeDurable(); err != nil {
+		return nil, opErr("gsi.NewAuthorizationPipeline", err)
+	}
 	return newPipeline(e, s), nil
 }
 
@@ -108,6 +128,7 @@ func newPipeline(e *Environment, s settings) *AuthorizationPipeline {
 		local:   s.authzLocal,
 		gridmap: s.authzGridMap,
 		audit:   s.authzAudit,
+		durable: s.durable,
 		vos:     make(map[string]*Certificate),
 	}
 	ttl := DefaultDecisionTTL
@@ -120,8 +141,22 @@ func newPipeline(e *Environment, s settings) *AuthorizationPipeline {
 	for _, cert := range s.authzVOs {
 		p.vos[cert.Subject.String()] = cert
 	}
+	if s.casUpstream != nil {
+		p.replica = cas.NewReplica(s.casUpstream.Cert)
+		// Bundles from the upstream VO are as trusted as assertions it
+		// signs: pulling implies trusting.
+		p.vos[s.casUpstream.Cert.Subject.String()] = s.casUpstream.Cert
+	}
 	return p
 }
+
+// Replica returns the pipeline's CAS bundle replica (nil unless
+// WithCASUpstream configured one).
+func (p *AuthorizationPipeline) Replica() *cas.Replica { return p.replica }
+
+// DurableState returns the WAL-backed state the pipeline was assembled
+// over (nil for in-memory pipelines).
+func (p *AuthorizationPipeline) DurableState() *DurableState { return p.durable }
 
 // TrustVO registers a CAS signing certificate at runtime: the resource
 // provider's act of outsourcing a policy slice to that community.
@@ -169,8 +204,8 @@ func (p *AuthorizationPipeline) CacheStats() DecisionCacheStats {
 }
 
 // generations snapshots every counter a cached decision depends on.
-func (p *AuthorizationPipeline) generations() [4]uint64 {
-	var g [4]uint64
+func (p *AuthorizationPipeline) generations() [5]uint64 {
+	var g [5]uint64
 	if p.local != nil {
 		g[0] = p.local.Generation()
 	}
@@ -181,6 +216,11 @@ func (p *AuthorizationPipeline) generations() [4]uint64 {
 	g[2] = p.voGen
 	p.mu.RUnlock()
 	g[3] = p.env.trust.Generation()
+	if p.replica != nil {
+		// Each applied bundle bumps the replica generation, so decisions
+		// computed under the previous bundle stop being addressable.
+		g[4] = p.replica.Generation()
+	}
 	return g
 }
 
@@ -193,15 +233,15 @@ func (p *AuthorizationPipeline) Authorize(ctx context.Context, peer Peer, resour
 	if err := ctx.Err(); err != nil {
 		// Audited like every other deny: the caller observed a refusal,
 		// so the refusal must be in the trail.
-		d, _ := p.finish(AuthzDecision{Decision: Deny, Reason: "request context ended"}, resource, action)
+		d, _ := p.finish(ctx, AuthzDecision{Decision: Deny, Reason: "request context ended"}, resource, action)
 		return d, err
 	}
 	if peer.Anonymous {
-		return p.finish(AuthzDecision{Decision: Deny, Reason: "anonymous peers are never authorized"}, resource, action)
+		return p.finish(ctx, AuthzDecision{Decision: Deny, Reason: "anonymous peers are never authorized"}, resource, action)
 	}
 	leaf := peerLeaf(peer)
 	if leaf == nil {
-		return p.finish(AuthzDecision{Decision: Deny, Reason: "peer presented no certificate chain"}, resource, action)
+		return p.finish(ctx, AuthzDecision{Decision: Deny, Reason: "peer presented no certificate chain"}, resource, action)
 	}
 	now := p.env.Now()
 	gens := p.generations()
@@ -209,28 +249,39 @@ func (p *AuthorizationPipeline) Authorize(ctx context.Context, peer Peer, resour
 	if p.cache != nil {
 		if d, ok := p.cache.lookup(key, now); ok {
 			d.Cached = true
-			return p.finish(d, resource, action)
+			return p.finish(ctx, d, resource, action)
 		}
 	}
 	d, expiry, err := p.evaluate(peer, leaf, resource, action, now)
 	if err != nil {
-		d, _ = p.finish(d, resource, action)
+		d, _ = p.finish(ctx, d, resource, action)
 		return d, err
 	}
 	if p.cache != nil {
 		p.cache.store(key, d, expiry, now)
 	}
-	return p.finish(d, resource, action)
+	return p.finish(ctx, d, resource, action)
 }
 
-// finish records the decision to the audit sink and returns it.
-func (p *AuthorizationPipeline) finish(d AuthzDecision, resource, action string) (AuthzDecision, error) {
+// finish records the decision to the audit sink and returns it. When
+// the sink understands trace ids and the context carries an active
+// span, the trace id is recorded — and hash-chained — with the event.
+func (p *AuthorizationPipeline) finish(ctx context.Context, d AuthzDecision, resource, action string) (AuthzDecision, error) {
 	if p.audit != nil {
 		detail := fmt.Sprintf("%s %s: %s", action, resource, d.Reason)
 		if d.Cached {
 			detail += " (cached)"
 		}
-		p.audit.Record("authz-"+d.Decision.String(), d.Identity.String(), detail)
+		event := "authz-" + d.Decision.String()
+		if ts, ok := p.audit.(TraceAuditSink); ok {
+			if span := trace.SpanFromContext(ctx); span != nil {
+				if sc := span.Context(); sc.Valid() {
+					ts.RecordTrace(event, d.Identity.String(), detail, sc.TraceID.String())
+					return d, nil
+				}
+			}
+		}
+		p.audit.Record(event, d.Identity.String(), detail)
 	}
 	return d, nil
 }
@@ -297,7 +348,13 @@ func (p *AuthorizationPipeline) evaluate(peer Peer, leaf *Certificate, resource,
 		return d, expiry, nil
 	}
 
+	// The VO layer comes from the assertion when one was presented, or —
+	// for members that arrive bare — from the replicated policy bundle
+	// pulled from the community server. Either way the intersection rule
+	// is the same: both layers must permit.
+	voLayer := false
 	if assertion != nil {
+		voLayer = true
 		d.VOName = assertion.VO
 		// Verified community attributes flow into the request: local
 		// policy may reference VO groups and roles.
@@ -314,6 +371,17 @@ func (p *AuthorizationPipeline) evaluate(peer Peer, leaf *Certificate, resource,
 		if assertion.ExpiresAt.Before(expiry) {
 			expiry = assertion.ExpiresAt
 		}
+	} else if p.replica != nil {
+		if groups, roles, ok := p.replica.Lookup(info.Identity); ok {
+			voLayer = true
+			d.VOName = p.replica.VO()
+			req.Groups = groups
+			req.Roles = roles
+			d.VO = p.replica.Evaluate(authz.Request{Subject: info.Identity, Resource: resource, Action: action, Time: now})
+		}
+		// A non-member falls through to local policy alone — the bundle
+		// vouches for members only; it never blocks identities the VO
+		// has nothing to say about.
 	}
 
 	if p.local != nil {
@@ -322,14 +390,16 @@ func (p *AuthorizationPipeline) evaluate(peer Peer, leaf *Certificate, resource,
 		d.Local = NotApplicable
 	}
 
-	if assertion != nil {
+	if voLayer {
 		// Figure 2 step 3: the intersection — both layers must permit.
 		d.Decision = authz.Combine(d.Local, d.VO)
 		if d.Decision != Permit {
 			d.Decision = Deny
 			d.Reason = fmt.Sprintf("intersection of local (%s) and VO (%s) policy", d.Local, d.VO)
-		} else {
+		} else if assertion != nil {
 			d.Reason = "permitted by local ∩ VO policy"
+		} else {
+			d.Reason = "permitted by local ∩ replicated VO policy"
 		}
 	} else {
 		d.Decision = d.Local
@@ -407,10 +477,11 @@ type decisionKey struct {
 	resource string
 	action   string
 	// gens pins the key to the exact policy state the decision was
-	// computed under: local policy, gridmap, trusted-VO set, and trust
-	// store. Any mutation bumps a counter, so stale entries simply stop
-	// being addressable — invalidation without a sweep.
-	gens [4]uint64
+	// computed under: local policy, gridmap, trusted-VO set, trust
+	// store, and CAS bundle replica. Any mutation bumps a counter, so
+	// stale entries simply stop being addressable — invalidation
+	// without a sweep.
+	gens [5]uint64
 }
 
 type decisionEntry struct {

@@ -1,0 +1,170 @@
+package gsi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cas"
+)
+
+// DefaultCASSyncInterval is the bundle pull period when
+// CASUpstreamConfig.Interval is zero.
+const DefaultCASSyncInterval = 30 * time.Second
+
+// casSyncTimeout bounds one pull attempt against one endpoint.
+const casSyncTimeout = 30 * time.Second
+
+// casSyncer is the control-plane goroutine behind WithCASUpstream: it
+// pulls the VO's signed policy bundle from the configured endpoints —
+// in order, so the second entry is the standby and failover is simply
+// "the first pull failed, the next succeeded" — and applies it to the
+// pipeline's replica through the fail-closed, generation-counted swap.
+type casSyncer struct {
+	client  *Client
+	replica *cas.Replica
+	cfg     CASUpstreamConfig
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	lastErr  string
+	lastOK   string // endpoint of the most recent successful pull
+	lastTime time.Time
+	syncs    uint64
+	failures uint64
+}
+
+// CASSyncStatus is the JSON shape of the gsi.__admin CASStatus op and
+// Server.CASSyncStatus.
+type CASSyncStatus struct {
+	// Configured reports that WithCASUpstream is active.
+	Configured bool `json:"configured"`
+	// Version and Generation are the replica's applied bundle version
+	// and its apply count.
+	Version    uint64 `json:"version"`
+	Generation uint64 `json:"generation"`
+	// Members is the replica's membership count.
+	Members int `json:"members"`
+	// Endpoints are the configured upstream addresses, in failover order.
+	Endpoints []string `json:"endpoints,omitempty"`
+	// LastEndpoint is where the most recent successful pull landed.
+	LastEndpoint string `json:"last_endpoint,omitempty"`
+	// LastSync is the time of the most recent successful pull.
+	LastSync time.Time `json:"last_sync,omitzero"`
+	// LastError is the most recent full-round failure ("" when the last
+	// round succeeded).
+	LastError string `json:"last_error,omitempty"`
+	// Syncs and Failures count successful pulls and full rounds where
+	// every endpoint failed.
+	Syncs    uint64 `json:"syncs"`
+	Failures uint64 `json:"failures"`
+}
+
+func newCASSyncer(env *Environment, cred *Credential, replica *cas.Replica, cfg CASUpstreamConfig) (*casSyncer, error) {
+	client, err := env.NewClient(cred, WithTransport(TransportGT3()))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultCASSyncInterval
+	}
+	return &casSyncer{
+		client:  client,
+		replica: replica,
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+func (cs *casSyncer) start() {
+	go func() {
+		defer close(cs.done)
+		// First pull immediately: an endpoint that comes up pointing at a
+		// live community server should enforce its bundle from the first
+		// request, not after one interval of local-only decisions.
+		cs.syncOnce(context.Background())
+		t := time.NewTicker(cs.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cs.stop:
+				return
+			case <-t.C:
+				cs.syncOnce(context.Background())
+			}
+		}
+	}()
+}
+
+func (cs *casSyncer) close() {
+	close(cs.stop)
+	<-cs.done
+}
+
+// syncOnce tries each endpoint in order until one yields a bundle the
+// replica accepts. "Up to date" (same version) counts as success.
+func (cs *casSyncer) syncOnce(ctx context.Context) error {
+	var errs []error
+	for _, ep := range cs.cfg.Endpoints {
+		err := cs.pull(ctx, ep)
+		if err == nil {
+			cs.mu.Lock()
+			cs.lastOK = ep
+			cs.lastTime = time.Now()
+			cs.lastErr = ""
+			cs.syncs++
+			cs.mu.Unlock()
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", ep, err))
+	}
+	err := errors.Join(errs...)
+	cs.mu.Lock()
+	cs.lastErr = err.Error()
+	cs.failures++
+	cs.mu.Unlock()
+	return err
+}
+
+func (cs *casSyncer) pull(ctx context.Context, endpoint string) error {
+	ctx, cancel := context.WithTimeout(ctx, casSyncTimeout)
+	defer cancel()
+	body, _, err := cs.client.Invoke(ctx, endpoint, cas.SyncHandle, cas.SyncOpBundle, nil)
+	if err != nil {
+		return err
+	}
+	b, err := cas.DecodeBundle(body)
+	if err != nil {
+		return err
+	}
+	return cs.replica.Apply(b)
+}
+
+// status snapshots the syncer for the admin surface.
+func (cs *casSyncer) status() CASSyncStatus {
+	cs.mu.Lock()
+	st := CASSyncStatus{
+		Configured:   true,
+		Endpoints:    cs.cfg.Endpoints,
+		LastEndpoint: cs.lastOK,
+		LastSync:     cs.lastTime,
+		LastError:    cs.lastErr,
+		Syncs:        cs.syncs,
+		Failures:     cs.failures,
+	}
+	cs.mu.Unlock()
+	st.Version = cs.replica.Version()
+	st.Generation = cs.replica.Generation()
+	st.Members = cs.replica.Members()
+	return st
+}
+
+func (cs *casSyncer) statusJSON() ([]byte, error) {
+	return json.MarshalIndent(cs.status(), "", "  ")
+}

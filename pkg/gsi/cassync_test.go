@@ -1,0 +1,236 @@
+// End-to-end CAS bundle replication: a community server publishes its
+// signed policy bundle on gsi.__cas.sync, a resource server pulls it
+// through the control plane, and VO members arriving WITHOUT an
+// assertion are decided from the replicated bundle. The failover half
+// kills the primary publisher and proves the standby keeps the replica
+// fresh — including a membership update that happened after the
+// primary died — while decisions stay fail-closed throughout.
+package gsi_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/ogsa"
+	"repro/pkg/gsi"
+)
+
+// casSyncBed is the federation fixture: one VO, two publisher
+// endpoints (primary + standby) serving the same community server, and
+// one resource server pulling bundles.
+type casSyncBed struct {
+	bed      *authzBed
+	vo       *gsi.CASServer
+	primary  gsi.Endpoint
+	standby  gsi.Endpoint
+	resource *gsi.Server
+	rsEP     gsi.Endpoint
+}
+
+func newCASSyncBed(t *testing.T, resourceOpts ...gsi.Option) *casSyncBed {
+	t.Helper()
+	bed := newAuthzBed(t)
+	ctx := context.Background()
+
+	// The community server's own policy for the scale resource.
+	bed.vo.AddPolicy(gsi.Rule{
+		ID:        "vo-data",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+
+	// Which resource servers may read the membership roll is itself
+	// policy: the publishers permit only our resource server's identity.
+	rsCred, err := bed.ca.NewHostEntity(gsi.MustParseName("/O=Grid/CN=resource node"), 72*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubPolicy := gsi.NewPolicy(gsi.Rule{
+		ID:        "bundle-readers",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{rsCred.Identity().String()},
+		Resources: []string{"ogsa:gsi.__cas.sync"},
+		Actions:   []string{"*"},
+	})
+	echo := func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+		return body, nil
+	}
+	serveBundle := func(name string) gsi.Endpoint {
+		cred, err := bed.ca.NewHostEntity(gsi.MustParseName("/O=Grid/CN="+name), 72*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := bed.env.NewServer(cred,
+			gsi.WithTransport(gsi.TransportGT3()),
+			gsi.WithCASPublisher(bed.vo),
+			gsi.WithLocalPolicy(pubPolicy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := srv.Serve(ctx, "127.0.0.1:0", echo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep
+	}
+	primary := serveBundle("cas primary")
+	standby := serveBundle("cas standby")
+	t.Cleanup(func() { primary.Close(); standby.Close() })
+
+	opts := append([]gsi.Option{
+		gsi.WithTransport(gsi.TransportGT3()),
+		gsi.WithCASUpstream(gsi.CASUpstreamConfig{
+			Endpoints: []string{primary.Addr(), standby.Addr()},
+			Cert:      bed.vo.Certificate(),
+			Interval:  25 * time.Millisecond,
+		}),
+		gsi.WithLocalPolicy(bed.local),
+		gsi.WithGridMap(bed.gridmap),
+	}, resourceOpts...)
+	resource, err := bed.env.NewServer(rsCred, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsEP, err := resource.Serve(ctx, "127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsEP.Close() })
+	return &casSyncBed{bed: bed, vo: bed.vo, primary: primary, standby: standby, resource: resource, rsEP: rsEP}
+}
+
+// waitSync polls until cond accepts the resource server's sync status.
+func (c *casSyncBed) waitSync(t *testing.T, what string, cond func(gsi.CASSyncStatus) bool) gsi.CASSyncStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := c.resource.CASSyncStatus()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; status %+v", what, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCASSyncFailover(t *testing.T) {
+	c := newCASSyncBed(t)
+	bed := c.bed
+	ctx := context.Background()
+	pipe := c.resource.AuthorizationPipeline()
+	if pipe == nil {
+		t.Fatal("resource server has no pipeline")
+	}
+
+	// The local side of the intersection for the replicated VO layer.
+	bed.local.Add(gsi.Rule{
+		ID:        "local-data",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+
+	first := c.waitSync(t, "first bundle", func(st gsi.CASSyncStatus) bool { return st.Version >= 1 })
+	if !first.Configured || first.Members == 0 {
+		t.Fatalf("first sync status: %+v", first)
+	}
+	if first.LastEndpoint != c.primary.Addr() {
+		t.Fatalf("first sync came from %q, want primary %q", first.LastEndpoint, c.primary.Addr())
+	}
+
+	// Alice is a VO member arriving BARE — no assertion embedded. The
+	// replica supplies the VO layer; the intersection permits.
+	alice := gsi.Peer{Identity: bed.alice.Identity(), Chain: bed.alice.Chain}
+	d, err := pipe.Authorize(ctx, alice, "data:/climate/x", "read")
+	if err != nil || d.Decision != gsi.Permit {
+		t.Fatalf("member via replica: %+v err=%v", d, err)
+	}
+	if d.VOName.String() != bed.vo.Certificate().Subject.String() {
+		t.Fatalf("decision VO = %q", d.VOName)
+	}
+	// Bob is not a member: no VO layer, local policy alone says nothing
+	// about him — deny.
+	bob := gsi.Peer{Identity: bed.bob.Identity(), Chain: bed.bob.Chain}
+	if d, err = pipe.Authorize(ctx, bob, "data:/climate/x", "read"); err != nil || d.Decision != gsi.Deny {
+		t.Fatalf("non-member: %+v err=%v", d, err)
+	}
+
+	// Failover: the primary dies, then the VO admits bob. The standby
+	// must deliver the new bundle.
+	c.primary.Close()
+	c.vo.AddMember(bed.bob.Identity(), "researchers")
+	bed.gridmap.Add(bed.bob.Identity(), "bob")
+	want := c.vo.Version()
+	st := c.waitSync(t, "standby bundle", func(st gsi.CASSyncStatus) bool {
+		return st.Version >= want && st.LastEndpoint == c.standby.Addr()
+	})
+	if st.Members < first.Members+1 {
+		t.Fatalf("standby bundle members = %d, want > %d", st.Members, first.Members)
+	}
+	if d, err = pipe.Authorize(ctx, bob, "data:/climate/x", "read"); err != nil || d.Decision != gsi.Permit {
+		t.Fatalf("new member after failover: %+v err=%v", d, err)
+	}
+	// Alice's grant survived the failover uninterrupted.
+	if d, err = pipe.Authorize(ctx, alice, "data:/climate/x", "read"); err != nil || d.Decision != gsi.Permit {
+		t.Fatalf("member after failover: %+v err=%v", d, err)
+	}
+}
+
+// TestCASAdminOps drives the gsi.__admin CAS surface (what gsictl
+// cas-status / cas-sync invoke) over a real GT3 conversation.
+func TestCASAdminOps(t *testing.T) {
+	c := newCASSyncBed(t, gsi.WithAdmin())
+	bed := c.bed
+	ctx := context.Background()
+	// Bob is not a VO member, so no VO layer applies and local policy
+	// alone decides his admin calls (a member's admin call would need
+	// the VO to permit it too — the intersection rule has no carve-out).
+	bed.local.Add(gsi.Rule{
+		ID:        "admin-ops",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{bed.bob.Identity().String()},
+		Resources: []string{"ogsa:" + ogsa.AdminHandle},
+		Actions:   []string{"*"},
+	})
+	bed.gridmap.Add(bed.bob.Identity(), "bob")
+	c.waitSync(t, "first bundle", func(st gsi.CASSyncStatus) bool { return st.Version >= 1 })
+
+	admin, err := bed.env.NewClient(bed.bob, gsi.WithTransport(gsi.TransportGT3()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := admin.Invoke(ctx, c.rsEP.Addr(), ogsa.AdminHandle, ogsa.AdminOpCASStatus, nil)
+	if err != nil {
+		t.Fatalf("CASStatus: %v", err)
+	}
+	var status gsi.CASSyncStatus
+	if err := json.Unmarshal(out, &status); err != nil {
+		t.Fatalf("CASStatus is not JSON: %v\n%s", err, out)
+	}
+	if !status.Configured || status.Version < 1 || status.Syncs < 1 {
+		t.Fatalf("CASStatus: %+v", status)
+	}
+
+	before := status.Syncs
+	out, _, err = admin.Invoke(ctx, c.rsEP.Addr(), ogsa.AdminHandle, ogsa.AdminOpCASSync, nil)
+	if err != nil {
+		t.Fatalf("CASSync: %v", err)
+	}
+	var sync struct {
+		OK bool `json:"ok"`
+		gsi.CASSyncStatus
+	}
+	if err := json.Unmarshal(out, &sync); err != nil {
+		t.Fatalf("CASSync is not JSON: %v\n%s", err, out)
+	}
+	if !sync.OK || sync.Syncs <= before {
+		t.Fatalf("forced sync did not pull: %+v (before %d)", sync, before)
+	}
+}

@@ -163,6 +163,7 @@ type serverMetricSources struct {
 	mu       sync.Mutex
 	convMgrs []*wssec.ConversationManager
 	reloader *Reloader
+	casSync  *casSyncer
 }
 
 func (s *serverMetricSources) addConvMgr(m *wssec.ConversationManager) {
@@ -175,6 +176,23 @@ func (s *serverMetricSources) setReloader(r *Reloader) {
 	s.mu.Lock()
 	s.reloader = r
 	s.mu.Unlock()
+}
+
+func (s *serverMetricSources) setCASSyncer(cs *casSyncer) {
+	s.mu.Lock()
+	s.casSync = cs
+	s.mu.Unlock()
+}
+
+func (s *serverMetricSources) casStats() (syncs, failures uint64) {
+	s.mu.Lock()
+	cs := s.casSync
+	s.mu.Unlock()
+	if cs == nil {
+		return 0, 0
+	}
+	st := cs.status()
+	return st.Syncs, st.Failures
 }
 
 func (s *serverMetricSources) conversations() (live, evicted uint64) {
@@ -207,7 +225,7 @@ func (s *serverMetricSources) reloadStats() (ok bool, st ReloadStats, unhealthy 
 // the process-wide set plus decision-cache, conversation-table, and
 // reload series labeled with the server's identity. The pipeline may
 // be nil (no authorization configured); src must not be.
-func registerServerMetrics(reg *MetricsRegistry, id string, pipeline *AuthorizationPipeline, src *serverMetricSources) error {
+func registerServerMetrics(reg *MetricsRegistry, id string, pipeline *AuthorizationPipeline, src *serverMetricSources, tracer *Tracer) error {
 	ms := append([]telemetry.Metric(nil), buildProcessMetrics()...)
 	if pipeline != nil {
 		ms = append(ms,
@@ -224,12 +242,37 @@ func registerServerMetrics(reg *MetricsRegistry, id string, pipeline *Authorizat
 				"Entry count of the fullest decision-cache shard (shard pressure).",
 				func() float64 { return float64(pipeline.CacheStats().MaxShard) }),
 			telemetry.NewCounterFunc(labeled("gsi_authz_generation", id),
-				"Sum of the trust/policy/gridmap/VO generation counters; each step is one cache-wide invalidation.",
+				"Sum of the trust/policy/gridmap/VO/replica generation counters; each step is one cache-wide invalidation.",
 				func() uint64 {
 					g := pipeline.generations()
-					return g[0] + g[1] + g[2] + g[3]
+					return g[0] + g[1] + g[2] + g[3] + g[4]
 				}),
 		)
+		if rep := pipeline.Replica(); rep != nil {
+			ms = append(ms,
+				telemetry.NewGaugeFunc(labeled("gsi_cas_bundle_version", id),
+					"Version of the last CAS policy bundle the replica applied (0 = none yet).",
+					func() float64 { return float64(rep.Version()) }),
+				telemetry.NewCounterFunc(labeled("gsi_cas_bundle_applied_total", id),
+					"CAS policy bundles applied through the fail-closed swap (the replica generation).",
+					func() uint64 { return rep.Generation() }),
+				telemetry.NewCounterFunc(labeled("gsi_cas_sync_total", id),
+					"Successful CAS bundle pulls (up-to-date counts as success).",
+					func() uint64 { syncs, _ := src.casStats(); return syncs }),
+				telemetry.NewCounterFunc(labeled("gsi_cas_sync_failures_total", id),
+					"Sync rounds in which every configured CAS endpoint failed; the previous bundle stayed live each time.",
+					func() uint64 { _, failures := src.casStats(); return failures }),
+			)
+		}
+	}
+	if tracer != nil {
+		if exp := tracer.Exporter(); exp != nil {
+			ms = append(ms,
+				telemetry.NewCounterFunc(labeled("gsi_trace_export_dropped_total", id),
+					"Spans lost by the push exporter to queue overflow or failed-batch backlog rotation.",
+					func() uint64 { return exp.Dropped() }),
+			)
+		}
 	}
 	ms = append(ms,
 		telemetry.NewGaugeFunc(labeled("gsi_conversations", id),

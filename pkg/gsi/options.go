@@ -91,6 +91,7 @@ type settings struct {
 	authzTTL      time.Duration
 	authzTTLSet   bool
 	authzAudit    AuditSink
+	authzAuditOff bool // WithoutDecisionAudit: durable audit not auto-wired
 
 	// Observability & control plane (PR 6). metrics is the registry
 	// instruments land in; metricsAddr optionally exposes it (plus
@@ -102,6 +103,16 @@ type settings struct {
 	reloadCfg   *ReloadConfig
 	adminEnable bool
 	adminPool   *SessionPool
+
+	// Durable trust plane (PR 9). durableDir roots the WAL-backed
+	// policy/gridmap/audit stores; durable is the opened state (handle
+	// construction materializes it). casUpstream configures the pulled
+	// policy-bundle replica; casPublish exports a community server's
+	// bundle feed on the endpoint's container.
+	durableDir  string
+	durable     *DurableState
+	casUpstream *CASUpstreamConfig
+	casPublish  *CASServer
 
 	// End-to-end tracing (PR 8). traceEnable is set by any trace
 	// option; NewClient/NewServer then materialize tracer (per-op
@@ -433,6 +444,85 @@ func WithGridMap(gm *GridMap) Option {
 	}
 }
 
+// WithDurableState roots the server's trust-plane state in dir: the
+// authorization pipeline's policy, gridmap, and audit chain journal
+// every mutation through a write-ahead log there (fsync before apply),
+// and a restarted server replays the log to resume with identical
+// state AND identical generation counters — so the decision cache
+// re-warms instead of stampeding, and the audit hash chain is
+// re-verified end to end. The durable objects replace WithLocalPolicy /
+// WithGridMap (combining them is an error: two sources of truth for one
+// policy); mutate them through Server.DurableState. Handle option — it
+// may not appear per-call on Serve.
+func WithDurableState(dir string) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return errors.New("gsi: empty durable state directory")
+		}
+		s.durableDir = dir
+		s.authzRev++
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// CASUpstreamConfig points a resource server at its community server's
+// bundle feed (the gsi.__cas.sync port type).
+type CASUpstreamConfig struct {
+	// Endpoints are the community server addresses, tried in order each
+	// sync — the second entry is the standby; a mid-run failover is one
+	// failed pull followed by a successful one against the next entry.
+	Endpoints []string
+	// Cert is the VO's CAS signing certificate; bundles that do not
+	// verify against it are rejected and the previous bundle stays live.
+	Cert *Certificate
+	// Interval is the pull period (0 = DefaultCASSyncInterval).
+	Interval time.Duration
+}
+
+// WithCASUpstream attaches a pulled CAS policy-bundle replica to the
+// server's pipeline: members of the VO that arrive WITHOUT a CAS
+// assertion are decided by the intersection of local policy and the
+// replicated VO policy, exactly as an assertion would be. Application
+// is fail-closed and generation-counted — a bundle with a bad signature
+// or stale version leaves the previous bundle live. The control plane
+// pulls from Endpoints in order at Interval while an endpoint is open.
+// Server option.
+func WithCASUpstream(cfg CASUpstreamConfig) Option {
+	return func(s *settings) error {
+		if len(cfg.Endpoints) == 0 {
+			return errors.New("gsi: CAS upstream names no endpoints")
+		}
+		if cfg.Cert == nil {
+			return errors.New("gsi: CAS upstream requires the VO's signing certificate")
+		}
+		if cfg.Interval < 0 {
+			return errors.New("gsi: negative CAS sync interval")
+		}
+		c := cfg
+		c.Endpoints = append([]string(nil), cfg.Endpoints...)
+		s.casUpstream = &c
+		s.authzRev++
+		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WithCASPublisher publishes server's signed policy-bundle feed under
+// the reserved handle gsi.__cas.sync on the endpoint's container, for
+// resource servers configured with WithCASUpstream to pull. Requires
+// TransportGT3 and an authorization pipeline — which resource servers
+// may read the VO's membership roll is itself policy. Server option.
+func WithCASPublisher(server *CASServer) Option {
+	return func(s *settings) error {
+		if server == nil {
+			return errors.New("gsi: nil CAS server")
+		}
+		s.casPublish = server
+		return nil
+	}
+}
+
 // WithDecisionCache tunes the pipeline's decision cache: ttl bounds how
 // long a decision may be served without re-evaluation (policy, gridmap,
 // VO-set, and trust-store mutations invalidate immediately regardless,
@@ -465,7 +555,27 @@ func WithAuditSink(sink AuditSink) Option {
 		if sink == nil {
 			return errors.New("gsi: nil audit sink")
 		}
+		if s.authzAuditOff {
+			return errors.New("gsi: WithAuditSink conflicts with WithoutDecisionAudit")
+		}
 		s.authzAudit = sink
+		s.authzRev++
+		return nil
+	}
+}
+
+// WithoutDecisionAudit keeps per-decision audit recording off even
+// when WithDurableState would otherwise wire the durable audit chain
+// as the pipeline's sink. For load-bearing deployments that journal
+// exchanges elsewhere: with no sink the cached decision path stays
+// allocation-free. The durable chain itself remains available through
+// DurableState().Audit() for events recorded by other subsystems.
+func WithoutDecisionAudit() Option {
+	return func(s *settings) error {
+		if s.authzAudit != nil {
+			return errors.New("gsi: WithoutDecisionAudit conflicts with WithAuditSink")
+		}
+		s.authzAuditOff = true
 		s.authzRev++
 		return nil
 	}

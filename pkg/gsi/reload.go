@@ -116,8 +116,7 @@ func newReloader(cfg ReloadConfig, env *Environment, pipeline *AuthorizationPipe
 			if err != nil {
 				return err
 			}
-			gm.Replace(parsed)
-			return nil
+			return gm.Replace(parsed)
 		})
 	}
 	if cfg.Policy != "" {

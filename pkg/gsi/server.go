@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/ogsa"
 )
 
@@ -44,6 +45,7 @@ type serverControl struct {
 	refs     int
 	reloader *Reloader
 	httpSrv  *http.Server
+	casSync  *casSyncer
 }
 
 // NewServer builds a Server handle. A credential is mandatory: GSI
@@ -68,6 +70,16 @@ func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, erro
 		// policy than the operator wrote down.
 		return nil, opErr("gsi.NewServer", errors.New("gsi: pipeline options cannot modify a prebuilt authorization pipeline; build the variant with Environment.NewAuthorizationPipeline and pass it via WithAuthorizationPipeline"))
 	}
+	if err := base.materializeDurable(); err != nil {
+		return nil, opErr("gsi.NewServer", err)
+	}
+	if base.durable != nil && base.casPublish != nil {
+		// A community server with durable state journals its membership
+		// and VO policy through the same log as the local trust plane.
+		if err := base.durable.AttachCAS(base.casPublish); err != nil {
+			return nil, opErr("gsi.NewServer", err)
+		}
+	}
 	if base.authzEnabled && base.authzPipeline == nil {
 		base.authzPipeline = newPipeline(e, base)
 	}
@@ -79,6 +91,14 @@ func (e *Environment) NewServer(cred *Credential, opts ...Option) (*Server, erro
 
 // Environment returns the server's environment.
 func (s *Server) Environment() *Environment { return s.env }
+
+// AuthorizationPipeline returns the server's policy decision point —
+// the pipeline NewServer assembled from enforcement options, or the
+// prebuilt one adopted via WithAuthorizationPipeline. Nil when the
+// server enforces nothing. The pipeline is live: mutating its policy,
+// gridmap, or VO trust set takes effect on the serving hot path
+// through the generation counters.
+func (s *Server) AuthorizationPipeline() *AuthorizationPipeline { return s.base.authzPipeline }
 
 // Identity returns the server's grid identity.
 func (s *Server) Identity() Name { return s.cred.Leaf().Subject }
@@ -95,6 +115,12 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 	resolved, err := s.base.apply(opts)
 	if err != nil {
 		return nil, opErr(op, err)
+	}
+	if resolved.durableDir != s.base.durableDir {
+		// Durable state is a handle-lifetime object (one WAL, one set of
+		// bound stores); a per-call directory would open a second journal
+		// behind the handle's back.
+		return nil, opErr(op, errors.New("gsi: WithDurableState is a handle option; pass it to NewServer, not Serve"))
 	}
 	pipeline := resolved.authzPipeline
 	switch {
@@ -130,11 +156,20 @@ func (s *Server) Serve(ctx context.Context, addr string, h Handler, opts ...Opti
 		Tracer:        resolved.tracer,
 	}
 	wantCtrl := resolved.metrics != nil || resolved.reloadCfg != nil ||
-		resolved.metricsAddr != "" || resolved.adminEnable
+		resolved.metricsAddr != "" || resolved.adminEnable ||
+		resolved.casUpstream != nil || resolved.casPublish != nil
 	if wantCtrl {
 		if resolved.adminEnable {
 			if _, ok := resolved.transport.(gt3Transport); !ok {
 				return nil, opErr(op, errors.New("gsi: the admin surface requires the GT3 transport (a hosting container to publish gsi.__admin on)"))
+			}
+		}
+		if resolved.casPublish != nil {
+			if _, ok := resolved.transport.(gt3Transport); !ok {
+				return nil, opErr(op, errors.New("gsi: publishing a CAS bundle feed requires the GT3 transport (a hosting container to publish gsi.__cas.sync on)"))
+			}
+			if pipeline == nil {
+				return nil, opErr(op, errors.New("gsi: publishing a CAS bundle feed requires an authorization pipeline (which resource servers may read the VO's roll is policy)"))
 			}
 		}
 		if err := s.acquireControl(resolved, pipeline); err != nil {
@@ -166,6 +201,42 @@ func (s *Server) sources() *serverMetricSources {
 		s.src = &serverMetricSources{}
 	}
 	return s.src
+}
+
+// DurableState returns the WAL-backed trust plane opened by
+// WithDurableState, or nil. Mutate policy and gridmap through its
+// objects — every mutation journals before it applies, so a restarted
+// server resumes with identical state and generation counters.
+func (s *Server) DurableState() *DurableState {
+	if s.base.durable != nil {
+		return s.base.durable
+	}
+	if s.base.authzPipeline != nil {
+		return s.base.authzPipeline.DurableState()
+	}
+	return nil
+}
+
+// CASSyncStatus snapshots the CAS replication state: the replica's
+// applied bundle version and generation plus the syncer's pull history.
+// Configured is false while no control-plane endpoint with
+// WithCASUpstream is serving.
+func (s *Server) CASSyncStatus() CASSyncStatus {
+	if cs := s.currentCASSyncer(); cs != nil {
+		return cs.status()
+	}
+	return CASSyncStatus{}
+}
+
+// currentCASSyncer returns the live bundle syncer, nil when no control
+// plane with WithCASUpstream is running.
+func (s *Server) currentCASSyncer() *casSyncer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctrl == nil {
+		return nil
+	}
+	return s.ctrl.casSync
 }
 
 // Reloader returns the live reload watcher started by WithReload, or
@@ -201,7 +272,7 @@ func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeli
 		s.src = &serverMetricSources{}
 	}
 	if resolved.metrics != nil && !s.metricsDone[resolved.metrics] {
-		if err := registerServerMetrics(resolved.metrics, metricID(s.cred), pipeline, s.src); err != nil {
+		if err := registerServerMetrics(resolved.metrics, metricID(s.cred), pipeline, s.src, resolved.tracer); err != nil {
 			return err
 		}
 		if s.metricsDone == nil {
@@ -217,6 +288,15 @@ func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeli
 				return err
 			}
 			ctrl.reloader = r
+		}
+		if resolved.casUpstream != nil && pipeline != nil {
+			if rep := pipeline.Replica(); rep != nil {
+				cs, err := newCASSyncer(s.env, s.cred, rep, *resolved.casUpstream)
+				if err != nil {
+					return err
+				}
+				ctrl.casSync = cs
+			}
 		}
 		if resolved.metricsAddr != "" {
 			if resolved.metrics == nil {
@@ -247,6 +327,10 @@ func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeli
 			s.src.setReloader(ctrl.reloader)
 			ctrl.reloader.start()
 		}
+		if ctrl.casSync != nil {
+			s.src.setCASSyncer(ctrl.casSync)
+			ctrl.casSync.start()
+		}
 		s.ctrl = ctrl
 	}
 	s.ctrl.refs++
@@ -274,6 +358,9 @@ func (s *Server) releaseControl() {
 	}
 	if ctrl.httpSrv != nil {
 		ctrl.httpSrv.Close()
+	}
+	if ctrl.casSync != nil {
+		ctrl.casSync.close()
 	}
 }
 
@@ -308,6 +395,12 @@ func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) containerHook(resolved settings, pipeline *AuthorizationPipeline) func(*ogsa.Container) error {
 	return func(c *ogsa.Container) error {
 		s.sources().addConvMgr(c.ConversationManager())
+		if resolved.casPublish != nil {
+			// The sync service enforces its own channel rules; route-step
+			// authorization (resource "ogsa:gsi.__cas.sync") is the
+			// container's, which Serve guaranteed has a pipeline.
+			c.Publish(cas.SyncHandle, cas.NewSyncService(resolved.casPublish, resolved.authzAudit))
+		}
 		if !resolved.adminEnable {
 			return nil
 		}

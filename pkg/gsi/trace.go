@@ -68,6 +68,10 @@ type TraceExporterConfig struct {
 	MaxQueue int
 	// MaxRetries bounds redelivery attempts per batch (0 = 3).
 	MaxRetries int
+	// MaxBacklog bounds retained undeliverable batches across pushes
+	// during a collector outage; the oldest rotates out first and its
+	// spans count toward trace_export_dropped_total (0 = 16).
+	MaxBacklog int
 	// Client is the HTTP client used for delivery (nil = 10s timeout).
 	Client *http.Client
 }
@@ -129,6 +133,7 @@ func (s *settings) buildTracer() error {
 			Interval:   s.traceExport.Interval,
 			MaxQueue:   s.traceExport.MaxQueue,
 			MaxRetries: s.traceExport.MaxRetries,
+			MaxBacklog: s.traceExport.MaxBacklog,
 			Client:     s.traceExport.Client,
 		}
 		if reg := s.metrics; reg != nil {
