@@ -209,6 +209,51 @@ func TestCASJournalErrorRefusesMutation(t *testing.T) {
 	}
 }
 
+func TestCASInvalidRuleNeverJournaled(t *testing.T) {
+	// A rule the VO policy refuses must be rejected BEFORE the journal
+	// sees it: a journaled-but-unapplied record would fail replay on
+	// every restart, permanently refusing to open the durable state.
+	bed := newVOBed(t)
+	var journal [][]byte
+	bed.server.SetJournal(func(p []byte) error {
+		journal = append(journal, append([]byte(nil), p...))
+		return nil
+	})
+	verBefore := bed.server.Version()
+	err := bed.server.AddPolicyChecked(authz.Rule{ID: "bad", Effect: authz.Effect(99)})
+	if err == nil {
+		t.Fatal("invalid effect accepted")
+	}
+	if len(journal) != 0 {
+		t.Fatalf("refused rule reached the journal (%d records)", len(journal))
+	}
+	if bed.server.Version() != verBefore {
+		t.Fatal("refused rule advanced the version")
+	}
+	// A batch with one bad rule is refused whole, like Policy.AddChecked.
+	err = bed.server.AddPolicyChecked(
+		authz.Rule{ID: "good", Effect: authz.EffectPermit},
+		authz.Rule{ID: "bad", Effect: authz.Effect(99)},
+	)
+	if err == nil || len(journal) != 0 {
+		t.Fatalf("mixed batch: err=%v journaled=%d", err, len(journal))
+	}
+	// Valid rules still journal and replay.
+	if err := bed.server.AddPolicyChecked(authz.Rule{
+		ID: "vo-ok", Effect: authz.EffectPermit,
+		Groups: []string{"researchers"}, Resources: []string{"data:/climate/*"}, Actions: []string{"read"},
+	}); err != nil {
+		t.Fatalf("valid rule refused: %v", err)
+	}
+	if len(journal) != 1 {
+		t.Fatalf("journaled %d records, want 1", len(journal))
+	}
+	restored := NewServer(bed.server.cred)
+	if err := restored.ApplyReplayed(journal[0]); err != nil {
+		t.Fatalf("replaying the valid rule: %v", err)
+	}
+}
+
 func TestCASStateSnapshotRoundTrip(t *testing.T) {
 	bed := newVOBed(t)
 	bed.server.AssignRole(bed.alice.Identity(), "operator")

@@ -126,6 +126,15 @@ func (s *Server) AssignRoleChecked(dn gridcert.Name, roles ...string) error {
 // the bundle version advances here, under the same lock that ordered
 // the journal record.
 func (s *Server) AddPolicyChecked(rules ...authz.Rule) error {
+	// Validate before journaling (the same check Policy.AddChecked
+	// applies): a rule the policy would refuse must never reach the
+	// journal — replay refuses it on every restart, so one rejected
+	// live call would brick the durable state.
+	for _, r := range rules {
+		if !r.Effect.Valid() {
+			return fmt.Errorf("cas: rule %q has invalid effect %d (want EffectPermit or EffectDeny)", r.ID, r.Effect)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.journalLocked(casMutPolicyAdd, func(e *wire.Encoder) {

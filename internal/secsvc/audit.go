@@ -51,12 +51,15 @@ func NewAuditLog() *AuditLog {
 
 var _ ogsa.AuditSink = (*AuditLog)(nil)
 
-// SetJournal installs a persistence hook called with every event after
-// it is chained, still under the log's lock, so journal order equals
-// chain order. Record cannot return an error (the AuditSink contract),
-// so a journal failure keeps the event in the in-memory chain and is
+// SetJournal installs a persistence hook called with every event BEFORE
+// it enters the in-memory chain, under the log's lock, so journal order
+// equals chain order. Record cannot return an error (the AuditSink
+// contract), so a journal failure drops the event from the chain too —
+// keeping it would hash every later event through a record the journal
+// never saw, and the seq/hash gap would refuse the next restore,
+// bricking the durable state over one transient disk error. The drop is
 // surfaced through JournalError / DroppedJournal instead of being
-// swallowed.
+// swallowed; chain and journal always describe the same events.
 func (l *AuditLog) SetJournal(fn func(AuditEvent) error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -71,8 +74,8 @@ func (l *AuditLog) JournalError() error {
 	return l.journalErr
 }
 
-// DroppedJournal counts events that were chained in memory but failed
-// to journal.
+// DroppedJournal counts events dropped entirely — from journal and
+// chain alike — because their journal write failed.
 func (l *AuditLog) DroppedJournal() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -98,14 +101,19 @@ func (l *AuditLog) RecordTrace(event, subject, detail, trace string) {
 		Trace:   trace,
 	}
 	e.Hash = hashEvent(l.last, e)
-	l.events = append(l.events, e)
-	l.last = e.Hash
+	// Journal-then-apply, like every other durable store: the event
+	// enters the chain only once it is on stable storage, so the
+	// on-disk log is always restorable. A dropped event's seq is reused
+	// by the next one — the journaled chain stays gapless.
 	if l.journal != nil {
 		if err := l.journal(e); err != nil {
 			l.journalErr = err
 			l.dropped++
+			return
 		}
 	}
+	l.events = append(l.events, e)
+	l.last = e.Hash
 }
 
 func hashEvent(prev [32]byte, e AuditEvent) [32]byte {

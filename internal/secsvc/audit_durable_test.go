@@ -93,19 +93,45 @@ func TestAuditTraceIsHashed(t *testing.T) {
 
 func TestAuditJournalErrorSurfaced(t *testing.T) {
 	boom := errors.New("disk full")
+	var journaled []AuditEvent
+	failing := true
 	l := NewAuditLog()
-	l.SetJournal(func(AuditEvent) error { return boom })
+	l.SetJournal(func(e AuditEvent) error {
+		if failing {
+			return boom
+		}
+		journaled = append(journaled, e)
+		return nil
+	})
 	l.Record("a", "s", "d")
 	l.Record("b", "s", "d")
-	// Events stay in the in-memory chain; the failure is not silent.
-	if l.Len() != 2 || l.VerifyChain() != -1 {
-		t.Fatal("journal failure corrupted the in-memory chain")
+	// A journal failure drops the event from the in-memory chain too —
+	// chain and journal must describe the same events, or the next
+	// restore fails on the gap — and the drop is not silent.
+	if l.Len() != 0 || l.VerifyChain() != -1 {
+		t.Fatalf("Len = %d after journal failures, want 0 (chain must equal journal)", l.Len())
 	}
 	if !errors.Is(l.JournalError(), boom) {
 		t.Fatalf("JournalError = %v, want %v", l.JournalError(), boom)
 	}
 	if l.DroppedJournal() != 2 {
 		t.Fatalf("DroppedJournal = %d, want 2", l.DroppedJournal())
+	}
+
+	// Once the journal heals, the chain resumes seamlessly: the next
+	// event reuses the dropped seq, and a fresh log restored from the
+	// journaled events verifies end to end.
+	failing = false
+	l.Record("after-heal", "s", "d")
+	if l.Len() != 1 || l.VerifyChain() != -1 {
+		t.Fatalf("Len = %d after heal, want 1 with intact chain", l.Len())
+	}
+	if len(journaled) != 1 || journaled[0].Seq != 0 {
+		t.Fatalf("journaled %d events, want the healed event at seq 0", len(journaled))
+	}
+	l2 := NewAuditLog()
+	if err := l2.Restore(journaled); err != nil {
+		t.Fatalf("restore of journaled events after a dropped write: %v", err)
 	}
 }
 

@@ -64,6 +64,13 @@ const (
 // not serve from a log it cannot fully trust.
 var ErrCorrupt = errors.New("wal: log corrupt")
 
+// ErrSnapshotStale reports a WriteSnapshotAt whose covered sequence no
+// longer matches the log: records were appended between the caller's
+// state capture and the snapshot write. Persisting the stale payload
+// would truncate acknowledged records it does not contain, so the write
+// is refused; re-capture the state and retry.
+var ErrSnapshotStale = errors.New("wal: snapshot stale")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SyncPolicy selects when appends reach stable storage.
@@ -175,12 +182,26 @@ func (w *WAL) loadSnapshot() error {
 
 // scanSegments validates every segment, repairs a torn tail on the last
 // one, and leaves w.segments / w.nextSeq describing the live log.
+//
+// Beyond per-segment frame checks, it enforces continuity ACROSS
+// segments and against the snapshot: every sequence number must be
+// accounted for either by a live segment or by the snapshot. A gap the
+// snapshot does not cover — a deleted middle segment, or a first
+// segment starting past snapSeq+1 — would replay a silently truncated
+// history, so it is ErrCorrupt.
 func (w *WAL) scanSegments() error {
 	names, err := w.segmentNames()
 	if err != nil {
 		return err
 	}
+	var prevEnd uint64
 	for i, first := range names {
+		if i > 0 && first <= prevEnd {
+			return fmt.Errorf("%w: segment %020x overlaps its predecessor (ends at record %d)", ErrCorrupt, first, prevEnd)
+		}
+		if first != prevEnd+1 && (!w.hasSnap || first > w.snapSeq+1) {
+			return fmt.Errorf("%w: records %d-%d are on no live segment and no snapshot covers them", ErrCorrupt, prevEnd+1, first-1)
+		}
 		last := i == len(names)-1
 		endSeq, err := w.scanSegment(first, last)
 		if err != nil {
@@ -190,6 +211,7 @@ func (w *WAL) scanSegments() error {
 		if endSeq >= w.nextSeq {
 			w.nextSeq = endSeq + 1
 		}
+		prevEnd = endSeq
 	}
 	return nil
 }
@@ -432,9 +454,32 @@ func (w *WAL) Replay(fn func(Record) error) error {
 // log's disk footprint. The snapshot lands via rename, so a crash
 // mid-write leaves the previous snapshot (and the segments it needs)
 // intact.
+//
+// WriteSnapshot trusts the caller that payload reflects every record
+// through LastSeq. When appends can race the caller's state capture,
+// use WriteSnapshotAt, which refuses a payload the log has outrun.
 func (w *WAL) WriteSnapshot(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.writeSnapshotLocked(payload)
+}
+
+// WriteSnapshotAt is WriteSnapshot for state captured at a known
+// sequence: the caller reads LastSeq, encodes its state, and passes
+// that sequence as covered. If any record landed in between — the
+// payload cannot account for it, and truncating its segment would lose
+// an acknowledged durable mutation — the write is refused with
+// ErrSnapshotStale and the caller re-captures and retries.
+func (w *WAL) WriteSnapshotAt(payload []byte, covered uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if covered != w.nextSeq-1 {
+		return fmt.Errorf("%w: state captured at seq %d, log now at %d", ErrSnapshotStale, covered, w.nextSeq-1)
+	}
+	return w.writeSnapshotLocked(payload)
+}
+
+func (w *WAL) writeSnapshotLocked(payload []byte) error {
 	if w.closed {
 		return errors.New("wal: snapshot on closed log")
 	}
@@ -489,14 +534,17 @@ func (w *WAL) WriteSnapshot(payload []byte) error {
 
 	// Drop segments whose every record the snapshot now covers: all but
 	// the active (last) one, since rotation pinned its first seq at
-	// covered+1.
-	kept := w.segments[len(w.segments)-1:]
-	for _, first := range w.segments[:len(w.segments)-1] {
-		if err := os.Remove(w.segPath(first)); err != nil {
-			return err
-		}
+	// covered+1. The segment list is updated first and removal is
+	// best-effort cleanup — an undeletable covered segment must not
+	// leave w.segments referencing files already gone from disk, and a
+	// leftover file is harmless: the next Open rescans it (the covered
+	// gap rule in scanSegments tolerates it) and replay skips its
+	// records.
+	drop := w.segments[:len(w.segments)-1]
+	w.segments = append([]uint64(nil), w.segments[len(w.segments)-1:]...)
+	for _, first := range drop {
+		os.Remove(w.segPath(first))
 	}
-	w.segments = append([]uint64(nil), kept...)
 	syncDir(w.dir)
 	return nil
 }

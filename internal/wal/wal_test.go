@@ -180,6 +180,157 @@ func TestBitFlipMidSegmentIsCorrupt(t *testing.T) {
 	}
 }
 
+func TestMissingMiddleSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := w.Append(1, bytes.Repeat([]byte("m"), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	// Delete a MIDDLE segment: every remaining segment is internally
+	// valid, but replaying around the hole would fabricate a spliced
+	// history. No snapshot covers the gap, so the open must refuse.
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing middle segment: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFirstSegmentPastSnapshotIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := w.Append(1, bytes.Repeat([]byte("g"), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteSnapshot([]byte("state-through-6")); err != nil {
+		t.Fatal(err)
+	}
+	// Records 7-8 live only in the post-snapshot segment.
+	for i := 0; i < 2; i++ {
+		if _, err := w.Append(1, []byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	// Replace the post-snapshot segment with one starting two records
+	// later: the gap 7-8 is past the snapshot's coverage, so opening
+	// must not silently resume from record 9.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 live segment, got %d", len(segs))
+	}
+	if err := os.Remove(segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%020x%s", 9, segSuffix)), nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("first segment past snapshot coverage: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLeftoverCoveredSegmentTolerated(t *testing.T) {
+	// A crash (or EPERM) between snapshot rename and covered-segment
+	// removal leaves fully covered segments on disk. They are garbage,
+	// not corruption: the open must succeed and replay must skip them.
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := w.Append(1, bytes.Repeat([]byte("c"), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Preserve the covered segments past the snapshot's cleanup.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	saved := map[string][]byte{}
+	for _, s := range segs {
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[s] = b
+	}
+	if err := w.WriteSnapshot([]byte("state-through-12")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(2, []byte("after-snap")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	for s, b := range saved {
+		if _, err := os.Stat(s); err == nil {
+			continue
+		}
+		if err := os.WriteFile(s, b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128})
+	if err != nil {
+		t.Fatalf("leftover covered segments must be tolerated: %v", err)
+	}
+	defer w2.Close()
+	got := replayAll(t, w2)
+	if len(got) != 1 || got[0].Seq != 13 || string(got[0].Payload) != "after-snap" {
+		t.Fatalf("replay over leftover covered segments = %+v", got)
+	}
+}
+
+func TestWriteSnapshotAtRefusesStaleState(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(1, []byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	captured := w.LastSeq()
+	// A mutation lands between the caller's state capture and the
+	// snapshot write: persisting the stale payload would truncate an
+	// acknowledged record it does not contain.
+	if _, err := w.Append(1, []byte("raced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshotAt([]byte("stale"), captured); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("stale snapshot: got %v, want ErrSnapshotStale", err)
+	}
+	if _, _, ok := w.Snapshot(); ok {
+		t.Fatal("refused snapshot must not land")
+	}
+	// Re-captured, it succeeds and the raced record stays replayable
+	// state (folded into the fresh payload's coverage).
+	if err := w.WriteSnapshotAt([]byte("fresh"), w.LastSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if payload, seq, ok := w.Snapshot(); !ok || seq != 6 || string(payload) != "fresh" {
+		t.Fatalf("snapshot = %q seq=%d ok=%v", payload, seq, ok)
+	}
+}
+
 func TestSnapshotTruncatesSegments(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(dir, Options{Sync: SyncNever, SegmentSize: 128})

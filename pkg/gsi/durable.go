@@ -41,7 +41,7 @@ const durableSnapshotVersion = 1
 // plus the live objects bound to it. Obtain one with OpenDurableState
 // (or implicitly via the WithDurableState server option), mutate the
 // Policy/GridMap/Audit as usual — every mutation is journaled before it
-// applies — and Compact at quiescent points to bound replay time.
+// applies — and Compact periodically to bound replay time.
 type DurableState struct {
 	mu  sync.Mutex
 	w   *wal.WAL
@@ -210,14 +210,38 @@ func (d *DurableState) AttachCAS(server *CASServer) error {
 
 // Compact folds the journal into one snapshot — current policy,
 // gridmap, audit chain, and CAS state — and truncates the segments it
-// covers, bounding replay time after the next restart. Call it at
-// quiescent points (startup, shutdown, an admin window): a mutation
-// racing the snapshot encode could journal into a segment the
-// compaction then removes.
+// covers, bounding replay time after the next restart. Mutations racing
+// the compaction are detected, never lost: the journal position is
+// captured before the state is encoded, and the WAL refuses the
+// snapshot if any record landed past it (the encoded payload could not
+// account for it), in which case Compact re-captures and retries. Under
+// sustained mutation churn it gives up after a few attempts and reports
+// the stale-snapshot error; the journal is untouched either way.
 func (d *DurableState) Compact() error {
 	const op = "gsi.DurableState.Compact"
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		covered := d.w.LastSeq()
+		err = d.w.WriteSnapshotAt(d.encodeSnapshotLocked(), covered)
+		if !errors.Is(err, wal.ErrSnapshotStale) {
+			break
+		}
+	}
+	if err != nil {
+		return opErr(op, err)
+	}
+	return nil
+}
+
+// encodeSnapshotLocked captures the combined snapshot payload; the
+// caller holds d.mu. Each object's EncodeState takes that object's own
+// lock, and every store journals-then-applies under that same lock — so
+// the captured state contains a mutation if and only if its record's
+// seq is at most the LastSeq read before encoding began, which is
+// exactly the invariant WriteSnapshotAt enforces.
+func (d *DurableState) encodeSnapshotLocked() []byte {
 	e := wire.NewEncoder()
 	e.U8(durableSnapshotVersion)
 	e.Bytes(d.policy.EncodeState())
@@ -238,10 +262,7 @@ func (d *DurableState) Compact() error {
 	for _, p := range backlog {
 		e.Bytes(p)
 	}
-	if err := d.w.WriteSnapshot(e.Finish()); err != nil {
-		return opErr(op, err)
-	}
-	return nil
+	return e.Finish()
 }
 
 // maxSnapshotAuditEvents bounds decoded snapshot audit trails (a

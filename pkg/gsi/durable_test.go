@@ -11,6 +11,7 @@ package gsi_test
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/pkg/gsi"
 )
 
@@ -142,6 +144,77 @@ func TestDurableCrashRecovery(t *testing.T) {
 	}
 	if ds2.Policy().Generation() <= pGen {
 		t.Fatal("post-recovery mutation did not advance the generation")
+	}
+}
+
+// TestCompactNeverLosesRacingMutations is the regression for the
+// compaction lost-update race: mutations journal under each object's
+// own lock, not the DurableState's, so a record can land between the
+// snapshot encode and its write. The WAL must refuse such a stale
+// snapshot (Compact re-captures and retries) — an acknowledged,
+// journaled mutation must survive compaction-under-churn and a reopen,
+// every time.
+func TestCompactNeverLosesRacingMutations(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := gsi.OpenDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := ds.Policy().AddChecked(gsi.Rule{
+				ID:        fmt.Sprintf("churn-%03d", i),
+				Effect:    gsi.EffectPermit,
+				Subjects:  []string{fmt.Sprintf("/O=Churn/CN=u%03d", i)},
+				Resources: []string{"data:/churn/*"},
+				Actions:   []string{"read"},
+			}); err != nil {
+				t.Errorf("AddChecked(%d): %v", i, err)
+				return
+			}
+			ds.Audit().Record("churn", fmt.Sprintf("/O=Churn/CN=u%03d", i), "")
+		}
+	}()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			// Under churn Compact may exhaust its retries and report the
+			// stale snapshot; that is the correct refusal, not a failure.
+			if err := ds.Compact(); err != nil && !errors.Is(err, wal.ErrSnapshotStale) {
+				t.Fatalf("Compact under churn: %v", err)
+			}
+		}
+	}
+	// Quiescent now: the final compaction must succeed.
+	if err := ds.Compact(); err != nil {
+		t.Fatalf("quiescent Compact: %v", err)
+	}
+	pGen, aLen := ds.Policy().Generation(), ds.Audit().Len()
+	if pGen != n {
+		t.Fatalf("policy generation %d, want %d", pGen, n)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2, err := gsi.OpenDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if g := ds2.Policy().Generation(); g != pGen {
+		t.Fatalf("reopened policy generation %d, want %d", g, pGen)
+	}
+	if l := ds2.Audit().Len(); l != aLen {
+		t.Fatalf("reopened audit length %d, want %d", l, aLen)
+	}
+	if bad := ds2.Audit().VerifyChain(); bad != -1 {
+		t.Fatalf("audit chain broken at %d after compaction under churn", bad)
 	}
 }
 
