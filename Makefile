@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry bench-trace bench-scale gate-allocs fmt
+.PHONY: ci fmt-check vet build test test-multicore race fuzz-smoke bench bench-pool bench-credman bench-authz bench-record bench-stripe bench-telemetry bench-trace bench-scale bench-ctrlplane gate-allocs fmt
 
 ## ci: the tier-1 gate — format check, vet, build, test (plus the
 ## GOMAXPROCS matrix over the striped data plane: the same tests must
 ## pass single-core and multicore), race (which includes the
 ## hot-reload-under-traffic test), fuzz smoke, the
 ## authorization-decision benchmark pair (which also asserts cached
-## decisions stay cached), and the allocs/op regression gates for the
-## record layer and the observability plane.
-ci: fmt-check vet build test test-multicore race fuzz-smoke bench-authz gate-allocs
+## decisions stay cached), the control-plane fast-path rows (group
+## commit, delta sync, warm promotion), and the allocs/op regression
+## gates for the record layer and the observability plane.
+ci: fmt-check vet build test test-multicore race fuzz-smoke bench-authz bench-ctrlplane gate-allocs
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -53,6 +54,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzStripeReassembly$$' -fuzztime=5s ./internal/record
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime=5s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzPolicyBundleDecode$$' -fuzztime=5s ./internal/cas
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaBundleDecode$$' -fuzztime=5s ./internal/cas
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaApply$$' -fuzztime=5s ./internal/cas
 
 ## bench: regenerate the paper's measurements.
 bench:
@@ -92,6 +95,21 @@ bench-scale:
 	GSI_SCALE_FULL=1 $(GO) test -run '^$$' -bench '^BenchmarkScaleFederatedSessions$$' -benchtime 1x -timeout 900s . \
 		| $(GO) run ./cmd/bench2json > BENCH_scale.json
 	@cat BENCH_scale.json
+
+## bench-ctrlplane: record the PR 10 control-plane fast-path rows into
+## BENCH_ctrlplane.json — the WAL append matrix (SyncAlways vs
+## SyncBatched at 1/8/64 writers: the widening gap is the group-commit
+## claim; the 1-writer rows gate that batching adds no allocations over
+## the SyncAlways frame build), the 100k-member VO sync pair (signed
+## delta vs full bundle, with the bytes metrics for a 100-change
+## catch-up), and the promotion pair (a standby's first decision cold
+## vs pre-warmed from the publisher's hot-key export).
+bench-ctrlplane:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkWALAppendSync(Always|Batched)(1|8|64)$$' -benchmem ./internal/wal ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCASDeltaSync100k$$|^BenchmarkCASFullSync100k$$' -benchmem -timeout 900s . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkPromotion(Cold|Warm)FirstDecision$$' -benchmem . ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'WALAppendSyncAlways1=1,WALAppendSyncBatched1=1' > BENCH_ctrlplane.json
+	@cat BENCH_ctrlplane.json
 
 ## bench-record: record the record-layer data points into
 ## BENCH_record.json — steady-state pooled exchange (allocs/op gate
@@ -149,13 +167,16 @@ bench-trace:
 ## tracing compiled in but disabled, the idle probe at 0, the telemetry
 ## and span-lifecycle hot paths at 0, and a cached authorization
 ## decision over WAL-backed durable state at 0 (durability is paid at
-## mutation time, never on the decision hot path).
+## mutation time, never on the decision hot path), and a group-committed
+## WAL append at 1 — the same single frame-buffer allocation as
+## SyncAlways, so batching never buys throughput with garbage.
 gate-allocs:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkExchangeSteadyState$$|^BenchmarkAuthorizeCachedDurable$$' -benchmem . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkPoolProbe$$|^BenchmarkExchangeInstrumented$$|^BenchmarkExchangeTracingDisabled$$' -benchmem ./pkg/gsi ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkCounterInc$$|^BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkSpanStartEnd$$' -benchmem ./internal/trace ; } \
-	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0,ExchangeTracingDisabled=2,SpanStartEnd=0,AuthorizeCachedDurable=0' > /dev/null
+	  $(GO) test -run '^$$' -bench '^BenchmarkSpanStartEnd$$' -benchmem ./internal/trace ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkWALAppendSync(Always|Batched)1$$' -benchmem ./internal/wal ; } \
+	| $(GO) run ./cmd/bench2json -gate-allocs 'ExchangeSteadyState=2,PoolProbe=0,ExchangeInstrumented=2,CounterInc=0,HistogramObserve=0,ExchangeTracingDisabled=2,SpanStartEnd=0,AuthorizeCachedDurable=0,WALAppendSyncAlways1=1,WALAppendSyncBatched1=1' > /dev/null
 
 ## fmt: rewrite files in place.
 fmt:

@@ -19,6 +19,7 @@
 //	gsictl transfers [-dir DIR] [-cred NAME]
 //	gsictl cas-status [-dir DIR] [-cred NAME]
 //	gsictl cas-sync [-dir DIR] [-cred NAME]
+//	gsictl compact [-dir DIR] [-cred NAME]
 //
 // traces queries the server's flight recorder: slowest-N spans by
 // default, filterable by op name, peer DN substring, errors-only, or a
@@ -27,7 +28,8 @@
 // cas-status reports the CAS policy-bundle replica (applied version,
 // generation, pull history); cas-sync forces an immediate bundle pull
 // from the configured upstreams. Both require a server started with
-// WithCASUpstream.
+// WithCASUpstream. compact folds the durable journal into a snapshot
+// now and reports its shape after; it requires WithDurableState.
 //
 // The serve process runs until SIGINT/SIGTERM, then drains gracefully:
 // the endpoint closes (taking the reload watcher and metrics listener
@@ -77,7 +79,7 @@ func main() {
 	case "serve":
 		runServe(args)
 	case "stats", "metrics", "drain", "reload", "retire", "traces", "transfers",
-		"cas-status", "cas-sync":
+		"cas-status", "cas-sync", "compact":
 		runAdminOp(cmd, args)
 	default:
 		usage()
@@ -85,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire|traces|transfers|cas-status|cas-sync [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: gsictl serve|stats|metrics|drain|reload|retire|traces|transfers|cas-status|cas-sync|compact [flags] [args]")
 	os.Exit(2)
 }
 
@@ -322,6 +324,8 @@ func runAdminOp(cmd string, args []string) {
 		op = ogsa.AdminOpCASStatus
 	case "cas-sync":
 		op = ogsa.AdminOpCASSync
+	case "compact":
+		op = ogsa.AdminOpCompact
 	}
 
 	roots, err := gridcert.DecodeChain(mustRead(filepath.Join(*dir, "roots")))

@@ -1,0 +1,259 @@
+// Benchmarks for the control-plane fast path (PR 10): what keeping a
+// resource server's replicated VO state fresh costs once the initial
+// full bundle is down, and what warm-cache promotion buys a standby's
+// first decisions.
+//
+// BenchmarkCASDeltaSync100k is the steady state — a 100k-member VO
+// whose replica follows by signed delta: each iteration the VO mutates
+// and the replica exports, decodes, verifies, and applies the delta.
+// The bytes metrics record the headline transfer claim: the signed
+// delta for 100 membership changes against the full 100k-member bundle
+// those changes would otherwise re-ship. BenchmarkCASFullSync100k is
+// the same catch-up paid the old way, re-applying the full bundle.
+//
+// The promotion pair measures a standby's first decision for a subject
+// it has never served: cold (full evaluation — replica lookup, VO ∩
+// local policy, gridmap) vs warm (the key was pre-computed from the
+// publisher's hot-key export, so the first request is a cache hit that
+// only has to confirm the requester's verified identity). `make
+// bench-ctrlplane` records all rows into BENCH_ctrlplane.json.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/pkg/gsi"
+)
+
+// newBenchVO stands up a CAS server with the given membership and one
+// group-scoped policy rule.
+func newBenchVO(b *testing.B, members int) (*gsi.CA, *gsi.CASServer) {
+	b.Helper()
+	ca, err := gsi.NewCA("/O=Grid/CN=Bench CA", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	voCred, err := ca.NewEntity(gsi.MustParseName("/O=Grid/CN=BenchVO CAS"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo := gsi.NewCASServer(voCred)
+	for i := 0; i < members; i++ {
+		vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=member %06d", i)), "researchers")
+	}
+	vo.AddPolicy(gsi.Rule{
+		ID:        "vo-read",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	return ca, vo
+}
+
+const benchVOMembers = 100_000
+
+// BenchmarkCASDeltaSync100k: steady-state delta following against a
+// 100k-member VO. Each iteration is one sync round: two mutations on
+// the publisher (a member joins and leaves, so membership stays put),
+// then export → encode → decode → verify → apply on the replica. The
+// reported bytes metrics compare a 100-change delta with the full
+// bundle.
+func BenchmarkCASDeltaSync100k(b *testing.B) {
+	_, vo := newBenchVO(b, benchVOMembers)
+	rep := cas.NewReplica(vo.Certificate())
+	base, err := vo.ExportBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rep.Apply(base); err != nil {
+		b.Fatal(err)
+	}
+	baseVersion := vo.Version()
+	for i := 0; i < 100; i++ {
+		vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=joiner %03d", i)), "researchers")
+	}
+	delta, err := vo.ExportDelta(baseVersion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := vo.ExportBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltaBytes, fullBytes := len(delta.Encode()), len(full.Encode())
+	d2, err := cas.DecodeDelta(delta.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rep.ApplyDelta(d2); err != nil {
+		b.Fatal(err)
+	}
+
+	joiner := gsi.MustParseName("/O=Grid/CN=churning member")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vo.AddMember(joiner, "researchers")
+		vo.RemoveMember(joiner)
+		d, err := vo.ExportDelta(rep.Version())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dd, err := cas.DecodeDelta(d.Encode())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.ApplyDelta(dd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(deltaBytes), "delta-bytes")
+	b.ReportMetric(float64(fullBytes), "full-bytes")
+	b.ReportMetric(float64(fullBytes)/float64(deltaBytes), "full/delta-ratio")
+}
+
+// BenchmarkCASFullSync100k: the same 100-change catch-up paid by
+// re-shipping the full 100k-member bundle. Each iteration decodes and
+// applies the full bundle to a replica sitting 100 versions behind
+// (rebuilt untimed).
+func BenchmarkCASFullSync100k(b *testing.B) {
+	_, vo := newBenchVO(b, benchVOMembers)
+	base, err := vo.ExportBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=joiner %03d", i)), "researchers")
+	}
+	full, err := vo.ExportBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := full.Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rep := cas.NewReplica(vo.Certificate())
+		if err := rep.Apply(base); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		decoded, err := cas.DecodeBundle(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Apply(decoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(enc)), "full-bytes")
+}
+
+// newPromotionWorld builds a standby resource server's pipeline: a
+// replica holding the VO bundle, wildcard local policy, a gridmap, and
+// a decision cache — plus the member peer whose first decisions the
+// promotion pair measures.
+func newPromotionWorld(b *testing.B) (*gsi.AuthorizationPipeline, gsi.Peer) {
+	b.Helper()
+	ca, vo := newBenchVO(b, 1000)
+	env, err := gsi.NewEnvironment(gsi.WithRoots(ca.Certificate()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alice, err := ca.NewEntity(gsi.MustParseName("/O=Grid/CN=Alice"), 12*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo.AddMember(alice.Identity(), "researchers")
+	local := gsi.NewPolicy(gsi.Rule{
+		ID:        "local-read",
+		Effect:    gsi.EffectPermit,
+		Subjects:  []string{"*"},
+		Resources: []string{"data:/*"},
+		Actions:   []string{"read"},
+	})
+	gridmap := gsi.NewGridMap()
+	gridmap.Add(alice.Identity(), "alice")
+	pl, err := env.NewAuthorizationPipeline(
+		gsi.WithLocalPolicy(local),
+		gsi.WithGridMap(gridmap),
+		gsi.WithDecisionCache(time.Hour),
+		gsi.WithCASUpstream(gsi.CASUpstreamConfig{
+			Endpoints: []string{"unused:0"}, // no syncer on a bare pipeline; the bundle is applied below
+			Cert:      vo.Certificate(),
+		}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := vo.ExportBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.Replica().Apply(bundle); err != nil {
+		b.Fatal(err)
+	}
+	info, err := env.Trust().Verify(alice.Chain, gsi.VerifyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl, gsi.Peer{Identity: info.Identity, Subject: info.Subject, Chain: alice.Chain, Info: info}
+}
+
+// BenchmarkPromotionColdFirstDecision: every iteration is a first
+// decision — a distinct resource keys a cache miss, so the standby pays
+// the full evaluation (replica lookup, VO ∩ local policy, gridmap).
+func BenchmarkPromotionColdFirstDecision(b *testing.B) {
+	pl, peer := newPromotionWorld(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := pl.Authorize(ctx, peer, fmt.Sprintf("data:/climate/run%d", i), "read")
+		if err != nil || d.Decision != gsi.Permit {
+			b.Fatalf("%+v %v", d, err)
+		}
+		if d.Cached {
+			b.Fatal("cold decision served from cache")
+		}
+	}
+}
+
+// BenchmarkPromotionWarmFirstDecision: the same first decision after
+// warm-cache promotion — the publisher exported the key, the standby
+// pre-computed the decision through its own pipeline, and the first
+// request is a hit that confirms the requester's verified identity
+// against the warmed entry.
+func BenchmarkPromotionWarmFirstDecision(b *testing.B) {
+	pl, peer := newPromotionWorld(b)
+	ctx := context.Background()
+	fp := peer.Chain[0].Fingerprint()
+	notAfter := time.Now().Add(time.Hour).Unix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fmt.Sprintf("data:/climate/run%d", i)
+		b.StopTimer()
+		if n := pl.WarmDecisions([]cas.HotKey{{
+			Subject: peer.Identity.String(), FP: fp, Resource: res, Action: "read", NotAfter: notAfter,
+		}}); n != 1 {
+			b.Fatalf("warmed %d entries, want 1", n)
+		}
+		b.StartTimer()
+		d, err := pl.Authorize(ctx, peer, res, "read")
+		if err != nil || d.Decision != gsi.Permit {
+			b.Fatalf("%+v %v", d, err)
+		}
+		if !d.Cached {
+			b.Fatal("warmed decision missed the cache")
+		}
+	}
+}

@@ -432,4 +432,98 @@ func main() {
 	}
 	fmt.Printf("14. killed mid-churn and restarted: policy/gridmap generations %d/%d identical, %d-event audit chain verifies\n",
 		pGen, gGen, recovered.Audit().Len())
+
+	// 15. The control-plane fast path: once a resource server holds a
+	// VO's full signed bundle, membership churn travels as signed DELTAS
+	// — only the mutations since the replica's version, verified against
+	// the same VO key, with automatic fallback to a full bundle on any
+	// mismatch. WithCacheWarming additionally pulls the publisher's
+	// hottest decision keys and pre-computes those decisions locally, so
+	// a freshly promoted standby serves cache hits from its first
+	// request. `gsictl cas-status` reads the same status shown here over
+	// the secure admin channel (and `gsictl compact` folds step 14's
+	// journal on demand).
+	voCred, err := authority.NewEntity(gsi.MustParseName("/O=Grid/CN=ClimateVO CAS"), 7*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vo := gsi.NewCASServer(voCred)
+	for i := 0; i < 200; i++ {
+		vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=member %03d", i)), "researchers")
+	}
+	vo.AddPolicy(gsi.Rule{
+		ID:        "vo-read",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+	pubCred, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=cas publisher"), 7*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsCred, err := authority.NewHostEntity(gsi.MustParseName("/O=Grid/CN=cas resource"), 7*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	echo := func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
+		return body, nil
+	}
+	publisher, err := env.NewServer(pubCred,
+		gsi.WithTransport(gsi.TransportGT3()),
+		gsi.WithCASPublisher(vo),
+		gsi.WithLocalPolicy(gsi.NewPolicy(gsi.Rule{
+			ID:        "bundle-readers",
+			Effect:    gsi.EffectPermit,
+			Subjects:  []string{rsCred.Identity().String()},
+			Resources: []string{"ogsa:gsi.__cas.sync"},
+			Actions:   []string{"*"},
+		})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pubEP, err := publisher.Serve(ctx, "127.0.0.1:0", echo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pubEP.Close()
+	casResource, err := env.NewServer(rsCred,
+		gsi.WithTransport(gsi.TransportGT3()),
+		gsi.WithCASUpstream(gsi.CASUpstreamConfig{
+			Endpoints: []string{pubEP.Addr()},
+			Cert:      vo.Certificate(),
+			Interval:  20 * time.Millisecond,
+		}),
+		gsi.WithCacheWarming(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsCASEP, err := casResource.Serve(ctx, "127.0.0.1:0", echo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rsCASEP.Close()
+	waitCAS := func(what string, cond func(gsi.CASSyncStatus) bool) gsi.CASSyncStatus {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st := casResource.CASSyncStatus()
+			if cond(st) {
+				return st
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("timed out waiting for %s; status %+v", what, st)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitCAS("initial full bundle", func(st gsi.CASSyncStatus) bool { return st.Version >= 1 })
+	for i := 0; i < 5; i++ { // membership churn: five version steps, one small delta
+		vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=joiner %d", i)), "researchers")
+	}
+	want := vo.Version()
+	casStatus := waitCAS("delta catch-up", func(st gsi.CASSyncStatus) bool {
+		return st.Version >= want && st.DeltaSyncs > 0
+	})
+	fmt.Printf("15. CAS replica at v%d via %d delta sync(s) after 1 full bundle: %d delta bytes vs %d full, %d bytes saved, %d decision(s) pre-warmed\n",
+		casStatus.Version, casStatus.DeltaSyncs, casStatus.DeltaBytes, casStatus.FullBytes, casStatus.BytesSaved, casStatus.WarmedKeys)
 }

@@ -189,8 +189,20 @@ func (r *Replica) Apply(b *Bundle) error {
 	if b.Version < r.version {
 		return fmt.Errorf("%w: have %d, got %d", ErrStaleBundle, r.version, b.Version)
 	}
-	r.members = b.Members
-	r.roles = b.Roles
+	// Deep-copy the bundle's maps: ApplyDelta mutates the replica's maps
+	// in place, and aliasing them to the caller's bundle would corrupt a
+	// signed Bundle the caller still holds (its signature would stop
+	// verifying after the first delta).
+	members := make(map[string][]string, len(b.Members))
+	for dn, groups := range b.Members {
+		members[dn] = append([]string(nil), groups...)
+	}
+	roles := make(map[string][]string, len(b.Roles))
+	for dn, rs := range b.Roles {
+		roles[dn] = append([]string(nil), rs...)
+	}
+	r.members = members
+	r.roles = roles
 	r.policy = next
 	r.version = b.Version
 	r.gen++

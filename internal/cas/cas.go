@@ -144,6 +144,9 @@ type Server struct {
 	// with it, exported in signed bundles. See state.go.
 	version uint64
 	journal func(payload []byte) error
+	// deltaLog is the bounded recent-mutation history backing
+	// ExportDelta; see delta.go.
+	deltaLog []deltaLogEntry
 	// AssertionLifetime bounds issued assertions (default 1h).
 	AssertionLifetime time.Duration
 	now               func() time.Time

@@ -1,0 +1,323 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/gridcert"
+	"repro/internal/wire"
+)
+
+// Delta bundles: a full bundle ships the VO's entire membership roll on
+// every sync, which at 100k members is megabytes per pull for what is
+// usually a handful of changes. A Delta carries only the mutations
+// between two bundle versions — signed and monotonic like the bundle
+// itself, one op per version step, so a replica can verify it covers
+// exactly the gap between its version and the server's. Anything that
+// does not line up (gap, replay, reorder, bad signature, malformed op)
+// is refused and the puller falls back to a full bundle; the replica's
+// last good state stays live throughout.
+
+const deltaMagic = "cas-delta-v1"
+
+// maxDeltaOps bounds one delta's op list; a replica further behind than
+// this pulls a full bundle instead (the server's delta log is bounded
+// anyway).
+const maxDeltaOps = 1 << 16
+
+// ErrDeltaUnavailable reports an ExportDelta whose requested range the
+// server's bounded delta log no longer covers (or never did: a restore
+// from snapshot collapses history). The caller serves a full bundle.
+var ErrDeltaUnavailable = errors.New("cas: delta log does not cover requested version")
+
+// ErrDeltaGap reports an ApplyDelta whose FromVersion is not the
+// replica's current version: applying it would skip or replay
+// mutations. The puller falls back to a full bundle.
+var ErrDeltaGap = errors.New("cas: delta does not start at replica version")
+
+// DeltaOp is one replicated mutation. Exactly one of the payload
+// shapes is populated, selected by Kind: member add (DN + groups),
+// member remove (DN), role assign (DN + roles), policy add (rules).
+type DeltaOp struct {
+	Kind    casMutationKind
+	DN      string
+	Strings []string
+	Rules   []authz.Rule
+}
+
+func (op DeltaOp) clone() DeltaOp {
+	c := DeltaOp{Kind: op.Kind, DN: op.DN}
+	if op.Strings != nil {
+		c.Strings = append([]string(nil), op.Strings...)
+	}
+	if op.Rules != nil {
+		c.Rules = append([]authz.Rule(nil), op.Rules...)
+	}
+	return c
+}
+
+// Delta is a signed export of the mutations taking a VO's policy state
+// from FromVersion to ToVersion: Ops[i] is the mutation that produced
+// version FromVersion+i+1.
+type Delta struct {
+	VO          gridcert.Name
+	FromVersion uint64
+	ToVersion   uint64
+	IssuedAt    time.Time
+	Ops         []DeltaOp
+
+	Signature []byte
+}
+
+func (d *Delta) tbs() []byte {
+	e := wire.NewEncoder()
+	e.Str(deltaMagic)
+	e.Str(d.VO.String())
+	e.U64(d.FromVersion)
+	e.U64(d.ToVersion)
+	e.I64(d.IssuedAt.Unix())
+	e.U32(uint32(len(d.Ops)))
+	for _, op := range d.Ops {
+		e.U8(uint8(op.Kind))
+		e.Str(op.DN)
+		authz.WireEncodeStrings(e, op.Strings)
+		e.U32(uint32(len(op.Rules)))
+		for _, r := range op.Rules {
+			authz.WireEncodeRule(e, r)
+		}
+	}
+	return e.Finish()
+}
+
+// Encode serialises the delta with its signature.
+func (d *Delta) Encode() []byte {
+	return wire.NewEncoder().Bytes(d.tbs()).Bytes(d.Signature).Finish()
+}
+
+// DecodeDelta parses an encoded delta (signature not verified) and
+// checks its structural invariants: versions must not regress, the op
+// count must equal the version span, and every op must be well-formed
+// for its kind.
+func DecodeDelta(data []byte) (*Delta, error) {
+	dec := wire.NewDecoder(data)
+	tbs := dec.Bytes()
+	sig := dec.Bytes()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	td := wire.NewDecoder(tbs)
+	if magic := td.Str(); td.Err() == nil && magic != deltaMagic {
+		return nil, fmt.Errorf("cas: bad delta magic %q", magic)
+	}
+	d := &Delta{}
+	voStr := td.Str()
+	d.FromVersion = td.U64()
+	d.ToVersion = td.U64()
+	d.IssuedAt = time.Unix(td.I64(), 0).UTC()
+	n := td.Count("delta op", maxDeltaOps)
+	for i := 0; i < n && td.Err() == nil; i++ {
+		op := DeltaOp{Kind: casMutationKind(td.U8()), DN: td.Str()}
+		op.Strings = authz.WireDecodeStrings(td)
+		rn := td.Count("delta rule", maxAssertionRules)
+		for j := 0; j < rn && td.Err() == nil; j++ {
+			op.Rules = append(op.Rules, authz.WireDecodeRule(td))
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	if err := td.Done(); err != nil {
+		return nil, err
+	}
+	var err error
+	if d.VO, err = gridcert.ParseName(voStr); err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	d.Signature = sig
+	return d, nil
+}
+
+// validate checks the structural invariants a well-formed delta must
+// satisfy, independent of any replica state. Shared by DecodeDelta and
+// ApplyDelta so a hand-constructed delta gets the same scrutiny as a
+// decoded one.
+func (d *Delta) validate() error {
+	if d.ToVersion < d.FromVersion {
+		return fmt.Errorf("cas: delta versions regress (%d -> %d)", d.FromVersion, d.ToVersion)
+	}
+	span := d.ToVersion - d.FromVersion
+	if span > maxDeltaOps {
+		return fmt.Errorf("cas: delta spans %d versions (cap %d)", span, maxDeltaOps)
+	}
+	if uint64(len(d.Ops)) != span {
+		return fmt.Errorf("cas: delta carries %d ops across %d version steps", len(d.Ops), span)
+	}
+	for i, op := range d.Ops {
+		switch op.Kind {
+		case casMutMemberAdd, casMutRoleAssign:
+			if op.DN == "" {
+				return fmt.Errorf("cas: delta op %d has empty DN", i)
+			}
+			if len(op.Rules) != 0 {
+				return fmt.Errorf("cas: delta op %d carries rules on a membership op", i)
+			}
+		case casMutMemberRemove:
+			if op.DN == "" {
+				return fmt.Errorf("cas: delta op %d has empty DN", i)
+			}
+			if len(op.Strings) != 0 || len(op.Rules) != 0 {
+				return fmt.Errorf("cas: delta op %d carries payload on a removal", i)
+			}
+		case casMutPolicyAdd:
+			if op.DN != "" || len(op.Strings) != 0 {
+				return fmt.Errorf("cas: delta op %d carries a DN on a policy op", i)
+			}
+			for _, r := range op.Rules {
+				if !r.Effect.Valid() {
+					return fmt.Errorf("cas: delta rule %q has invalid effect %d", r.ID, r.Effect)
+				}
+			}
+		default:
+			return fmt.Errorf("cas: delta op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Verify checks the delta's signature against the CAS certificate.
+func (d *Delta) Verify(casCert *gridcert.Certificate) error {
+	if !casCert.Subject.Equal(d.VO) {
+		return fmt.Errorf("cas: delta VO %q does not match CAS certificate %q", d.VO, casCert.Subject)
+	}
+	if err := casCert.PublicKey.Verify(d.tbs(), d.Signature); err != nil {
+		return fmt.Errorf("cas: delta signature: %w", err)
+	}
+	return nil
+}
+
+// deltaLogSize bounds the server's in-memory mutation history: replicas
+// further behind than this fall back to a full bundle.
+const deltaLogSize = 4096
+
+// deltaLogEntry records one applied mutation and the version it
+// produced. Entries are contiguous: each mutation bumps the version by
+// exactly one and appends exactly one entry.
+type deltaLogEntry struct {
+	version uint64
+	op      DeltaOp
+}
+
+// deltaLogAppendLocked records an applied mutation at the server's
+// current (post-bump) version; the caller holds s.mu. The log is
+// bounded: when full, the oldest half is dropped and replicas that far
+// behind pull a full bundle.
+func (s *Server) deltaLogAppendLocked(op DeltaOp) {
+	if len(s.deltaLog) >= deltaLogSize {
+		keep := s.deltaLog[len(s.deltaLog)-deltaLogSize/2:]
+		s.deltaLog = append(s.deltaLog[:0], keep...)
+	}
+	s.deltaLog = append(s.deltaLog, deltaLogEntry{version: s.version, op: op.clone()})
+}
+
+// ExportDelta exports the signed mutation sequence from version `from`
+// (exclusive) through the server's current version. ErrDeltaUnavailable
+// when the bounded log no longer reaches back that far; the caller
+// serves a full bundle instead. A replica already at the current
+// version gets a valid empty delta.
+func (s *Server) ExportDelta(from uint64) (*Delta, error) {
+	s.mu.RLock()
+	version := s.version
+	if from > version {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("cas: delta requested from version %d but server is at %d", from, version)
+	}
+	var ops []DeltaOp
+	if from < version {
+		log := s.deltaLog
+		if len(log) == 0 || log[0].version > from+1 || log[len(log)-1].version != version {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%w: from %d, server at %d", ErrDeltaUnavailable, from, version)
+		}
+		start := int(from + 1 - log[0].version)
+		ops = make([]DeltaOp, 0, version-from)
+		for _, e := range log[start:] {
+			ops = append(ops, e.op.clone())
+		}
+	}
+	s.mu.RUnlock()
+	d := &Delta{
+		VO:          s.VO(),
+		FromVersion: from,
+		ToVersion:   version,
+		IssuedAt:    s.now().UTC(),
+		Ops:         ops,
+	}
+	sig, err := s.cred.Key.Sign(d.tbs())
+	if err != nil {
+		return nil, err
+	}
+	d.Signature = sig
+	return d, nil
+}
+
+// ApplyDelta advances the replica by a signed delta. Fail closed and
+// atomic: a bad signature, malformed op, version regression
+// (ErrStaleBundle), or a delta not starting exactly at the replica's
+// version (ErrDeltaGap) leaves the previous state live and the
+// generation unchanged — every failure mode is the caller's cue to fall
+// back to a full bundle. An empty delta at the replica's version is the
+// up-to-date no-op.
+func (r *Replica) ApplyDelta(d *Delta) error {
+	if err := d.Verify(r.cert); err != nil {
+		return err
+	}
+	if err := d.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.FromVersion == d.ToVersion {
+		if d.ToVersion == r.version {
+			return nil
+		}
+		return fmt.Errorf("%w: empty delta at version %d, replica at %d", ErrDeltaGap, d.ToVersion, r.version)
+	}
+	if d.ToVersion <= r.version {
+		return fmt.Errorf("%w: have %d, got %d", ErrStaleBundle, r.version, d.ToVersion)
+	}
+	if d.FromVersion != r.version {
+		return fmt.Errorf("%w: delta from %d, replica at %d", ErrDeltaGap, d.FromVersion, r.version)
+	}
+	// Policy rules first: AddChecked is the only step below that can
+	// still refuse (and validate() pre-checked its only failure mode),
+	// so running it before any map mutation keeps a refusal atomic.
+	// Rule order within the batch is append order either way.
+	var rules []authz.Rule
+	for _, op := range d.Ops {
+		if op.Kind == casMutPolicyAdd {
+			rules = append(rules, op.Rules...)
+		}
+	}
+	if len(rules) > 0 {
+		if err := r.policy.AddChecked(rules...); err != nil {
+			return fmt.Errorf("cas: delta rejected: %w", err)
+		}
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case casMutMemberAdd:
+			r.members[op.DN] = append([]string(nil), op.Strings...)
+		case casMutMemberRemove:
+			delete(r.members, op.DN)
+			delete(r.roles, op.DN)
+		case casMutRoleAssign:
+			r.roles[op.DN] = append(r.roles[op.DN], op.Strings...)
+		}
+	}
+	r.version = d.ToVersion
+	r.gen++
+	return nil
+}

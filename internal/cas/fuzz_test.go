@@ -68,3 +68,126 @@ func FuzzPolicyBundleDecode(f *testing.F) {
 		}
 	})
 }
+
+// deltaFuzzWorld builds the shared fixture for the delta fuzzers: a VO
+// server, the base bundle a replica would have synced, and a genuine
+// signed delta covering the mutations since.
+func deltaFuzzWorld(f *testing.F) (voCred *gridcert.Credential, base *Bundle, delta *Delta) {
+	f.Helper()
+	auth, err := ca.New(gridcert.MustParseName("/O=Fuzz/CN=CA"), 24*time.Hour, ca.DefaultPolicy())
+	if err != nil {
+		f.Fatal(err)
+	}
+	voCred, err = auth.NewEntity(gridcert.MustParseName("/O=Fuzz/CN=VO"), 12*time.Hour)
+	if err != nil {
+		f.Fatal(err)
+	}
+	server := NewServer(voCred)
+	server.AddMember(gridcert.MustParseName("/O=Fuzz/CN=Member"), "g")
+	base, err = server.ExportBundle()
+	if err != nil {
+		f.Fatal(err)
+	}
+	from := server.Version()
+	server.AddMember(gridcert.MustParseName("/O=Fuzz/CN=Joiner"), "g", "h")
+	server.AssignRole(gridcert.MustParseName("/O=Fuzz/CN=Joiner"), "admin")
+	server.RemoveMember(gridcert.MustParseName("/O=Fuzz/CN=Member"))
+	delta, err = server.ExportDelta(from)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return voCred, base, delta
+}
+
+// FuzzDeltaBundleDecode feeds arbitrary bytes to the delta decoder.
+// Torn, truncated, or bit-flipped deltas must error rather than panic,
+// and anything that decodes must re-encode byte-identically — a decoder
+// that accepts two spellings of one delta is a signature-confusion
+// hazard, exactly as for full bundles.
+func FuzzDeltaBundleDecode(f *testing.F) {
+	_, _, delta := deltaFuzzWorld(f)
+	valid := delta.Encode()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(d.Encode(), data) {
+			t.Fatalf("decode/encode not canonical for %d-byte input", len(data))
+		}
+		if d.ToVersion < d.FromVersion {
+			t.Fatal("decoder accepted a version-regressing delta")
+		}
+		if uint64(len(d.Ops)) != d.ToVersion-d.FromVersion {
+			t.Fatal("decoder accepted an op count that does not match the version span")
+		}
+	})
+}
+
+// FuzzDeltaApply drives decoded fuzz deltas into a live replica. Every
+// outcome must fail closed: a rejected delta leaves version, generation,
+// and membership exactly where they were; the only delta that can apply
+// is the genuine signed one, it must land exactly at its ToVersion, and
+// replaying it must be refused without movement.
+func FuzzDeltaApply(f *testing.F) {
+	voCred, base, delta := deltaFuzzWorld(f)
+	valid := delta.Encode()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	sigFlipped := append([]byte(nil), valid...)
+	sigFlipped[len(sigFlipped)-1] ^= 0x80
+	f.Add(sigFlipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		r := NewReplica(voCred.Leaf())
+		if err := r.Apply(base); err != nil {
+			t.Fatal(err)
+		}
+		member := gridcert.MustParseName("/O=Fuzz/CN=Member")
+		verBefore, genBefore := r.Version(), r.Generation()
+		_, _, memberBefore := r.Lookup(member)
+		if err := r.ApplyDelta(d); err != nil {
+			if r.Version() != verBefore || r.Generation() != genBefore {
+				t.Fatal("rejected delta moved the replica")
+			}
+			if _, _, ok := r.Lookup(member); ok != memberBefore {
+				t.Fatal("rejected delta changed membership")
+			}
+			return
+		}
+		// Applied: only a genuinely signed delta can get here, and it must
+		// land exactly on its ToVersion — never behind, never past.
+		if r.Version() != d.ToVersion || r.Version() <= verBefore {
+			t.Fatalf("applied delta left replica at %d (delta to %d, was %d)", r.Version(), d.ToVersion, verBefore)
+		}
+		if r.Generation() == genBefore {
+			t.Fatal("applied delta did not refresh the generation")
+		}
+		// Replay must be refused as stale without moving anything.
+		ver, gen := r.Version(), r.Generation()
+		if err := r.ApplyDelta(d); err == nil {
+			t.Fatal("replayed delta applied twice")
+		}
+		if r.Version() != ver || r.Generation() != gen {
+			t.Fatal("refused replay moved the replica")
+		}
+	})
+}

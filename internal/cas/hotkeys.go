@@ -1,0 +1,84 @@
+package cas
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Hot decision keys: the publisher exports the identifiers of its most-
+// hit decision-cache entries — subject DN, chain fingerprint, resource,
+// action — so a replica can pre-compute those decisions through its OWN
+// pipeline and promote with a warm cache. Only keys cross the wire,
+// never decisions: a forged or stale key can cost a replica one wasted
+// evaluation, but can never inject an authorization result, which is
+// why the list is a transport-authenticated hint rather than a signed
+// document.
+
+const hotKeysMagic = "cas-hotkeys-v1"
+
+// MaxHotKeys bounds an exported or decoded hot-key list.
+const MaxHotKeys = 4096
+
+// HotKey identifies one hot decision-cache entry.
+type HotKey struct {
+	// Subject is the end-entity DN of the cached decision's requester.
+	Subject string
+	// FP is the subject chain fingerprint the cache entry is keyed on.
+	FP [32]byte
+	// Resource and Action complete the decision key.
+	Resource string
+	Action   string
+	// NotAfter (unix seconds) is when the source cache entry expires; a
+	// warmed decision must not outlive it, so warming can never extend a
+	// decision past what the publisher itself would honor.
+	NotAfter int64
+}
+
+// EncodeHotKeys serialises a hot-key list.
+func EncodeHotKeys(keys []HotKey) []byte {
+	e := wire.NewEncoder()
+	e.Str(hotKeysMagic)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Str(k.Subject)
+		e.Bytes(k.FP[:])
+		e.Str(k.Resource)
+		e.Str(k.Action)
+		e.I64(k.NotAfter)
+	}
+	return e.Finish()
+}
+
+// DecodeHotKeys parses a hot-key list, enforcing the MaxHotKeys cap and
+// per-key shape.
+func DecodeHotKeys(data []byte) ([]HotKey, error) {
+	d := wire.NewDecoder(data)
+	if magic := d.Str(); d.Err() == nil && magic != hotKeysMagic {
+		return nil, fmt.Errorf("cas: bad hot-key magic %q", magic)
+	}
+	n := d.Count("hot key", MaxHotKeys)
+	keys := make([]HotKey, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var k HotKey
+		k.Subject = d.Str()
+		fp := d.Bytes()
+		k.Resource = d.Str()
+		k.Action = d.Str()
+		k.NotAfter = d.I64()
+		if d.Err() == nil {
+			if len(fp) != len(k.FP) {
+				return nil, fmt.Errorf("cas: hot key %d has %d-byte fingerprint", i, len(fp))
+			}
+			copy(k.FP[:], fp)
+			if k.Subject == "" {
+				return nil, fmt.Errorf("cas: hot key %d has empty subject", i)
+			}
+			keys = append(keys, k)
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}

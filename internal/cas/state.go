@@ -82,6 +82,7 @@ func (s *Server) AddMemberChecked(dn gridcert.Name, groups ...string) error {
 	}
 	s.members[dn.String()] = append([]string(nil), groups...)
 	s.version++
+	s.deltaLogAppendLocked(DeltaOp{Kind: casMutMemberAdd, DN: dn.String(), Strings: groups})
 	return nil
 }
 
@@ -103,6 +104,7 @@ func (s *Server) RemoveMemberChecked(dn gridcert.Name) error {
 	delete(s.members, key)
 	delete(s.roles, key)
 	s.version++
+	s.deltaLogAppendLocked(DeltaOp{Kind: casMutMemberRemove, DN: key})
 	return nil
 }
 
@@ -118,6 +120,7 @@ func (s *Server) AssignRoleChecked(dn gridcert.Name, roles ...string) error {
 	}
 	s.roles[dn.String()] = append(s.roles[dn.String()], roles...)
 	s.version++
+	s.deltaLogAppendLocked(DeltaOp{Kind: casMutRoleAssign, DN: dn.String(), Strings: roles})
 	return nil
 }
 
@@ -149,6 +152,7 @@ func (s *Server) AddPolicyChecked(rules ...authz.Rule) error {
 		return err
 	}
 	s.version++
+	s.deltaLogAppendLocked(DeltaOp{Kind: casMutPolicyAdd, Rules: rules})
 	return nil
 }
 
@@ -165,6 +169,7 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 	version := d.U64()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var op DeltaOp
 	switch kind {
 	case casMutMemberAdd:
 		dn := d.Str()
@@ -176,6 +181,7 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 			return fmt.Errorf("cas: replayed member with empty DN")
 		}
 		s.members[dn] = groups
+		op = DeltaOp{Kind: kind, DN: dn, Strings: groups}
 	case casMutMemberRemove:
 		dn := d.Str()
 		if err := d.Done(); err != nil {
@@ -183,6 +189,7 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 		}
 		delete(s.members, dn)
 		delete(s.roles, dn)
+		op = DeltaOp{Kind: kind, DN: dn}
 	case casMutRoleAssign:
 		dn := d.Str()
 		roles := authz.WireDecodeStrings(d)
@@ -193,6 +200,7 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 			return fmt.Errorf("cas: replayed role assignment with empty DN")
 		}
 		s.roles[dn] = append(s.roles[dn], roles...)
+		op = DeltaOp{Kind: kind, DN: dn, Strings: roles}
 	case casMutPolicyAdd:
 		n := d.Count("replayed rule", maxAssertionRules)
 		rules := make([]authz.Rule, 0, n)
@@ -205,6 +213,7 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 		if err := s.policy.AddChecked(rules...); err != nil {
 			return err
 		}
+		op = DeltaOp{Kind: kind, Rules: rules}
 	default:
 		if err := d.Err(); err != nil {
 			return err
@@ -212,6 +221,10 @@ func (s *Server) ApplyReplayed(payload []byte) error {
 		return fmt.Errorf("cas: unknown mutation kind %d", kind)
 	}
 	s.version = version
+	// Replayed mutations feed the delta log too, so a restarted
+	// publisher can still serve deltas to replicas that tracked it
+	// before the restart.
+	s.deltaLogAppendLocked(op)
 	return nil
 }
 
@@ -260,6 +273,10 @@ func (s *Server) RestoreState(b []byte) error {
 	s.members = members
 	s.roles = roles
 	s.version = version
+	// A snapshot collapses mutation history: deltas across the restore
+	// point cannot be served, so replicas behind it fall back to a full
+	// bundle.
+	s.deltaLog = nil
 	return nil
 }
 

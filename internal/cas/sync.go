@@ -24,6 +24,15 @@ const (
 	// SyncOpVersion returns the current bundle version in decimal.
 	// Body: empty.
 	SyncOpVersion = "Version"
+	// SyncOpDelta returns the signed mutation delta from the version in
+	// the body (decimal) through the server's current version. Errors
+	// when the bounded delta log no longer covers the range; the caller
+	// falls back to SyncOpBundle.
+	SyncOpDelta = "Delta"
+	// SyncOpHotKeys returns the publisher's hottest decision-cache keys
+	// (encoded HotKey list; empty when the host exports none). Body: the
+	// maximum key count in decimal, 0 for the server cap.
+	SyncOpHotKeys = "HotKeys"
 )
 
 // SyncService serves a CAS server's signed bundles to pulling replicas.
@@ -33,13 +42,22 @@ const (
 // may read the VO's full membership roll is itself policy.
 type SyncService struct {
 	*ogsa.Base
-	server *Server
-	audit  ogsa.AuditSink
+	server  *Server
+	audit   ogsa.AuditSink
+	hotKeys func(n int) []HotKey
 }
 
 // NewSyncService fronts server's bundle feed.
 func NewSyncService(server *Server, audit ogsa.AuditSink) *SyncService {
 	return &SyncService{Base: ogsa.NewBase(), server: server, audit: audit}
+}
+
+// SetHotKeySource installs the host's hot decision-key exporter (the
+// resource server's pipeline cache, when cache warming is enabled).
+// Without one, SyncOpHotKeys serves an empty list. Set before the
+// service is published; not safe to swap while serving.
+func (s *SyncService) SetHotKeySource(fn func(n int) []HotKey) {
+	s.hotKeys = fn
 }
 
 var _ ogsa.Service = (*SyncService)(nil)
@@ -76,6 +94,39 @@ func (s *SyncService) Invoke(call *ogsa.Call) ([]byte, error) {
 		return b.Encode(), nil
 	case SyncOpVersion:
 		return []byte(strconv.FormatUint(s.server.Version(), 10)), nil
+	case SyncOpDelta:
+		from, err := strconv.ParseUint(string(call.Body), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cas: delta op wants a decimal from-version: %w", err)
+		}
+		d, err := s.server.ExportDelta(from)
+		if err != nil {
+			s.record("cas-sync-delta-miss", subject, err.Error())
+			return nil, err
+		}
+		s.record("cas-sync-delta", subject, fmt.Sprintf("versions %d-%d, %d ops", d.FromVersion, d.ToVersion, len(d.Ops)))
+		return d.Encode(), nil
+	case SyncOpHotKeys:
+		n := 0
+		if len(call.Body) > 0 {
+			v, err := strconv.Atoi(string(call.Body))
+			if err != nil {
+				return nil, fmt.Errorf("cas: hot-key op wants a decimal count: %w", err)
+			}
+			n = v
+		}
+		if n <= 0 || n > MaxHotKeys {
+			n = MaxHotKeys
+		}
+		var keys []HotKey
+		if s.hotKeys != nil {
+			keys = s.hotKeys(n)
+			if len(keys) > n {
+				keys = keys[:n]
+			}
+		}
+		s.record("cas-sync-hotkeys", subject, fmt.Sprintf("%d keys", len(keys)))
+		return EncodeHotKeys(keys), nil
 	default:
 		return nil, fmt.Errorf("cas: sync port type has no op %q", call.Op)
 	}

@@ -58,6 +58,10 @@ const (
 	// upstreams and reports how it went (a failed pull is reported, not
 	// an op error — the previous bundle stays live). Body: empty.
 	AdminOpCASSync = "CASSync"
+	// AdminOpCompact folds the durable journal into a snapshot now,
+	// bounding replay time, and reports the journal's shape after. Body:
+	// empty.
+	AdminOpCompact = "Compact"
 )
 
 // AdminBackend is what the admin port type fronts. pkg/gsi implements
@@ -84,6 +88,9 @@ type AdminBackend interface {
 	AdminCASStatus() ([]byte, error)
 	// AdminCASSync forces a bundle pull and reports the outcome as JSON.
 	AdminCASSync() ([]byte, error)
+	// AdminCompact compacts the durable journal and reports its shape as
+	// JSON.
+	AdminCompact() ([]byte, error)
 }
 
 // AdminConfig assembles an AdminService.
@@ -188,6 +195,9 @@ func (s *AdminService) Invoke(call *Call) ([]byte, error) {
 	case AdminOpCASSync:
 		s.audit("admin-cas-sync", subject, "")
 		return s.cfg.Backend.AdminCASSync()
+	case AdminOpCompact:
+		s.audit("admin-compact", subject, "")
+		return s.cfg.Backend.AdminCompact()
 	default:
 		return nil, fmt.Errorf("ogsa: admin port type has no op %q", call.Op)
 	}

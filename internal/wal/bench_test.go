@@ -1,0 +1,58 @@
+// Benchmarks for the journal's append path: what one durable mutation
+// costs under each sync policy as write concurrency grows. SyncAlways
+// pays one fsync per append, so 64 writers pay 64 fsyncs for 64
+// records; SyncBatched coalesces concurrent appends onto one group
+// fsync with identical per-record durability, so the same 64 records
+// share a handful. `make bench-ctrlplane` records the six rows into
+// BENCH_ctrlplane.json; the widening gap at 8 and 64 writers is the
+// group-commit claim of PR 10. The 1-writer rows also gate allocs/op:
+// batching must not add allocations over the SyncAlways frame build.
+package wal
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchmarkAppend drives b.N appends split across the given number of
+// concurrent writers, each append blocking until its record is durable
+// (both measured policies acknowledge only after fsync).
+func benchmarkAppend(b *testing.B, policy SyncPolicy, writers int) {
+	w, err := Open(b.TempDir(), Options{Sync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		n := b.N / writers
+		if g < b.N%writers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := w.Append(1, payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+func BenchmarkWALAppendSyncAlways1(b *testing.B)  { benchmarkAppend(b, SyncAlways, 1) }
+func BenchmarkWALAppendSyncAlways8(b *testing.B)  { benchmarkAppend(b, SyncAlways, 8) }
+func BenchmarkWALAppendSyncAlways64(b *testing.B) { benchmarkAppend(b, SyncAlways, 64) }
+
+func BenchmarkWALAppendSyncBatched1(b *testing.B)  { benchmarkAppend(b, SyncBatched, 1) }
+func BenchmarkWALAppendSyncBatched8(b *testing.B)  { benchmarkAppend(b, SyncBatched, 8) }
+func BenchmarkWALAppendSyncBatched64(b *testing.B) { benchmarkAppend(b, SyncBatched, 64) }

@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // MaxPayload bounds one record's payload (matches wire.MaxField: WAL
@@ -83,7 +84,19 @@ const (
 	// SyncNever leaves flushing to the OS (tests, bulk loads, benches).
 	// Close and explicit Sync still flush.
 	SyncNever
+	// SyncBatched is group commit: concurrent Appends coalesce onto one
+	// fsync via a leader/follower commit queue, but every Append still
+	// blocks until its own record is on stable storage — SyncAlways
+	// durability at a fraction of the fsync count under write
+	// concurrency. A failed group fsync is sticky: the affected Appends
+	// report it and every later Append is refused, because the log can
+	// no longer promise durability.
+	SyncBatched
 )
+
+// MaxBatchWindow caps Options.BatchWindow: group commit may delay an
+// acknowledgement to gather companions, but never by more than this.
+const MaxBatchWindow = 2 * time.Millisecond
 
 // Options parameterize Open.
 type Options struct {
@@ -92,6 +105,11 @@ type Options struct {
 	SegmentSize int64
 	// Sync is the fsync policy for appends.
 	Sync SyncPolicy
+	// BatchWindow (SyncBatched only) is how long a commit leader waits
+	// for companion appends before issuing the group fsync. Zero fsyncs
+	// immediately — batching still emerges naturally from appends that
+	// land while an fsync is in flight. Clamped to MaxBatchWindow.
+	BatchWindow time.Duration
 }
 
 // Record is one replayed log entry. Payload aliases an internal read
@@ -109,17 +127,32 @@ type WAL struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	active   *os.File
-	activeSz int64
-	segments []uint64 // first seq of each live segment, ascending
-	nextSeq  uint64
+	mu        sync.Mutex
+	active    *os.File
+	activeSz  int64
+	liveBytes int64    // bytes across live segments (≈ journal since snapshot)
+	segments  []uint64 // first seq of each live segment, ascending
+	nextSeq   uint64
 
 	snapPayload []byte
 	snapSeq     uint64
 	hasSnap     bool
 
 	closed bool
+
+	// snapMu serializes snapshot writers so the staged tmp file (written
+	// outside w.mu to keep appends flowing) has a single owner. Lock
+	// order: snapMu before mu.
+	snapMu sync.Mutex
+
+	// Group commit (SyncBatched). cmu guards the commit queue; it nests
+	// inside mu (mu → cmu) and the leader never holds it across the
+	// fsync itself.
+	cmu       sync.Mutex
+	commit    *sync.Cond // signalled when syncedSeq advances or syncErr sets
+	syncing   bool       // a leader's fsync is in flight
+	syncedSeq uint64     // every record ≤ syncedSeq is on stable storage
+	syncErr   error      // sticky: a failed group fsync poisons the log
 }
 
 // Open opens (or creates) the WAL in dir, validating every segment: a
@@ -130,10 +163,17 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
+	if opts.BatchWindow < 0 {
+		opts.BatchWindow = 0
+	}
+	if opts.BatchWindow > MaxBatchWindow {
+		opts.BatchWindow = MaxBatchWindow
+	}
+	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
+	w.commit = sync.NewCond(&w.cmu)
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
 	if err := w.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -146,6 +186,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.openActive(); err != nil {
 		return nil, err
 	}
+	w.syncedSeq = w.nextSeq - 1 // everything recovered from disk is durable
 	return w, nil
 }
 
@@ -271,6 +312,7 @@ func (w *WAL) scanSegment(first uint64, last bool) (uint64, error) {
 				if terr := os.Truncate(path, int64(offset)); terr != nil {
 					return 0, terr
 				}
+				w.liveBytes += int64(offset)
 				return wantSeq - 1, nil
 			}
 			if ferr == nil {
@@ -281,6 +323,7 @@ func (w *WAL) scanSegment(first uint64, last bool) (uint64, error) {
 		offset += n
 		wantSeq++
 	}
+	w.liveBytes += int64(len(data))
 	return wantSeq - 1, nil
 }
 
@@ -329,7 +372,9 @@ func (w *WAL) openActive() error {
 }
 
 // newSegment rotates to a fresh segment starting at nextSeq. Caller
-// holds w.mu (or is Open, pre-publication).
+// holds w.mu (or is Open, pre-publication). Invariant the group-commit
+// leader relies on: a segment is synced before it is closed, so every
+// record NOT in the current active file is on stable storage.
 func (w *WAL) newSegment() error {
 	if w.active != nil {
 		if err := w.active.Sync(); err != nil {
@@ -339,6 +384,7 @@ func (w *WAL) newSegment() error {
 			return err
 		}
 		w.active = nil
+		w.markSynced(w.nextSeq - 1)
 	}
 	f, err := os.OpenFile(w.segPath(w.nextSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
 	if err != nil {
@@ -352,19 +398,33 @@ func (w *WAL) newSegment() error {
 }
 
 // Append journals one record and returns its sequence number. Under
-// SyncAlways the record is on stable storage when Append returns; the
-// caller applies the mutation only after (journal-then-apply).
+// SyncAlways and SyncBatched the record is on stable storage when
+// Append returns; the caller applies the mutation only after
+// (journal-then-apply).
 func (w *WAL) Append(kind uint8, payload []byte) (uint64, error) {
 	if len(payload) > MaxPayload {
 		return 0, fmt.Errorf("wal: payload %d exceeds %d-byte cap", len(payload), MaxPayload)
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return 0, errors.New("wal: append on closed log")
+	}
+	if w.opts.Sync == SyncBatched {
+		w.cmu.Lock()
+		err := w.syncErr
+		w.cmu.Unlock()
+		if err != nil {
+			// The log already failed to make an append durable; writing
+			// more records it may never be able to acknowledge would only
+			// widen the divergence between the file and the applied state.
+			w.mu.Unlock()
+			return 0, fmt.Errorf("wal: append after failed group commit: %w", err)
+		}
 	}
 	if w.activeSz >= w.opts.SegmentSize {
 		if err := w.newSegment(); err != nil {
+			w.mu.Unlock()
 			return 0, err
 		}
 	}
@@ -376,16 +436,92 @@ func (w *WAL) Append(kind uint8, payload []byte) (uint64, error) {
 	copy(frame[frameHeader:], payload)
 	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(frame[8:], castagnoli))
 	if _, err := w.active.Write(frame); err != nil {
+		w.mu.Unlock()
 		return 0, err
 	}
 	if w.opts.Sync == SyncAlways {
 		if err := w.active.Sync(); err != nil {
+			w.mu.Unlock()
 			return 0, err
 		}
 	}
 	w.activeSz += int64(len(frame))
+	w.liveBytes += int64(len(frame))
 	w.nextSeq = seq + 1
+	w.mu.Unlock()
+	if w.opts.Sync == SyncBatched {
+		if err := w.awaitDurable(seq); err != nil {
+			return 0, err
+		}
+	}
 	return seq, nil
+}
+
+// awaitDurable blocks until record seq is on stable storage, fsyncing
+// as the commit leader when no fsync is in flight. Followers whose
+// records were written while a leader's fsync was running form the next
+// batch — that accumulation is where the group-commit win comes from.
+func (w *WAL) awaitDurable(seq uint64) error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.syncedSeq >= seq {
+			return nil
+		}
+		if w.syncing {
+			w.commit.Wait()
+			continue
+		}
+		// Leader: optionally linger to gather companions, then fsync the
+		// active file outside both locks. Every record ≤ target is either
+		// in the captured file or in an earlier segment, and segments are
+		// synced before they are closed — so one successful fsync makes
+		// all of them durable.
+		w.syncing = true
+		w.cmu.Unlock()
+		if d := w.opts.BatchWindow; d > 0 {
+			time.Sleep(d)
+		}
+		w.mu.Lock()
+		target := w.nextSeq - 1
+		f := w.active
+		w.mu.Unlock()
+		var err error
+		if f != nil {
+			err = f.Sync()
+			if err != nil && errors.Is(err, os.ErrClosed) {
+				// A rotation (or Close) took the file between capture and
+				// fsync — but it synced the file first, so records ≤ target
+				// are durable regardless.
+				err = nil
+			}
+		}
+		w.cmu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if target > w.syncedSeq {
+			w.syncedSeq = target
+		}
+		w.commit.Broadcast()
+	}
+}
+
+// markSynced records that every record ≤ seq is on stable storage and
+// wakes group-commit waiters. Safe to call with w.mu held (mu → cmu).
+func (w *WAL) markSynced(seq uint64) {
+	if w.opts.Sync != SyncBatched {
+		return
+	}
+	w.cmu.Lock()
+	if seq > w.syncedSeq {
+		w.syncedSeq = seq
+		w.commit.Broadcast()
+	}
+	w.cmu.Unlock()
 }
 
 // Sync flushes the active segment to stable storage.
@@ -395,7 +531,34 @@ func (w *WAL) Sync() error {
 	if w.closed || w.active == nil {
 		return nil
 	}
-	return w.active.Sync()
+	if err := w.active.Sync(); err != nil {
+		return err
+	}
+	w.markSynced(w.nextSeq - 1)
+	return nil
+}
+
+// Stats describes the journal's growth since its last snapshot, for
+// compaction policies that watch bytes/records rather than guessing.
+type Stats struct {
+	Segments             int    // live segment files
+	LastSeq              uint64 // most recent record (0 on a fresh log)
+	SnapshotSeq          uint64 // last record the snapshot covers (0 if none)
+	RecordsSinceSnapshot uint64
+	BytesSinceSnapshot   int64 // frame bytes across live segments
+}
+
+// Stats reports the journal's current shape.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Segments:             len(w.segments),
+		LastSeq:              w.nextSeq - 1,
+		SnapshotSeq:          w.snapSeq,
+		RecordsSinceSnapshot: w.nextSeq - 1 - w.snapSeq,
+		BytesSinceSnapshot:   w.liveBytes,
+	}
 }
 
 // LastSeq reports the sequence number of the most recent record (0
@@ -459,9 +622,19 @@ func (w *WAL) Replay(fn func(Record) error) error {
 // through LastSeq. When appends can race the caller's state capture,
 // use WriteSnapshotAt, which refuses a payload the log has outrun.
 func (w *WAL) WriteSnapshot(payload []byte) error {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.writeSnapshotLocked(payload)
+	if w.closed {
+		return errors.New("wal: snapshot on closed log")
+	}
+	covered := w.nextSeq - 1
+	tmp, err := w.stageSnapshot(payload, covered)
+	if err != nil {
+		return err
+	}
+	return w.commitSnapshotLocked(payload, covered, tmp)
 }
 
 // WriteSnapshotAt is WriteSnapshot for state captured at a known
@@ -470,32 +643,60 @@ func (w *WAL) WriteSnapshot(payload []byte) error {
 // payload cannot account for it, and truncating its segment would lose
 // an acknowledged durable mutation — the write is refused with
 // ErrSnapshotStale and the caller re-captures and retries.
+//
+// The expensive part — writing and fsyncing the snapshot payload — runs
+// OUTSIDE the append lock, so a large snapshot stalls concurrent
+// mutations only for the commit step (rotate, rename, cleanup: a few
+// fixed-cost syscalls), which is the bounded mutation-stall budget the
+// background compactor relies on. The staleness check runs twice:
+// cheaply before staging the payload, and authoritatively under the
+// lock at commit.
 func (w *WAL) WriteSnapshotAt(payload []byte, covered uint64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if covered != w.nextSeq-1 {
-		return fmt.Errorf("%w: state captured at seq %d, log now at %d", ErrSnapshotStale, covered, w.nextSeq-1)
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	if last := w.LastSeq(); last != covered {
+		return fmt.Errorf("%w: state captured at seq %d, log now at %d", ErrSnapshotStale, covered, last)
 	}
-	return w.writeSnapshotLocked(payload)
-}
-
-func (w *WAL) writeSnapshotLocked(payload []byte) error {
-	if w.closed {
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
 		return errors.New("wal: snapshot on closed log")
 	}
-	covered := w.nextSeq - 1
-	// Rotate first: the active segment then starts at covered+1, and
-	// every earlier segment is fully covered by the snapshot.
-	if w.activeSz > 0 {
-		if err := w.newSegment(); err != nil {
-			return err
-		}
-	} else if w.active != nil {
-		if err := w.active.Sync(); err != nil {
-			return err
-		}
+	tmp, err := w.stageSnapshot(payload, covered)
+	if err != nil {
+		return err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		os.Remove(tmp)
+		return errors.New("wal: snapshot on closed log")
+	}
+	if covered != w.nextSeq-1 {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: state captured at seq %d, log now at %d", ErrSnapshotStale, covered, w.nextSeq-1)
+	}
+	return w.commitSnapshotLocked(payload, covered, tmp)
+}
 
+// SnapshotStageHook, when non-nil, is called after each stage of a
+// snapshot write ("staged", "rotated", "renamed", "cleaned"). Test
+// instrumentation: crash-consistency tests have a child process report
+// the stage so the parent can SIGKILL it mid-compaction. Nil in
+// production; set before any snapshot activity, never concurrently.
+var SnapshotStageHook func(stage string)
+
+func snapshotStage(stage string) {
+	if SnapshotStageHook != nil {
+		SnapshotStageHook(stage)
+	}
+}
+
+// stageSnapshot writes the framed snapshot payload to the tmp file and
+// fsyncs it. Caller holds snapMu (sole tmp owner) but need not hold
+// w.mu. Returns the tmp path for commitSnapshotLocked to rename.
+func (w *WAL) stageSnapshot(payload []byte, covered uint64) (string, error) {
 	buf := make([]byte, 0, len(snapshotMagic)+16+len(payload))
 	buf = append(buf, snapshotMagic...)
 	buf = binary.BigEndian.AppendUint64(buf, covered)
@@ -506,31 +707,58 @@ func (w *WAL) writeSnapshotLocked(payload []byte) error {
 	tmp := filepath.Join(w.dir, snapshotName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return "", err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return "", err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return "", err
 	}
+	snapshotStage("staged")
+	return tmp, nil
+}
+
+// commitSnapshotLocked publishes a staged snapshot: rotate so the
+// active segment starts past covered, rename the tmp into place, drop
+// covered segments. Caller holds w.mu and has verified covered ==
+// nextSeq-1; every step is a fixed-cost syscall, so this is the whole
+// of the mutation stall a snapshot imposes.
+func (w *WAL) commitSnapshotLocked(payload []byte, covered uint64, tmp string) error {
+	// Rotate first: the active segment then starts at covered+1, and
+	// every earlier segment is fully covered by the snapshot.
+	if w.activeSz > 0 {
+		if err := w.newSegment(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	} else if w.active != nil {
+		if err := w.active.Sync(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	snapshotStage("rotated")
+
 	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotName)); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	syncDir(w.dir)
+	snapshotStage("renamed")
 
 	w.snapPayload = append([]byte(nil), payload...)
 	w.snapSeq = covered
 	w.hasSnap = true
+	w.markSynced(covered)
 
 	// Drop segments whose every record the snapshot now covers: all but
 	// the active (last) one, since rotation pinned its first seq at
@@ -546,6 +774,8 @@ func (w *WAL) writeSnapshotLocked(payload []byte) error {
 		os.Remove(w.segPath(first))
 	}
 	syncDir(w.dir)
+	w.liveBytes = w.activeSz
+	snapshotStage("cleaned")
 	return nil
 }
 
@@ -564,6 +794,7 @@ func (w *WAL) Close() error {
 		w.active.Close()
 		return err
 	}
+	w.markSynced(w.nextSeq - 1)
 	return w.active.Close()
 }
 

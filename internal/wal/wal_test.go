@@ -413,6 +413,137 @@ func TestPayloadCap(t *testing.T) {
 	}
 }
 
+// TestSyncBatchedConcurrentAppendsDurable is the group-commit
+// correctness test: many writers appending under SyncBatched must each
+// get a unique sequence, and every acknowledged record must replay
+// after a reopen — the batching may coalesce fsyncs, never skip them.
+func TestSyncBatchedConcurrentAppendsDurable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 50
+	seqs := make(chan uint64, writers*each)
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			for i := 0; i < each; i++ {
+				seq, err := w.Append(1, []byte(fmt.Sprintf("w%d-%d", g, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				seqs <- seq
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(seqs)
+	seen := make(map[uint64]bool)
+	for s := range seqs {
+		if seen[s] {
+			t.Fatalf("sequence %d acknowledged twice", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != writers*each {
+		t.Fatalf("%d acknowledged sequences, want %d", len(seen), writers*each)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{Sync: SyncBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := replayAll(t, w2)
+	if len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d (gap or reorder)", i, r.Seq)
+		}
+		if !seen[r.Seq] {
+			t.Fatalf("replayed seq %d was never acknowledged", r.Seq)
+		}
+	}
+}
+
+// TestSyncBatchedAcrossRotation drives concurrent batched appends
+// through many segment rotations: a follower whose segment was synced
+// and closed by rotation mid-batch must still be acknowledged, and
+// everything must replay in order.
+func TestSyncBatchedAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncBatched, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 4, 40
+	errs := make(chan error, writers)
+	payload := make([]byte, 64)
+	for g := 0; g < writers; g++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				if _, err := w.Append(1, payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("only %d segments — rotation never happened, test proves nothing", st.Segments)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{Sync: SyncBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := replayAll(t, w2); len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+}
+
+// TestSyncBatchedClosedLogRefused: appends racing Close either complete
+// durably or fail — after Close returns, new appends must error, not
+// hang waiting on a commit that will never run.
+func TestSyncBatchedClosedLogRefused(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, []byte("after")); err == nil {
+		t.Fatal("append on closed batched log must fail")
+	}
+}
+
 func TestFrameLengthLieRejected(t *testing.T) {
 	// A frame whose length field claims more payload than the cap must
 	// be rejected before any allocation is sized from it.

@@ -199,6 +199,27 @@ func (b *adminBackend) AdminCASSync() ([]byte, error) {
 	return json.MarshalIndent(report, "", "  ")
 }
 
+func (b *adminBackend) AdminCompact() ([]byte, error) {
+	ds := b.server.DurableState()
+	if ds == nil {
+		return nil, errors.New("gsi: no durable state on this server (WithDurableState)")
+	}
+	// Like AdminReload: the caller asked "compact now and tell me how it
+	// went". A failed compaction (sustained mutation churn) leaves the
+	// journal intact, and the error plus the journal's shape is the
+	// answer, not an op error.
+	err := ds.Compact()
+	report := struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error,omitempty"`
+		JournalStats
+	}{OK: err == nil, JournalStats: ds.JournalStats()}
+	if err != nil {
+		report.Error = err.Error()
+	}
+	return json.MarshalIndent(report, "", "  ")
+}
+
 func (b *adminBackend) AdminReload() ([]byte, error) {
 	r := b.server.currentReloader()
 	if r == nil {

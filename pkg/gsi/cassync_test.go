@@ -10,6 +10,7 @@ package gsi_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -21,12 +22,14 @@ import (
 // endpoints (primary + standby) serving the same community server, and
 // one resource server pulling bundles.
 type casSyncBed struct {
-	bed      *authzBed
-	vo       *gsi.CASServer
-	primary  gsi.Endpoint
-	standby  gsi.Endpoint
-	resource *gsi.Server
-	rsEP     gsi.Endpoint
+	bed        *authzBed
+	vo         *gsi.CASServer
+	primary    gsi.Endpoint
+	standby    gsi.Endpoint
+	primarySrv *gsi.Server
+	standbySrv *gsi.Server
+	resource   *gsi.Server
+	rsEP       gsi.Endpoint
 }
 
 func newCASSyncBed(t *testing.T, resourceOpts ...gsi.Option) *casSyncBed {
@@ -59,7 +62,7 @@ func newCASSyncBed(t *testing.T, resourceOpts ...gsi.Option) *casSyncBed {
 	echo := func(ctx context.Context, peer gsi.Peer, op string, body []byte) ([]byte, error) {
 		return body, nil
 	}
-	serveBundle := func(name string) gsi.Endpoint {
+	serveBundle := func(name string) (*gsi.Server, gsi.Endpoint) {
 		cred, err := bed.ca.NewHostEntity(gsi.MustParseName("/O=Grid/CN="+name), 72*time.Hour)
 		if err != nil {
 			t.Fatal(err)
@@ -75,10 +78,10 @@ func newCASSyncBed(t *testing.T, resourceOpts ...gsi.Option) *casSyncBed {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return ep
+		return srv, ep
 	}
-	primary := serveBundle("cas primary")
-	standby := serveBundle("cas standby")
+	primarySrv, primary := serveBundle("cas primary")
+	standbySrv, standby := serveBundle("cas standby")
 	t.Cleanup(func() { primary.Close(); standby.Close() })
 
 	opts := append([]gsi.Option{
@@ -100,7 +103,12 @@ func newCASSyncBed(t *testing.T, resourceOpts ...gsi.Option) *casSyncBed {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { rsEP.Close() })
-	return &casSyncBed{bed: bed, vo: bed.vo, primary: primary, standby: standby, resource: resource, rsEP: rsEP}
+	return &casSyncBed{
+		bed: bed, vo: bed.vo,
+		primary: primary, standby: standby,
+		primarySrv: primarySrv, standbySrv: standbySrv,
+		resource: resource, rsEP: rsEP,
+	}
 }
 
 // waitSync polls until cond accepts the resource server's sync status.
@@ -180,6 +188,117 @@ func TestCASSyncFailover(t *testing.T) {
 	// Alice's grant survived the failover uninterrupted.
 	if d, err = pipe.Authorize(ctx, alice, "data:/climate/x", "read"); err != nil || d.Decision != gsi.Permit {
 		t.Fatalf("member after failover: %+v err=%v", d, err)
+	}
+}
+
+// TestCASWarmPromotionFailover is the PR 10 standby-promotion scenario
+// end to end: a resource server follows the VO by signed delta and
+// warms its decision cache from the publishers' hot-key exports; the
+// primary is killed mid-run with membership churn (deltas) in flight.
+// The standby must keep serving deltas, warming must survive the
+// failover, the first decision for a publisher-hot subject must be a
+// warm cache hit (the cold baseline misses), and nothing may fail open.
+func TestCASWarmPromotionFailover(t *testing.T) {
+	c := newCASSyncBed(t, gsi.WithCacheWarming(64))
+	bed := c.bed
+	ctx := context.Background()
+	pipe := c.resource.AuthorizationPipeline()
+	if pipe == nil {
+		t.Fatal("resource server has no pipeline")
+	}
+	bed.local.Add(gsi.Rule{
+		ID:        "local-data",
+		Effect:    gsi.EffectPermit,
+		Groups:    []string{"researchers"},
+		Resources: []string{"data:/climate/*"},
+		Actions:   []string{"read"},
+	})
+
+	first := c.waitSync(t, "first bundle", func(st gsi.CASSyncStatus) bool { return st.Version >= 1 })
+	if first.FullSyncs == 0 {
+		t.Fatalf("initial sync was not a full bundle: %+v", first)
+	}
+
+	// Heat the publishers: alice is busy against the publisher fleet, so
+	// her decision keys become the hot set both exporters serve. The
+	// publishers' own decisions are irrelevant (their policy knows
+	// nothing of the data tree) — hot keys carry no decisions, and the
+	// resource server recomputes through its OWN replica ∩ local policy.
+	alice := gsi.Peer{Identity: bed.alice.Identity(), Chain: bed.alice.Chain}
+	for _, srv := range []*gsi.Server{c.primarySrv, c.standbySrv} {
+		pp := srv.AuthorizationPipeline()
+		if pp == nil {
+			t.Fatal("publisher has no pipeline")
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := pp.Authorize(ctx, alice, "data:/climate/hot", "read"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Membership churn with the primary dying mid-stream: deltas are in
+	// flight when the endpoint list fails over.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			c.vo.AddMember(gsi.MustParseName(fmt.Sprintf("/O=Grid/CN=churn %02d", i)), "researchers")
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.primary.Close()
+	c.vo.AddMember(bed.bob.Identity(), "researchers")
+	bed.gridmap.Add(bed.bob.Identity(), "bob")
+	<-done
+	want := c.vo.Version()
+	st := c.waitSync(t, "standby deltas", func(st gsi.CASSyncStatus) bool {
+		return st.Version >= want && st.LastEndpoint == c.standby.Addr()
+	})
+	if st.DeltaSyncs == 0 {
+		t.Fatalf("failover caught up without a single delta: %+v", st)
+	}
+	// (Byte savings are a scale claim — BenchmarkCASDeltaSync100k proves
+	// them; a fixture VO this small can't.)
+
+	// The post-churn sync cycle must re-warm against the settled
+	// generation vector: WarmCurrent reports that the most recent warm
+	// matches the pipeline's live generations, i.e. the warmed entries
+	// are actually servable (a counter-delta wait here would race with
+	// the settling cycle).
+	c.waitSync(t, "warm set current", func(st gsi.CASSyncStatus) bool {
+		return st.WarmedKeys > 0 && st.WarmCurrent
+	})
+
+	// Promotion: alice has NEVER contacted the resource server, yet her
+	// first decision is a verified warm hit — while bob (a legitimate
+	// member who was not hot on the publishers) pays the cold miss.
+	d, err := pipe.Authorize(ctx, alice, "data:/climate/hot", "read")
+	if err != nil || d.Decision != gsi.Permit {
+		t.Fatalf("warm first decision: %+v err=%v", d, err)
+	}
+	if !d.Cached {
+		t.Fatal("publisher-hot subject's first decision missed the warmed cache")
+	}
+	bob := gsi.Peer{Identity: bed.bob.Identity(), Chain: bed.bob.Chain}
+	d, err = pipe.Authorize(ctx, bob, "data:/climate/hot", "read")
+	if err != nil || d.Decision != gsi.Permit {
+		t.Fatalf("cold first decision: %+v err=%v", d, err)
+	}
+	if d.Cached {
+		t.Fatal("cold baseline was served from cache on its first decision")
+	}
+
+	// Zero fail-open: an outsider stays denied through promotion, warm
+	// cache and all.
+	malloryCred, err := bed.ca.NewEntity(gsi.MustParseName("/O=Grid/CN=Mallory"), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory := gsi.Peer{Identity: malloryCred.Identity(), Chain: malloryCred.Chain}
+	if d, err = pipe.Authorize(ctx, mallory, "data:/climate/hot", "read"); err != nil || d.Decision != gsi.Deny {
+		t.Fatalf("outsider after promotion: %+v err=%v", d, err)
 	}
 }
 

@@ -114,6 +114,16 @@ type settings struct {
 	casUpstream *CASUpstreamConfig
 	casPublish  *CASServer
 
+	// Control-plane fast path (PR 10). walSync selects the durable
+	// journal's fsync discipline; autoCompact snapshots the journal in
+	// the background once it outgrows the thresholds; cacheWarmN makes
+	// the CAS syncer pull the publisher's hot decision keys after a
+	// bundle apply and pre-compute those decisions locally.
+	walSync     WALSyncPolicy
+	walSyncSet  bool
+	autoCompact *AutoCompactConfig
+	cacheWarmN  int
+
 	// End-to-end tracing (PR 8). traceEnable is set by any trace
 	// option; NewClient/NewServer then materialize tracer (per-op
 	// histograms land in metrics when both are set). traceExport
@@ -462,6 +472,93 @@ func WithDurableState(dir string) Option {
 		s.durableDir = dir
 		s.authzRev++
 		s.authzEnabled = true
+		return nil
+	}
+}
+
+// WALSyncPolicy selects when the durable journal's appends reach
+// stable storage (WithWALSync).
+type WALSyncPolicy int
+
+const (
+	// WALSyncAlways fsyncs once per mutation: the strictest discipline,
+	// and the default — an acknowledged mutation survives kill -9.
+	WALSyncAlways WALSyncPolicy = iota
+	// WALSyncBatched is group commit: concurrent mutations coalesce onto
+	// one fsync, but every mutation still blocks until its own record is
+	// on stable storage. Identical durability per acknowledged mutation,
+	// a fraction of the fsync count under write concurrency.
+	WALSyncBatched
+)
+
+// WithWALSync selects the durable journal's fsync discipline. Both
+// policies acknowledge a mutation only after its record is durable;
+// WALSyncBatched merely shares fsyncs between concurrent writers.
+// Requires WithDurableState (or pass to OpenDurableState directly).
+func WithWALSync(p WALSyncPolicy) Option {
+	return func(s *settings) error {
+		if p != WALSyncAlways && p != WALSyncBatched {
+			return errors.New("gsi: unknown WAL sync policy")
+		}
+		s.walSync = p
+		s.walSyncSet = true
+		return nil
+	}
+}
+
+// AutoCompactConfig tunes background journal compaction (WithAutoCompact).
+type AutoCompactConfig struct {
+	// MaxBytes triggers a compaction once the journal holds at least
+	// this many bytes past its last snapshot (0 = no byte threshold).
+	MaxBytes int64
+	// MaxRecords triggers on records past the last snapshot (0 = no
+	// record threshold). At least one threshold must be set.
+	MaxRecords uint64
+	// Interval is how often the thresholds are checked
+	// (0 = DefaultAutoCompactInterval).
+	Interval time.Duration
+}
+
+// WithAutoCompact starts a background compactor on the durable state:
+// a goroutine watches the journal's growth since its last snapshot and
+// folds it into a fresh snapshot once a threshold is crossed, bounding
+// replay time after a restart without an operator in the loop. The
+// snapshot payload is staged off the mutation path; only the final
+// rename/rotate stalls writers. Requires WithDurableState (or pass to
+// OpenDurableState directly).
+func WithAutoCompact(cfg AutoCompactConfig) Option {
+	return func(s *settings) error {
+		if cfg.MaxBytes < 0 {
+			return errors.New("gsi: negative auto-compact byte threshold")
+		}
+		if cfg.Interval < 0 {
+			return errors.New("gsi: negative auto-compact interval")
+		}
+		if cfg.MaxBytes == 0 && cfg.MaxRecords == 0 {
+			return errors.New("gsi: auto-compact config sets no threshold (set MaxBytes and/or MaxRecords)")
+		}
+		c := cfg
+		s.autoCompact = &c
+		return nil
+	}
+}
+
+// WithCacheWarming makes the WithCASUpstream syncer pull the
+// publisher's n hottest decision-cache keys after applying a bundle and
+// pre-compute those decisions through the local pipeline, so a standby
+// promoted mid-incident starts with the community's working set warm
+// instead of serving every first request cold. The keys are hints, not
+// authority: each decision is computed by THIS server's policy, and a
+// warmed entry is not served until the requester's own verified
+// credentials confirm the identity it was computed for — a forged key
+// can waste one evaluation, never flip a decision. No effect without
+// WithCASUpstream. Server option.
+func WithCacheWarming(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return errors.New("gsi: cache warming wants a positive key count")
+		}
+		s.cacheWarmN = n
 		return nil
 	}
 }

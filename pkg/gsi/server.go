@@ -291,7 +291,7 @@ func (s *Server) acquireControl(resolved settings, pipeline *AuthorizationPipeli
 		}
 		if resolved.casUpstream != nil && pipeline != nil {
 			if rep := pipeline.Replica(); rep != nil {
-				cs, err := newCASSyncer(s.env, s.cred, rep, *resolved.casUpstream)
+				cs, err := newCASSyncer(s.env, s.cred, pipeline, *resolved.casUpstream, resolved.cacheWarmN)
 				if err != nil {
 					return err
 				}
@@ -398,8 +398,12 @@ func (s *Server) containerHook(resolved settings, pipeline *AuthorizationPipelin
 		if resolved.casPublish != nil {
 			// The sync service enforces its own channel rules; route-step
 			// authorization (resource "ogsa:gsi.__cas.sync") is the
-			// container's, which Serve guaranteed has a pipeline.
-			c.Publish(cas.SyncHandle, cas.NewSyncService(resolved.casPublish, resolved.authzAudit))
+			// container's, which Serve guaranteed has a pipeline. The
+			// pipeline also feeds the hot-key export: keys only, never
+			// decisions, and reading them is itself an authorized op.
+			svc := cas.NewSyncService(resolved.casPublish, resolved.authzAudit)
+			svc.SetHotKeySource(pipeline.HotDecisionKeys)
+			c.Publish(cas.SyncHandle, svc)
 		}
 		if !resolved.adminEnable {
 			return nil
